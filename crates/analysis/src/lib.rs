@@ -1,0 +1,43 @@
+//! # mds-analysis — dynamic trace analysis
+//!
+//! Profiling tools over the functional traces of the `mds` simulator
+//! (reproduction of Moshovos & Sohi, HPCA 2000):
+//!
+//! * [`DepProfile`] — memory dependence structure: how many loads truly
+//!   depend on recent stores, at what dynamic distances, and how stable
+//!   the static (load, store) pairs are. These are precisely the
+//!   quantities that determine where each of the paper's policies wins:
+//!   window-resident dependences are what naive speculation violates and
+//!   what the MDPT synchronizes; pair stability is why PC-indexed
+//!   prediction works.
+//! * [`StrideProfile`] — per-instruction address behaviour (constant /
+//!   strided / irregular), the access-pattern mix behind cache behaviour.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_analysis::DepProfile;
+//! use mds_isa::{Asm, Interpreter, Reg};
+//!
+//! let mut a = Asm::new();
+//! let cell = a.alloc_data(8, 8);
+//! a.li(Reg::int(1), cell as i64);
+//! a.lw(Reg::int(2), Reg::int(1), 0);
+//! a.sw(Reg::int(2), Reg::int(1), 0);
+//! a.lw(Reg::int(3), Reg::int(1), 0); // depends on the store, distance 1
+//! a.halt();
+//! let trace = Interpreter::new(a.assemble()?).run(100)?;
+//!
+//! let profile = DepProfile::build(&trace);
+//! assert_eq!(profile.dependent_loads, 1);
+//! # Ok::<(), mds_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod deps;
+mod stride;
+
+pub use deps::{DepProfile, DistanceHistogram};
+pub use stride::{AddressPattern, InstStride, StrideProfile};

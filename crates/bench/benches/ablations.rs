@@ -1,0 +1,92 @@
+//! Ablation benchmarks beyond the paper: predictor sizing, MDPT flush
+//! interval, store sets vs MDPT synchronization, and the window sweep
+//! extending Figure 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mds_harness::{experiments::ablation, Suite};
+use mds_workloads::{Benchmark, SuiteParams};
+use std::sync::OnceLock;
+
+/// Ablations run on a representative 6-benchmark subset to keep the
+/// sweeps tractable.
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        let subset = [
+            Benchmark::Compress,
+            Benchmark::Gcc,
+            Benchmark::Vortex,
+            Benchmark::Swim,
+            Benchmark::Su2cor,
+            Benchmark::Apsi,
+        ];
+        Suite::generate(&subset, &SuiteParams::test()).expect("suite generation")
+    })
+}
+
+fn bench_predictor_size(c: &mut Criterion) {
+    let s = suite();
+    println!("\n{}", ablation::predictor_size(s, &[256, 1024, 4096, 16384]).render());
+    let mut g = c.benchmark_group("ablation_predictor_size");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ablation::predictor_size(s, &[256, 4096])));
+    g.finish();
+}
+
+fn bench_flush_interval(c: &mut Criterion) {
+    let s = suite();
+    println!(
+        "\n{}",
+        ablation::flush_interval(s, &[Some(10_000), Some(100_000), Some(1_000_000), None])
+            .render()
+    );
+    let mut g = c.benchmark_group("ablation_flush_interval");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| ablation::flush_interval(s, &[Some(1_000_000), None]))
+    });
+    g.finish();
+}
+
+fn bench_store_sets(c: &mut Criterion) {
+    let s = suite();
+    println!("\n{}", ablation::store_sets(s).render());
+    let mut g = c.benchmark_group("ablation_store_set");
+    g.sample_size(10);
+    g.bench_function("compare", |b| b.iter(|| ablation::store_sets(s)));
+    g.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let s = suite();
+    println!("\n{}", ablation::window_sweep(s, &[32, 64, 128, 256]).render());
+    let mut g = c.benchmark_group("ablation_window_sweep");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ablation::window_sweep(s, &[64, 128])));
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let s = suite();
+    println!("\n{}", ablation::recovery(s).render());
+    let mut g = c.benchmark_group("ablation_recovery");
+    g.sample_size(10);
+    g.bench_function("compare", |b| b.iter(|| ablation::recovery(s)));
+    g.finish();
+}
+
+fn bench_branch_predictors(c: &mut Criterion) {
+    let s = suite();
+    println!("\n{}", ablation::branch_predictors(s).render());
+    let mut g = c.benchmark_group("ablation_branch_predictor");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| ablation::branch_predictors(s)));
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(6)).configure_from_args();
+    targets = bench_predictor_size, bench_flush_interval, bench_store_sets, bench_window_sweep, bench_recovery, bench_branch_predictors
+}
+criterion_main!(ablations);

@@ -1,0 +1,89 @@
+//! Component micro-benchmarks: raw throughput of the substrate pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mds_core::OracleDeps;
+use mds_frontend::{Combined, DirectionPredictor};
+use mds_isa::Interpreter;
+use mds_mem::{AccessKind, MemConfig, MemSystem, StoreBuffer};
+use mds_workloads::kernels;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_cache");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("strided_reads", |b| {
+        b.iter(|| {
+            let mut m = MemSystem::new(MemConfig::paper());
+            let mut now = 0;
+            for i in 0..10_000u64 {
+                now = m.access(AccessKind::Read, (i * 64) % (1 << 22), now);
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+fn bench_store_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_store_buffer");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_forward_retire", |b| {
+        b.iter(|| {
+            let mut sb = StoreBuffer::new(128);
+            let mut hits = 0u64;
+            for i in 0..10_000u64 {
+                sb.push(i, (i % 64) * 8, 8, i);
+                if let mds_mem::Forward::Hit { .. } = sb.forward(i + 1, ((i + 32) % 64) * 8, 8)
+                {
+                    hits += 1;
+                }
+                if i >= 100 {
+                    sb.retire(i - 100);
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("component_branch_predictor");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("combined_64k", |b| {
+        b.iter(|| {
+            let mut p = Combined::paper();
+            let mut correct = 0u64;
+            for i in 0..100_000u64 {
+                let pc = 0x40_0000 + (i % 97) * 4;
+                let taken = (i * 2_654_435_761) >> 13 & 3 != 0;
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        })
+    });
+    g.finish();
+}
+
+fn bench_oracle_build(c: &mut Criterion) {
+    let trace = Interpreter::new(kernels::histogram(20_000, 1024).expect("kernel"))
+        .run(2_000_000)
+        .expect("runs");
+    let mut g = c.benchmark_group("component_oracle");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("build", |b| b.iter(|| OracleDeps::build(&trace)));
+    g.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).configure_from_args();
+    targets = bench_cache, bench_store_buffer, bench_branch_predictor, bench_oracle_build
+}
+criterion_main!(components);

@@ -1,0 +1,40 @@
+//! Raw simulator throughput: simulated instructions per second for the
+//! substrate itself (interpreter and timing core).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mds_core::{CoreConfig, Policy, Simulator};
+use mds_workloads::{Benchmark, SuiteParams};
+use std::sync::OnceLock;
+
+fn trace() -> &'static mds_isa::Trace {
+    static TRACE: OnceLock<mds_isa::Trace> = OnceLock::new();
+    TRACE.get_or_init(|| Benchmark::Gcc.trace(&SuiteParams::test()).expect("trace"))
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let params = SuiteParams::test();
+    let mut g = c.benchmark_group("throughput_interpreter");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(params.dyn_target));
+    g.bench_function("gcc", |b| b.iter(|| Benchmark::Gcc.trace(&params).expect("trace")));
+    g.finish();
+}
+
+fn bench_timing_core(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("throughput_timing_core");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(t.len() as u64));
+    for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasSync, Policy::AsNaive] {
+        let sim = Simulator::new(CoreConfig::paper_128().with_policy(policy));
+        g.bench_function(policy.paper_name().replace('/', "_"), |b| b.iter(|| sim.run(t)));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = throughput;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).configure_from_args();
+    targets = bench_interpreter, bench_timing_core
+}
+criterion_main!(throughput);

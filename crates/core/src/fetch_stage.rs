@@ -1,0 +1,129 @@
+//! The fetch stage: trace-following fetch with branch-predictor-driven
+//! redirect stalls, generalized over tasks so that the split-window
+//! model of Section 3.7 falls out of the `units > 1` case.
+//!
+//! The dynamic trace is divided into contiguous *tasks* (the whole trace
+//! is one task for the continuous window). At any time the `units`
+//! consecutive tasks starting at the head task are active; task `t` is
+//! fetched by unit `t % units`. The head task advances as commit drains
+//! it. A unit therefore fetches instructions that may be far younger, in
+//! program order, than un-fetched instructions owned by another unit —
+//! exactly the property that defeats address-based scheduling in
+//! Section 3.7.
+
+use crate::pipetrace::PipeStage;
+use crate::sim::Machine;
+use mds_frontend::FetchOutcome;
+use mds_mem::AccessKind;
+
+impl Machine<'_> {
+    /// Number of tasks the trace divides into.
+    pub(crate) fn n_tasks(&self) -> u64 {
+        (self.trace.len() as u64).div_ceil(self.task_size)
+    }
+
+    /// The task containing the next instruction to commit.
+    fn head_task(&self) -> u64 {
+        self.next_commit / self.task_size
+    }
+
+    /// The oldest sequence number not yet fetched from any active task
+    /// (used by `AS/NO`, which must respect unknown older instructions).
+    pub(crate) fn next_unfetched(&self) -> u64 {
+        let len = self.trace.len() as u64;
+        let head = self.head_task();
+        let last = (head + self.units.len() as u64).min(self.n_tasks());
+        let mut min = (last * self.task_size).min(len); // first inactive task
+        for t in head..last {
+            let end = ((t + 1) * self.task_size).min(len);
+            let pos = self.task_pos[t as usize];
+            if pos < end {
+                min = min.min(pos);
+            }
+        }
+        min
+    }
+
+    /// Rewinds fetch positions after a squash so the trace suffix from
+    /// `seq` is re-fetched.
+    pub(crate) fn reset_fetch_to(&mut self, seq: u64) {
+        let first_task = seq / self.task_size;
+        for t in first_task..self.n_tasks() {
+            let start = (t * self.task_size).max(seq);
+            let pos = &mut self.task_pos[t as usize];
+            *pos = (*pos).min(start);
+        }
+    }
+
+    /// One cycle of fetch across all units.
+    pub(crate) fn fetch_stage(&mut self) {
+        let head = self.head_task();
+        let units = self.units.len() as u64;
+        let last = (head + units).min(self.n_tasks());
+        for t in head..last {
+            let u = (t % units) as usize;
+            self.fetch_unit(u, t);
+        }
+    }
+
+    fn fetch_unit(&mut self, u: usize, task: u64) {
+        if self.now < self.units[u].next_fetch_at || self.units[u].stalled_on.is_some() {
+            return;
+        }
+        let len = self.trace.len() as u64;
+        let task_end = ((task + 1) * self.task_size).min(len);
+        let queue_cap = self.unit_fetch_width * 3;
+        let mut budget = self.unit_fetch_width;
+        let mut blocks_left = self.cfg.fetch_blocks;
+        let mut cur_block: Option<u64> = None;
+        let mut delivery = self.now;
+
+        while budget > 0 && self.units[u].queue.len() < queue_cap {
+            let pos = self.task_pos[task as usize];
+            if pos >= task_end {
+                break; // task fully fetched; wait for the next assignment
+            }
+            let i = pos as usize;
+            let pc = self.trace.pc(i);
+            let block = pc >> 5; // 32-byte I-cache blocks (Table 2)
+            if cur_block != Some(block) {
+                if blocks_left == 0 {
+                    break;
+                }
+                blocks_left -= 1;
+                delivery = self.mem.access(AccessKind::Fetch, pc, self.now);
+                cur_block = Some(block);
+            }
+            let ready_at = delivery + self.cfg.decode_latency;
+            self.units[u].queue.push_back((pos, ready_at));
+            self.trace_event(pos, PipeStage::Fetch, self.now);
+            self.task_pos[task as usize] = pos + 1;
+            budget -= 1;
+
+            let inst = self.trace.inst(i);
+            if inst.op.is_ctrl() {
+                let rec = self.trace.record(i);
+                let target = if i + 1 < self.trace.len() {
+                    self.trace.pc(i + 1)
+                } else {
+                    pc + 4
+                };
+                let fall_through = self.trace.program().pc_of(rec.sidx + 1);
+                match self.frontend.on_ctrl(pc, inst, rec.taken, target, fall_through) {
+                    FetchOutcome::Correct { taken: false } => {}
+                    FetchOutcome::Correct { taken: true } => {
+                        cur_block = None; // redirected: new block next
+                    }
+                    FetchOutcome::Misfetch { bubble } => {
+                        self.units[u].next_fetch_at = self.now + 1 + bubble;
+                        break;
+                    }
+                    FetchOutcome::Mispredict => {
+                        self.units[u].stalled_on = Some(pos);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

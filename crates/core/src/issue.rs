@@ -1,0 +1,466 @@
+//! The issue stage: program-order-priority selection, functional-unit
+//! and memory-port arbitration, and the load scheduling gates that
+//! implement the paper's `A/B` policy space.
+
+use crate::config::Policy;
+use crate::pipetrace::PipeStage;
+use crate::sim::Machine;
+use crate::window::Slot;
+use mds_isa::FuClass;
+use mds_mem::{AccessKind, Forward};
+
+/// Functional-unit pool indices (one pool per [`FuClass`]).
+const N_FU: usize = 10;
+
+fn fu_index(class: FuClass) -> Option<usize> {
+    Some(match class {
+        FuClass::IntAlu => 0,
+        FuClass::IntMul => 1,
+        FuClass::IntDiv => 2,
+        FuClass::FpAdd => 3,
+        FuClass::FpMulS => 4,
+        FuClass::FpMulD => 5,
+        FuClass::FpDivS => 6,
+        FuClass::FpDivD => 7,
+        FuClass::Branch => 8,
+        FuClass::Mem => 9,
+        FuClass::None => return None,
+    })
+}
+
+/// What the selection logic decided for one slot this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    /// Nothing can happen for this slot this cycle.
+    None,
+    /// Issue the address micro-op (AS modes).
+    AddrUop,
+    /// Issue the store (write the store buffer).
+    Store,
+    /// Issue the load's memory access.
+    Load,
+    /// Issue a non-memory operation on the given functional-unit class.
+    Alu(FuClass),
+    /// The load is address-ready but the policy gate blocks it;
+    /// `synced` marks blocking by an explicit dependence prediction.
+    Blocked { synced: bool },
+}
+
+/// Result of a load scheduling gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    Ready,
+    Blocked { synced: bool },
+}
+
+impl Machine<'_> {
+    /// One cycle of the issue stage.
+    pub(crate) fn issue_stage(&mut self) {
+        let mut issue_left = self.cfg.issue_width;
+        let mut ports_left = self.cfg.mem_ports;
+        let mut fu = [self.cfg.fu_copies; N_FU];
+
+        for seq in self.issue_order() {
+            if issue_left == 0 {
+                break;
+            }
+            let decision = self.decide(seq, ports_left, &fu);
+            match decision {
+                Decision::None => {}
+                Decision::Blocked { synced } => self.note_blocked(seq, synced),
+                Decision::AddrUop => {
+                    issue_left -= 1;
+                    fu[fu_index(FuClass::IntAlu).expect("IntAlu pool")] -= 1;
+                    self.apply_addr_uop(seq);
+                }
+                Decision::Store => {
+                    issue_left -= 1;
+                    ports_left -= 1;
+                    self.apply_store(seq);
+                }
+                Decision::Load => {
+                    issue_left -= 1;
+                    ports_left -= 1;
+                    self.apply_load(seq);
+                }
+                Decision::Alu(class) => {
+                    issue_left -= 1;
+                    if let Some(i) = fu_index(class) {
+                        fu[i] -= 1;
+                    }
+                    self.apply_alu(seq, class);
+                }
+            }
+        }
+    }
+
+    /// Candidate sequence numbers in issue-priority order.
+    ///
+    /// Continuous window: strict program order (oldest first) — the
+    /// defining property of Section 2.2. Split window: units take turns
+    /// (round-robin) with intra-unit age order, modeling schedulers that
+    /// do not enforce program-order priority across units.
+    fn issue_order(&self) -> Vec<u64> {
+        let pending = |s: &Slot| {
+            !s.issued
+                || (self.cfg.policy.uses_address_scheduler()
+                    && (s.is_load || s.is_store)
+                    && !s.addr_issued)
+        };
+        if self.units.len() == 1 {
+            return self.window.iter().filter(|s| pending(s)).map(|s| s.seq).collect();
+        }
+        let mut per_unit: Vec<Vec<u64>> = vec![Vec::new(); self.units.len()];
+        for s in self.window.iter() {
+            if pending(s) {
+                per_unit[s.unit as usize].push(s.seq);
+            }
+        }
+        let longest = per_unit.iter().map(Vec::len).max().unwrap_or(0);
+        let mut order = Vec::with_capacity(per_unit.iter().map(Vec::len).sum());
+        for i in 0..longest {
+            for unit in &per_unit {
+                if let Some(&seq) = unit.get(i) {
+                    order.push(seq);
+                }
+            }
+        }
+        order
+    }
+
+    fn decide(&self, seq: u64, ports_left: usize, fu: &[usize; N_FU]) -> Decision {
+        let slot = self.window.get(seq).expect("candidate in window");
+        let now = self.now;
+        let i = seq as usize;
+        let as_mode = self.cfg.policy.uses_address_scheduler();
+
+        if (slot.is_load || slot.is_store) && as_mode && !slot.addr_issued {
+            if self.operands_ready(&self.regdeps.addr[i], now)
+                && fu[fu_index(FuClass::IntAlu).expect("IntAlu pool")] > 0
+            {
+                return Decision::AddrUop;
+            }
+            return Decision::None;
+        }
+
+        if slot.is_store && !slot.issued {
+            let addr_ok = if as_mode {
+                slot.addr_issued && now >= slot.addr_posted_at
+            } else {
+                self.operands_ready(&self.regdeps.addr[i], now)
+            };
+            if addr_ok
+                && self.operands_ready(&self.regdeps.data[i], now)
+                && ports_left > 0
+                && !self.sb.is_full()
+            {
+                return Decision::Store;
+            }
+            return Decision::None;
+        }
+
+        if slot.is_load && !slot.issued {
+            let addr_ok = if as_mode {
+                slot.addr_issued && now >= slot.addr_posted_at
+            } else {
+                self.operands_ready(&self.regdeps.addr[i], now)
+            };
+            if !addr_ok {
+                return Decision::None;
+            }
+            match self.load_gate(slot) {
+                Gate::Blocked { synced } => return Decision::Blocked { synced },
+                Gate::Ready => {
+                    if ports_left > 0 {
+                        return Decision::Load;
+                    }
+                    return Decision::None;
+                }
+            }
+        }
+
+        if !slot.issued && !slot.is_load && !slot.is_store {
+            let class = self.trace.inst(i).op.fu_class();
+            let fu_ok = fu_index(class).is_none_or(|fi| fu[fi] > 0);
+            if fu_ok && self.operands_ready(&self.regdeps.srcs[i], now) {
+                return Decision::Alu(class);
+            }
+        }
+        Decision::None
+    }
+
+    // ---- load scheduling gates (the paper's policy space) -----------------
+
+    fn load_gate(&self, slot: &Slot) -> Gate {
+        // A partially-overlapping older store in the store buffer blocks
+        // the load under every policy: no single source can supply the
+        // value until the store drains.
+        if self.sb.forward(slot.seq, slot.addr, slot.size) == Forward::Partial {
+            return Gate::Blocked { synced: false };
+        }
+        match self.cfg.policy {
+            Policy::NasNo => self.gate_all_older_stores(slot, false),
+            Policy::NasNaive => Gate::Ready,
+            Policy::NasSelective => {
+                if slot.predicted_wait {
+                    self.gate_all_older_stores(slot, true)
+                } else {
+                    Gate::Ready
+                }
+            }
+            Policy::NasStoreBarrier => self.gate_barrier(slot),
+            Policy::NasSync => self.gate_synonym(slot),
+            Policy::NasStoreSets => self.gate_store_set(slot),
+            Policy::NasOracle => self.gate_oracle(slot),
+            Policy::AsNo => self.gate_addr_no_spec(slot),
+            Policy::AsNaive => self.gate_addr_naive(slot),
+        }
+    }
+
+    /// `NAS/NO` (and the waiting half of `NAS/SEL`): wait until every
+    /// older store in the window has executed.
+    fn gate_all_older_stores(&self, slot: &Slot, synced: bool) -> Gate {
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && !(s.executed && s.exec_at <= self.now) {
+                return Gate::Blocked { synced };
+            }
+        }
+        Gate::Ready
+    }
+
+    /// `NAS/STORE`: wait only for older *predicted-barrier* stores.
+    fn gate_barrier(&self, slot: &Slot) -> Gate {
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && s.barrier && !(s.executed && s.exec_at <= self.now) {
+                return Gate::Blocked { synced: true };
+            }
+        }
+        Gate::Ready
+    }
+
+    /// `NAS/SYNC`: wait for the closest older store marked with the same
+    /// synonym; the load may issue one cycle after that store issues.
+    fn gate_synonym(&self, slot: &Slot) -> Gate {
+        let Some(syn) = slot.synonym else { return Gate::Ready };
+        let mut producer: Option<&Slot> = None;
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && s.synonym == Some(syn) {
+                producer = Some(s); // keep the closest (youngest older)
+            }
+        }
+        match producer {
+            Some(st) if !(st.issued && self.now > st.issue_at) => {
+                Gate::Blocked { synced: true }
+            }
+            _ => Gate::Ready,
+        }
+    }
+
+    /// Store-set synchronization: wait for the specific store instance
+    /// the LFST named at dispatch.
+    fn gate_store_set(&self, slot: &Slot) -> Gate {
+        let Some(wseq) = slot.sset_wait else { return Gate::Ready };
+        match self.window.get(wseq) {
+            Some(st) if !(st.issued && self.now > st.issue_at) => {
+                Gate::Blocked { synced: true }
+            }
+            _ => Gate::Ready, // issued, committed, or squashed
+        }
+    }
+
+    /// `NAS/ORACLE`: wait exactly for the stores that truly feed this
+    /// load (perfect a-priori dependence knowledge).
+    fn gate_oracle(&self, slot: &Slot) -> Gate {
+        for &p in self.oracle.producers(slot.seq as usize) {
+            let p = p as u64;
+            if p < self.next_commit {
+                continue; // committed, data in cache or store buffer
+            }
+            match self.window.get(p) {
+                Some(s) if s.executed && s.exec_at <= self.now => {}
+                // In-window but not executed, or (split window) not even
+                // dispatched yet: the load must wait for its producer.
+                _ => return Gate::Blocked { synced: false },
+            }
+        }
+        Gate::Ready
+    }
+
+    /// `AS/NO`: every older store must have *posted* its address, no
+    /// older instruction may still be outside the window, and posted
+    /// overlapping stores must have executed.
+    fn gate_addr_no_spec(&self, slot: &Slot) -> Gate {
+        if self.min_undispatched() < slot.seq {
+            return Gate::Blocked { synced: false };
+        }
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if !s.is_store {
+                continue;
+            }
+            if !(s.addr_issued && s.addr_posted_at <= self.now) {
+                return Gate::Blocked { synced: false }; // unresolved address
+            }
+            if s.overlaps(slot) && !(s.executed && s.exec_at <= self.now) {
+                return Gate::Blocked { synced: false }; // known true dependence
+            }
+        }
+        Gate::Ready
+    }
+
+    /// `AS/NAV`: ignore unposted store addresses; always respect posted
+    /// overlapping stores ("if a true dependence is found, a load always
+    /// waits", Section 3.4).
+    fn gate_addr_naive(&self, slot: &Slot) -> Gate {
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store
+                && s.addr_issued
+                && s.addr_posted_at <= self.now
+                && s.overlaps(slot)
+                && !(s.executed && s.exec_at <= self.now)
+            {
+                return Gate::Blocked { synced: false };
+            }
+        }
+        Gate::Ready
+    }
+
+    // ---- false-dependence accounting (Table 3) ----------------------------
+
+    /// Records the first cycle a load was address-ready but gate-blocked,
+    /// classifying the blockage as a true or false dependence using the
+    /// oracle ("we check to see if a true dependence with a preceding yet
+    /// un-executed store exists", Section 3.2).
+    fn note_blocked(&mut self, seq: u64, synced: bool) {
+        let has_true_dep = self.load_has_unexecuted_producer(seq);
+        let now = self.now;
+        let Some(slot) = self.window.get_mut(seq) else { return };
+        if synced {
+            slot.sync_delayed = true;
+        }
+        if slot.fd_blocked_at.is_none() {
+            slot.fd_blocked_at = Some(now);
+            slot.fd_false = !has_true_dep;
+        }
+    }
+
+    fn load_has_unexecuted_producer(&self, seq: u64) -> bool {
+        self.oracle.producers(seq as usize).iter().any(|&p| {
+            let p = p as u64;
+            if p < self.next_commit {
+                return false;
+            }
+            match self.window.get(p) {
+                Some(s) => !(s.executed && s.exec_at <= self.now),
+                None => true, // not yet dispatched
+            }
+        })
+    }
+
+    // ---- apply steps -------------------------------------------------------
+
+    fn apply_addr_uop(&mut self, seq: u64) {
+        let now = self.now;
+        let lat = self.cfg.addr_sched_latency;
+        let i = seq as usize;
+        let addr_producers = self.regdeps.addr[i].clone();
+        if let Some(slot) = self.window.get_mut(seq) {
+            slot.addr_issued = true;
+            slot.addr_posted_at = now + 1 + lat;
+        }
+        self.trace_event(seq, PipeStage::AddrIssue, now);
+        self.mark_propagated(&addr_producers);
+    }
+
+    fn apply_store(&mut self, seq: u64) {
+        let now = self.now;
+        let i = seq as usize;
+        let (addr, size, value, pc) = {
+            let slot = self.window.get(seq).expect("store in window");
+            (slot.addr, slot.size, slot.store_value, self.trace.pc(i))
+        };
+        self.sb.push(seq, addr, size, value);
+        if let Some(slot) = self.window.get_mut(seq) {
+            slot.issued = true;
+            slot.issue_at = now;
+            slot.executed = true;
+            slot.exec_at = now + 1;
+            slot.complete_at = now + 1;
+        }
+        self.pending_checks.push((seq, now + 1));
+        self.trace_event(seq, PipeStage::Issue, now);
+        self.trace_event(seq, PipeStage::Execute, now + 1);
+        if self.cfg.policy == Policy::NasStoreSets {
+            self.store_sets.issue_store(pc, seq);
+        }
+        let addr_p = self.regdeps.addr[i].clone();
+        let data_p = self.regdeps.data[i].clone();
+        self.mark_propagated(&addr_p);
+        self.mark_propagated(&data_p);
+    }
+
+    fn apply_load(&mut self, seq: u64) {
+        let now = self.now;
+        let i = seq as usize;
+        let (addr, size) = {
+            let slot = self.window.get(seq).expect("load in window");
+            (slot.addr, slot.size)
+        };
+        let access_at = now + 1; // address generation
+        let (complete_at, forwarded_from) = match self.sb.forward(seq, addr, size) {
+            Forward::Hit { store_seq, .. } => (access_at + 1, Some(store_seq)),
+            Forward::Partial => unreachable!("gate blocks partial forwards"),
+            Forward::Miss => (self.mem.access(AccessKind::Read, addr, access_at), None),
+        };
+        // Speculative if any older store in the window has not executed.
+        let speculative = self.window.iter().any(|s| {
+            s.seq < seq && s.is_store && !(s.executed && s.exec_at <= now)
+        });
+        if let Some(slot) = self.window.get_mut(seq) {
+            slot.issued = true;
+            slot.issue_at = now;
+            slot.executed = true;
+            slot.exec_at = access_at;
+            slot.complete_at = complete_at;
+            slot.forwarded_from = forwarded_from;
+            slot.speculative = speculative;
+        }
+        let addr_p = self.regdeps.addr[i].clone();
+        self.mark_propagated(&addr_p);
+        self.trace_event(seq, PipeStage::Issue, now);
+        self.trace_event(seq, PipeStage::Execute, access_at);
+        self.trace_event(seq, PipeStage::Complete, complete_at);
+    }
+
+    fn apply_alu(&mut self, seq: u64, class: FuClass) {
+        let now = self.now;
+        let i = seq as usize;
+        let latency = self.trace.inst(i).op.latency();
+        if let Some(slot) = self.window.get_mut(seq) {
+            slot.issued = true;
+            slot.issue_at = now;
+            slot.complete_at = now + latency;
+            slot.executed = true; // non-memory ops have no memory action
+            slot.exec_at = now + latency;
+        }
+        let _ = class;
+        let srcs = self.regdeps.srcs[i].clone();
+        self.mark_propagated(&srcs);
+        self.trace_event(seq, PipeStage::Issue, now);
+        self.trace_event(seq, PipeStage::Complete, now + latency);
+    }
+}

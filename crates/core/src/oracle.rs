@@ -1,0 +1,175 @@
+//! Oracle memory disambiguation (Section 3.2).
+//!
+//! Computed from the functional trace before timing simulation: for every
+//! dynamic load, the set of *producing* stores — the older stores that
+//! wrote at least one byte the load reads, with no intervening overwrite
+//! of that byte. The `NAS/ORACLE` policy delays a load exactly until its
+//! producers have executed, and the false-dependence accounting of
+//! Table 3 uses the same information.
+
+use mds_isa::Trace;
+use std::collections::HashMap;
+
+/// Perfect, a-priori memory dependence information for one trace.
+#[derive(Debug, Clone)]
+pub struct OracleDeps {
+    /// `producers[i]` lists the dynamic indices of the stores that feed
+    /// the load at dynamic index `i` (empty for non-loads and for loads
+    /// fed by initial memory).
+    producers: Vec<Vec<u32>>,
+}
+
+impl OracleDeps {
+    /// Builds the oracle for `trace` with a per-byte last-writer scan.
+    pub fn build(trace: &Trace) -> OracleDeps {
+        let mut last_writer: HashMap<u64, u32> = HashMap::new();
+        let mut producers: Vec<Vec<u32>> = vec![Vec::new(); trace.len()];
+        for (i, rec) in trace.records().iter().enumerate() {
+            if rec.size == 0 {
+                continue;
+            }
+            let inst = trace.inst(i);
+            if inst.op.is_store() {
+                for b in rec.effaddr..rec.effaddr + rec.size as u64 {
+                    last_writer.insert(b, i as u32);
+                }
+            } else if inst.op.is_load() {
+                let deps = &mut producers[i];
+                for b in rec.effaddr..rec.effaddr + rec.size as u64 {
+                    if let Some(&w) = last_writer.get(&b) {
+                        if !deps.contains(&w) {
+                            deps.push(w);
+                        }
+                    }
+                }
+                deps.sort_unstable();
+            }
+        }
+        OracleDeps { producers }
+    }
+
+    /// The producing stores of the load at dynamic index `i` (empty for
+    /// non-loads).
+    #[inline]
+    pub fn producers(&self, i: usize) -> &[u32] {
+        &self.producers[i]
+    }
+
+    /// Whether the load at dynamic index `i` has any producing store at
+    /// or after dynamic index `from` (i.e. a true dependence within a
+    /// window whose oldest un-executed store is `from`).
+    pub fn has_producer_at_or_after(&self, i: usize, from: u32) -> bool {
+        self.producers[i].iter().any(|&p| p >= from)
+    }
+
+    /// Total number of load→store dependence edges (diagnostic).
+    pub fn edge_count(&self) -> usize {
+        self.producers.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::{Asm, Interpreter, Reg};
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    /// store a; load a; store b; load b; load c(un-written)
+    fn simple_trace() -> Trace {
+        let mut a = Asm::new();
+        let base = a.alloc_data(64, 8);
+        a.li(r(1), base as i64);
+        a.li(r(2), 11);
+        a.sw(r(2), r(1), 0); // dyn 2: store base+0
+        a.lw(r(3), r(1), 0); // dyn 3: load base+0 <- store 2
+        a.sw(r(2), r(1), 8); // dyn 4: store base+8
+        a.lw(r(4), r(1), 8); // dyn 5: load base+8 <- store 4
+        a.lw(r(5), r(1), 16); // dyn 6: load base+16 <- nothing
+        a.halt();
+        Interpreter::new(a.assemble().unwrap()).run(100).unwrap()
+    }
+
+    #[test]
+    fn direct_dependences_found() {
+        let t = simple_trace();
+        let o = OracleDeps::build(&t);
+        assert_eq!(o.producers(3), &[2]);
+        assert_eq!(o.producers(5), &[4]);
+        assert!(o.producers(6).is_empty());
+        assert_eq!(o.edge_count(), 2);
+    }
+
+    #[test]
+    fn intervening_store_shadows_older_one() {
+        let mut a = Asm::new();
+        let base = a.alloc_data(16, 8);
+        a.li(r(1), base as i64);
+        a.li(r(2), 1);
+        a.sw(r(2), r(1), 0); // dyn 2
+        a.sw(r(2), r(1), 0); // dyn 3 shadows dyn 2
+        a.lw(r(3), r(1), 0); // dyn 4 <- only dyn 3
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let o = OracleDeps::build(&t);
+        assert_eq!(o.producers(4), &[3]);
+    }
+
+    #[test]
+    fn partial_overlap_collects_multiple_producers() {
+        let mut a = Asm::new();
+        let base = a.alloc_data(16, 8);
+        a.li(r(1), base as i64);
+        a.li(r(2), 0x11);
+        a.sb(r(2), r(1), 0); // dyn 2 writes byte 0
+        a.sb(r(2), r(1), 1); // dyn 3 writes byte 1
+        a.lh(r(3), r(1), 0); // dyn 4 reads bytes 0-1 <- both
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let o = OracleDeps::build(&t);
+        assert_eq!(o.producers(4), &[2, 3]);
+    }
+
+    #[test]
+    fn producer_window_query() {
+        let t = simple_trace();
+        let o = OracleDeps::build(&t);
+        assert!(o.has_producer_at_or_after(3, 0));
+        assert!(o.has_producer_at_or_after(3, 2));
+        assert!(!o.has_producer_at_or_after(3, 3));
+        assert!(!o.has_producer_at_or_after(6, 0));
+    }
+
+    #[test]
+    fn recurrence_chain_links_iterations() {
+        // a[i] = a[i-1]: each load depends on the previous iteration's store.
+        let mut a = Asm::new();
+        let arr = a.alloc_data(8 * 16, 8);
+        let (i, n, base, t) = (r(1), r(2), r(3), r(4));
+        a.li(i, 1);
+        a.li(n, 8);
+        a.li(base, arr as i64);
+        let top = a.label();
+        a.bind(top);
+        a.sll(t, i, 3);
+        a.add(t, base, t);
+        a.lw(r(5), t, -8);
+        a.sw(r(5), t, 0);
+        a.addi(i, i, 1);
+        a.slt(r(6), i, n);
+        a.bgtz(r(6), top);
+        a.halt();
+        let trace = Interpreter::new(a.assemble().unwrap()).run(1000).unwrap();
+        let o = OracleDeps::build(&trace);
+        // Every load after the first iteration has exactly one producer.
+        let mut linked = 0;
+        for (idx, rec) in trace.records().iter().enumerate() {
+            if trace.program().inst(rec.sidx).op.is_load() && !o.producers(idx).is_empty() {
+                linked += 1;
+            }
+        }
+        assert_eq!(linked, 6, "iterations 2..8 load the previous store");
+    }
+}

@@ -1,0 +1,1196 @@
+//! The timing simulator: a centralized, continuous-window out-of-order
+//! superscalar core (Table 2), generalized so that the distributed,
+//! split-window model of Section 3.7 is the `units > 1` case.
+//!
+//! The machine replays the correct-path dynamic trace produced by the
+//! functional interpreter. Fetch follows the trace (branch mispredictions
+//! stall fetch until the branch resolves, modeling the redirect); memory
+//! dependence mis-speculations squash the window suffix and re-inject the
+//! trace from the violating load, so lost work is genuinely re-simulated.
+
+use crate::config::{BranchPredictorConfig, CoreConfig, Policy, Recovery, WindowModel};
+use crate::oracle::OracleDeps;
+use crate::pipetrace::{PipeStage, PipeTrace};
+use crate::stats::{SimResult, SimStats};
+use crate::window::{RegDeps, Slot, Window, NOT_YET};
+use mds_frontend::{Bimodal, DirectionKind, FrontEnd, Gshare, LocalHistory, StaticNotTaken};
+use mds_isa::Trace;
+use mds_mem::{AccessKind, MemSystem, StoreBuffer};
+use mds_predict::{Mdpt, SelectivePredictor, StoreBarrierPredictor, StoreSets};
+use std::collections::VecDeque;
+
+/// Per-unit front-end state (one unit in the continuous window).
+#[derive(Debug)]
+pub(crate) struct UnitState {
+    /// Fetched but not yet dispatched: `(seq, dispatch_ready_at)`.
+    pub queue: VecDeque<(u64, u64)>,
+    /// Earliest cycle this unit may fetch again.
+    pub next_fetch_at: u64,
+    /// Sequence number of an unresolved mispredicted branch stalling
+    /// this unit's fetch.
+    pub stalled_on: Option<u64>,
+}
+
+/// The configured timing simulator.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::{CoreConfig, Policy, Simulator};
+/// use mds_isa::{Asm, Interpreter, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::int(1), 3);
+/// a.addi(Reg::int(1), Reg::int(1), -1);
+/// a.halt();
+/// let trace = Interpreter::new(a.assemble()?).run(100)?;
+///
+/// let sim = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive));
+/// let result = sim.run(&trace);
+/// assert_eq!(result.stats.committed, trace.len() as u64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: CoreConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: CoreConfig) -> Simulator {
+        Simulator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Runs the timing simulation over `trace` to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine deadlocks (an internal invariant violation)
+    /// or if the trace is empty.
+    pub fn run(&self, trace: &Trace) -> SimResult {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        let mut m = Machine::new(&self.config, trace);
+        m.run_to_completion();
+        SimResult {
+            stats: m.stats,
+            policy_name: self.config.policy.paper_name().to_owned(),
+            pipetrace: m.pipetrace,
+        }
+    }
+}
+
+/// Builds the configured front end.
+fn build_frontend(cfg: BranchPredictorConfig) -> FrontEnd {
+    match cfg {
+        BranchPredictorConfig::PaperCombined => FrontEnd::paper(),
+        BranchPredictorConfig::Bimodal { entries } => {
+            FrontEnd::with_direction(DirectionKind::Bimodal(Bimodal::new(entries)))
+        }
+        BranchPredictorConfig::Gshare { entries, history } => {
+            FrontEnd::with_direction(DirectionKind::Gshare(Gshare::new(entries, history)))
+        }
+        BranchPredictorConfig::Local { entries, history } => {
+            FrontEnd::with_direction(DirectionKind::Local(LocalHistory::new(entries, history)))
+        }
+        BranchPredictorConfig::StaticNotTaken => {
+            FrontEnd::with_direction(DirectionKind::StaticNotTaken(StaticNotTaken))
+        }
+    }
+}
+
+pub(crate) struct Machine<'t> {
+    pub cfg: &'t CoreConfig,
+    pub trace: &'t Trace,
+    pub regdeps: RegDeps,
+    pub oracle: OracleDeps,
+    pub mem: MemSystem,
+    pub frontend: FrontEnd,
+    pub sb: StoreBuffer,
+    pub window: Window,
+    pub selective: SelectivePredictor,
+    pub store_barrier: StoreBarrierPredictor,
+    pub mdpt: Mdpt,
+    pub store_sets: StoreSets,
+    pub units: Vec<UnitState>,
+    pub task_size: u64,
+    /// Next dynamic index to fetch, per task.
+    pub task_pos: Vec<u64>,
+    pub unit_window_cap: usize,
+    pub unit_fetch_width: usize,
+    pub next_commit: u64,
+    /// Stores whose execution completes at a future cycle, awaiting the
+    /// violation check: `(seq, exec_at)`.
+    pub pending_checks: Vec<(u64, u64)>,
+    pub now: u64,
+    pub stats: SimStats,
+    pub pipetrace: Option<PipeTrace>,
+    /// In-flight (dispatched, uncommitted) memory operations, bounded by
+    /// the load/store queue size.
+    pub mem_in_flight: usize,
+}
+
+impl<'t> Machine<'t> {
+    pub fn new(cfg: &'t CoreConfig, trace: &'t Trace) -> Machine<'t> {
+        let units = cfg.units();
+        let task_size = match cfg.window_model {
+            WindowModel::Continuous => trace.len() as u64,
+            WindowModel::Split { task_size, .. } => task_size as u64,
+        }
+        .max(1);
+        let n_tasks = (trace.len() as u64).div_ceil(task_size);
+        Machine {
+            cfg,
+            trace,
+            regdeps: RegDeps::build(trace),
+            oracle: OracleDeps::build(trace),
+            mem: MemSystem::new(cfg.mem.clone()),
+            frontend: build_frontend(cfg.branch_predictor),
+            sb: StoreBuffer::new(cfg.store_buffer),
+            window: Window::new(units),
+            selective: SelectivePredictor::new(cfg.selective),
+            store_barrier: StoreBarrierPredictor::new(cfg.store_barrier),
+            mdpt: Mdpt::new(cfg.mdpt),
+            store_sets: StoreSets::new(cfg.store_sets),
+            units: (0..units)
+                .map(|_| UnitState { queue: VecDeque::new(), next_fetch_at: 0, stalled_on: None })
+                .collect(),
+            task_size,
+            task_pos: (0..n_tasks).map(|t| t * task_size).collect(),
+            unit_window_cap: (cfg.window_size / units as usize).max(1),
+            unit_fetch_width: (cfg.fetch_width / units as usize).max(1),
+            next_commit: 0,
+            pending_checks: Vec::new(),
+            now: 0,
+            stats: SimStats::default(),
+            pipetrace: cfg.record_pipeline_trace.then(PipeTrace::default),
+            mem_in_flight: 0,
+        }
+    }
+
+    pub fn run_to_completion(&mut self) {
+        let limit = 2_000 + self.trace.len() as u64 * 400;
+        while self.next_commit < self.trace.len() as u64 {
+            self.now += 1;
+            assert!(
+                self.now <= limit,
+                "simulator deadlock: cycle {} with {} of {} committed (policy {})",
+                self.now,
+                self.next_commit,
+                self.trace.len(),
+                self.cfg.policy.paper_name()
+            );
+            self.maintain_predictors();
+            self.process_pending_checks();
+            self.resume_stalled_units();
+            self.commit_stage();
+            self.issue_stage();
+            self.dispatch_stage();
+            self.fetch_stage();
+        }
+        self.stats.cycles = self.now;
+        self.stats.frontend = *self.frontend.stats();
+        self.stats.mem = self.mem.stats();
+    }
+
+    fn maintain_predictors(&mut self) {
+        match self.cfg.policy {
+            Policy::NasSelective => self.selective.maybe_reset(self.now),
+            Policy::NasStoreBarrier => self.store_barrier.maybe_reset(self.now),
+            Policy::NasSync => self.mdpt.maybe_flush(self.now),
+            Policy::NasStoreSets => self.store_sets.maybe_clear(self.now),
+            _ => {}
+        }
+    }
+
+    /// Whether every producer in `producers` has its value available.
+    pub fn operands_ready(&self, producers: &[u32], now: u64) -> bool {
+        producers.iter().all(|&p| {
+            let p = p as u64;
+            if p < self.next_commit {
+                true
+            } else {
+                match self.window.get(p) {
+                    Some(s) => s.issued && s.complete_at <= now,
+                    None => false, // not yet dispatched (split window)
+                }
+            }
+        })
+    }
+
+    /// The oldest sequence number not yet dispatched into the window
+    /// (used by the `AS/NO` gate, which must respect unknown older
+    /// instructions).
+    pub fn min_undispatched(&self) -> u64 {
+        let mut min = u64::MAX;
+        for u in &self.units {
+            if let Some(&(seq, _)) = u.queue.front() {
+                min = min.min(seq);
+            }
+        }
+        // Task fetch positions: approximate with the per-unit next fetch
+        // sequence, tracked via the tasks. The fetch stage stores these in
+        // `task_pos`, consulted here through `next_unfetched`.
+        min.min(self.next_unfetched())
+    }
+
+    /// PC of the dynamic instruction at `seq`.
+    #[inline]
+    pub fn pc_of(&self, seq: u64) -> u64 {
+        self.trace.pc(seq as usize)
+    }
+
+    fn resume_stalled_units(&mut self) {
+        for u in 0..self.units.len() {
+            if let Some(bseq) = self.units[u].stalled_on {
+                let resolved = if bseq < self.next_commit {
+                    Some(self.now)
+                } else {
+                    match self.window.get(bseq) {
+                        Some(s) if s.issued && s.complete_at <= self.now => Some(s.complete_at),
+                        Some(_) => None,
+                        // Squashed branches clear the stall during squash;
+                        // reaching here means the branch is gone.
+                        None => Some(self.now),
+                    }
+                };
+                if let Some(at) = resolved {
+                    self.units[u].stalled_on = None;
+                    let unit = &mut self.units[u];
+                    unit.next_fetch_at = unit.next_fetch_at.max(at + 1);
+                }
+            }
+        }
+    }
+
+    fn commit_stage(&mut self) {
+        self.stats.window_occupancy_sum += self.window.len() as u64;
+        let mut budget = self.cfg.commit_width;
+        let committed_before = self.stats.committed;
+        if self.window.is_empty() {
+            self.stats.empty_window_cycles += 1;
+        }
+        while budget > 0 {
+            let Some(front) = self.window.front() else { break };
+            if front.seq != self.next_commit {
+                break; // older instruction not yet dispatched (split window)
+            }
+            // Commit happens the cycle after writeback, keeping committed
+            // stores visible in the store buffer for one forwarding cycle.
+            if !(front.issued && front.complete_at < self.now) {
+                break;
+            }
+            if (front.is_store || front.is_load) && !front.executed {
+                break;
+            }
+            let s = self.window.pop_front().expect("front exists");
+            self.trace_event(s.seq, PipeStage::Commit, self.now);
+            if s.is_load || s.is_store {
+                self.mem_in_flight -= 1;
+            }
+            self.stats.committed += 1;
+            if s.is_store {
+                self.stats.committed_stores += 1;
+                // Drain the store to the data cache (the store buffer does
+                // not combine writes, Table 2).
+                self.mem.access(AccessKind::Write, s.addr, self.now);
+                self.sb.retire(s.seq);
+            }
+            if s.is_load {
+                self.stats.committed_loads += 1;
+                if let Some(t0) = s.fd_blocked_at {
+                    let delay = s.issue_at.saturating_sub(t0);
+                    if s.fd_false {
+                        self.stats.false_dep_loads += 1;
+                        self.stats.false_dep_cycles += delay;
+                    } else {
+                        self.stats.true_dep_loads += 1;
+                    }
+                }
+                if s.forwarded_from.is_some() {
+                    self.stats.forwarded_loads += 1;
+                }
+                if s.speculative {
+                    self.stats.speculative_loads += 1;
+                }
+                if s.sync_delayed {
+                    self.stats.sync_delayed_loads += 1;
+                }
+            }
+            self.next_commit += 1;
+            budget -= 1;
+        }
+        if self.stats.committed == committed_before && !self.window.is_empty() {
+            self.stats.commit_stall_cycles += 1;
+        }
+    }
+
+    /// Runs the store-triggered violation checks whose stores executed by
+    /// this cycle; squashes on the oldest violated load.
+    fn process_pending_checks(&mut self) {
+        loop {
+            // Take one due check at a time: a squash can invalidate others.
+            let due = self
+                .pending_checks
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, at))| at <= self.now)
+                .min_by_key(|(_, &(seq, at))| (at, seq))
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let (store_seq, _) = self.pending_checks.swap_remove(i);
+            let Some(violator) = self.find_violation(store_seq) else { continue };
+            match self.cfg.recovery {
+                Recovery::Squash => self.squash(violator, store_seq),
+                Recovery::SelectiveReissue => self.selective_recover(violator, store_seq),
+            }
+        }
+    }
+
+    /// Finds the oldest load younger than `store_seq` that read memory
+    /// before the store executed, overlaps it, and did not source its
+    /// value from the store or a younger one. Applies the value-based
+    /// filter (and silent fix-ups) in `AS` modes.
+    fn find_violation(&mut self, store_seq: u64) -> Option<u64> {
+        let store = self.window.get(store_seq)?;
+        debug_assert!(store.is_store && store.executed);
+        let (s_addr, s_size, s_exec) = (store.addr, store.size, store.exec_at);
+        let value_differs = store.store_value != store.store_old;
+        let address_scheduled = self.cfg.policy.uses_address_scheduler();
+
+        let mut fixups: Vec<u64> = Vec::new();
+        let mut violator: Option<u64> = None;
+        for slot in self.window.iter() {
+            if slot.seq <= store_seq || !slot.is_load || !slot.executed {
+                continue;
+            }
+            if slot.exec_at > s_exec {
+                continue; // read after the store's data was visible
+            }
+            let overlap = slot.size != 0
+                && slot.addr < s_addr + s_size as u64
+                && s_addr < slot.addr + slot.size as u64;
+            if !overlap {
+                continue;
+            }
+            if let Some(f) = slot.forwarded_from {
+                if f >= store_seq {
+                    continue; // value came from this store or a younger one
+                }
+            }
+            if address_scheduled {
+                // Section 3.4: a mis-speculation is signaled only when the
+                // load (1) read memory, (2) propagated the value, and
+                // (3) the value differs from the store's.
+                if !value_differs {
+                    continue; // silent store
+                }
+                if !slot.value_propagated {
+                    fixups.push(slot.seq);
+                    continue;
+                }
+            }
+            violator = Some(slot.seq);
+            break; // window iteration is oldest-first
+        }
+
+        for seq in fixups {
+            // The store delivers the correct value before it propagates:
+            // no squash, the load's completion is simply extended.
+            if violator.is_some_and(|v| seq >= v) {
+                continue; // will be squashed anyway
+            }
+            let now = self.now;
+            if let Some(slot) = self.window.get_mut(seq) {
+                slot.complete_at = slot.complete_at.max(s_exec + 1).max(now + 1);
+                slot.forwarded_from = Some(store_seq);
+                self.stats.silent_fixups += 1;
+            }
+        }
+        violator
+    }
+
+    /// Trains the active dependence predictor with a violated pair.
+    fn train_predictors(&mut self, load_seq: u64, store_seq: u64) {
+        let load_pc = self.pc_of(load_seq);
+        let store_pc = self.pc_of(store_seq);
+        if std::env::var_os("MDS_TRACE_VIOLATIONS").is_some() {
+            eprintln!(
+                "violation load_sidx={} store_sidx={} dist={}",
+                self.trace.record(load_seq as usize).sidx,
+                self.trace.record(store_seq as usize).sidx,
+                load_seq - store_seq
+            );
+        }
+        match self.cfg.policy {
+            Policy::NasSelective => self.selective.record_misspeculation(load_pc),
+            Policy::NasStoreBarrier => self.store_barrier.record_misspeculation(store_pc),
+            Policy::NasSync => self.mdpt.record_violation(load_pc, store_pc),
+            Policy::NasStoreSets => self.store_sets.record_violation(load_pc, store_pc),
+            _ => {}
+        }
+    }
+
+    /// Selective invalidation (Section 2's idealized alternative): keep
+    /// the window intact and re-issue only the violated load and its
+    /// transitive dependents (through registers, and through store-buffer
+    /// forwarding from re-executed stores).
+    fn selective_recover(&mut self, load_seq: u64, store_seq: u64) {
+        self.stats.misspeculations += 1;
+        self.train_predictors(load_seq, store_seq);
+
+        // Transitive dependence closure over the in-flight window.
+        let mut affected: Vec<u64> = vec![load_seq];
+        let in_affected =
+            |set: &[u64], deps: &[u32]| deps.iter().any(|&p| set.contains(&(p as u64)));
+        loop {
+            let mut grew = false;
+            for slot in self.window.iter() {
+                if slot.seq <= load_seq || affected.contains(&slot.seq) || !slot.issued {
+                    continue;
+                }
+                let i = slot.seq as usize;
+                let dep = in_affected(&affected, &self.regdeps.srcs[i])
+                    || in_affected(&affected, &self.regdeps.addr[i])
+                    || in_affected(&affected, &self.regdeps.data[i])
+                    || slot
+                        .forwarded_from
+                        .is_some_and(|f| affected.contains(&f));
+                if dep {
+                    affected.push(slot.seq);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        for &seq in &affected {
+            let Some(slot) = self.window.get_mut(seq) else { continue };
+            let was_store = slot.is_store && slot.issued;
+            slot.issued = false;
+            slot.executed = false;
+            slot.issue_at = crate::window::NOT_YET;
+            slot.complete_at = crate::window::NOT_YET;
+            slot.exec_at = crate::window::NOT_YET;
+            slot.forwarded_from = None;
+            slot.value_propagated = false;
+            slot.speculative = false;
+            if was_store {
+                self.sb.retire(seq);
+            }
+            self.stats.reissued += 1;
+        }
+        self.pending_checks.retain(|&(seq, _)| !affected.contains(&seq));
+        // Fetch state and younger unrelated instructions are untouched:
+        // that is the whole point of selective invalidation.
+    }
+
+    /// Squash invalidation: invalidates the violated load and everything
+    /// younger, trains the predictors, and re-arms fetch from the load.
+    fn squash(&mut self, load_seq: u64, store_seq: u64) {
+        self.stats.misspeculations += 1;
+        self.train_predictors(load_seq, store_seq);
+
+        let removed = self.window.squash_from(load_seq);
+        self.mem_in_flight -=
+            removed.iter().filter(|s| s.is_load || s.is_store).count();
+        if self.pipetrace.is_some() {
+            let now = self.now;
+            for s in &removed {
+                self.trace_event(s.seq, PipeStage::Squash, now);
+            }
+        }
+        self.stats.squashed += removed.len() as u64;
+        if self.cfg.policy == Policy::NasStoreSets {
+            for s in &removed {
+                if s.is_store {
+                    self.store_sets.squash_store(self.trace.pc(s.seq as usize), s.seq);
+                }
+            }
+        }
+        self.sb.squash_from(load_seq);
+        self.pending_checks.retain(|&(seq, _)| seq < load_seq);
+
+        let resume = self.now + 1 + self.cfg.squash_latency;
+        for ui in 0..self.units.len() {
+            let removed_from_queue: Vec<u64> = self.units[ui]
+                .queue
+                .iter()
+                .filter(|&&(seq, _)| seq >= load_seq)
+                .map(|&(seq, _)| seq)
+                .collect();
+            self.units[ui].queue.retain(|&(seq, _)| seq < load_seq);
+            self.stats.squashed += removed_from_queue.len() as u64;
+            if self.pipetrace.is_some() {
+                let now = self.now;
+                for seq in removed_from_queue {
+                    self.trace_event(seq, PipeStage::Squash, now);
+                }
+            }
+            let u = &mut self.units[ui];
+            if u.stalled_on.is_some_and(|b| b >= load_seq) {
+                u.stalled_on = None;
+            }
+            u.next_fetch_at = u.next_fetch_at.max(resume);
+        }
+        self.reset_fetch_to(load_seq);
+    }
+
+    fn dispatch_stage(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        let units = self.units.len();
+        let mut progressed = true;
+        while budget > 0 && progressed {
+            progressed = false;
+            for u in 0..units {
+                if budget == 0 {
+                    break;
+                }
+                let Some(&(seq, ready_at)) = self.units[u].queue.front() else { continue };
+                if ready_at > self.now {
+                    continue;
+                }
+                if self.window.len() >= self.cfg.window_size
+                    || self.window.unit_count(u as u32) >= self.unit_window_cap
+                {
+                    continue;
+                }
+                let inst = self.trace.inst(seq as usize);
+                if inst.op.is_mem() && self.mem_in_flight >= self.cfg.lsq_size {
+                    continue; // load/store queue full
+                }
+                self.units[u].queue.pop_front();
+                self.dispatch_one(seq, u as u32);
+                budget -= 1;
+                progressed = true;
+            }
+        }
+    }
+
+    fn dispatch_one(&mut self, seq: u64, unit: u32) {
+        let i = seq as usize;
+        let rec = self.trace.record(i);
+        let inst = self.trace.inst(i);
+        let pc = self.trace.pc(i);
+        let is_load = inst.op.is_load();
+        let is_store = inst.op.is_store();
+
+        let mut slot = Slot {
+            seq,
+            unit,
+            is_load,
+            is_store,
+            addr: rec.effaddr,
+            size: rec.size,
+            store_value: rec.value,
+            store_old: rec.old_value,
+            issued: false,
+            issue_at: NOT_YET,
+            complete_at: NOT_YET,
+            executed: false,
+            exec_at: NOT_YET,
+            addr_issued: false,
+            addr_posted_at: NOT_YET,
+            forwarded_from: None,
+            speculative: false,
+            value_propagated: false,
+            synonym: None,
+            predicted_wait: false,
+            barrier: false,
+            sset_wait: None,
+            fd_blocked_at: None,
+            fd_false: false,
+            sync_delayed: false,
+        };
+
+        match self.cfg.policy {
+            Policy::NasSelective if is_load => {
+                slot.predicted_wait = self.selective.predicts_dependence(pc);
+            }
+            Policy::NasStoreBarrier if is_store => {
+                slot.barrier = self.store_barrier.predicts_barrier(pc);
+            }
+            Policy::NasSync => {
+                if is_load {
+                    slot.synonym = self.mdpt.load_synonym(pc);
+                } else if is_store {
+                    slot.synonym = self.mdpt.store_synonym(pc);
+                }
+            }
+            Policy::NasStoreSets => {
+                if is_store {
+                    self.store_sets.dispatch_store(pc, seq);
+                } else if is_load {
+                    slot.sset_wait = self.store_sets.dispatch_load(pc);
+                }
+            }
+            _ => {}
+        }
+
+        if is_load || is_store {
+            self.mem_in_flight += 1;
+        }
+        self.window.insert(slot);
+        self.trace_event(seq, PipeStage::Dispatch, self.now);
+    }
+
+    /// Records a pipeline event when tracing is enabled.
+    #[inline]
+    pub fn trace_event(&mut self, seq: u64, stage: PipeStage, cycle: u64) {
+        if let Some(t) = &mut self.pipetrace {
+            t.record(seq, stage, cycle);
+        }
+    }
+
+    /// Marks loads that produced any of `producers` as value-propagated
+    /// (a consumer has issued with their value).
+    pub fn mark_propagated(&mut self, producers: &[u32]) {
+        for &p in producers {
+            if let Some(s) = self.window.get_mut(p as u64) {
+                if s.is_load {
+                    s.value_propagated = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::{Asm, Interpreter, Reg};
+    use mds_mem::MemConfig;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    /// A loop whose body is a chain of dependent adds (I-cache friendly:
+    /// the paper's workloads loop, so fetch runs from a warm cache).
+    fn chain_loop_trace(iters: usize, body: usize) -> Trace {
+        let mut a = Asm::new();
+        a.li(r(1), 1);
+        a.li(r(9), iters as i64);
+        let top = a.label();
+        a.bind(top);
+        for _ in 0..body {
+            a.addi(r(1), r(1), 1);
+        }
+        a.addi(r(9), r(9), -1);
+        a.bgtz(r(9), top);
+        a.halt();
+        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+    }
+
+    fn run_policy(trace: &Trace, policy: Policy) -> SimResult {
+        Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(trace)
+    }
+
+    #[test]
+    fn commits_every_instruction_exactly_once() {
+        let t = chain_loop_trace(5, 10);
+        for policy in Policy::ALL {
+            let res = run_policy(&t, policy);
+            assert_eq!(res.stats.committed, t.len() as u64, "{policy}");
+        }
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc() {
+        // A chain of dependent addis cannot exceed IPC 1 (the loop
+        // counter and branch add a little slack).
+        let t = chain_loop_trace(100, 16);
+        let res = run_policy(&t, Policy::NasNaive);
+        assert!(res.ipc() <= 1.25, "dependent chain must stay near IPC 1, got {}", res.ipc());
+        assert!(res.ipc() > 0.7, "pipeline should still stream, got {}", res.ipc());
+    }
+
+    #[test]
+    fn independent_instructions_reach_superscalar_ipc() {
+        let mut a = Asm::new();
+        a.li(r(9), 200);
+        let top = a.label();
+        a.bind(top);
+        for _ in 0..4 {
+            // 8 independent streams per group.
+            for k in 1..=8 {
+                a.addi(r(k), r(k), 1);
+            }
+        }
+        a.addi(r(9), r(9), -1);
+        a.bgtz(r(9), top);
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let res = run_policy(&t, Policy::NasNaive);
+        assert!(res.ipc() > 3.0, "independent streams should superscale, got {}", res.ipc());
+    }
+
+    fn recurrence_trace(iters: usize) -> Trace {
+        // Figure 7: a[i] = a[i-1] + k, one word apart.
+        let mut a = Asm::new();
+        let arr = a.alloc_data(8 * (iters as u64 + 2), 8);
+        let (i, n, base, k, t) = (r(1), r(2), r(3), r(4), r(5));
+        a.li(i, 1);
+        a.li(n, iters as i64 + 1);
+        a.li(base, arr as i64);
+        a.li(k, 3);
+        let top = a.label();
+        a.bind(top);
+        a.sll(t, i, 3);
+        a.add(t, base, t);
+        a.lw(r(6), t, -8);
+        a.add(r(6), r(6), k);
+        a.sw(r(6), t, 0);
+        a.addi(i, i, 1);
+        a.slt(r(7), i, n);
+        a.bgtz(r(7), top);
+        a.halt();
+        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn naive_speculation_missspeculates_on_recurrence() {
+        let t = recurrence_trace(300);
+        let nav = run_policy(&t, Policy::NasNaive);
+        assert!(
+            nav.stats.misspeculations > 10,
+            "tight recurrence must trip naive speculation, got {}",
+            nav.stats.misspeculations
+        );
+    }
+
+    #[test]
+    fn no_speculation_never_missspeculates() {
+        let t = recurrence_trace(200);
+        for policy in [Policy::NasNo, Policy::NasOracle, Policy::AsNo] {
+            let res = run_policy(&t, policy);
+            assert_eq!(res.stats.misspeculations, 0, "{policy} must not mis-speculate");
+        }
+    }
+
+    #[test]
+    fn oracle_is_at_least_as_fast_as_no_speculation() {
+        let t = recurrence_trace(200);
+        let no = run_policy(&t, Policy::NasNo);
+        let oracle = run_policy(&t, Policy::NasOracle);
+        assert!(
+            oracle.ipc() >= no.ipc() * 0.99,
+            "oracle {} vs no-speculation {}",
+            oracle.ipc(),
+            no.ipc()
+        );
+    }
+
+    #[test]
+    fn address_scheduler_avoids_squashes_on_recurrence() {
+        let t = recurrence_trace(300);
+        let as_nav = run_policy(&t, Policy::AsNaive);
+        let nas_nav = run_policy(&t, Policy::NasNaive);
+        assert!(
+            as_nav.stats.misspeculations * 10 <= nas_nav.stats.misspeculations.max(1),
+            "AS/NAV should virtually eliminate mis-speculations: {} vs {}",
+            as_nav.stats.misspeculations,
+            nas_nav.stats.misspeculations
+        );
+    }
+
+    #[test]
+    fn sync_learns_the_recurrence() {
+        let t = recurrence_trace(500);
+        let sync = run_policy(&t, Policy::NasSync);
+        let nav = run_policy(&t, Policy::NasNaive);
+        assert!(
+            sync.stats.misspeculations * 5 <= nav.stats.misspeculations.max(1),
+            "SYNC should eliminate most mis-speculations: {} vs {}",
+            sync.stats.misspeculations,
+            nav.stats.misspeculations
+        );
+        assert!(
+            sync.ipc() >= nav.ipc(),
+            "SYNC should not be slower than naive on a recurrence: {} vs {}",
+            sync.ipc(),
+            nav.ipc()
+        );
+    }
+
+    #[test]
+    fn store_sets_also_learn() {
+        let t = recurrence_trace(500);
+        let sset = run_policy(&t, Policy::NasStoreSets);
+        let nav = run_policy(&t, Policy::NasNaive);
+        assert!(sset.stats.misspeculations * 5 <= nav.stats.misspeculations.max(1));
+    }
+
+    #[test]
+    fn false_dependences_counted_under_nas_no() {
+        // Stores and loads to disjoint addresses: every delayed load is a
+        // false dependence.
+        let mut a = Asm::new();
+        let arr = a.alloc_data(4096, 8);
+        let (pa, pb) = (r(1), r(2));
+        a.li(pa, arr as i64);
+        a.li(pb, arr as i64 + 2048);
+        a.li(r(3), 7);
+        for i in 0..100 {
+            a.sw(r(3), pa, (i % 64) * 4); // slowish chain: store depends on r3
+            a.mult(r(3), r(3));
+            a.mflo(r(3)); // delay next store's data
+            a.lw(r(4), pb, (i % 64) * 4); // never conflicts
+        }
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap();
+        let res = run_policy(&t, Policy::NasNo);
+        assert!(
+            res.stats.false_dep_loads > 20,
+            "disjoint loads behind slow stores are false dependences, got {}",
+            res.stats.false_dep_loads
+        );
+        assert_eq!(res.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = recurrence_trace(100);
+        let a = run_policy(&t, Policy::NasSync);
+        let b = run_policy(&t, Policy::NasSync);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn ideal_memory_speeds_things_up() {
+        let t = recurrence_trace(100);
+        let paper = run_policy(&t, Policy::NasNaive);
+        let ideal = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasNaive)
+                .with_mem(MemConfig::ideal()),
+        )
+        .run(&t);
+        assert!(ideal.ipc() >= paper.ipc());
+    }
+
+    /// An unrolled memory recurrence shaped like Figure 7 as a split
+    /// window sees it: each step's addresses come from constants (ready
+    /// at dispatch), the load sits early in its task and the store —
+    /// whose *data* is late behind a multiply chain — at the end of the
+    /// previous one.
+    fn unrolled_recurrence_trace(steps: usize) -> Trace {
+        let mut a = Asm::new();
+        let arr = a.alloc_data(4 * (steps as u64 + 2), 8);
+        let (base, three) = (r(1), r(2));
+        a.li(base, arr as i64);
+        a.li(three, 3);
+        a.li(r(3), 17);
+        a.sw(r(3), base, 0); // seed a[0]
+        a.nop();
+        a.nop();
+        a.nop();
+        a.nop(); // align the first step to a task boundary
+        for j in 0..steps as i64 {
+            // One 8-instruction "iteration" per task: load early, store
+            // late, with filler so every task boundary splits a
+            // store->load pair (the Figure 7(c) assignment).
+            a.lw(r(4), base, 4 * j);
+            a.mult(r(4), three); // slow data chain
+            a.mflo(r(4));
+            a.addi(r(4), r(4), 1);
+            a.addi(r(10), r(10), 1);
+            a.addi(r(11), r(11), 1);
+            a.addi(r(12), r(12), 1);
+            a.sw(r(4), base, 4 * (j + 1));
+        }
+        a.halt();
+        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn split_window_defeats_address_scheduling() {
+        // Section 3.7: under a split window, a later unit's load computes
+        // its address before an earlier unit's store is even fetched, so
+        // even a 0-cycle address scheduler cannot avoid mis-speculations.
+        let t = unrolled_recurrence_trace(400);
+        let continuous =
+            Simulator::new(CoreConfig::paper_128().with_policy(Policy::AsNaive)).run(&t);
+        let split = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_window_model(WindowModel::Split { units: 4, task_size: 8 }),
+        )
+        .run(&t);
+        assert!(
+            split.stats.misspeculations > continuous.stats.misspeculations.max(5) * 4,
+            "split window must mis-speculate where continuous does not: split={} continuous={}",
+            split.stats.misspeculations,
+            continuous.stats.misspeculations
+        );
+    }
+
+    #[test]
+    fn split_window_commits_in_program_order() {
+        let t = recurrence_trace(120);
+        let res = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasNaive)
+                .with_window_model(WindowModel::Split { units: 4, task_size: 16 }),
+        )
+        .run(&t);
+        assert_eq!(res.stats.committed, t.len() as u64);
+    }
+
+    #[test]
+    fn split_window_runs_every_policy() {
+        let t = recurrence_trace(60);
+        for policy in Policy::ALL {
+            let res = Simulator::new(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_window_model(WindowModel::Split { units: 2, task_size: 32 }),
+            )
+            .run(&t);
+            assert_eq!(res.stats.committed, t.len() as u64, "{policy}");
+        }
+    }
+
+    #[test]
+    fn as_no_releases_disjoint_loads_earlier_than_nas_no() {
+        // A store whose data hangs behind a divide, followed by loads to
+        // unrelated addresses: NAS/NO stalls them until the store
+        // executes; AS/NO releases them once the store posts its address.
+        let mut a = Asm::new();
+        let arr = a.alloc_data(4096, 64);
+        a.li(r(1), arr as i64);
+        a.li(r(2), 1_000_000);
+        a.li(r(3), 7);
+        a.li(r(9), 150);
+        let top = a.label();
+        a.bind(top);
+        a.div(r(2), r(3));
+        a.mflo(r(4)); // 12-cycle chain feeding the store data
+        a.sw(r(4), r(1), 0);
+        for k in 0..6 {
+            // Disjoint loads spread across cache blocks (and thus banks)
+            // so bank ports do not mask the scheduling effect.
+            a.lw(r(10 + k), r(1), 64 + 64 * k as i64);
+        }
+        a.addi(r(9), r(9), -1);
+        a.bgtz(r(9), top);
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        // A small window creates the commit pressure that makes the
+        // loads' stall visible (steady-state pipelining hides constant
+        // per-iteration delays otherwise).
+        let run32 = |policy| {
+            Simulator::new(
+                CoreConfig::paper_128().with_window_size(32).with_policy(policy),
+            )
+            .run(&t)
+        };
+        let nas = run32(Policy::NasNo);
+        let asn = run32(Policy::AsNo);
+        assert!(
+            asn.ipc() > nas.ipc() * 1.05,
+            "address posting should release disjoint loads: AS/NO {:.2} vs NAS/NO {:.2}",
+            asn.ipc(),
+            nas.ipc()
+        );
+        assert_eq!(asn.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn silent_stores_do_not_squash_under_address_scheduler() {
+        // The store always rewrites the same value: under AS/NAV the
+        // value filter must suppress every would-be violation.
+        let mut a = Asm::new();
+        let cell = a.alloc_data(8, 8);
+        a.init_u32(cell, 7);
+        a.li(r(1), cell as i64);
+        a.li(r(2), 7);
+        a.li(r(9), 200);
+        let top = a.label();
+        a.bind(top);
+        a.mult(r(2), r(2)); // delay the store data
+        a.mflo(r(3)); // 49, then... keep storing the constant instead:
+        a.sw(r(2), r(1), 0); // always writes 7 over 7 (silent)
+        a.lw(r(4), r(1), 0);
+        a.addi(r(9), r(9), -1);
+        a.bgtz(r(9), top);
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let res = run_policy(&t, Policy::AsNaive);
+        assert_eq!(
+            res.stats.misspeculations, 0,
+            "silent stores must not trigger squashes under AS/NAV"
+        );
+    }
+
+    #[test]
+    fn occupancy_and_stall_stats_are_consistent() {
+        let t = recurrence_trace(200);
+        let r = run_policy(&t, Policy::NasNo);
+        let occ = r.stats.mean_window_occupancy();
+        assert!(occ > 0.0 && occ <= 128.0, "occupancy {occ}");
+        assert!(
+            r.stats.empty_window_cycles + r.stats.commit_stall_cycles <= r.stats.cycles,
+            "stall attribution cannot exceed total cycles"
+        );
+        // A serial recurrence under NO stalls commit on most cycles.
+        assert!(
+            r.stats.commit_stall_cycles > r.stats.cycles / 4,
+            "expected heavy commit stalling: {} of {}",
+            r.stats.commit_stall_cycles,
+            r.stats.cycles
+        );
+    }
+
+    #[test]
+    fn tiny_lsq_throttles_but_completes() {
+        let t = recurrence_trace(150);
+        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasOracle);
+        cfg.lsq_size = 2;
+        let throttled = Simulator::new(cfg).run(&t);
+        let full = run_policy(&t, Policy::NasOracle);
+        assert_eq!(throttled.stats.committed, t.len() as u64);
+        assert!(
+            throttled.ipc() <= full.ipc(),
+            "a 2-entry LSQ cannot be faster: {:.2} vs {:.2}",
+            throttled.ipc(),
+            full.ipc()
+        );
+    }
+
+    #[test]
+    fn tiny_store_buffer_still_completes() {
+        let t = recurrence_trace(150);
+        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+        cfg.store_buffer = 2;
+        let res = Simulator::new(cfg).run(&t);
+        assert_eq!(res.stats.committed, t.len() as u64);
+    }
+
+    #[test]
+    fn narrow_machine_is_slower() {
+        let t = recurrence_trace(200);
+        let wide = run_policy(&t, Policy::NasOracle);
+        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasOracle);
+        cfg.issue_width = 1;
+        cfg.commit_width = 1;
+        cfg.fetch_width = 1;
+        let narrow = Simulator::new(cfg).run(&t);
+        assert!(narrow.ipc() <= 1.0 + 1e-9, "1-wide commit bounds IPC at 1");
+        assert!(wide.ipc() >= narrow.ipc());
+    }
+
+    #[test]
+    fn ipc_never_exceeds_commit_width() {
+        let t = recurrence_trace(100);
+        for policy in Policy::ALL {
+            let res = run_policy(&t, policy);
+            assert!(res.ipc() <= 8.0 + 1e-9, "{policy}");
+        }
+    }
+
+    #[test]
+    fn branchy_code_pays_for_mispredictions() {
+        // A data-dependent branch pattern (period 3, learnable) vs pure
+        // straight-line filler of the same dynamic length.
+        let make = |branchy: bool| {
+            let mut a = Asm::new();
+            a.li(r(9), 400);
+            a.li(r(5), 0);
+            let top = a.label();
+            a.bind(top);
+            if branchy {
+                a.addi(r(5), r(5), 1);
+                // branch on (i*2654435761 >> 13) & 1 — effectively random
+                a.li(r(6), 0x9E3779B1u32 as i64);
+                a.mult(r(5), r(6));
+                a.mflo(r(7));
+                a.srl(r(7), r(7), 13);
+                a.andi(r(7), r(7), 1);
+                let skip = a.label();
+                a.bgtz(r(7), skip);
+                a.bind(skip);
+                a.nop();
+            } else {
+                for _ in 0..8 {
+                    a.nop();
+                }
+            }
+            a.addi(r(9), r(9), -1);
+            a.bgtz(r(9), top);
+            a.halt();
+            Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap()
+        };
+        let b = run_policy(&make(true), Policy::NasNaive);
+        let s = run_policy(&make(false), Policy::NasNaive);
+        assert!(
+            b.stats.frontend.dir_mispredicts > 50,
+            "pseudo-random branches must mispredict, got {}",
+            b.stats.frontend.dir_mispredicts
+        );
+        assert!(b.ipc() < s.ipc(), "mispredictions must cost cycles");
+    }
+
+    #[test]
+    fn selective_reissue_recovers_without_refetch() {
+        let t = recurrence_trace(300);
+        let squash = Simulator::new(
+            CoreConfig::paper_128().with_policy(Policy::NasNaive),
+        )
+        .run(&t);
+        let reissue = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasNaive)
+                .with_recovery(Recovery::SelectiveReissue),
+        )
+        .run(&t);
+        assert_eq!(reissue.stats.committed, t.len() as u64);
+        assert!(reissue.stats.misspeculations > 0, "recurrence must still violate");
+        assert_eq!(reissue.stats.squashed, 0, "selective recovery never squashes");
+        assert!(reissue.stats.reissued > 0);
+        assert!(
+            reissue.ipc() >= squash.ipc() * 0.98,
+            "re-executing only dependents must not lose to squashing: {:.3} vs {:.3}",
+            reissue.ipc(),
+            squash.ipc()
+        );
+    }
+
+    #[test]
+    fn selective_reissue_is_deterministic() {
+        let t = recurrence_trace(100);
+        let cfg = CoreConfig::paper_128()
+            .with_policy(Policy::NasNaive)
+            .with_recovery(Recovery::SelectiveReissue);
+        let a = Simulator::new(cfg.clone()).run(&t);
+        let b = Simulator::new(cfg).run(&t);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn window_64_is_not_faster_than_128() {
+        let mut a = Asm::new();
+        // Independent work with long-latency divides to fill the window.
+        for k in 1..=8 {
+            a.li(r(k), 1000 + k as i64);
+        }
+        for _ in 0..60 {
+            for k in 1..=4 {
+                a.div(r(k), r(k + 4));
+                a.mflo(r(k));
+                a.addi(r(k + 4), r(k + 4), 3);
+            }
+        }
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let big = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasOracle)).run(&t);
+        let small = Simulator::new(CoreConfig::paper_64().with_policy(Policy::NasOracle)).run(&t);
+        assert!(big.ipc() >= small.ipc() * 0.98, "128-entry {} vs 64-entry {}", big.ipc(), small.ipc());
+    }
+}

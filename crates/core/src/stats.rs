@@ -1,0 +1,166 @@
+//! Simulation statistics and results.
+
+use mds_frontend::FrontEndStats;
+use mds_mem::MemStats;
+
+/// Counters accumulated over one timing simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed dynamic instructions.
+    pub committed: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Memory dependence mis-speculations (squash events triggered by a
+    /// store detecting a violated true dependence).
+    pub misspeculations: u64,
+    /// Instructions invalidated by squashes (lost work).
+    pub squashed: u64,
+    /// Instructions re-issued in place by selective invalidation.
+    pub reissued: u64,
+    /// Loads delayed by a *false* dependence: at address-ready time the
+    /// load had to wait for older un-executed stores none of which truly
+    /// feed it (Table 3, measured under `NAS/NO`).
+    pub false_dep_loads: u64,
+    /// Total cycles such loads waited past address-ready (Table 3 "RL").
+    pub false_dep_cycles: u64,
+    /// Loads that at address-ready time had a *true* un-executed producer.
+    pub true_dep_loads: u64,
+    /// Loads whose value was forwarded from the store buffer.
+    pub forwarded_loads: u64,
+    /// Loads issued speculatively (before all older stores executed).
+    pub speculative_loads: u64,
+    /// Loads delayed by a synchronization prediction (`NAS/SYNC`,
+    /// `NAS/SEL`, `NAS/STORE`).
+    pub sync_delayed_loads: u64,
+    /// Late store-to-load fix-ups under the address scheduler (a posted
+    /// store delivered its value to an already-executed load without a
+    /// squash because the value had not propagated or was identical).
+    pub silent_fixups: u64,
+    /// Sum of window occupancy over all cycles (divide by `cycles` for
+    /// the mean).
+    pub window_occupancy_sum: u64,
+    /// Cycles in which nothing committed because the window was empty.
+    pub empty_window_cycles: u64,
+    /// Cycles in which nothing committed although the window held
+    /// instructions (head not yet complete).
+    pub commit_stall_cycles: u64,
+    /// Front-end statistics.
+    pub frontend: FrontEndStats,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mis-speculations per committed load (Table 4's metric).
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.misspeculations as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// Fraction of committed loads delayed by false dependences
+    /// (Table 3 "FD").
+    pub fn false_dep_fraction(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.false_dep_loads as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// Mean instruction-window occupancy over the run.
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.window_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean false-dependence resolution latency in cycles (Table 3 "RL").
+    pub fn false_dep_latency(&self) -> f64 {
+        if self.false_dep_loads == 0 {
+            0.0
+        } else {
+            self.false_dep_cycles as f64 / self.false_dep_loads as f64
+        }
+    }
+}
+
+/// The result of one timing simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Accumulated counters.
+    pub stats: SimStats,
+    /// The paper-style name of the simulated policy (e.g. `NAS/SYNC`).
+    pub policy_name: String,
+    /// Cycle-by-cycle pipeline events, when
+    /// [`CoreConfig::record_pipeline_trace`](crate::CoreConfig) is set.
+    pub pipetrace: Option<crate::PipeTrace>,
+}
+
+impl SimResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Speedup of this result over `base` (ratio of IPCs).
+    pub fn speedup_over(&self, base: &SimResult) -> f64 {
+        if base.ipc() == 0.0 {
+            0.0
+        } else {
+            self.ipc() / base.ipc()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_division() {
+        let s = SimStats { cycles: 100, committed: 250, ..SimStats::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn rates_guard_against_zero_loads() {
+        let s = SimStats::default();
+        assert_eq!(s.misspeculation_rate(), 0.0);
+        assert_eq!(s.false_dep_fraction(), 0.0);
+        assert_eq!(s.false_dep_latency(), 0.0);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let a = SimResult {
+            stats: SimStats { cycles: 100, committed: 200, ..SimStats::default() },
+            policy_name: "A".into(),
+            pipetrace: None,
+        };
+        let b = SimResult {
+            stats: SimStats { cycles: 100, committed: 100, ..SimStats::default() },
+            policy_name: "B".into(),
+            pipetrace: None,
+        };
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+}

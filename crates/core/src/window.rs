@@ -1,0 +1,348 @@
+//! The instruction window (RUU/reorder buffer) and per-instruction state.
+
+use mds_isa::Trace;
+
+/// Per-dynamic-instruction state while in flight.
+///
+/// Timestamps are absolute cycles; `u64::MAX` marks "not yet".
+#[derive(Debug, Clone)]
+pub(crate) struct Slot {
+    /// Dynamic index into the trace; doubles as the sequence number.
+    pub seq: u64,
+    /// Owning unit (0 in the continuous window).
+    pub unit: u32,
+    /// Cached instruction classification.
+    pub is_load: bool,
+    /// Whether this is a store.
+    pub is_store: bool,
+    /// Effective address (memory ops).
+    pub addr: u64,
+    /// Access size in bytes (memory ops).
+    pub size: u8,
+    /// Store: value written (masked).
+    pub store_value: u64,
+    /// Store: value overwritten (masked) — for the value-based filter.
+    pub store_old: u64,
+
+    /// Whether the main operation has issued.
+    pub issued: bool,
+    /// Issue cycle of the main operation.
+    pub issue_at: u64,
+    /// Cycle the result is available to consumers.
+    pub complete_at: u64,
+    /// Memory ops: whether the memory action happened (loads: read
+    /// performed; stores: store-buffer write done).
+    pub executed: bool,
+    /// Cycle the memory action happened.
+    pub exec_at: u64,
+
+    /// AS modes: whether the address micro-op has issued.
+    pub addr_issued: bool,
+    /// AS modes: cycle the address becomes visible to the scheduler.
+    pub addr_posted_at: u64,
+
+    /// Loads: sequence number of the store the value was forwarded from.
+    pub forwarded_from: Option<u64>,
+    /// Loads: issued while older stores were still unresolved.
+    pub speculative: bool,
+    /// Loads: a consumer has issued using this load's value.
+    pub value_propagated: bool,
+
+    /// `NAS/SYNC`: MDPT synonym (producer for stores, consumer for loads).
+    pub synonym: Option<u32>,
+    /// `NAS/SEL`: predicted to have a dependence — do not speculate.
+    pub predicted_wait: bool,
+    /// `NAS/STORE`: this store is a predicted barrier.
+    pub barrier: bool,
+    /// `NAS/SSET`: store sequence number this load must wait on.
+    pub sset_wait: Option<u64>,
+
+    /// False-dependence accounting: cycle the load first had its address
+    /// and was blocked by the policy gate.
+    pub fd_blocked_at: Option<u64>,
+    /// Whether the blocking was a false dependence (no true producer
+    /// among the un-executed older stores at that time).
+    pub fd_false: bool,
+    /// Loads delayed by an explicit synchronization prediction.
+    pub sync_delayed: bool,
+}
+
+pub(crate) const NOT_YET: u64 = u64::MAX;
+
+impl Slot {
+    /// Byte-range overlap between two memory slots.
+    #[inline]
+    pub fn overlaps(&self, other: &Slot) -> bool {
+        self.size != 0
+            && other.size != 0
+            && self.addr < other.addr + other.size as u64
+            && other.addr < self.addr + self.size as u64
+    }
+}
+
+/// The instruction window: slots ordered by sequence number.
+///
+/// The continuous window dispatches in order (pushes at the back); the
+/// split window may dispatch out of order (sorted insertion). Commit
+/// always proceeds in sequence-number order from the front.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Window {
+    slots: Vec<Slot>,
+    unit_counts: Vec<usize>,
+}
+
+impl Window {
+    pub fn new(units: u32) -> Window {
+        Window { slots: Vec::new(), unit_counts: vec![0; units as usize] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn unit_count(&self, unit: u32) -> usize {
+        self.unit_counts[unit as usize]
+    }
+
+    /// Inserts a slot, keeping sequence order.
+    pub fn insert(&mut self, slot: Slot) {
+        self.unit_counts[slot.unit as usize] += 1;
+        match self.slots.last() {
+            Some(last) if last.seq < slot.seq => self.slots.push(slot),
+            _ => {
+                let pos = self.slots.partition_point(|s| s.seq < slot.seq);
+                debug_assert!(
+                    self.slots.get(pos).is_none_or(|s| s.seq != slot.seq),
+                    "duplicate sequence number {}",
+                    slot.seq
+                );
+                self.slots.insert(pos, slot);
+            }
+        }
+    }
+
+    pub fn get(&self, seq: u64) -> Option<&Slot> {
+        self.slots
+            .binary_search_by_key(&seq, |s| s.seq)
+            .ok()
+            .map(|i| &self.slots[i])
+    }
+
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut Slot> {
+        match self.slots.binary_search_by_key(&seq, |s| s.seq) {
+            Ok(i) => Some(&mut self.slots[i]),
+            Err(_) => None,
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Slot> {
+        self.slots.iter()
+    }
+
+    pub fn front(&self) -> Option<&Slot> {
+        self.slots.first()
+    }
+
+    /// Removes and returns the oldest slot.
+    pub fn pop_front(&mut self) -> Option<Slot> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let s = self.slots.remove(0);
+        self.unit_counts[s.unit as usize] -= 1;
+        Some(s)
+    }
+
+    /// Removes every slot with `seq >= from`, returning them (oldest
+    /// first) for squash bookkeeping.
+    pub fn squash_from(&mut self, from: u64) -> Vec<Slot> {
+        let pos = self.slots.partition_point(|s| s.seq < from);
+        let removed: Vec<Slot> = self.slots.drain(pos..).collect();
+        for s in &removed {
+            self.unit_counts[s.unit as usize] -= 1;
+        }
+        removed
+    }
+}
+
+/// Register dependence edges, precomputed from the trace.
+///
+/// `producer` lists hold the dynamic indices of the most recent older
+/// writers of each source register. Precomputing them from the trace (in
+/// program order) makes register scheduling independent of dispatch
+/// order, which the split window needs: a load may dispatch before the
+/// older producer of its base register is even fetched.
+#[derive(Debug, Clone)]
+pub(crate) struct RegDeps {
+    /// All source-operand producers (for non-memory ops and branches).
+    pub srcs: Vec<Box<[u32]>>,
+    /// Producers of the address (base register) operand of memory ops.
+    pub addr: Vec<Box<[u32]>>,
+    /// Producers of the data operand of stores.
+    pub data: Vec<Box<[u32]>>,
+}
+
+impl RegDeps {
+    pub fn build(trace: &Trace) -> RegDeps {
+        use mds_isa::NUM_REGS;
+        let n = trace.len();
+        let mut last_writer: [Option<u32>; NUM_REGS] = [None; NUM_REGS];
+        let mut srcs = Vec::with_capacity(n);
+        let mut addr = Vec::with_capacity(n);
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let inst = trace.inst(i);
+            let mut s: Vec<u32> = Vec::new();
+            let mut a: Vec<u32> = Vec::new();
+            let mut d: Vec<u32> = Vec::new();
+            if inst.op.is_mem() {
+                if let Some(base) = inst.base_reg() {
+                    if let Some(p) = last_writer[base.index()] {
+                        a.push(p);
+                    }
+                }
+                if let Some(dr) = inst.store_data_reg() {
+                    if let Some(p) = last_writer[dr.index()] {
+                        d.push(p);
+                    }
+                }
+            } else {
+                for r in inst.src_regs() {
+                    if let Some(p) = last_writer[r.index()] {
+                        if !s.contains(&p) {
+                            s.push(p);
+                        }
+                    }
+                }
+            }
+            srcs.push(s.into_boxed_slice());
+            addr.push(a.into_boxed_slice());
+            data.push(d.into_boxed_slice());
+            for r in inst.dst_regs() {
+                last_writer[r.index()] = Some(i as u32);
+            }
+        }
+        RegDeps { srcs, addr, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::{Asm, Interpreter, Reg};
+
+    fn blank(seq: u64, unit: u32) -> Slot {
+        Slot {
+            seq,
+            unit,
+            is_load: false,
+            is_store: false,
+            addr: 0,
+            size: 0,
+            store_value: 0,
+            store_old: 0,
+            issued: false,
+            issue_at: NOT_YET,
+            complete_at: NOT_YET,
+            executed: false,
+            exec_at: NOT_YET,
+            addr_issued: false,
+            addr_posted_at: NOT_YET,
+            forwarded_from: None,
+            speculative: false,
+            value_propagated: false,
+            synonym: None,
+            predicted_wait: false,
+            barrier: false,
+            sset_wait: None,
+            fd_blocked_at: None,
+            fd_false: false,
+            sync_delayed: false,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_order_even_out_of_order() {
+        let mut w = Window::new(2);
+        w.insert(blank(5, 1));
+        w.insert(blank(2, 0));
+        w.insert(blank(9, 1));
+        w.insert(blank(3, 0));
+        let seqs: Vec<u64> = w.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 5, 9]);
+        assert_eq!(w.unit_count(0), 2);
+        assert_eq!(w.unit_count(1), 2);
+    }
+
+    #[test]
+    fn squash_removes_suffix_and_fixes_counts() {
+        let mut w = Window::new(2);
+        for i in 0..6 {
+            w.insert(blank(i, (i % 2) as u32));
+        }
+        let removed = w.squash_from(3);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.unit_count(0), 2); // seqs 0, 2
+        assert_eq!(w.unit_count(1), 1); // seq 1
+        assert!(w.get(3).is_none());
+        assert!(w.get(2).is_some());
+    }
+
+    #[test]
+    fn pop_front_is_oldest() {
+        let mut w = Window::new(1);
+        w.insert(blank(7, 0));
+        w.insert(blank(3, 0));
+        assert_eq!(w.pop_front().unwrap().seq, 3);
+        assert_eq!(w.front().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn slot_overlap() {
+        let mut a = blank(0, 0);
+        let mut b = blank(1, 0);
+        a.addr = 100;
+        a.size = 4;
+        b.addr = 102;
+        b.size = 4;
+        assert!(a.overlaps(&b));
+        b.addr = 104;
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn regdeps_tracks_last_writer() {
+        let mut a = Asm::new();
+        let base = a.alloc_data(16, 8);
+        let r = Reg::int;
+        a.li(r(1), 5); // 0: writes r1
+        a.li(r(2), base as i64); // 1: writes r2
+        a.add(r(1), r(1), r(2)); // 2: reads r1(0), r2(1); writes r1
+        a.sw(r(1), r(2), 0); // 3: base r2 (1), data r1 (2)
+        a.lw(r(3), r(2), 0); // 4: base r2 (1)
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let d = RegDeps::build(&t);
+        assert_eq!(&*d.srcs[2], &[0, 1]);
+        assert_eq!(&*d.addr[3], &[1]);
+        assert_eq!(&*d.data[3], &[2]);
+        assert_eq!(&*d.addr[4], &[1]);
+        assert!(d.data[4].is_empty());
+    }
+
+    #[test]
+    fn regdeps_no_producer_for_cold_registers() {
+        let mut a = Asm::new();
+        let r = Reg::int;
+        a.add(r(1), r(2), r(3)); // r2, r3 never written
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let d = RegDeps::build(&t);
+        assert!(d.srcs[0].is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Branch target buffer and return-address stack.
+
+/// A direct-mapped branch target buffer (Table 2: 2K entries).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (branch pc, target pc)
+    mask: u64,
+}
+
+impl Btb {
+    /// The paper's 2K-entry BTB.
+    pub fn paper() -> Btb {
+        Btb::new(2048)
+    }
+
+    /// Creates a BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Btb { entries: vec![None; entries], mask: entries as u64 - 1 }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicted target for the control instruction at `pc`, if present.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn insert(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+/// A fixed-depth return-address stack (Table 2: 64 entries).
+///
+/// Overflow wraps around (oldest entries are lost), matching hardware
+/// circular-buffer implementations; underflow returns `None`.
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    buf: Vec<u64>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnStack {
+    /// The paper's 64-entry call stack.
+    pub fn paper() -> ReturnStack {
+        ReturnStack::new(64)
+    }
+
+    /// Creates a return stack with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> ReturnStack {
+        assert!(depth > 0, "return stack needs at least one entry");
+        ReturnStack { buf: vec![0; depth], top: 0, len: 0 }
+    }
+
+    /// Pushes a return address (a call was fetched).
+    pub fn push(&mut self, return_pc: u64) {
+        self.top = (self.top + 1) % self.buf.len();
+        self.buf[self.top] = return_pc;
+        if self.len < self.buf.len() {
+            self.len += 1;
+        }
+    }
+
+    /// Pops the predicted return address (a return was fetched).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.top];
+        self.top = (self.top + self.buf.len() - 1) % self.buf.len();
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_stores_and_tags() {
+        let mut b = Btb::new(16);
+        b.insert(0x1000, 0x2000);
+        assert_eq!(b.lookup(0x1000), Some(0x2000));
+        assert_eq!(b.lookup(0x1004), None);
+        // Aliasing pc with same index but different tag misses.
+        let alias = 0x1000 + 16 * 4;
+        assert_eq!(b.lookup(alias), None);
+        b.insert(alias, 0x3000);
+        assert_eq!(b.lookup(0x1000), None, "direct-mapped conflict evicts");
+        assert_eq!(b.lookup(alias), Some(0x3000));
+    }
+
+    #[test]
+    fn ras_lifo_order() {
+        let mut r = ReturnStack::new(4);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut r = ReturnStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_deep_recursion_keeps_recent_frames() {
+        let mut r = ReturnStack::paper();
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.pop(), Some(99));
+    }
+}

@@ -1,0 +1,138 @@
+//! Two-bit saturating counters, the building block of every predictor
+//! in the paper's front end (Table 2) and of the memory dependence
+//! predictors of Section 3.5.
+
+/// A two-bit saturating counter in `0..=3`.
+///
+/// Values 2 and 3 predict "taken" (or, for confidence uses, "confident").
+///
+/// # Examples
+///
+/// ```
+/// use mds_frontend::SatCounter2;
+///
+/// let mut c = SatCounter2::weakly_not_taken();
+/// assert!(!c.is_set());
+/// c.inc();
+/// assert!(c.is_set());
+/// c.inc();
+/// c.inc(); // saturates at 3
+/// assert_eq!(c.value(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter2(u8);
+
+impl SatCounter2 {
+    /// Strongly not-taken (0).
+    pub fn strongly_not_taken() -> SatCounter2 {
+        SatCounter2(0)
+    }
+
+    /// Weakly not-taken (1).
+    pub fn weakly_not_taken() -> SatCounter2 {
+        SatCounter2(1)
+    }
+
+    /// Weakly taken (2).
+    pub fn weakly_taken() -> SatCounter2 {
+        SatCounter2(2)
+    }
+
+    /// Strongly taken (3).
+    pub fn strongly_taken() -> SatCounter2 {
+        SatCounter2(3)
+    }
+
+    /// The raw counter value in `0..=3`.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the counter predicts taken (value >= 2).
+    #[inline]
+    pub fn is_set(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.0 < 3 {
+            self.0 += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// Trains toward `taken`.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.inc()
+        } else {
+            self.dec()
+        }
+    }
+
+    /// Resets to strongly not-taken.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl Default for SatCounter2 {
+    /// Weakly not-taken, the conventional cold state.
+    fn default() -> SatCounter2 {
+        SatCounter2::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter2::strongly_not_taken();
+        c.dec();
+        assert_eq!(c.value(), 0);
+        let mut c = SatCounter2::strongly_taken();
+        c.inc();
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut c = SatCounter2::strongly_taken();
+        c.update(false);
+        assert!(c.is_set(), "one not-taken must not flip a strong counter");
+        c.update(false);
+        assert!(!c.is_set());
+    }
+
+    #[test]
+    fn update_matches_inc_dec() {
+        let mut a = SatCounter2::default();
+        let mut b = SatCounter2::default();
+        a.update(true);
+        b.inc();
+        assert_eq!(a, b);
+        a.update(false);
+        b.dec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = SatCounter2::strongly_taken();
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+}

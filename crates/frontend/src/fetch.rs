@@ -1,0 +1,317 @@
+//! Front-end facade: combined direction prediction, BTB, and return
+//! stack, driving the core's fetch redirects.
+
+use crate::btb::{Btb, ReturnStack};
+use crate::direction::{Bimodal, Combined, DirectionPredictor, Gselect};
+use crate::more_predictors::{Gshare, LocalHistory, StaticNotTaken};
+use mds_isa::{Instruction, Op, Reg};
+
+/// What the front end did with a control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Direction and target both predicted correctly; fetch continues
+    /// without penalty (down the fall-through or the taken path).
+    Correct {
+        /// Whether the control instruction was taken.
+        taken: bool,
+    },
+    /// Direction (or an indirect target) mispredicted: fetch must stall
+    /// until the instruction resolves in the execute stage.
+    Mispredict,
+    /// Direction was right but the taken target was not available at
+    /// fetch (BTB miss): fetch resumes after a short decode-redirect
+    /// bubble.
+    Misfetch {
+        /// Bubble length in cycles.
+        bubble: u64,
+    },
+}
+
+/// Front-end statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontEndStats {
+    /// Conditional branches seen.
+    pub branches: u64,
+    /// Conditional branches with mispredicted direction.
+    pub dir_mispredicts: u64,
+    /// Indirect jumps seen (includes returns).
+    pub indirects: u64,
+    /// Indirect jumps with mispredicted targets.
+    pub target_mispredicts: u64,
+    /// Taken control instructions whose target missed in the BTB.
+    pub misfetches: u64,
+}
+
+impl FrontEndStats {
+    /// Conditional-branch direction prediction accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.dir_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Any of the supported direction predictors, dispatched by variant.
+///
+/// The paper's machine uses [`Combined`]; the alternatives exist for the
+/// branch-predictor ablation.
+#[derive(Debug, Clone)]
+pub enum DirectionKind {
+    /// McFarling combined predictor (the paper's Table 2 default).
+    Combined(Combined),
+    /// Plain bimodal table.
+    Bimodal(Bimodal),
+    /// Gselect (concatenated global history).
+    Gselect(Gselect),
+    /// Gshare (XOR-folded global history).
+    Gshare(Gshare),
+    /// Two-level local-history predictor.
+    Local(LocalHistory),
+    /// Static not-taken.
+    StaticNotTaken(StaticNotTaken),
+}
+
+impl DirectionPredictor for DirectionKind {
+    fn predict(&self, pc: u64) -> bool {
+        match self {
+            DirectionKind::Combined(p) => p.predict(pc),
+            DirectionKind::Bimodal(p) => p.predict(pc),
+            DirectionKind::Gselect(p) => p.predict(pc),
+            DirectionKind::Gshare(p) => p.predict(pc),
+            DirectionKind::Local(p) => p.predict(pc),
+            DirectionKind::StaticNotTaken(p) => p.predict(pc),
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            DirectionKind::Combined(p) => p.update(pc, taken),
+            DirectionKind::Bimodal(p) => p.update(pc, taken),
+            DirectionKind::Gselect(p) => p.update(pc, taken),
+            DirectionKind::Gshare(p) => p.update(pc, taken),
+            DirectionKind::Local(p) => p.update(pc, taken),
+            DirectionKind::StaticNotTaken(p) => p.update(pc, taken),
+        }
+    }
+}
+
+/// The paper's front end: 64K combined predictor, 2K BTB, 64-entry
+/// return-address stack (Table 2).
+///
+/// The core calls [`FrontEnd::on_ctrl`] for every control instruction in
+/// fetch order, passing the resolved outcome from the trace; the returned
+/// [`FetchOutcome`] tells the fetch stage whether and how long to stall.
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    dir: DirectionKind,
+    btb: Btb,
+    ras: ReturnStack,
+    stats: FrontEndStats,
+    misfetch_bubble: u64,
+}
+
+impl FrontEnd {
+    /// Creates the paper's default front end.
+    pub fn paper() -> FrontEnd {
+        FrontEnd::new(
+            DirectionKind::Combined(Combined::paper()),
+            Btb::paper(),
+            ReturnStack::paper(),
+            2,
+        )
+    }
+
+    /// Creates a front end with explicit components (for experiments).
+    pub fn new(dir: DirectionKind, btb: Btb, ras: ReturnStack, misfetch_bubble: u64) -> FrontEnd {
+        FrontEnd { dir, btb, ras, stats: FrontEndStats::default(), misfetch_bubble }
+    }
+
+    /// Creates the paper's front end with a different direction predictor.
+    pub fn with_direction(dir: DirectionKind) -> FrontEnd {
+        FrontEnd::new(dir, Btb::paper(), ReturnStack::paper(), 2)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &FrontEndStats {
+        &self.stats
+    }
+
+    /// Processes the control instruction at `pc` with its resolved
+    /// outcome (`taken`, `target`), training the predictors and reporting
+    /// what fetch should do. `next_pc` is the fall-through address
+    /// (pushed on calls).
+    pub fn on_ctrl(
+        &mut self,
+        pc: u64,
+        inst: &Instruction,
+        taken: bool,
+        target: u64,
+        next_pc: u64,
+    ) -> FetchOutcome {
+        match inst.op {
+            op if op.is_cond_branch() => {
+                self.stats.branches += 1;
+                let pred = self.dir.predict(pc);
+                self.dir.update(pc, taken);
+                if pred != taken {
+                    self.stats.dir_mispredicts += 1;
+                    if taken {
+                        self.btb.insert(pc, target);
+                    }
+                    return FetchOutcome::Mispredict;
+                }
+                if taken {
+                    let hit = self.btb.lookup(pc) == Some(target);
+                    self.btb.insert(pc, target);
+                    if !hit {
+                        self.stats.misfetches += 1;
+                        return FetchOutcome::Misfetch { bubble: self.misfetch_bubble };
+                    }
+                }
+                FetchOutcome::Correct { taken }
+            }
+            Op::J | Op::Jal => {
+                if inst.op == Op::Jal {
+                    self.ras.push(next_pc);
+                }
+                // Direct jumps: target is in the encoding; a BTB miss costs
+                // a decode-stage redirect bubble.
+                let hit = self.btb.lookup(pc) == Some(target);
+                self.btb.insert(pc, target);
+                if hit {
+                    FetchOutcome::Correct { taken: true }
+                } else {
+                    self.stats.misfetches += 1;
+                    FetchOutcome::Misfetch { bubble: self.misfetch_bubble }
+                }
+            }
+            Op::Jr | Op::Jalr => {
+                self.stats.indirects += 1;
+                if inst.op == Op::Jalr {
+                    self.ras.push(next_pc);
+                }
+                let predicted = if inst.op == Op::Jr && inst.rs == Some(Reg::RA) {
+                    // Return: predict through the return-address stack.
+                    self.ras.pop()
+                } else {
+                    self.btb.lookup(pc)
+                };
+                self.btb.insert(pc, target);
+                if predicted == Some(target) {
+                    FetchOutcome::Correct { taken: true }
+                } else {
+                    self.stats.target_mispredicts += 1;
+                    FetchOutcome::Mispredict
+                }
+            }
+            other => unreachable!("on_ctrl called with non-control op {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::Instruction;
+
+    fn branch() -> Instruction {
+        Instruction::branch(Op::Beq, Some(Reg::int(1)), Some(Reg::int(2)), 0)
+    }
+
+    fn jump(op: Op) -> Instruction {
+        Instruction { op, rd: None, rs: None, rt: None, imm: 0, target: Some(0) }
+    }
+
+    fn ret() -> Instruction {
+        Instruction { op: Op::Jr, rd: None, rs: Some(Reg::RA), rt: None, imm: 0, target: None }
+    }
+
+    #[test]
+    fn biased_branch_becomes_correct() {
+        let mut fe = FrontEnd::paper();
+        let b = branch();
+        // Cold predictor predicts not-taken; a taken branch mispredicts
+        // at first, then trains.
+        let first = fe.on_ctrl(0x1000, &b, true, 0x2000, 0x1004);
+        assert_eq!(first, FetchOutcome::Mispredict);
+        let second = fe.on_ctrl(0x1000, &b, true, 0x2000, 0x1004);
+        // One update moved the 2-bit counter to weakly-not-taken; still
+        // mispredicts, then becomes correct.
+        let third = fe.on_ctrl(0x1000, &b, true, 0x2000, 0x1004);
+        assert!(matches!(third, FetchOutcome::Correct { taken: true }),
+                "after training, got {second:?} then {third:?}");
+        assert_eq!(fe.stats().branches, 3);
+    }
+
+    #[test]
+    fn not_taken_branch_is_correct_from_cold() {
+        let mut fe = FrontEnd::paper();
+        let b = branch();
+        assert_eq!(fe.on_ctrl(0x1000, &b, false, 0, 0x1004), FetchOutcome::Correct { taken: false });
+        assert_eq!(fe.stats().dir_mispredicts, 0);
+    }
+
+    #[test]
+    fn btb_miss_on_taken_branch_is_a_misfetch() {
+        let mut fe = FrontEnd::paper();
+        let b = branch();
+        // Train direction to taken without installing this target pc.
+        fe.on_ctrl(0x3000, &b, true, 0x5000, 0x3004);
+        fe.on_ctrl(0x3000, &b, true, 0x5000, 0x3004);
+        // New branch pc, direction aliases to taken thanks to... actually use
+        // same pc with a changed target: direction right, target stale.
+        let out = fe.on_ctrl(0x3000, &b, true, 0x6000, 0x3004);
+        assert_eq!(out, FetchOutcome::Misfetch { bubble: 2 });
+    }
+
+    #[test]
+    fn direct_jump_caches_target() {
+        let mut fe = FrontEnd::paper();
+        let j = jump(Op::J);
+        assert!(matches!(fe.on_ctrl(0x100, &j, true, 0x900, 0x104), FetchOutcome::Misfetch { .. }));
+        assert_eq!(fe.on_ctrl(0x100, &j, true, 0x900, 0x104), FetchOutcome::Correct { taken: true });
+    }
+
+    #[test]
+    fn call_return_pairs_predict_through_ras() {
+        let mut fe = FrontEnd::paper();
+        let call = jump(Op::Jal);
+        let r = ret();
+        // call from two different sites; returns must go to each site.
+        fe.on_ctrl(0x100, &call, true, 0x800, 0x104);
+        fe.on_ctrl(0x200, &call, true, 0x800, 0x204);
+        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x204, 0x8f4), FetchOutcome::Correct { taken: true });
+        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4), FetchOutcome::Correct { taken: true });
+        assert_eq!(fe.stats().target_mispredicts, 0);
+    }
+
+    #[test]
+    fn ras_underflow_mispredicts() {
+        let mut fe = FrontEnd::paper();
+        let r = ret();
+        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4), FetchOutcome::Mispredict);
+        assert_eq!(fe.stats().target_mispredicts, 1);
+    }
+
+    #[test]
+    fn indirect_jalr_uses_btb() {
+        let mut fe = FrontEnd::paper();
+        let j = Instruction { op: Op::Jalr, rd: None, rs: Some(Reg::int(9)), rt: None, imm: 0, target: None };
+        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x1000, 0x404), FetchOutcome::Mispredict);
+        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x1000, 0x404), FetchOutcome::Correct { taken: true });
+        // Target change mispredicts again.
+        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x2000, 0x404), FetchOutcome::Mispredict);
+    }
+
+    #[test]
+    fn accuracy_reflects_mispredicts() {
+        let mut fe = FrontEnd::paper();
+        let b = branch();
+        for _ in 0..10 {
+            fe.on_ctrl(0x1000, &b, false, 0, 0x1004);
+        }
+        assert_eq!(fe.stats().accuracy(), 1.0);
+    }
+}

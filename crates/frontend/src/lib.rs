@@ -1,0 +1,34 @@
+//! # mds-frontend — branch prediction and fetch redirection
+//!
+//! The front-end substrate of the `mds` simulator (reproduction of
+//! Moshovos & Sohi, HPCA 2000). Implements the predictors of the paper's
+//! Table 2: a 64K-entry McFarling [`Combined`] predictor (bimodal first
+//! predictor, 5-bit-history [`Gselect`] second predictor, 2-bit selector),
+//! a 2K-entry [`Btb`], and a 64-entry [`ReturnStack`], wrapped in the
+//! [`FrontEnd`] facade the out-of-order core queries during fetch.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_frontend::{Bimodal, DirectionPredictor};
+//!
+//! let mut p = Bimodal::new(1024);
+//! p.update(0x1000, true);
+//! p.update(0x1000, true);
+//! assert!(p.predict(0x1000));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod btb;
+mod counter;
+mod direction;
+mod fetch;
+mod more_predictors;
+
+pub use btb::{Btb, ReturnStack};
+pub use counter::SatCounter2;
+pub use direction::{Bimodal, Combined, DirectionPredictor, Gselect};
+pub use fetch::{DirectionKind, FetchOutcome, FrontEnd, FrontEndStats};
+pub use more_predictors::{Gshare, LocalHistory, StaticNotTaken};

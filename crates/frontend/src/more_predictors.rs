@@ -1,0 +1,185 @@
+//! Additional direction predictors beyond the paper's Table 2 combined
+//! predictor: static not-taken, gshare, and a two-level local-history
+//! predictor. Used by the branch-predictor ablation to show how
+//! front-end quality modulates (but does not change) the paper's
+//! memory-dependence results.
+
+use crate::counter::SatCounter2;
+use crate::direction::DirectionPredictor;
+
+/// Static predictor: always predicts not-taken (backward-taken variants
+/// are left to the BTB in this model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticNotTaken;
+
+impl DirectionPredictor for StaticNotTaken {
+    fn predict(&self, _pc: u64) -> bool {
+        false
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+}
+
+/// Gshare: global history XOR-folded into the PC index (McFarling's
+/// alternative to Gselect; usually stronger at equal size).
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<SatCounter2>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `entries` counters and
+    /// `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_bits >= 32`.
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(history_bits < 32, "history too long");
+        Gshare {
+            table: vec![SatCounter2::default(); entries],
+            mask: entries as u64 - 1,
+            history: 0,
+            history_bits,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        let h = self.history & ((1 << self.history_bits) - 1);
+        (((pc >> 2) ^ h) & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].is_set()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+        self.history = (self.history << 1) | taken as u64;
+    }
+}
+
+/// Two-level local-history predictor (PAg): a per-branch history table
+/// indexes a shared pattern table of two-bit counters.
+#[derive(Debug, Clone)]
+pub struct LocalHistory {
+    histories: Vec<u16>,
+    hist_mask: u64,
+    pattern: Vec<SatCounter2>,
+    pattern_mask: usize,
+    history_bits: u32,
+}
+
+impl LocalHistory {
+    /// Creates a local predictor with `hist_entries` per-branch history
+    /// registers of `history_bits` bits and a `2^history_bits`-entry
+    /// pattern table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist_entries` is not a power of two or
+    /// `history_bits > 14`.
+    pub fn new(hist_entries: usize, history_bits: u32) -> LocalHistory {
+        assert!(hist_entries.is_power_of_two());
+        assert!(history_bits <= 14, "local history too long");
+        LocalHistory {
+            histories: vec![0; hist_entries],
+            hist_mask: hist_entries as u64 - 1,
+            pattern: vec![SatCounter2::default(); 1 << history_bits],
+            pattern_mask: (1 << history_bits) - 1,
+            history_bits,
+        }
+    }
+
+    #[inline]
+    fn hist_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.hist_mask) as usize
+    }
+}
+
+impl DirectionPredictor for LocalHistory {
+    fn predict(&self, pc: u64) -> bool {
+        let h = self.histories[self.hist_index(pc)] as usize & self.pattern_mask;
+        self.pattern[h].is_set()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let hi = self.hist_index(pc);
+        let h = self.histories[hi] as usize & self.pattern_mask;
+        self.pattern[h].update(taken);
+        self.histories[hi] = ((self.histories[hi] << 1) | taken as u16)
+            & ((1 << self.history_bits) - 1) as u16;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_never_predicts_taken() {
+        let mut p = StaticNotTaken;
+        p.update(0x100, true);
+        p.update(0x100, true);
+        assert!(!p.predict(0x100));
+    }
+
+    #[test]
+    fn gshare_learns_biased_branches() {
+        let mut p = Gshare::new(4096, 8);
+        for _ in 0..32 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+    }
+
+    #[test]
+    fn gshare_separates_by_history() {
+        let mut p = Gshare::new(1 << 14, 8);
+        // Period-3 pattern: T T N.
+        let pattern = [true, true, false];
+        for i in 0..600 {
+            p.update(0x200, pattern[i % 3]);
+        }
+        let mut correct = 0;
+        for i in 600..699 {
+            if p.predict(0x200) == pattern[i % 3] {
+                correct += 1;
+            }
+            p.update(0x200, pattern[i % 3]);
+        }
+        assert!(correct > 90, "gshare should learn period-3, got {correct}/99");
+    }
+
+    #[test]
+    fn local_history_learns_per_branch_patterns() {
+        let mut p = LocalHistory::new(1024, 10);
+        // Branch A: period 2. Branch B: always taken. Interleaved so a
+        // global-history predictor would see a scrambled stream.
+        let mut a_taken = false;
+        for _ in 0..400 {
+            a_taken = !a_taken;
+            p.update(0x100, a_taken);
+            p.update(0x200, true);
+        }
+        let mut correct = 0;
+        for _ in 0..50 {
+            a_taken = !a_taken;
+            if p.predict(0x100) == a_taken {
+                correct += 1;
+            }
+            p.update(0x100, a_taken);
+            assert!(p.predict(0x200));
+            p.update(0x200, true);
+        }
+        assert!(correct >= 48, "local predictor should nail period-2, got {correct}/50");
+    }
+}

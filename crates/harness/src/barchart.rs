@@ -1,0 +1,138 @@
+//! ASCII bar charts for the figure reports.
+//!
+//! The paper presents Figures 1–6 as grouped bar charts; the harness
+//! renders the same series as horizontal ASCII bars so a terminal run
+//! shows the figure, not just its table.
+
+/// A horizontal grouped bar chart.
+///
+/// # Examples
+///
+/// ```
+/// use mds_harness::BarChart;
+///
+/// let mut c = BarChart::new("IPC");
+/// c.group("126.gcc").bar("NAS/NO", 1.4).bar("NAS/ORACLE", 3.0);
+/// let s = c.render(40);
+/// assert!(s.contains("126.gcc"));
+/// assert!(s.contains("NAS/ORACLE"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    unit: String,
+    groups: Vec<Group>,
+}
+
+/// One labeled group of bars (e.g. one benchmark).
+#[derive(Debug, Clone)]
+pub struct Group {
+    label: String,
+    bars: Vec<(String, f64)>,
+}
+
+impl Group {
+    /// Adds a bar to the group.
+    pub fn bar(&mut self, label: &str, value: f64) -> &mut Group {
+        self.bars.push((label.to_string(), value));
+        self
+    }
+}
+
+impl BarChart {
+    /// Creates an empty chart; `unit` labels the value axis.
+    pub fn new(unit: &str) -> BarChart {
+        BarChart { unit: unit.to_string(), groups: Vec::new() }
+    }
+
+    /// Starts a new group and returns it for bar insertion.
+    pub fn group(&mut self, label: &str) -> &mut Group {
+        self.groups.push(Group { label: label.to_string(), bars: Vec::new() });
+        self.groups.last_mut().expect("just pushed")
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the chart has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Renders with bars scaled so the maximum value spans `width`
+    /// characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter().map(|(_, v)| *v))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter().map(|(l, _)| l.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for g in &self.groups {
+            out.push_str(&g.label);
+            out.push('\n');
+            for (label, value) in &g.bars {
+                let n = ((value / max) * width as f64).round().max(0.0) as usize;
+                out.push_str(&format!(
+                    "  {label:<label_w$} |{bar:<width$}| {value:.2} {unit}\n",
+                    bar = "#".repeat(n.min(width)),
+                    unit = self.unit,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let mut c = BarChart::new("IPC");
+        c.group("a").bar("x", 1.0).bar("y", 2.0);
+        let s = c.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 5);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new("x");
+        c.group("g").bar("zero", 0.0).bar("one", 1.0);
+        let s = c.render(8);
+        assert!(s.contains("|        | 0.00 x"));
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut c = BarChart::new("u");
+        c.group("g").bar("short", 1.0).bar("much-longer-label", 1.0);
+        let s = c.render(4);
+        let starts: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.find('|').expect("bar present"))
+            .collect();
+        assert_eq!(starts[0], starts[1], "bars must start at the same column");
+    }
+
+    #[test]
+    fn empty_chart_is_empty() {
+        let c = BarChart::new("u");
+        assert!(c.is_empty());
+        assert_eq!(c.render(10), "");
+    }
+}

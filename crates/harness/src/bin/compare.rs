@@ -1,0 +1,173 @@
+//! Side-by-side comparison of two simulator configurations over the
+//! suite or a kernel.
+//!
+//! ```text
+//! compare --left NAS/NAV --right NAS/SYNC [--benchmarks compress,swim]
+//!         [--scale tiny|test|bench] [--window N] [--sched-latency N]
+//!         [--split UNITSxTASK] [--reissue left|right|both]
+//! ```
+
+use mds_core::{CoreConfig, Policy, Recovery, Simulator, WindowModel};
+use mds_harness::{geomean, Suite};
+use mds_workloads::{Benchmark, SuiteParams};
+use std::process::ExitCode;
+
+fn parse_policy(s: &str) -> Option<Policy> {
+    Policy::ALL
+        .into_iter()
+        .chain([Policy::NasStoreSets])
+        .find(|p| p.paper_name().eq_ignore_ascii_case(s))
+}
+
+struct Args {
+    left: Policy,
+    right: Policy,
+    benchmarks: Vec<Benchmark>,
+    params: SuiteParams,
+    window: Option<usize>,
+    sched_latency: u64,
+    split: Option<(u32, u32)>,
+    reissue: (bool, bool),
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        left: Policy::NasNaive,
+        right: Policy::NasSync,
+        benchmarks: Benchmark::ALL.to_vec(),
+        params: SuiteParams::test(),
+        window: None,
+        sched_latency: 0,
+        split: None,
+        reissue: (false, false),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = || it.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--left" => {
+                let v = next()?;
+                args.left = parse_policy(&v).ok_or(format!("unknown policy {v}"))?;
+            }
+            "--right" => {
+                let v = next()?;
+                args.right = parse_policy(&v).ok_or(format!("unknown policy {v}"))?;
+            }
+            "--benchmarks" => {
+                let v = next()?;
+                args.benchmarks = v
+                    .split(',')
+                    .map(|name| {
+                        Benchmark::ALL
+                            .into_iter()
+                            .find(|b| b.name().contains(name))
+                            .ok_or_else(|| format!("unknown benchmark {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scale" => {
+                args.params = match next()?.as_str() {
+                    "tiny" => SuiteParams::tiny(),
+                    "test" => SuiteParams::test(),
+                    "bench" => SuiteParams::bench(),
+                    other => return Err(format!("unknown scale {other}")),
+                };
+            }
+            "--window" => {
+                args.window = Some(next()?.parse().map_err(|e| format!("bad window: {e}"))?);
+            }
+            "--sched-latency" => {
+                args.sched_latency =
+                    next()?.parse().map_err(|e| format!("bad latency: {e}"))?;
+            }
+            "--split" => {
+                let v = next()?;
+                let (u, t) = v.split_once('x').ok_or("expected UNITSxTASK, e.g. 4x16")?;
+                args.split = Some((
+                    u.parse().map_err(|e| format!("bad units: {e}"))?,
+                    t.parse().map_err(|e| format!("bad task size: {e}"))?,
+                ));
+            }
+            "--reissue" => {
+                args.reissue = match next()?.as_str() {
+                    "left" => (true, false),
+                    "right" => (false, true),
+                    "both" => (true, true),
+                    other => return Err(format!("bad --reissue {other}")),
+                };
+            }
+            "--help" | "-h" => return Err("see the module docs for usage".to_string()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn configure(args: &Args, policy: Policy, reissue: bool) -> CoreConfig {
+    let mut cfg = CoreConfig::paper_128()
+        .with_policy(policy)
+        .with_addr_sched_latency(args.sched_latency);
+    if let Some(w) = args.window {
+        cfg = cfg.with_window_size(w);
+    }
+    if let Some((units, task_size)) = args.split {
+        cfg = cfg.with_window_model(WindowModel::Split { units, task_size });
+    }
+    if reissue {
+        cfg = cfg.with_recovery(Recovery::SelectiveReissue);
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("generating {} traces...", args.benchmarks.len());
+    let suite = match Suite::generate(&args.benchmarks, &args.params) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let left_cfg = configure(&args, args.left, args.reissue.0);
+    let right_cfg = configure(&args, args.right, args.reissue.1);
+    println!(
+        "{:14} {:>12} {:>12} {:>9}   {:>10} {:>10}",
+        "benchmark",
+        args.left.paper_name(),
+        args.right.paper_name(),
+        "speedup",
+        "ms-left",
+        "ms-right"
+    );
+    let mut ratios = Vec::new();
+    for (b, trace) in suite.iter() {
+        let l = Simulator::new(left_cfg.clone()).run(trace);
+        let r = Simulator::new(right_cfg.clone()).run(trace);
+        let ratio = if l.ipc() > 0.0 { r.ipc() / l.ipc() } else { 0.0 };
+        ratios.push(ratio);
+        println!(
+            "{:14} {:12.2} {:12.2} {:+8.1}%   {:10} {:10}",
+            b.name(),
+            l.ipc(),
+            r.ipc(),
+            100.0 * (ratio - 1.0),
+            l.stats.misspeculations,
+            r.stats.misspeculations
+        );
+    }
+    println!(
+        "geometric-mean speedup of {} over {}: {:+.1}%",
+        args.right.paper_name(),
+        args.left.paper_name(),
+        100.0 * (geomean(&ratios) - 1.0)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,115 @@
+//! Trace profiler: dependence and stride analysis for suite benchmarks
+//! or assembly files, plus an optional policy comparison.
+//!
+//! ```text
+//! profile --benchmark compress [--scale tiny|test|bench]
+//! profile --asm program.s [--policies]
+//! ```
+
+use mds_analysis::{DepProfile, StrideProfile};
+use mds_core::{CoreConfig, Policy, Simulator};
+use mds_isa::{parse_program, Interpreter, Trace};
+use mds_workloads::{Benchmark, SuiteParams};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: profile (--benchmark NAME | --asm FILE) [--scale tiny|test|bench] [--policies]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut benchmark: Option<String> = None;
+    let mut asm: Option<String> = None;
+    let mut params = SuiteParams::test();
+    let mut policies = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--benchmark" => benchmark = it.next(),
+            "--asm" => asm = it.next(),
+            "--policies" => policies = true,
+            "--scale" => {
+                params = match it.next().as_deref() {
+                    Some("tiny") => SuiteParams::tiny(),
+                    Some("test") => SuiteParams::test(),
+                    Some("bench") => SuiteParams::bench(),
+                    _ => {
+                        eprintln!("{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            _ => {
+                eprintln!("{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let trace: Trace = match (benchmark, asm) {
+        (Some(name), None) => {
+            let Some(b) = Benchmark::ALL.into_iter().find(|b| b.name().contains(&name)) else {
+                eprintln!("unknown benchmark {name}");
+                return ExitCode::FAILURE;
+            };
+            match b.trace(&params) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("trace generation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(path)) => {
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program = match parse_program(&source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Interpreter::new(program).run(params.max_steps) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "trace: {} dynamic instructions ({:.1}% loads, {:.1}% stores)\n",
+        trace.len(),
+        100.0 * trace.counts().load_fraction(),
+        100.0 * trace.counts().store_fraction()
+    );
+    println!("memory dependence profile:\n{}", DepProfile::build(&trace).render());
+    println!("stride profile:\n{}", StrideProfile::build(&trace).render(8));
+
+    if policies {
+        println!("policy comparison (128-entry continuous window):");
+        for policy in Policy::ALL {
+            let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
+            println!(
+                "  {:11}  IPC {:5.2}  missspec {:>6}  squashed {:>8}",
+                policy.paper_name(),
+                r.ipc(),
+                r.stats.misspeculations,
+                r.stats.squashed
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! reproduce [--scale tiny|test|bench] [--benchmarks a,b,c] [--only exp1,exp2] [--csv dir]
+//! ```
+//!
+//! Experiments: `table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6
+//! table4 fig7 summary ablations`.
+
+use mds_core::CoreConfig;
+use mds_harness::{experiments, Suite};
+use mds_workloads::{Benchmark, SuiteParams};
+use std::process::ExitCode;
+
+struct Args {
+    params: SuiteParams,
+    benchmarks: Vec<Benchmark>,
+    only: Option<Vec<String>>,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut params = SuiteParams::bench();
+    let mut benchmarks: Vec<Benchmark> = Benchmark::ALL.to_vec();
+    let mut only = None;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                params = match v.as_str() {
+                    "tiny" => SuiteParams::tiny(),
+                    "test" => SuiteParams::test(),
+                    "bench" => SuiteParams::bench(),
+                    other => return Err(format!("unknown scale {other}")),
+                };
+            }
+            "--benchmarks" => {
+                let v = it.next().ok_or("--benchmarks needs a value")?;
+                benchmarks = v
+                    .split(',')
+                    .map(|name| {
+                        Benchmark::ALL
+                            .into_iter()
+                            .find(|b| b.name().contains(name))
+                            .ok_or_else(|| format!("unknown benchmark {name}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--only" => {
+                let v = it.next().ok_or("--only needs a value")?;
+                only = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--out" => {
+                out = Some(std::path::PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: reproduce [--scale tiny|test|bench] \
+                            [--benchmarks substr,...] [--only table1,fig2,...]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args { params, benchmarks, only, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wants = |name: &str| args.only.as_ref().is_none_or(|v| v.iter().any(|x| x == name));
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let emit = |name: &str, text: String| {
+        println!("{text}");
+        if let Some(dir) = &args.out {
+            let path = dir.join(format!("{name}.txt"));
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+    };
+
+    eprintln!(
+        "generating {} benchmark traces (~{} dynamic instructions each)...",
+        args.benchmarks.len(),
+        args.params.dyn_target
+    );
+    let suite = match Suite::generate(&args.benchmarks, &args.params) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("workload generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if wants("table1") {
+        emit("table1", experiments::table1::run(&suite).render());
+    }
+    if wants("table2") {
+        emit("table2", experiments::table2::render(&CoreConfig::paper_128()));
+    }
+    if wants("fig1") {
+        eprintln!("running figure 1...");
+        emit("fig1", experiments::fig1::run(&suite).render());
+    }
+    if wants("table3") {
+        eprintln!("running table 3...");
+        emit("table3", experiments::table3::run(&suite).render());
+    }
+    if wants("fig2") {
+        eprintln!("running figure 2...");
+        emit("fig2", experiments::fig2::run(&suite).render());
+    }
+    if wants("fig3") {
+        eprintln!("running figure 3...");
+        emit("fig3", experiments::fig3::run(&suite).render());
+    }
+    if wants("fig4") {
+        eprintln!("running figure 4...");
+        emit("fig4", experiments::fig4::run(&suite).render());
+    }
+    if wants("fig5") {
+        eprintln!("running figure 5...");
+        emit("fig5", experiments::fig5::run(&suite).render());
+    }
+    if wants("fig6") {
+        eprintln!("running figure 6...");
+        emit("fig6", experiments::fig6::run(&suite).render());
+    }
+    if wants("table4") {
+        eprintln!("running table 4...");
+        emit("table4", experiments::table4::run(&suite).render());
+    }
+    if wants("fig7") {
+        eprintln!("running section 3.7 (split window)...");
+        emit("fig7", experiments::fig7::run(&suite).render());
+    }
+    if wants("summary") {
+        eprintln!("running summary...");
+        emit("summary", experiments::summary::run(&suite).render());
+    }
+    if wants("ablations") {
+        eprintln!("running ablations...");
+        emit(
+            "ablation_predictor_size",
+            experiments::ablation::predictor_size(&suite, &[256, 1024, 4096, 16384]).render(),
+        );
+        emit(
+            "ablation_flush_interval",
+            experiments::ablation::flush_interval(&suite, &[Some(100_000), Some(1_000_000), None])
+                .render(),
+        );
+        emit("ablation_store_sets", experiments::ablation::store_sets(&suite).render());
+        emit("ablation_recovery", experiments::ablation::recovery(&suite).render());
+        emit("ablation_branch_predictors", experiments::ablation::branch_predictors(&suite).render());
+        emit(
+            "ablation_window_sweep",
+            experiments::ablation::window_sweep(&suite, &[32, 64, 128, 256]).render(),
+        );
+        match experiments::stability::run(
+            &args.benchmarks,
+            &args.params,
+            &[args.params.seed, 0x1234, 0xDEAD_BEEF],
+        ) {
+            Ok(rep) => emit("stability", rep.render()),
+            Err(e) => eprintln!("stability experiment failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,150 @@
+//! Figure 1 — the performance potential of load/store parallelism:
+//! `NAS/NO` vs `NAS/ORACLE` on 64- and 128-entry windows.
+
+use crate::experiments::{ipcs, speedups};
+use crate::runner::{int_fp_geomeans, Suite};
+use crate::barchart::BarChart;
+use crate::table::{ipc, speedup_pct, TextTable};
+use mds_core::{CoreConfig, Policy};
+use serde::Serialize;
+
+/// One bar group of Figure 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Whether this is an fp benchmark.
+    pub fp: bool,
+    /// IPC of the 64-entry window without speculation.
+    pub ipc_64_no: f64,
+    /// IPC of the 64-entry window with oracle disambiguation.
+    pub ipc_64_oracle: f64,
+    /// IPC of the 128-entry window without speculation.
+    pub ipc_128_no: f64,
+    /// IPC of the 128-entry window with oracle disambiguation.
+    pub ipc_128_oracle: f64,
+    /// Oracle speedup over no-speculation, 64-entry window.
+    pub speedup_64: f64,
+    /// Oracle speedup over no-speculation, 128-entry window.
+    pub speedup_128: f64,
+}
+
+/// The Figure 1 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark bar groups.
+    pub rows: Vec<Row>,
+    /// Geometric-mean oracle speedup, integer programs, 128 entries.
+    pub int_speedup_128: f64,
+    /// Geometric-mean oracle speedup, fp programs, 128 entries.
+    pub fp_speedup_128: f64,
+    /// Geometric-mean oracle speedup, integer programs, 64 entries.
+    pub int_speedup_64: f64,
+    /// Geometric-mean oracle speedup, fp programs, 64 entries.
+    pub fp_speedup_64: f64,
+}
+
+/// Runs the four configurations of Figure 1 over the suite.
+pub fn run(suite: &Suite) -> Report {
+    let no_64 = ipcs(suite, &CoreConfig::paper_64().with_policy(Policy::NasNo));
+    let or_64 = ipcs(suite, &CoreConfig::paper_64().with_policy(Policy::NasOracle));
+    let no_128 = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasNo));
+    let or_128 = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasOracle));
+
+    let sp_64 = speedups(&or_64, &no_64);
+    let sp_128 = speedups(&or_128, &no_128);
+    let (int_64, fp_64) = int_fp_geomeans(&sp_64);
+    let (int_128, fp_128) = int_fp_geomeans(&sp_128);
+
+    let rows = suite
+        .benchmarks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Row {
+            benchmark: b.name().to_string(),
+            fp: b.is_fp(),
+            ipc_64_no: no_64[i].1,
+            ipc_64_oracle: or_64[i].1,
+            ipc_128_no: no_128[i].1,
+            ipc_128_oracle: or_128[i].1,
+            speedup_64: sp_64[i].1,
+            speedup_128: sp_128[i].1,
+        })
+        .collect();
+
+    Report {
+        rows,
+        int_speedup_128: int_128,
+        fp_speedup_128: fp_128,
+        int_speedup_64: int_64,
+        fp_speedup_64: fp_64,
+    }
+}
+
+impl Report {
+    /// Renders the figure's 128-entry bars as an ASCII chart.
+    pub fn chart(&self) -> String {
+        let mut c = BarChart::new("IPC");
+        for r in &self.rows {
+            c.group(&r.benchmark)
+                .bar("128 NAS/NO", r.ipc_128_no)
+                .bar("128 NAS/ORACLE", r.ipc_128_oracle);
+        }
+        c.render(50)
+    }
+
+    /// Renders the figure as a table (one row per bar group).
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Program", "64 NAS/NO", "64 NAS/ORACLE", "64 speedup", "128 NAS/NO",
+            "128 NAS/ORACLE", "128 speedup",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                ipc(r.ipc_64_no),
+                ipc(r.ipc_64_oracle),
+                speedup_pct(r.speedup_64),
+                ipc(r.ipc_128_no),
+                ipc(r.ipc_128_oracle),
+                speedup_pct(r.speedup_128),
+            ]);
+        }
+        format!(
+            "Figure 1: IPC with and without exploiting load/store parallelism\n{}{}\
+             mean 128-entry oracle speedup: int {} fp {}  (paper: +55% int, +154% fp)\n\
+             mean  64-entry oracle speedup: int {} fp {}\n",
+            t.render(),
+            self.chart(),
+            speedup_pct(self.int_speedup_128),
+            speedup_pct(self.fp_speedup_128),
+            speedup_pct(self.int_speedup_64),
+            speedup_pct(self.fp_speedup_64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::{Benchmark, SuiteParams};
+
+    #[test]
+    fn oracle_beats_no_speculation_and_gap_grows_with_window() {
+        let suite =
+            Suite::generate(&[Benchmark::Compress, Benchmark::Su2cor], &SuiteParams::tiny())
+                .unwrap();
+        let rep = run(&suite);
+        for r in &rep.rows {
+            assert!(r.speedup_128 >= 0.99, "{}: oracle must not lose", r.benchmark);
+            assert!(
+                r.speedup_128 >= r.speedup_64 * 0.9,
+                "{}: the gap should grow (or hold) with window size: 64 {:.2} vs 128 {:.2}",
+                r.benchmark,
+                r.speedup_64,
+                r.speedup_128
+            );
+        }
+        assert!(rep.render().contains("Figure 1"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 2 — performance of naive memory dependence speculation with
+//! no address scheduler: `NAS/NO` vs `NAS/ORACLE` vs `NAS/NAV`.
+
+use crate::experiments::{cfg, ipcs, speedups};
+use crate::runner::{int_fp_geomeans, Suite};
+use crate::barchart::BarChart;
+use crate::table::{ipc, speedup_pct, TextTable};
+use mds_core::Policy;
+use serde::Serialize;
+
+/// One bar group of Figure 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// IPC without speculation.
+    pub ipc_no: f64,
+    /// IPC with oracle disambiguation.
+    pub ipc_oracle: f64,
+    /// IPC with naive speculation.
+    pub ipc_naive: f64,
+    /// Naive speedup over no speculation.
+    pub naive_over_no: f64,
+    /// Fraction of the oracle's gain that naive speculation captures.
+    pub captured: f64,
+}
+
+/// The Figure 2 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+    /// Geometric-mean `NAS/NAV` speedup over `NAS/NO`, integer programs.
+    pub int_naive_speedup: f64,
+    /// Geometric-mean `NAS/NAV` speedup over `NAS/NO`, fp programs.
+    pub fp_naive_speedup: f64,
+}
+
+/// Runs the three Figure 2 configurations.
+pub fn run(suite: &Suite) -> Report {
+    let no = ipcs(suite, &cfg(Policy::NasNo));
+    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
+    let naive = ipcs(suite, &cfg(Policy::NasNaive));
+    let sp = speedups(&naive, &no);
+    let (int_sp, fp_sp) = int_fp_geomeans(&sp);
+
+    let rows = (0..no.len())
+        .map(|i| {
+            let gain_oracle = oracle[i].1 - no[i].1;
+            let gain_naive = naive[i].1 - no[i].1;
+            Row {
+                benchmark: no[i].0.name().to_string(),
+                ipc_no: no[i].1,
+                ipc_oracle: oracle[i].1,
+                ipc_naive: naive[i].1,
+                naive_over_no: sp[i].1,
+                captured: if gain_oracle > 0.0 { gain_naive / gain_oracle } else { 1.0 },
+            }
+        })
+        .collect();
+    Report { rows, int_naive_speedup: int_sp, fp_naive_speedup: fp_sp }
+}
+
+impl Report {
+    /// Renders the three-bar groups as an ASCII chart.
+    pub fn chart(&self) -> String {
+        let mut c = BarChart::new("IPC");
+        for r in &self.rows {
+            c.group(&r.benchmark)
+                .bar("NAS/NO", r.ipc_no)
+                .bar("NAS/NAV", r.ipc_naive)
+                .bar("NAS/ORACLE", r.ipc_oracle);
+        }
+        c.render(50)
+    }
+
+    /// Renders the figure as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Program", "NAS/NO", "NAS/ORACLE", "NAS/NAV", "NAV vs NO", "of oracle gain",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                ipc(r.ipc_no),
+                ipc(r.ipc_oracle),
+                ipc(r.ipc_naive),
+                speedup_pct(r.naive_over_no),
+                format!("{:.0}%", 100.0 * r.captured),
+            ]);
+        }
+        format!(
+            "Figure 2: naive memory dependence speculation, no address scheduler\n{}{}\
+             mean NAS/NAV speedup over NAS/NO: int {} fp {}  (paper: +29% int, +113% fp)\n",
+            t.render(),
+            self.chart(),
+            speedup_pct(self.int_naive_speedup),
+            speedup_pct(self.fp_naive_speedup),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::{Benchmark, SuiteParams};
+
+    #[test]
+    fn naive_lands_between_no_and_oracle() {
+        let suite =
+            Suite::generate(&[Benchmark::Compress, Benchmark::Su2cor], &SuiteParams::tiny())
+                .unwrap();
+        let rep = run(&suite);
+        for r in &rep.rows {
+            assert!(r.ipc_naive >= r.ipc_no * 0.98, "{}: naive must help", r.benchmark);
+            assert!(
+                r.ipc_naive <= r.ipc_oracle * 1.02,
+                "{}: naive cannot beat the oracle meaningfully",
+                r.benchmark
+            );
+        }
+        assert!(rep.render().contains("Figure 2"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 3 — address-based scheduling: relative performance of
+//! `AS/NAV` over `AS/NO` as the scheduler latency grows from 0 to 2
+//! cycles, plus the base `AS/NO` IPCs.
+
+use crate::experiments::{ipcs, speedups};
+use crate::runner::{int_fp_geomeans, Suite};
+use crate::table::{ipc, speedup_pct, TextTable};
+use mds_core::{CoreConfig, Policy};
+use serde::Serialize;
+
+/// Scheduler latencies swept by the figure.
+pub const LATENCIES: [u64; 3] = [0, 1, 2];
+
+/// One benchmark's series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `AS/NO` IPC at each scheduler latency (part (b) of the figure
+    /// shows the 0-cycle one).
+    pub ipc_as_no: [f64; 3],
+    /// `AS/NAV` IPC at each scheduler latency.
+    pub ipc_as_naive: [f64; 3],
+    /// `AS/NAV` speedup over the same-latency `AS/NO` (part (a); note
+    /// the base differs per bar, as in the paper).
+    pub naive_over_no: [f64; 3],
+}
+
+/// The Figure 3 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark series.
+    pub rows: Vec<Row>,
+    /// Geometric-mean `AS/NAV` vs `AS/NO` speedup at each latency,
+    /// integer programs.
+    pub int_speedup: [f64; 3],
+    /// Same for fp programs.
+    pub fp_speedup: [f64; 3],
+}
+
+/// Runs the 6 configurations of Figure 3.
+pub fn run(suite: &Suite) -> Report {
+    let mut no = Vec::new();
+    let mut nav = Vec::new();
+    for &lat in &LATENCIES {
+        no.push(ipcs(
+            suite,
+            &CoreConfig::paper_128().with_policy(Policy::AsNo).with_addr_sched_latency(lat),
+        ));
+        nav.push(ipcs(
+            suite,
+            &CoreConfig::paper_128().with_policy(Policy::AsNaive).with_addr_sched_latency(lat),
+        ));
+    }
+    let mut int_speedup = [1.0; 3];
+    let mut fp_speedup = [1.0; 3];
+    let mut per_lat_speedups = Vec::new();
+    for l in 0..3 {
+        let sp = speedups(&nav[l], &no[l]);
+        let (i, f) = int_fp_geomeans(&sp);
+        int_speedup[l] = i;
+        fp_speedup[l] = f;
+        per_lat_speedups.push(sp);
+    }
+
+    let rows = (0..suite.benchmarks().len())
+        .map(|i| Row {
+            benchmark: no[0][i].0.name().to_string(),
+            ipc_as_no: [no[0][i].1, no[1][i].1, no[2][i].1],
+            ipc_as_naive: [nav[0][i].1, nav[1][i].1, nav[2][i].1],
+            naive_over_no: [
+                per_lat_speedups[0][i].1,
+                per_lat_speedups[1][i].1,
+                per_lat_speedups[2][i].1,
+            ],
+        })
+        .collect();
+    Report { rows, int_speedup, fp_speedup }
+}
+
+impl Report {
+    /// Renders both parts of the figure.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Program", "AS/NO(0)", "NAV/NO @0", "NAV/NO @1", "NAV/NO @2",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                ipc(r.ipc_as_no[0]),
+                speedup_pct(r.naive_over_no[0]),
+                speedup_pct(r.naive_over_no[1]),
+                speedup_pct(r.naive_over_no[2]),
+            ]);
+        }
+        format!(
+            "Figure 3: AS/NAV relative to AS/NO vs address-scheduler latency\n{}\
+             mean AS/NAV speedup: int {} / {} / {}  fp {} / {} / {} (latency 0/1/2)\n\
+             (paper at 0 cycles: +4.6% int, +5.3% fp)\n",
+            t.render(),
+            speedup_pct(self.int_speedup[0]),
+            speedup_pct(self.int_speedup[1]),
+            speedup_pct(self.int_speedup[2]),
+            speedup_pct(self.fp_speedup[0]),
+            speedup_pct(self.fp_speedup[1]),
+            speedup_pct(self.fp_speedup[2]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::{Benchmark, SuiteParams};
+
+    #[test]
+    fn scheduler_latency_degrades_absolute_performance() {
+        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap();
+        let rep = run(&suite);
+        let r = &rep.rows[0];
+        assert!(
+            r.ipc_as_naive[0] >= r.ipc_as_naive[2] * 0.98,
+            "2-cycle scheduler should not beat 0-cycle: {:?}",
+            r.ipc_as_naive
+        );
+        assert!(rep.render().contains("Figure 3"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 6 — speculation/synchronization (`NAS/SYNC`) relative to
+//! naive speculation, with the oracle ceiling alongside.
+
+use crate::experiments::{cfg, ipcs, speedups};
+use crate::runner::{int_fp_geomeans, Suite};
+use crate::table::{speedup_pct, TextTable};
+use mds_core::Policy;
+use serde::Serialize;
+
+/// One benchmark's bars.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `NAS/SYNC` speedup over `NAS/NAV`.
+    pub sync: f64,
+    /// `NAS/ORACLE` speedup over `NAS/NAV`.
+    pub oracle: f64,
+}
+
+/// The Figure 6 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+    /// Mean sync speedup (int, fp); paper: +19.7% int, +19.1% fp.
+    pub sync_mean: (f64, f64),
+    /// Mean oracle speedup (int, fp); paper: +20.9% int, +20.4% fp.
+    pub oracle_mean: (f64, f64),
+}
+
+/// Runs the Figure 6 comparison.
+pub fn run(suite: &Suite) -> Report {
+    let nav = ipcs(suite, &cfg(Policy::NasNaive));
+    let sync = ipcs(suite, &cfg(Policy::NasSync));
+    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
+    let sync_sp = speedups(&sync, &nav);
+    let oracle_sp = speedups(&oracle, &nav);
+    let sync_mean = int_fp_geomeans(&sync_sp);
+    let oracle_mean = int_fp_geomeans(&oracle_sp);
+
+    let rows = (0..nav.len())
+        .map(|i| Row {
+            benchmark: nav[i].0.name().to_string(),
+            sync: sync_sp[i].1,
+            oracle: oracle_sp[i].1,
+        })
+        .collect();
+    Report { rows, sync_mean, oracle_mean }
+}
+
+impl Report {
+    /// Renders the figure as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["Program", "NAS/SYNC", "NAS/ORACLE"]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                speedup_pct(r.sync),
+                speedup_pct(r.oracle),
+            ]);
+        }
+        format!(
+            "Figure 6: speculation/synchronization (base NAS/NAV)\n{}\
+             means (int, fp): SYNC ({}, {})  ORACLE ({}, {})\n\
+             (paper: SYNC +19.7%/+19.1% vs ORACLE +20.9%/+20.4%)\n",
+            t.render(),
+            speedup_pct(self.sync_mean.0),
+            speedup_pct(self.sync_mean.1),
+            speedup_pct(self.oracle_mean.0),
+            speedup_pct(self.oracle_mean.1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::{Benchmark, SuiteParams};
+
+    #[test]
+    fn sync_approaches_the_oracle() {
+        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap();
+        let rep = run(&suite);
+        let r = &rep.rows[0];
+        assert!(r.oracle > 1.02, "oracle should beat naive on compress");
+        // The paper's headline: SYNC captures most of the oracle's gain.
+        let captured = (r.sync - 1.0) / (r.oracle - 1.0);
+        assert!(
+            captured > 0.6,
+            "SYNC should capture most of the oracle gain, got {:.2} (sync {:.3}, oracle {:.3})",
+            captured,
+            r.sync,
+            r.oracle
+        );
+        assert!(rep.render().contains("Figure 6"));
+    }
+}

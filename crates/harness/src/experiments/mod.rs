@@ -1,0 +1,73 @@
+//! One module per table and figure of the paper's evaluation.
+//!
+//! Every experiment consumes a pre-generated [`Suite`] (so
+//! the functional traces are shared across the configurations it
+//! compares), returns a serializable report struct with the raw numbers,
+//! and renders the same rows/series the paper presents.
+//!
+//! [`Suite`]: crate::Suite
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — benchmark execution characteristics |
+//! | [`table2`] | Table 2 — the machine configuration |
+//! | [`fig1`] | Figure 1 — `NAS/NO` vs `NAS/ORACLE`, 64/128-entry windows |
+//! | [`table3`] | Table 3 — false-dependence fraction and resolution latency |
+//! | [`fig2`] | Figure 2 — naive speculation without an address scheduler |
+//! | [`fig3`] | Figure 3 — `AS/NAV` vs `AS/NO` over scheduler latency 0–2 |
+//! | [`fig4`] | Figure 4 — oracle vs address scheduling + naive speculation |
+//! | [`fig5`] | Figure 5 — selective and store-barrier speculation |
+//! | [`fig6`] | Figure 6 — speculation/synchronization |
+//! | [`table4`] | Table 4 — mis-speculation rates (`NAV` and `SYNC`) |
+//! | [`fig7`] | Section 3.7 — split vs continuous window |
+//! | [`summary`] | Section 4 — the headline average speedups |
+//! | [`ablation`] | beyond the paper: predictor sizing, flush interval, store sets, window sweep |
+//! | [`stability`] | beyond the paper: seed sensitivity of the headline result |
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod stability;
+pub mod summary;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::runner::Suite;
+use mds_core::{CoreConfig, Policy, SimResult};
+use mds_workloads::Benchmark;
+
+/// Runs every suite benchmark under `config`, returning the IPCs.
+pub(crate) fn ipcs(suite: &Suite, config: &CoreConfig) -> Vec<(Benchmark, f64)> {
+    suite.run(config).into_iter().map(|(b, r)| (b, r.ipc())).collect()
+}
+
+/// Runs every suite benchmark under `config`, returning full results.
+pub(crate) fn results(suite: &Suite, config: &CoreConfig) -> Vec<(Benchmark, SimResult)> {
+    suite.run(config)
+}
+
+/// Per-benchmark speedup of `new` over `base` (paired by suite order).
+pub(crate) fn speedups(
+    new: &[(Benchmark, f64)],
+    base: &[(Benchmark, f64)],
+) -> Vec<(Benchmark, f64)> {
+    new.iter()
+        .zip(base.iter())
+        .map(|(&(b, n), &(b2, d))| {
+            debug_assert_eq!(b, b2);
+            (b, if d == 0.0 { 0.0 } else { n / d })
+        })
+        .collect()
+}
+
+/// Shorthand for a paper-default 128-entry configuration with `policy`.
+pub(crate) fn cfg(policy: Policy) -> CoreConfig {
+    CoreConfig::paper_128().with_policy(policy)
+}

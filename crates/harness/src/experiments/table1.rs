@@ -1,0 +1,96 @@
+//! Table 1 — benchmark execution characteristics.
+
+use crate::runner::Suite;
+use crate::table::{pct, TextTable};
+use serde::Serialize;
+
+/// One row: simulated counts next to the paper's Table 1 values.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name (e.g. `126.gcc`).
+    pub benchmark: String,
+    /// Dynamic instructions simulated.
+    pub dyn_insts: u64,
+    /// Measured load fraction.
+    pub loads: f64,
+    /// Measured store fraction.
+    pub stores: f64,
+    /// Paper's load fraction.
+    pub paper_loads: f64,
+    /// Paper's store fraction.
+    pub paper_stores: f64,
+    /// Paper's dynamic instruction count in millions.
+    pub paper_ic_millions: f64,
+    /// Paper's sampling ratio.
+    pub paper_sampling: String,
+}
+
+/// The Table 1 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark rows in Table 1 order.
+    pub rows: Vec<Row>,
+}
+
+/// Measures the suite's execution characteristics.
+pub fn run(suite: &Suite) -> Report {
+    let rows = suite
+        .iter()
+        .map(|(b, t)| {
+            let row = b.table1();
+            Row {
+                benchmark: b.name().to_string(),
+                dyn_insts: t.len() as u64,
+                loads: t.counts().load_fraction(),
+                stores: t.counts().store_fraction(),
+                paper_loads: row.loads,
+                paper_stores: row.stores,
+                paper_ic_millions: row.ic_millions,
+                paper_sampling: row.sampling.to_string(),
+            }
+        })
+        .collect();
+    Report { rows }
+}
+
+impl Report {
+    /// Renders the table with measured-vs-paper columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Program", "IC(dyn)", "Loads", "Stores", "Loads(paper)", "Stores(paper)", "SR(paper)",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                r.dyn_insts.to_string(),
+                pct(r.loads),
+                pct(r.stores),
+                pct(r.paper_loads),
+                pct(r.paper_stores),
+                r.paper_sampling.clone(),
+            ]);
+        }
+        format!("Table 1: benchmark execution characteristics\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::{Benchmark, SuiteParams};
+
+    #[test]
+    fn measured_fractions_track_paper() {
+        let suite =
+            Suite::generate(&[Benchmark::Gcc, Benchmark::Mgrid], &SuiteParams::tiny()).unwrap();
+        let rep = run(&suite);
+        assert_eq!(rep.rows.len(), 2);
+        for r in &rep.rows {
+            assert!((r.loads - r.paper_loads).abs() < 0.05, "{}", r.benchmark);
+            assert!((r.stores - r.paper_stores).abs() < 0.05, "{}", r.benchmark);
+        }
+        let s = rep.render();
+        assert!(s.contains("126.gcc"));
+        assert!(s.contains("Table 1"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 2 — the default machine configuration.
+
+use mds_core::CoreConfig;
+
+/// Renders the configuration in the spirit of the paper's Table 2.
+pub fn render(cfg: &CoreConfig) -> String {
+    let m = &cfg.mem;
+    format!(
+        "Table 2: default configuration\n\
+         Fetch unit     : up to {} instructions/cycle, {} non-contiguous blocks\n\
+         Branch pred    : 64K-entry combined (bimodal + 5-bit Gselect), 2K BTB, 64-entry RAS\n\
+         I-cache        : {}K, {}-way, {} banks, {}B blocks, {}-cycle hit\n\
+         OOO core       : {}-entry window, {}-wide issue, {}-wide commit, {} copies of all FUs\n\
+         Memory ports   : {}\n\
+         Store buffer   : {} entries, forwards to loads, no write combining\n\
+         D-cache        : {}K, {}-way, {} banks, {}B blocks, {}-cycle hit\n\
+         Unified L2     : {}M, {}-way, {} banks, {}B blocks, {}-cycle hit\n\
+         Main memory    : {} cycles + {} per 4-word transfer\n\
+         Policy         : {}  (address-scheduler latency {} cycles)\n",
+        cfg.fetch_width,
+        cfg.fetch_blocks,
+        m.l1i.size_bytes / 1024,
+        m.l1i.assoc,
+        m.l1i.banks,
+        m.l1i.block_bytes,
+        m.l1i.hit_latency,
+        cfg.window_size,
+        cfg.issue_width,
+        cfg.commit_width,
+        cfg.fu_copies,
+        cfg.mem_ports,
+        cfg.store_buffer,
+        m.l1d.size_bytes / 1024,
+        m.l1d.assoc,
+        m.l1d.banks,
+        m.l1d.block_bytes,
+        m.l1d.hit_latency,
+        m.l2.size_bytes / (1024 * 1024),
+        m.l2.assoc,
+        m.l2.banks,
+        m.l2.block_bytes,
+        m.l2.hit_latency,
+        m.main.base_latency,
+        m.main.per_four_words,
+        cfg.policy,
+        cfg.addr_sched_latency,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_table2_parameters() {
+        let s = render(&CoreConfig::paper_128());
+        assert!(s.contains("128-entry window"));
+        assert!(s.contains("64K, 2-way, 8 banks"));
+        assert!(s.contains("4M, 2-way"));
+        assert!(s.contains("34 cycles + 2"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Table 4 — memory dependence mis-speculation rates under naive
+//! speculation and under speculation/synchronization.
+
+use crate::experiments::{cfg, results};
+use crate::runner::Suite;
+use crate::table::{pct4, TextTable};
+use mds_core::Policy;
+use mds_workloads::Benchmark;
+use serde::Serialize;
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mis-speculations per committed load under `NAS/NAV`.
+    pub naive_rate: f64,
+    /// Mis-speculations per committed load under `NAS/SYNC`.
+    pub sync_rate: f64,
+    /// The paper's `NAV` rate.
+    pub paper_naive: f64,
+    /// The paper's `SYNC` rate.
+    pub paper_sync: f64,
+}
+
+/// The Table 4 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+}
+
+/// The paper's Table 4 values `(NAV, SYNC)`, keyed by benchmark.
+pub fn paper_values(b: Benchmark) -> (f64, f64) {
+    match b {
+        Benchmark::Go => (0.025, 0.000301),
+        Benchmark::M88ksim => (0.010, 0.000030),
+        Benchmark::Gcc => (0.013, 0.000028),
+        Benchmark::Compress => (0.078, 0.000034),
+        Benchmark::Li => (0.032, 0.000035),
+        Benchmark::Ijpeg => (0.008, 0.000090),
+        Benchmark::Perl => (0.029, 0.000029),
+        Benchmark::Vortex => (0.032, 0.000286),
+        Benchmark::Tomcatv => (0.010, 0.000001),
+        Benchmark::Swim => (0.009, 0.000017),
+        Benchmark::Su2cor => (0.024, 0.000741),
+        Benchmark::Hydro2d => (0.055, 0.000740),
+        Benchmark::Mgrid => (0.001, 0.000019),
+        Benchmark::Applu => (0.014, 0.000039),
+        Benchmark::Turb3d => (0.007, 0.000009),
+        Benchmark::Apsi => (0.021, 0.000148),
+        Benchmark::Fpppp => (0.014, 0.000096),
+        Benchmark::Wave5 => (0.020, 0.000034),
+    }
+}
+
+/// Measures mis-speculation rates under `NAS/NAV` and `NAS/SYNC`.
+pub fn run(suite: &Suite) -> Report {
+    let nav = results(suite, &cfg(Policy::NasNaive));
+    let sync = results(suite, &cfg(Policy::NasSync));
+    let rows = nav
+        .into_iter()
+        .zip(sync)
+        .map(|((b, rn), (_, rs))| {
+            let (pn, ps) = paper_values(b);
+            Row {
+                benchmark: b.name().to_string(),
+                naive_rate: rn.stats.misspeculation_rate(),
+                sync_rate: rs.stats.misspeculation_rate(),
+                paper_naive: pn,
+                paper_sync: ps,
+            }
+        })
+        .collect();
+    Report { rows }
+}
+
+impl Report {
+    /// Renders the table with measured-vs-paper columns.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Program", "NAV", "SYNC", "NAV(paper)", "SYNC(paper)",
+        ]);
+        for r in &self.rows {
+            t.row_owned(vec![
+                r.benchmark.clone(),
+                pct4(r.naive_rate),
+                pct4(r.sync_rate),
+                pct4(r.paper_naive),
+                pct4(r.paper_sync),
+            ]);
+        }
+        format!("Table 4: memory dependence mis-speculation rates\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::SuiteParams;
+
+    #[test]
+    fn sync_suppresses_misspeculations() {
+        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap();
+        let rep = run(&suite);
+        let r = &rep.rows[0];
+        assert!(r.naive_rate > 0.01, "compress must mis-speculate naively: {}", r.naive_rate);
+        assert!(
+            r.sync_rate < r.naive_rate / 5.0,
+            "sync must suppress mis-speculation: {} vs {}",
+            r.sync_rate,
+            r.naive_rate
+        );
+        assert!(rep.render().contains("Table 4"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # mds-harness — regenerating the paper's tables and figures
+//!
+//! The experiment layer of the reproduction (Moshovos & Sohi, HPCA
+//! 2000): for every table and figure in the paper's evaluation there is
+//! a module under [`experiments`] that runs the corresponding
+//! configurations over the synthetic suite and renders the same
+//! rows/series the paper reports, alongside the paper's own numbers
+//! where the paper gives them.
+//!
+//! The entry point is [`Suite`]: generate the functional traces once,
+//! then feed them to any number of experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_harness::{experiments, Suite};
+//! use mds_workloads::{Benchmark, SuiteParams};
+//!
+//! let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny())?;
+//! let table1 = experiments::table1::run(&suite);
+//! assert_eq!(table1.rows.len(), 1);
+//! println!("{}", table1.render());
+//! # Ok::<(), mds_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod barchart;
+pub mod experiments;
+mod runner;
+mod table;
+
+pub use barchart::{BarChart, Group};
+pub use runner::{geomean, int_fp_geomeans, Suite};
+pub use table::{ipc, pct, pct4, speedup_pct, Align, TextTable};

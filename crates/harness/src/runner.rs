@@ -1,0 +1,136 @@
+//! Suite-level simulation driver with trace caching.
+
+use mds_core::{CoreConfig, SimResult, Simulator};
+use mds_isa::{IsaError, Trace};
+use mds_workloads::{Benchmark, SuiteParams};
+
+/// The functional traces of a benchmark set, generated once and replayed
+/// under every configuration an experiment compares.
+#[derive(Debug)]
+pub struct Suite {
+    params: SuiteParams,
+    entries: Vec<(Benchmark, Trace)>,
+}
+
+impl Suite {
+    /// Generates traces for the given benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation or interpretation errors.
+    pub fn generate(benchmarks: &[Benchmark], params: &SuiteParams) -> Result<Suite, IsaError> {
+        let mut entries = Vec::with_capacity(benchmarks.len());
+        for &b in benchmarks {
+            entries.push((b, b.trace(params)?));
+        }
+        Ok(Suite { params: *params, entries })
+    }
+
+    /// The full 18-benchmark suite at the given sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation or interpretation errors.
+    pub fn full(params: &SuiteParams) -> Result<Suite, IsaError> {
+        Suite::generate(&Benchmark::ALL, params)
+    }
+
+    /// The sizing parameters the suite was generated with.
+    pub fn params(&self) -> &SuiteParams {
+        &self.params
+    }
+
+    /// The benchmarks in this suite, in order.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        self.entries.iter().map(|(b, _)| *b).collect()
+    }
+
+    /// The trace of one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark is not part of this suite.
+    pub fn trace(&self, benchmark: Benchmark) -> &Trace {
+        &self
+            .entries
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .unwrap_or_else(|| panic!("{benchmark} not in suite"))
+            .1
+    }
+
+    /// Iterates over `(benchmark, trace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Benchmark, &Trace)> {
+        self.entries.iter().map(|(b, t)| (*b, t))
+    }
+
+    /// Runs every benchmark under `config`, returning per-benchmark
+    /// results in suite order.
+    pub fn run(&self, config: &CoreConfig) -> Vec<(Benchmark, SimResult)> {
+        let sim = Simulator::new(config.clone());
+        self.iter().map(|(b, t)| (b, sim.run(t))).collect()
+    }
+}
+
+/// Geometric mean of `values` (1.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Splits per-benchmark values into `(integer, floating-point)` subsets
+/// and returns the geometric mean of each — the paper reports separate
+/// int/fp averages throughout.
+pub fn int_fp_geomeans(pairs: &[(Benchmark, f64)]) -> (f64, f64) {
+    let int: Vec<f64> = pairs.iter().filter(|(b, _)| !b.is_fp()).map(|(_, v)| *v).collect();
+    let fp: Vec<f64> = pairs.iter().filter(|(b, _)| b.is_fp()).map(|(_, v)| *v).collect();
+    (geomean(&int), geomean(&fp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_core::Policy;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_fp_split() {
+        let pairs = vec![
+            (Benchmark::Gcc, 2.0),
+            (Benchmark::Go, 8.0),
+            (Benchmark::Swim, 3.0),
+        ];
+        let (i, f) = int_fp_geomeans(&pairs);
+        assert!((i - 4.0).abs() < 1e-12);
+        assert!((f - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_generates_and_runs() {
+        let suite =
+            Suite::generate(&[Benchmark::Compress, Benchmark::Swim], &SuiteParams::tiny())
+                .unwrap();
+        assert_eq!(suite.benchmarks().len(), 2);
+        let results = suite.run(&CoreConfig::paper_128().with_policy(Policy::NasNaive));
+        assert_eq!(results.len(), 2);
+        for (b, r) in &results {
+            assert!(r.ipc() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_benchmark_panics() {
+        let suite = Suite::generate(&[Benchmark::Gcc], &SuiteParams::tiny()).unwrap();
+        let _ = suite.trace(Benchmark::Swim);
+    }
+}

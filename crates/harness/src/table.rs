@@ -1,0 +1,207 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use mds_harness::TextTable;
+///
+/// let mut t = TextTable::new(&["bench", "IPC"]);
+/// t.row(&["126.gcc", "1.84"]);
+/// let s = t.render();
+/// assert!(s.contains("126.gcc"));
+/// assert!(s.lines().count() >= 3); // header, rule, row
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut TextTable {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut TextTable {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: first column left-aligned, the rest
+    /// right-aligned (the common label/number layout).
+    pub fn render(&self) -> String {
+        let aligns: Vec<Align> = (0..self.headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        self.render_with(&aligns)
+    }
+
+    /// Renders with explicit per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns` does not match the column count.
+    pub fn render_with(&self, aligns: &[Align]) -> String {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity mismatch");
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{c:<w$}", w = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{c:>w$}", w = widths[i]);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `26.4%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a mis-speculation rate with four decimals, e.g. `0.0301%`
+/// (the precision Table 4 uses).
+pub fn pct4(x: f64) -> String {
+    format!("{:.4}%", 100.0 * x)
+}
+
+/// Formats an IPC with two decimals.
+pub fn ipc(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a speedup ratio as a signed percentage, e.g. `+19.7%`.
+pub fn speedup_pct(ratio: f64) -> String {
+    format!("{:+.1}%", 100.0 * (ratio - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "v"]);
+        t.row(&["a", "1"]);
+        t.row(&["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Numbers right-aligned to the same column.
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["x,y", "2"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.264), "26.4%");
+        assert_eq!(pct4(0.000301), "0.0301%");
+        assert_eq!(ipc(1.847), "1.85");
+        assert_eq!(speedup_pct(1.197), "+19.7%");
+        assert_eq!(speedup_pct(0.95), "-5.0%");
+    }
+}

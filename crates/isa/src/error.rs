@@ -1,0 +1,78 @@
+//! Error types of the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling or interpreting programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A referenced label was never bound to a position.
+    UnboundLabel(u32),
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// Control transferred outside the text segment.
+    PcOutOfRange {
+        /// The offending static index.
+        sidx: u64,
+    },
+    /// A register-indirect jump used a value that is not a valid
+    /// instruction address.
+    BadJumpTarget {
+        /// The offending register value.
+        value: u64,
+    },
+    /// Execution ran past the interpreter's dynamic instruction limit
+    /// without reaching `halt`.
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnboundLabel(id) => write!(f, "label {id} referenced but never bound"),
+            IsaError::EmptyProgram => write!(f, "program has no instructions"),
+            IsaError::PcOutOfRange { sidx } => {
+                write!(f, "control transferred outside the program (index {sidx})")
+            }
+            IsaError::BadJumpTarget { value } => {
+                write!(f, "indirect jump to invalid instruction address {value:#x}")
+            }
+            IsaError::StepLimit { limit } => {
+                write!(f, "execution exceeded {limit} dynamic instructions without halting")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        for e in [
+            IsaError::UnboundLabel(3),
+            IsaError::EmptyProgram,
+            IsaError::PcOutOfRange { sidx: 10 },
+            IsaError::BadJumpTarget { value: 1 },
+            IsaError::StepLimit { limit: 5 },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

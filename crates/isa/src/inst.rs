@@ -1,0 +1,253 @@
+//! Static instruction representation.
+
+use crate::op::{MemWidth, Op};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A static instruction: an [`Op`] plus its register and immediate operands.
+///
+/// The encoding follows MIPS conventions loosely: `rd` is the destination,
+/// `rs`/`rt` the sources, `imm` the sign-extended immediate (also used as
+/// the load/store displacement), and `target` the static index of a branch
+/// or jump target within the program.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::{Instruction, Op, Reg};
+///
+/// let add = Instruction::rrr(Op::Add, Reg::int(3), Reg::int(1), Reg::int(2));
+/// assert_eq!(add.dst_regs(), vec![Reg::int(3)]);
+/// assert_eq!(add.src_regs(), vec![Reg::int(1), Reg::int(2)]);
+///
+/// let lw = Instruction::mem(Op::Lw, Reg::int(4), Reg::int(29), 16);
+/// assert!(lw.op.is_load());
+/// assert_eq!(lw.base_reg(), Some(Reg::int(29)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operation.
+    pub op: Op,
+    /// Destination register, if any.
+    pub rd: Option<Reg>,
+    /// First source register, if any. For memory operations this is the
+    /// address base register.
+    pub rs: Option<Reg>,
+    /// Second source register, if any. For stores this is the data register.
+    pub rt: Option<Reg>,
+    /// Immediate operand (sign-extended); displacement for memory ops,
+    /// shift amount for shifts, constant for ALU-immediate forms.
+    pub imm: i64,
+    /// Static index of the branch/jump target instruction, if any.
+    pub target: Option<u32>,
+}
+
+impl Instruction {
+    /// Three-register ALU instruction: `rd <- rs op rt`.
+    pub fn rrr(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Instruction {
+        Instruction { op, rd: Some(rd), rs: Some(rs), rt: Some(rt), imm: 0, target: None }
+    }
+
+    /// Register-immediate ALU instruction: `rd <- rs op imm`.
+    pub fn rri(op: Op, rd: Reg, rs: Reg, imm: i64) -> Instruction {
+        Instruction { op, rd: Some(rd), rs: Some(rs), rt: None, imm, target: None }
+    }
+
+    /// Memory instruction: `reg <- mem[base + disp]` or `mem[base + disp] <- reg`.
+    ///
+    /// For loads, `reg` is the destination; for stores it is the data source.
+    pub fn mem(op: Op, reg: Reg, base: Reg, disp: i64) -> Instruction {
+        debug_assert!(op.is_mem(), "Instruction::mem used with non-memory op {op}");
+        if op.is_load() {
+            Instruction { op, rd: Some(reg), rs: Some(base), rt: None, imm: disp, target: None }
+        } else {
+            Instruction { op, rd: None, rs: Some(base), rt: Some(reg), imm: disp, target: None }
+        }
+    }
+
+    /// Conditional branch comparing `rs` (and `rt` for `beq`/`bne`) against
+    /// zero, targeting static index `target`.
+    pub fn branch(op: Op, rs: Option<Reg>, rt: Option<Reg>, target: u32) -> Instruction {
+        debug_assert!(op.is_cond_branch(), "Instruction::branch used with {op}");
+        Instruction { op, rd: None, rs, rt, imm: 0, target: Some(target) }
+    }
+
+    /// A no-operation instruction.
+    pub fn nop() -> Instruction {
+        Instruction { op: Op::Nop, rd: None, rs: None, rt: None, imm: 0, target: None }
+    }
+
+    /// The program-terminating instruction.
+    pub fn halt() -> Instruction {
+        Instruction { op: Op::Halt, rd: None, rs: None, rt: None, imm: 0, target: None }
+    }
+
+    /// Source registers read by this instruction, excluding the hard-wired
+    /// zero register (which is always ready and never creates a dependence).
+    pub fn src_regs(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        let mut push = |r: Option<Reg>| {
+            if let Some(r) = r {
+                if !r.is_zero() {
+                    v.push(r);
+                }
+            }
+        };
+        push(self.rs);
+        push(self.rt);
+        // HI/LO moves and FP-condition branches read special registers.
+        match self.op {
+            Op::Mfhi => push(Some(Reg::HI)),
+            Op::Mflo => push(Some(Reg::LO)),
+            Op::Bc1t | Op::Bc1f => push(Some(Reg::FSR)),
+            _ => {}
+        }
+        v
+    }
+
+    /// Destination registers written by this instruction, excluding the
+    /// hard-wired zero register (writes to it are discarded).
+    pub fn dst_regs(&self) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        match self.op {
+            Op::Mult | Op::Multu | Op::Div | Op::Divu => {
+                v.push(Reg::HI);
+                v.push(Reg::LO);
+            }
+            Op::CLtD | Op::CEqD => v.push(Reg::FSR),
+            Op::Jal | Op::Jalr => v.push(Reg::RA),
+            _ => {
+                if let Some(rd) = self.rd {
+                    if !rd.is_zero() {
+                        v.push(rd);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The address base register of a memory operation.
+    pub fn base_reg(&self) -> Option<Reg> {
+        if self.op.is_mem() {
+            self.rs
+        } else {
+            None
+        }
+    }
+
+    /// The data register of a store (the value to be written).
+    pub fn store_data_reg(&self) -> Option<Reg> {
+        if self.op.is_store() {
+            self.rt
+        } else {
+            None
+        }
+    }
+
+    /// Memory access width, for loads and stores.
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        self.op.mem_width()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(rd) = self.rd {
+            write!(f, " {rd}")?;
+        }
+        if let Some(rs) = self.rs {
+            write!(f, " {rs}")?;
+        }
+        if let Some(rt) = self.rt {
+            write!(f, " {rt}")?;
+        }
+        if self.imm != 0 || self.op.is_mem() {
+            write!(f, " #{}", self.imm)?;
+        }
+        if let Some(t) = self.target {
+            write!(f, " ->{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_sources_and_dests() {
+        let i = Instruction::rrr(Op::Add, Reg::int(3), Reg::int(1), Reg::int(2));
+        assert_eq!(i.src_regs(), vec![Reg::int(1), Reg::int(2)]);
+        assert_eq!(i.dst_regs(), vec![Reg::int(3)]);
+        assert_eq!(i.base_reg(), None);
+    }
+
+    #[test]
+    fn zero_register_is_never_a_dependence() {
+        let i = Instruction::rrr(Op::Add, Reg::ZERO, Reg::ZERO, Reg::int(2));
+        assert_eq!(i.src_regs(), vec![Reg::int(2)]);
+        assert!(i.dst_regs().is_empty());
+    }
+
+    #[test]
+    fn load_operands() {
+        let i = Instruction::mem(Op::Lw, Reg::int(4), Reg::int(29), -8);
+        assert_eq!(i.base_reg(), Some(Reg::int(29)));
+        assert_eq!(i.dst_regs(), vec![Reg::int(4)]);
+        assert_eq!(i.src_regs(), vec![Reg::int(29)]);
+        assert_eq!(i.store_data_reg(), None);
+    }
+
+    #[test]
+    fn store_operands() {
+        let i = Instruction::mem(Op::Sw, Reg::int(4), Reg::int(29), 12);
+        assert_eq!(i.base_reg(), Some(Reg::int(29)));
+        assert_eq!(i.store_data_reg(), Some(Reg::int(4)));
+        assert!(i.dst_regs().is_empty());
+        assert_eq!(i.src_regs(), vec![Reg::int(29), Reg::int(4)]);
+    }
+
+    #[test]
+    fn mult_writes_hi_lo() {
+        let i = Instruction {
+            op: Op::Mult,
+            rd: None,
+            rs: Some(Reg::int(1)),
+            rt: Some(Reg::int(2)),
+            imm: 0,
+            target: None,
+        };
+        assert_eq!(i.dst_regs(), vec![Reg::HI, Reg::LO]);
+    }
+
+    #[test]
+    fn mfhi_reads_hi() {
+        let i = Instruction { op: Op::Mfhi, rd: Some(Reg::int(5)), rs: None, rt: None, imm: 0, target: None };
+        assert_eq!(i.src_regs(), vec![Reg::HI]);
+        assert_eq!(i.dst_regs(), vec![Reg::int(5)]);
+    }
+
+    #[test]
+    fn fp_compare_writes_fsr_and_fp_branch_reads_it() {
+        let cmp = Instruction::rrr(Op::CLtD, Reg::fp(0), Reg::fp(1), Reg::fp(2));
+        assert_eq!(cmp.dst_regs(), vec![Reg::FSR]);
+        let br = Instruction::branch(Op::Bc1t, None, None, 7);
+        assert_eq!(br.src_regs(), vec![Reg::FSR]);
+        assert_eq!(br.target, Some(7));
+    }
+
+    #[test]
+    fn call_writes_return_address() {
+        let i = Instruction { op: Op::Jal, rd: None, rs: None, rt: None, imm: 0, target: Some(0) };
+        assert_eq!(i.dst_regs(), vec![Reg::RA]);
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let i = Instruction::mem(Op::Lw, Reg::int(4), Reg::int(29), 16);
+        assert_eq!(i.to_string(), "lw r4 r29 #16");
+    }
+}

@@ -1,0 +1,513 @@
+//! Functional interpreter: architectural execution of a [`Program`].
+//!
+//! The interpreter executes the program to completion, producing the
+//! correct-path dynamic instruction [`Trace`] that the timing core replays.
+//! This mirrors the paper's execution-driven methodology: addresses and
+//! values are real, not synthetic.
+
+use crate::asm::{Program, TEXT_BASE};
+use crate::error::IsaError;
+use crate::mem::MemImage;
+use crate::op::Op;
+use crate::reg::{Reg, NUM_REGS};
+use crate::trace::{Trace, TraceRecord};
+use std::sync::Arc;
+
+/// Architectural register file state.
+///
+/// Integer registers hold `i64` values stored as `u64`; FP registers hold
+/// IEEE-754 bit patterns (`f64` for double ops, an `f32` pattern in the low
+/// word for single ops).
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    regs: [u64; NUM_REGS],
+    /// Data memory.
+    pub mem: MemImage,
+}
+
+impl ArchState {
+    /// Creates a state with all registers zero and the given initial memory.
+    pub fn new(mem: MemImage) -> ArchState {
+        ArchState { regs: [0; NUM_REGS], mem }
+    }
+
+    /// Reads register `r` (the zero register always reads zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() { 0 } else { self.regs[r.index()] }
+    }
+
+    /// Writes register `r` (writes to the zero register are ignored).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+}
+
+/// Functional interpreter for the mds ISA.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::{Asm, Interpreter, Reg};
+///
+/// let mut a = Asm::new();
+/// let buf = a.alloc_data(8, 8);
+/// a.li(Reg::int(1), 7);
+/// a.li(Reg::int(2), buf as i64);
+/// a.sw(Reg::int(1), Reg::int(2), 0);
+/// a.lw(Reg::int(3), Reg::int(2), 0);
+/// a.halt();
+/// let prog = a.assemble()?;
+///
+/// let trace = Interpreter::new(prog).run(1_000)?;
+/// assert!(trace.completed());
+/// assert_eq!(trace.counts().loads, 1);
+/// assert_eq!(trace.counts().stores, 1);
+/// # Ok::<(), mds_isa::IsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter {
+    program: Arc<Program>,
+    state: ArchState,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over `program` with its initial data image.
+    pub fn new(program: Program) -> Interpreter {
+        let mem = program.data().clone();
+        Interpreter { program: Arc::new(program), state: ArchState::new(mem) }
+    }
+
+    /// Creates an interpreter sharing an already-wrapped program.
+    pub fn from_arc(program: Arc<Program>) -> Interpreter {
+        let mem = program.data().clone();
+        Interpreter { program, state: ArchState::new(mem) }
+    }
+
+    /// The architectural state (for inspection after [`run`](Self::run)).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Executes the program until `halt`, producing the dynamic trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsaError::StepLimit`] if `max_steps` instructions retire without
+    ///   reaching `halt`.
+    /// * [`IsaError::PcOutOfRange`] if control leaves the text segment.
+    /// * [`IsaError::BadJumpTarget`] if an indirect jump target is not a
+    ///   valid instruction address.
+    pub fn run(mut self, max_steps: u64) -> Result<Trace, IsaError> {
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut sidx: u64 = self.program.entry() as u64;
+        let program = Arc::clone(&self.program);
+        let n = program.len() as u64;
+
+        loop {
+            if records.len() as u64 >= max_steps {
+                return Err(IsaError::StepLimit { limit: max_steps });
+            }
+            if sidx >= n {
+                return Err(IsaError::PcOutOfRange { sidx });
+            }
+            let inst = *program.inst(sidx as u32);
+            if inst.op == Op::Halt {
+                records.push(TraceRecord {
+                    sidx: sidx as u32,
+                    effaddr: 0,
+                    value: 0,
+                    old_value: 0,
+                    size: 0,
+                    taken: false,
+                });
+                return Ok(Trace::new(program, records, true));
+            }
+            let (record, next) = self.step(sidx as u32, &inst)?;
+            records.push(record);
+            sidx = next;
+        }
+    }
+
+    /// Executes one instruction, returning its trace record and the next
+    /// static index.
+    fn step(&mut self, sidx: u32, inst: &crate::inst::Instruction) -> Result<(TraceRecord, u64), IsaError> {
+        let s = &mut self.state;
+        let rs = inst.rs.map(|r| s.reg(r)).unwrap_or(0);
+        let rt = inst.rt.map(|r| s.reg(r)).unwrap_or(0);
+        let imm = inst.imm;
+        let mut rec = TraceRecord { sidx, effaddr: 0, value: 0, old_value: 0, size: 0, taken: false };
+        let mut next = sidx as u64 + 1;
+
+        macro_rules! set_rd {
+            ($v:expr) => {
+                if let Some(rd) = inst.rd {
+                    s.set_reg(rd, $v);
+                }
+            };
+        }
+
+        let f32_of = |bits: u64| f32::from_bits(bits as u32);
+        let f32_to = |v: f32| v.to_bits() as u64;
+        let f64_of = f64::from_bits;
+        let f64_to = f64::to_bits;
+
+        match inst.op {
+            // ---- integer ALU ----
+            Op::Add => set_rd!(rs.wrapping_add(rt)),
+            Op::Sub => set_rd!(rs.wrapping_sub(rt)),
+            Op::And => set_rd!(rs & rt),
+            Op::Or => set_rd!(rs | rt),
+            Op::Xor => set_rd!(rs ^ rt),
+            Op::Nor => set_rd!(!(rs | rt)),
+            Op::Sllv => set_rd!(rs.wrapping_shl(rt as u32 & 63)),
+            Op::Srlv => set_rd!(rs.wrapping_shr(rt as u32 & 63)),
+            Op::Srav => set_rd!(((rs as i64).wrapping_shr(rt as u32 & 63)) as u64),
+            Op::Slt => set_rd!(((rs as i64) < (rt as i64)) as u64),
+            Op::Sltu => set_rd!((rs < rt) as u64),
+            Op::Addi => set_rd!(rs.wrapping_add(imm as u64)),
+            Op::Andi => set_rd!(rs & imm as u64),
+            Op::Ori => set_rd!(rs | imm as u64),
+            Op::Xori => set_rd!(rs ^ imm as u64),
+            Op::Slti => set_rd!(((rs as i64) < imm) as u64),
+            Op::Sltiu => set_rd!((rs < imm as u64) as u64),
+            Op::Sll => set_rd!(rs.wrapping_shl(imm as u32 & 63)),
+            Op::Srl => set_rd!(rs.wrapping_shr(imm as u32 & 63)),
+            Op::Sra => set_rd!(((rs as i64).wrapping_shr(imm as u32 & 63)) as u64),
+            Op::Lui => set_rd!((imm as u64) << 16),
+
+            // ---- multiply / divide ----
+            Op::Mult => {
+                let prod = (rs as i64 as i128).wrapping_mul(rt as i64 as i128);
+                s.set_reg(Reg::LO, prod as u64);
+                s.set_reg(Reg::HI, (prod >> 64) as u64);
+            }
+            Op::Multu => {
+                let prod = (rs as u128).wrapping_mul(rt as u128);
+                s.set_reg(Reg::LO, prod as u64);
+                s.set_reg(Reg::HI, (prod >> 64) as u64);
+            }
+            Op::Div => {
+                // Division by zero is architecturally undefined on MIPS; we
+                // deterministically produce zero.
+                let (q, r) = if rt == 0 {
+                    (0, 0)
+                } else {
+                    ((rs as i64).wrapping_div(rt as i64), (rs as i64).wrapping_rem(rt as i64))
+                };
+                s.set_reg(Reg::LO, q as u64);
+                s.set_reg(Reg::HI, r as u64);
+            }
+            Op::Divu => {
+                let (q, r) = (rs.checked_div(rt).unwrap_or(0), rs.checked_rem(rt).unwrap_or(0));
+                s.set_reg(Reg::LO, q);
+                s.set_reg(Reg::HI, r);
+            }
+            Op::Mfhi => set_rd!(s.reg(Reg::HI)),
+            Op::Mflo => set_rd!(s.reg(Reg::LO)),
+
+            // ---- loads ----
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Lwc1 | Op::Ldc1 => {
+                let addr = rs.wrapping_add(imm as u64);
+                let size = inst.mem_width().expect("load has width").bytes() as u8;
+                let raw = s.mem.read(addr, size);
+                let v = match inst.op {
+                    Op::Lb => raw as u8 as i8 as i64 as u64,
+                    Op::Lh => raw as u16 as i16 as i64 as u64,
+                    Op::Lw => raw as u32 as i32 as i64 as u64,
+                    _ => raw, // Lbu, Lhu, Lwc1, Ldc1: zero-extended / raw bits
+                };
+                set_rd!(v);
+                rec.effaddr = addr;
+                rec.size = size;
+                rec.value = raw;
+            }
+
+            // ---- stores ----
+            Op::Sb | Op::Sh | Op::Sw | Op::Swc1 | Op::Sdc1 => {
+                let addr = rs.wrapping_add(imm as u64);
+                let size = inst.mem_width().expect("store has width").bytes() as u8;
+                let old = s.mem.read(addr, size);
+                let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+                let v = rt & mask;
+                s.mem.write(addr, size, v);
+                rec.effaddr = addr;
+                rec.size = size;
+                rec.value = v;
+                rec.old_value = old;
+            }
+
+            // ---- floating point ----
+            Op::AddS => set_rd!(f32_to(f32_of(rs) + f32_of(rt))),
+            Op::SubS => set_rd!(f32_to(f32_of(rs) - f32_of(rt))),
+            Op::MulS => set_rd!(f32_to(f32_of(rs) * f32_of(rt))),
+            Op::DivS => set_rd!(f32_to(if f32_of(rt) == 0.0 { 0.0 } else { f32_of(rs) / f32_of(rt) })),
+            Op::AddD => set_rd!(f64_to(f64_of(rs) + f64_of(rt))),
+            Op::SubD => set_rd!(f64_to(f64_of(rs) - f64_of(rt))),
+            Op::MulD => set_rd!(f64_to(f64_of(rs) * f64_of(rt))),
+            Op::DivD => set_rd!(f64_to(if f64_of(rt) == 0.0 { 0.0 } else { f64_of(rs) / f64_of(rt) })),
+            Op::CLtD => s.set_reg(Reg::FSR, (f64_of(rs) < f64_of(rt)) as u64),
+            Op::CEqD => s.set_reg(Reg::FSR, (f64_of(rs) == f64_of(rt)) as u64),
+            Op::CvtDW => set_rd!(f64_to(rs as u32 as i32 as f64)),
+            Op::CvtWD => set_rd!(f64_of(rs) as i64 as i32 as u32 as u64),
+            Op::MovD => set_rd!(rs),
+            Op::NegD => set_rd!(f64_to(-f64_of(rs))),
+            Op::AbsD => set_rd!(f64_to(f64_of(rs).abs())),
+
+            // ---- branches ----
+            Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez | Op::Bc1t | Op::Bc1f => {
+                let taken = match inst.op {
+                    Op::Beq => rs == rt,
+                    Op::Bne => rs != rt,
+                    Op::Blez => (rs as i64) <= 0,
+                    Op::Bgtz => (rs as i64) > 0,
+                    Op::Bltz => (rs as i64) < 0,
+                    Op::Bgez => (rs as i64) >= 0,
+                    Op::Bc1t => s.reg(Reg::FSR) != 0,
+                    Op::Bc1f => s.reg(Reg::FSR) == 0,
+                    _ => unreachable!(),
+                };
+                rec.taken = taken;
+                if taken {
+                    next = inst.target.expect("branch has target") as u64;
+                }
+            }
+
+            // ---- jumps ----
+            Op::J => {
+                rec.taken = true;
+                next = inst.target.expect("jump has target") as u64;
+            }
+            Op::Jal => {
+                rec.taken = true;
+                s.set_reg(Reg::RA, self.program.pc_of(sidx + 1));
+                next = inst.target.expect("jump has target") as u64;
+            }
+            Op::Jr | Op::Jalr => {
+                rec.taken = true;
+                let target_pc = rs;
+                if target_pc < TEXT_BASE || !(target_pc - TEXT_BASE).is_multiple_of(4) {
+                    return Err(IsaError::BadJumpTarget { value: target_pc });
+                }
+                if inst.op == Op::Jalr {
+                    s.set_reg(Reg::RA, self.program.pc_of(sidx + 1));
+                }
+                next = (target_pc - TEXT_BASE) / 4;
+            }
+
+            Op::Nop => {}
+            Op::Halt => unreachable!("halt handled by run loop"),
+        }
+
+        Ok((rec, next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    fn run(a: Asm) -> Trace {
+        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut a = Asm::new();
+        let out = a.alloc_data(8, 8);
+        a.li(r(1), 10);
+        a.li(r(2), 3);
+        a.sub(r(3), r(1), r(2));
+        a.mult(r(3), r(2));
+        a.mflo(r(4));
+        a.li(r(5), out as i64);
+        a.sw(r(4), r(5), 0);
+        a.halt();
+        let t = run(a);
+        let store = t
+            .records()
+            .iter()
+            .find(|rec| t.program().inst(rec.sidx).op.is_store())
+            .unwrap();
+        assert_eq!(store.value, 21);
+        assert_eq!(store.effaddr, out);
+    }
+
+    #[test]
+    fn store_records_old_value() {
+        let mut a = Asm::new();
+        let addr = a.alloc_data(4, 4);
+        a.init_u32(addr, 0x55);
+        a.li(r(1), addr as i64);
+        a.li(r(2), 0x77);
+        a.sw(r(2), r(1), 0);
+        a.halt();
+        let t = run(a);
+        let store = t
+            .records()
+            .iter()
+            .find(|rec| t.program().inst(rec.sidx).op.is_store())
+            .unwrap();
+        assert_eq!(store.old_value, 0x55);
+        assert_eq!(store.value, 0x77);
+    }
+
+    #[test]
+    fn sign_extension_of_narrow_loads() {
+        // Load a byte whose top bit is set, sign- and zero-extended, then
+        // store both results so the trace exposes the register values.
+        let mut a = Asm::new();
+        let addr = a.alloc_data(16, 8);
+        a.init_u32(addr, 0x0000_80ff);
+        a.li(r(1), addr as i64);
+        a.lb(r(2), r(1), 0); // 0xff -> -1 (sign-extended)
+        a.lbu(r(3), r(1), 0); // 0xff -> 255 (zero-extended)
+        a.sw(r(2), r(1), 8);
+        a.sw(r(3), r(1), 12);
+        a.halt();
+        let t = run(a);
+        let stores: Vec<_> = t
+            .records()
+            .iter()
+            .filter(|rec| t.program().inst(rec.sidx).op.is_store())
+            .collect();
+        assert_eq!(stores[0].value, 0xffff_ffff); // -1 masked to 32 bits
+        assert_eq!(stores[1].value, 0xff);
+        let load = t
+            .records()
+            .iter()
+            .find(|rec| t.program().inst(rec.sidx).op.is_load())
+            .unwrap();
+        assert_eq!(load.value, 0xff); // raw (unextended) memory value
+        assert_eq!(load.size, 1);
+    }
+
+    #[test]
+    fn loop_iterates_correct_number_of_times() {
+        let mut a = Asm::new();
+        a.li(r(1), 5);
+        let top = a.label();
+        a.bind(top);
+        a.addi(r(1), r(1), -1);
+        a.bgtz(r(1), top);
+        a.halt();
+        let t = run(a);
+        // li + 5*(addi+bgtz) + halt = 12
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.counts().branches, 5);
+        assert_eq!(t.counts().taken_branches, 4);
+        assert!(t.completed());
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        let func = a.label();
+        let done = a.label();
+        a.jal(func); // 0
+        a.j(done); // 1
+        a.bind(func);
+        a.addi(r(9), r(9), 1); // 2
+        a.jr(Reg::RA); // 3
+        a.bind(done);
+        a.halt(); // 4
+        let t = run(a);
+        let order: Vec<u32> = t.records().iter().map(|rec| rec.sidx).collect();
+        assert_eq!(order, vec![0, 2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn fp_double_arithmetic() {
+        let mut a = Asm::new();
+        let x = a.alloc_data(8, 8);
+        let y = a.alloc_data(8, 8);
+        a.init_f64(x, 1.5);
+        a.init_f64(y, 2.25);
+        a.li(r(1), x as i64);
+        a.li(r(2), y as i64);
+        a.ldc1(Reg::fp(0), r(1), 0);
+        a.ldc1(Reg::fp(1), r(2), 0);
+        a.add_d(Reg::fp(2), Reg::fp(0), Reg::fp(1));
+        a.sdc1(Reg::fp(2), r(1), 0);
+        a.halt();
+        let t = run(a);
+        let store = t
+            .records()
+            .iter()
+            .find(|rec| t.program().inst(rec.sidx).op.is_store())
+            .unwrap();
+        assert_eq!(f64::from_bits(store.value), 3.75);
+    }
+
+    #[test]
+    fn fp_compare_and_branch() {
+        let mut a = Asm::new();
+        let x = a.alloc_data(8, 8);
+        a.init_f64(x, 1.0);
+        a.li(r(1), x as i64);
+        a.ldc1(Reg::fp(0), r(1), 0);
+        a.ldc1(Reg::fp(1), r(1), 0);
+        let eq = a.label();
+        a.c_eq_d(Reg::fp(0), Reg::fp(1));
+        a.bc1t(eq);
+        a.li(r(9), 111); // skipped
+        a.bind(eq);
+        a.halt();
+        let t = run(a);
+        let sidxs: Vec<u32> = t.records().iter().map(|rec| rec.sidx).collect();
+        assert!(!sidxs.contains(&5), "fall-through instruction must be skipped");
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.j(top); // infinite loop
+        let p = a.assemble().unwrap();
+        let err = Interpreter::new(p).run(100).unwrap_err();
+        assert_eq!(err, IsaError::StepLimit { limit: 100 });
+    }
+
+    #[test]
+    fn bad_indirect_jump_is_reported() {
+        let mut a = Asm::new();
+        a.li(r(1), 3); // not a valid text address
+        a.jr(r(1));
+        let p = a.assemble().unwrap();
+        let err = Interpreter::new(p).run(100).unwrap_err();
+        assert!(matches!(err, IsaError::BadJumpTarget { .. }));
+    }
+
+    #[test]
+    fn zero_register_stays_zero() {
+        let mut a = Asm::new();
+        a.li(Reg::ZERO, 99);
+        a.add(r(1), Reg::ZERO, Reg::ZERO);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let interp = Interpreter::new(p);
+        let t = interp.run(100).unwrap();
+        assert!(t.completed());
+    }
+
+    #[test]
+    fn division_by_zero_is_deterministic_zero() {
+        let mut a = Asm::new();
+        a.li(r(1), 7);
+        a.div(r(1), Reg::ZERO);
+        a.mflo(r(2));
+        a.mfhi(r(3));
+        a.halt();
+        let t = run(a);
+        assert!(t.completed());
+    }
+}

@@ -1,0 +1,330 @@
+//! Opcodes of the MIPS-like instruction set.
+
+use std::fmt;
+
+/// Width in bytes of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    Byte,
+    /// Two bytes (halfword).
+    Half,
+    /// Four bytes (word).
+    Word,
+    /// Eight bytes (doubleword; used by FP double loads/stores).
+    Double,
+}
+
+impl FuClass {
+    /// Whether this class is a floating-point arithmetic class.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            FuClass::FpAdd | FuClass::FpMulS | FuClass::FpMulD | FuClass::FpDivS | FuClass::FpDivD
+        )
+    }
+}
+
+impl MemWidth {
+    /// Size of the access in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        }
+    }
+}
+
+/// Coarse functional-unit class an operation executes on.
+///
+/// The timing core maps each class to a pool of functional units with the
+/// latencies of Table 2 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (4 cycles).
+    IntMul,
+    /// Integer divide (12 cycles).
+    IntDiv,
+    /// FP add/subtract/compare/convert/move (2 cycles).
+    FpAdd,
+    /// FP single-precision multiply (4 cycles).
+    FpMulS,
+    /// FP double-precision multiply (5 cycles).
+    FpMulD,
+    /// FP single-precision divide (12 cycles).
+    FpDivS,
+    /// FP double-precision divide (15 cycles).
+    FpDivD,
+    /// Memory operation (address generation + cache access).
+    Mem,
+    /// Control transfer (branch/jump), resolved in one cycle.
+    Branch,
+    /// No functional unit needed (e.g. `Nop`, `Halt`).
+    None,
+}
+
+/// An operation of the MIPS-like ISA.
+///
+/// The set mirrors the MIPS-I core used by the paper's SPEC'95 binaries:
+/// integer ALU (register and immediate forms), multiply/divide through
+/// `HI`/`LO`, byte/half/word loads and stores, single/double FP arithmetic
+/// with FP loads/stores, and the usual branches and jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names follow MIPS mnemonics
+pub enum Op {
+    // Integer ALU, register forms.
+    Add, Sub, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu,
+    // Integer ALU, immediate forms.
+    Addi, Andi, Ori, Xori, Slti, Sltiu, Sll, Srl, Sra, Lui,
+    // Multiply / divide (results in HI/LO).
+    Mult, Multu, Div, Divu, Mfhi, Mflo,
+    // Integer loads.
+    Lb, Lbu, Lh, Lhu, Lw,
+    // Integer stores.
+    Sb, Sh, Sw,
+    // FP loads / stores.
+    Lwc1, Swc1, Ldc1, Sdc1,
+    // FP arithmetic (single / double precision).
+    AddS, SubS, MulS, DivS,
+    AddD, SubD, MulD, DivD,
+    // FP compare (sets FSR), convert, move, negate, absolute value.
+    CLtD, CEqD, CvtDW, CvtWD, MovD, NegD, AbsD,
+    // Branches.
+    Beq, Bne, Blez, Bgtz, Bltz, Bgez, Bc1t, Bc1f,
+    // Jumps.
+    J, Jal, Jr, Jalr,
+    // Misc.
+    Nop, Halt,
+}
+
+impl Op {
+    /// Whether this operation is a load from memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Op::Lb | Op::Lbu | Op::Lh | Op::Lhu | Op::Lw | Op::Lwc1 | Op::Ldc1
+        )
+    }
+
+    /// Whether this operation is a store to memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Sb | Op::Sh | Op::Sw | Op::Swc1 | Op::Sdc1)
+    }
+
+    /// Whether this operation accesses memory (load or store).
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this operation is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blez | Op::Bgtz | Op::Bltz | Op::Bgez | Op::Bc1t | Op::Bc1f
+        )
+    }
+
+    /// Whether this operation is an unconditional jump.
+    #[inline]
+    pub fn is_jump(self) -> bool {
+        matches!(self, Op::J | Op::Jal | Op::Jr | Op::Jalr)
+    }
+
+    /// Whether this operation changes control flow (branch or jump).
+    #[inline]
+    pub fn is_ctrl(self) -> bool {
+        self.is_cond_branch() || self.is_jump()
+    }
+
+    /// Whether this is a call (writes a return address).
+    #[inline]
+    pub fn is_call(self) -> bool {
+        matches!(self, Op::Jal | Op::Jalr)
+    }
+
+    /// Whether this is a register-indirect jump (target not in the encoding).
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Op::Jr | Op::Jalr)
+    }
+
+    /// Memory access width, for loads and stores.
+    #[inline]
+    pub fn mem_width(self) -> Option<MemWidth> {
+        Some(match self {
+            Op::Lb | Op::Lbu | Op::Sb => MemWidth::Byte,
+            Op::Lh | Op::Lhu | Op::Sh => MemWidth::Half,
+            Op::Lw | Op::Sw | Op::Lwc1 | Op::Swc1 => MemWidth::Word,
+            Op::Ldc1 | Op::Sdc1 => MemWidth::Double,
+            _ => return None,
+        })
+    }
+
+    /// The functional-unit class this operation executes on.
+    pub fn fu_class(self) -> FuClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Nor | Sllv | Srlv | Srav | Slt | Sltu | Addi | Andi
+            | Ori | Xori | Slti | Sltiu | Sll | Srl | Sra | Lui | Mfhi | Mflo => FuClass::IntAlu,
+            Mult | Multu => FuClass::IntMul,
+            Div | Divu => FuClass::IntDiv,
+            AddS | SubS | AddD | SubD | CLtD | CEqD | CvtDW | CvtWD | MovD | NegD | AbsD => {
+                FuClass::FpAdd
+            }
+            MulS => FuClass::FpMulS,
+            MulD => FuClass::FpMulD,
+            DivS => FuClass::FpDivS,
+            DivD => FuClass::FpDivD,
+            Lb | Lbu | Lh | Lhu | Lw | Sb | Sh | Sw | Lwc1 | Swc1 | Ldc1 | Sdc1 => FuClass::Mem,
+            Beq | Bne | Blez | Bgtz | Bltz | Bgez | Bc1t | Bc1f | J | Jal | Jr | Jalr => {
+                FuClass::Branch
+            }
+            Nop | Halt => FuClass::None,
+        }
+    }
+
+    /// Execution latency in cycles (Table 2 of the paper).
+    ///
+    /// Memory operations return the 1-cycle address-generation latency; the
+    /// cache access latency is added by the memory system model.
+    pub fn latency(self) -> u64 {
+        match self.fu_class() {
+            FuClass::IntAlu | FuClass::Branch => 1,
+            FuClass::IntMul => 4,
+            FuClass::IntDiv => 12,
+            FuClass::FpAdd => 2,
+            FuClass::FpMulS => 4,
+            FuClass::FpMulD => 5,
+            FuClass::FpDivS => 12,
+            FuClass::FpDivD => 15,
+            FuClass::Mem => 1,
+            FuClass::None => 1,
+        }
+    }
+
+    /// Whether the destination of this load is a floating-point register.
+    #[inline]
+    pub fn is_fp_mem(self) -> bool {
+        matches!(self, Op::Lwc1 | Op::Swc1 | Op::Ldc1 | Op::Sdc1)
+    }
+
+    /// The assembler mnemonic accepted by
+    /// [`parse_program`](crate::parse_program), e.g. `add.d` for
+    /// [`Op::AddD`].
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add", Sub => "sub", And => "and", Or => "or", Xor => "xor", Nor => "nor",
+            Sllv => "sllv", Srlv => "srlv", Srav => "srav", Slt => "slt", Sltu => "sltu",
+            Addi => "addi", Andi => "andi", Ori => "ori", Xori => "xori", Slti => "slti",
+            Sltiu => "sltiu", Sll => "sll", Srl => "srl", Sra => "sra", Lui => "lui",
+            Mult => "mult", Multu => "multu", Div => "div", Divu => "divu",
+            Mfhi => "mfhi", Mflo => "mflo",
+            Lb => "lb", Lbu => "lbu", Lh => "lh", Lhu => "lhu", Lw => "lw",
+            Sb => "sb", Sh => "sh", Sw => "sw",
+            Lwc1 => "lwc1", Swc1 => "swc1", Ldc1 => "ldc1", Sdc1 => "sdc1",
+            AddS => "add.s", SubS => "sub.s", MulS => "mul.s", DivS => "div.s",
+            AddD => "add.d", SubD => "sub.d", MulD => "mul.d", DivD => "div.d",
+            CLtD => "c.lt.d", CEqD => "c.eq.d", CvtDW => "cvt.d.w", CvtWD => "cvt.w.d",
+            MovD => "mov.d", NegD => "neg.d", AbsD => "abs.d",
+            Beq => "beq", Bne => "bne", Blez => "blez", Bgtz => "bgtz",
+            Bltz => "bltz", Bgez => "bgez", Bc1t => "bc1t", Bc1f => "bc1f",
+            J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
+            Nop => "nop", Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:?}").to_lowercase();
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_OPS: &[Op] = &[
+        Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Nor, Op::Sllv, Op::Srlv, Op::Srav,
+        Op::Slt, Op::Sltu, Op::Addi, Op::Andi, Op::Ori, Op::Xori, Op::Slti, Op::Sltiu, Op::Sll,
+        Op::Srl, Op::Sra, Op::Lui, Op::Mult, Op::Multu, Op::Div, Op::Divu, Op::Mfhi, Op::Mflo,
+        Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw, Op::Sb, Op::Sh, Op::Sw, Op::Lwc1, Op::Swc1,
+        Op::Ldc1, Op::Sdc1, Op::AddS, Op::SubS, Op::MulS, Op::DivS, Op::AddD, Op::SubD,
+        Op::MulD, Op::DivD, Op::CLtD, Op::CEqD, Op::CvtDW, Op::CvtWD, Op::MovD, Op::NegD,
+        Op::AbsD, Op::Beq, Op::Bne, Op::Blez, Op::Bgtz, Op::Bltz, Op::Bgez, Op::Bc1t, Op::Bc1f,
+        Op::J, Op::Jal, Op::Jr, Op::Jalr, Op::Nop, Op::Halt,
+    ];
+
+    #[test]
+    fn loads_and_stores_are_disjoint() {
+        for &op in ALL_OPS {
+            assert!(!(op.is_load() && op.is_store()), "{op} both load and store");
+            assert_eq!(op.is_mem(), op.is_load() || op.is_store());
+        }
+    }
+
+    #[test]
+    fn mem_ops_have_width_and_mem_class() {
+        for &op in ALL_OPS {
+            if op.is_mem() {
+                assert!(op.mem_width().is_some(), "{op} lacks a width");
+                assert_eq!(op.fu_class(), FuClass::Mem);
+            } else {
+                assert!(op.mem_width().is_none(), "{op} has a spurious width");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_latencies() {
+        assert_eq!(Op::Add.latency(), 1);
+        assert_eq!(Op::Mult.latency(), 4);
+        assert_eq!(Op::Div.latency(), 12);
+        assert_eq!(Op::AddD.latency(), 2);
+        assert_eq!(Op::MulS.latency(), 4);
+        assert_eq!(Op::MulD.latency(), 5);
+        assert_eq!(Op::DivS.latency(), 12);
+        assert_eq!(Op::DivD.latency(), 15);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Op::Beq.is_cond_branch());
+        assert!(!Op::Beq.is_jump());
+        assert!(Op::J.is_jump());
+        assert!(Op::Jal.is_call());
+        assert!(Op::Jalr.is_call());
+        assert!(Op::Jr.is_indirect());
+        assert!(!Op::Add.is_ctrl());
+        for &op in ALL_OPS {
+            assert!(!(op.is_cond_branch() && op.is_jump()));
+        }
+    }
+
+    #[test]
+    fn widths_in_bytes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+        assert_eq!(MemWidth::Double.bytes(), 8);
+        assert_eq!(Op::Ldc1.mem_width(), Some(MemWidth::Double));
+        assert_eq!(Op::Lw.mem_width(), Some(MemWidth::Word));
+    }
+
+    #[test]
+    fn display_is_lowercase_mnemonic() {
+        assert_eq!(Op::Add.to_string(), "add");
+        assert_eq!(Op::Lwc1.to_string(), "lwc1");
+    }
+}

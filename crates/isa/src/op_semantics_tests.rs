@@ -1,0 +1,289 @@
+//! Exhaustive semantic tests for individual operations, exercised
+//! through the interpreter and observed through store trace records.
+
+#![cfg(test)]
+
+use crate::{Asm, Interpreter, Reg, Trace};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// Runs `build` with an output buffer base in `r30`, returning the store
+/// records' values in emission order.
+fn run_and_stores(build: impl FnOnce(&mut Asm, Reg)) -> Vec<u64> {
+    let mut a = Asm::new();
+    let out = a.alloc_data(256, 8);
+    let base = r(30);
+    a.li(base, out as i64);
+    build(&mut a, base);
+    a.halt();
+    let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+    assert!(t.completed());
+    stores_of(&t)
+}
+
+fn stores_of(t: &Trace) -> Vec<u64> {
+    t.records()
+        .iter()
+        .filter(|rec| t.program().inst(rec.sidx).op.is_store())
+        .map(|rec| rec.value)
+        .collect()
+}
+
+#[test]
+fn shift_immediates() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 0x8000_0001u32 as i64);
+        a.sll(r(2), r(1), 4);
+        a.srl(r(3), r(1), 4);
+        a.sra(r(4), r(1), 4);
+        a.sw(r(2), base, 0);
+        a.sw(r(3), base, 4);
+        a.sw(r(4), base, 8);
+    });
+    // r1 = 0x0000_0000_8000_0001 (the u32 constant is positive as i64).
+    assert_eq!(v[0], 0x0000_0010); // low 32 bits of << 4
+    assert_eq!(v[1], 0x0800_0000); // 64-bit logical shift right, low 32
+    assert_eq!(v[2], 0x0800_0000); // arithmetic shift of a positive value
+}
+
+#[test]
+fn variable_shifts() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 1);
+        a.li(r(2), 12);
+        a.sllv(r(3), r(1), r(2));
+        a.srlv(r(4), r(3), r(2));
+        a.sw(r(3), base, 0);
+        a.sw(r(4), base, 4);
+    });
+    assert_eq!(v[0], 1 << 12);
+    assert_eq!(v[1], 1);
+}
+
+#[test]
+fn set_less_than_signed_and_unsigned() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), -1);
+        a.li(r(2), 1);
+        a.slt(r(3), r(1), r(2)); // -1 < 1 -> 1
+        a.sltu(r(4), r(1), r(2)); // 0xffff.. < 1 -> 0
+        a.slti(r(5), r(1), 0); // -1 < 0 -> 1
+        a.sltiu(r(6), r(2), 2); // 1 < 2 -> 1
+        a.sw(r(3), base, 0);
+        a.sw(r(4), base, 4);
+        a.sw(r(5), base, 8);
+        a.sw(r(6), base, 12);
+    });
+    assert_eq!(v, vec![1, 0, 1, 1]);
+}
+
+#[test]
+fn logic_immediates() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 0b1100);
+        a.andi(r(2), r(1), 0b1010);
+        a.ori(r(3), r(1), 0b0011);
+        a.xori(r(4), r(1), 0b1111);
+        a.nor(r(5), r(1), r(1));
+        a.sw(r(2), base, 0);
+        a.sw(r(3), base, 4);
+        a.sw(r(4), base, 8);
+        a.sw(r(5), base, 12);
+    });
+    assert_eq!(v[0], 0b1000);
+    assert_eq!(v[1], 0b1111);
+    assert_eq!(v[2], 0b0011);
+    assert_eq!(v[3] & 0xffff_ffff, !0b1100u32 as u64);
+}
+
+#[test]
+fn lui_places_upper_bits() {
+    let v = run_and_stores(|a, base| {
+        a.lui(r(1), 0x1234);
+        a.sw(r(1), base, 0);
+    });
+    assert_eq!(v[0], 0x1234_0000);
+}
+
+#[test]
+fn unsigned_multiply_and_divide() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), -2); // 0xfffff...fe
+        a.li(r(2), 3);
+        a.multu(r(1), r(2));
+        a.mflo(r(3)); // low 64 bits of huge product
+        a.divu(r(1), r(2));
+        a.mflo(r(4));
+        a.mfhi(r(5));
+        a.sw(r(3), base, 0);
+        a.sw(r(4), base, 4);
+        a.sw(r(5), base, 8);
+    });
+    let big = (-2i64) as u64;
+    assert_eq!(v[0], big.wrapping_mul(3) & 0xffff_ffff);
+    assert_eq!(v[1], (big / 3) & 0xffff_ffff);
+    assert_eq!(v[2], (big % 3) & 0xffff_ffff);
+}
+
+#[test]
+fn signed_divide_quotient_and_remainder() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), -7);
+        a.li(r(2), 2);
+        a.div(r(1), r(2));
+        a.mflo(r(3)); // -3
+        a.mfhi(r(4)); // -1
+        a.sw(r(3), base, 0);
+        a.sw(r(4), base, 4);
+    });
+    assert_eq!(v[0], (-3i32) as u32 as u64);
+    assert_eq!(v[1], (-1i32) as u32 as u64);
+}
+
+#[test]
+fn halfword_and_byte_stores_mask() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 0x1_2345_6789);
+        a.sb(r(1), base, 0);
+        a.sh(r(1), base, 8);
+    });
+    assert_eq!(v[0], 0x89);
+    assert_eq!(v[1], 0x6789);
+}
+
+#[test]
+fn halfword_loads_extend_correctly() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 0xFFFE);
+        a.sh(r(1), base, 32);
+        a.lh(r(2), base, 32); // sign-extend: -2
+        a.lhu(r(3), base, 32); // zero-extend: 0xfffe
+        a.sw(r(2), base, 0);
+        a.sw(r(3), base, 4);
+    });
+    assert_eq!(v[1], 0xffff_fffe); // -2 masked to 32 bits
+    assert_eq!(v[2], 0xfffe);
+}
+
+#[test]
+fn single_precision_fp_roundtrip() {
+    let v = run_and_stores(|a, base| {
+        // Build 2.5f32 in memory, load with lwc1, add, store with swc1.
+        let bits = 2.5f32.to_bits();
+        a.li(r(1), bits as i64);
+        a.sw(r(1), base, 64);
+        a.lwc1(Reg::fp(0), base, 64);
+        a.add_s(Reg::fp(1), Reg::fp(0), Reg::fp(0));
+        a.swc1(Reg::fp(1), base, 0);
+    });
+    assert_eq!(f32::from_bits(v.last().copied().unwrap() as u32), 5.0);
+}
+
+#[test]
+fn double_negate_abs() {
+    let mut a = Asm::new();
+    let out = a.alloc_data(64, 8);
+    let data = a.alloc_data(8, 8);
+    a.init_f64(data, 3.5);
+    let base = r(30);
+    a.li(base, out as i64);
+    a.li(r(1), data as i64);
+    a.ldc1(Reg::fp(0), r(1), 0);
+    a.neg_d(Reg::fp(1), Reg::fp(0));
+    a.abs_d(Reg::fp(2), Reg::fp(1));
+    a.sdc1(Reg::fp(1), base, 0);
+    a.sdc1(Reg::fp(2), base, 8);
+    a.halt();
+    let t = Interpreter::new(a.assemble().unwrap()).run(1000).unwrap();
+    let v = stores_of(&t);
+    assert_eq!(f64::from_bits(v[0]), -3.5);
+    assert_eq!(f64::from_bits(v[1]), 3.5);
+}
+
+#[test]
+fn convert_word_to_double_and_back() {
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), 42);
+        a.sw(r(1), base, 64);
+        a.lwc1(Reg::fp(0), base, 64); // raw bits 42 in the register
+        a.cvt_d_w(Reg::fp(1), Reg::fp(0)); // 42.0
+        a.cvt_w_d(Reg::fp(2), Reg::fp(1)); // back to integer bits
+        a.sdc1(Reg::fp(1), base, 0);
+        a.swc1(Reg::fp(2), base, 8);
+    });
+    assert_eq!(f64::from_bits(v[1]), 42.0);
+    assert_eq!(v[2], 42);
+}
+
+#[test]
+fn branch_directions() {
+    // Each branch either skips a marker store or not; collect markers.
+    let v = run_and_stores(|a, base| {
+        a.li(r(1), -5);
+        a.li(r(2), 5);
+        let l1 = a.label();
+        a.bltz(r(1), l1); // taken
+        a.sw(r(2), base, 0); // skipped
+        a.bind(l1);
+        let l2 = a.label();
+        a.bgez(r(1), l2); // not taken
+        a.sw(r(2), base, 4); // executed
+        a.bind(l2);
+        let l3 = a.label();
+        a.blez(r(1), l3); // taken
+        a.sw(r(2), base, 8); // skipped
+        a.bind(l3);
+        let l4 = a.label();
+        a.bgtz(r(2), l4); // taken
+        a.sw(r(2), base, 12); // skipped
+        a.bind(l4);
+    });
+    assert_eq!(v.len(), 1, "only the bgez fall-through store executes");
+}
+
+#[test]
+fn nested_calls_via_jalr() {
+    let mut a = Asm::new();
+    let out = a.alloc_data(16, 8);
+    let base = r(30);
+    a.li(base, out as i64);
+    let f = a.label();
+    let done = a.label();
+    // main: r9 = &f; jalr r9; store marker; done
+    a.jal(f); // direct call first
+    a.addi(r(8), r(8), 100);
+    a.sw(r(8), base, 0);
+    a.j(done);
+    a.bind(f);
+    a.addi(r(8), r(8), 1);
+    a.jr(Reg::RA);
+    a.bind(done);
+    a.halt();
+    let t = Interpreter::new(a.assemble().unwrap()).run(1000).unwrap();
+    let v = stores_of(&t);
+    assert_eq!(v[0], 101);
+}
+
+#[test]
+fn trace_counts_classify_all_categories() {
+    let mut a = Asm::new();
+    let out = a.alloc_data(64, 8);
+    a.li(r(30), out as i64);
+    a.li(r(1), 2);
+    let top = a.label();
+    a.bind(top);
+    a.sw(r(1), r(30), 0);
+    a.lw(r(2), r(30), 0);
+    a.addi(r(1), r(1), -1);
+    a.bgtz(r(1), top);
+    a.halt();
+    let t = Interpreter::new(a.assemble().unwrap()).run(1000).unwrap();
+    let c = t.counts();
+    assert_eq!(c.loads, 2);
+    assert_eq!(c.stores, 2);
+    assert_eq!(c.branches, 2);
+    assert_eq!(c.taken_branches, 1);
+    assert_eq!(c.total, t.len() as u64);
+}

@@ -1,0 +1,184 @@
+//! Architectural register identifiers.
+//!
+//! The register file mirrors the paper's MIPS-I target: 32 integer
+//! registers, 32 floating-point registers, plus the `HI`, `LO` and `FSR`
+//! special registers (Table 2 of the paper lists exactly this set).
+//! Register `R0` is hard-wired to zero, as on MIPS.
+
+use std::fmt;
+
+/// Number of integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+/// Total number of architectural registers (int + fp + `HI`/`LO`/`FSR`).
+pub const NUM_REGS: usize = NUM_INT_REGS + NUM_FP_REGS + 3;
+
+/// An architectural register.
+///
+/// Registers are identified by a flat index: `0..32` are the integer
+/// registers `R0..R31`, `32..64` the floating-point registers `F0..F31`,
+/// and `64`, `65`, `66` are `HI`, `LO` and `FSR` respectively.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::Reg;
+///
+/// let r = Reg::int(4);
+/// assert!(r.is_int());
+/// assert_eq!(r.to_string(), "r4");
+/// assert_eq!(Reg::fp(2).to_string(), "f2");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `R0`.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional return-address register `R31`.
+    pub const RA: Reg = Reg(31);
+    /// The conventional stack-pointer register `R29`.
+    pub const SP: Reg = Reg(29);
+    /// The `HI` multiply/divide result register.
+    pub const HI: Reg = Reg((NUM_INT_REGS + NUM_FP_REGS) as u8);
+    /// The `LO` multiply/divide result register.
+    pub const LO: Reg = Reg((NUM_INT_REGS + NUM_FP_REGS) as u8 + 1);
+    /// The floating-point status register (holds FP compare results).
+    pub const FSR: Reg = Reg((NUM_INT_REGS + NUM_FP_REGS) as u8 + 2);
+
+    /// Creates the integer register `R<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn int(n: u8) -> Reg {
+        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// Creates the floating-point register `F<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub fn fp(n: u8) -> Reg {
+        assert!((n as usize) < NUM_FP_REGS, "fp register out of range: {n}");
+        Reg(n + NUM_INT_REGS as u8)
+    }
+
+    /// The flat index of this register in `0..NUM_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a register from its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[inline]
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index out of range: {index}");
+        Reg(index as u8)
+    }
+
+    /// Whether this is an integer register (`R0..R31`).
+    #[inline]
+    pub fn is_int(self) -> bool {
+        (self.0 as usize) < NUM_INT_REGS
+    }
+
+    /// Whether this is a floating-point register (`F0..F31`).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        let i = self.0 as usize;
+        (NUM_INT_REGS..NUM_INT_REGS + NUM_FP_REGS).contains(&i)
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else if self.is_fp() {
+            write!(f, "f{}", self.0 as usize - NUM_INT_REGS)
+        } else if *self == Reg::HI {
+            write!(f, "hi")
+        } else if *self == Reg::LO {
+            write!(f, "lo")
+        } else {
+            write!(f, "fsr")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_ranges_do_not_overlap() {
+        for n in 0..32u8 {
+            assert!(Reg::int(n).is_int());
+            assert!(!Reg::int(n).is_fp());
+            assert!(Reg::fp(n).is_fp());
+            assert!(!Reg::fp(n).is_int());
+        }
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::int(1).is_zero());
+        assert_eq!(Reg::ZERO, Reg::int(0));
+    }
+
+    #[test]
+    fn special_registers_are_neither_int_nor_fp() {
+        for r in [Reg::HI, Reg::LO, Reg::FSR] {
+            assert!(!r.is_int());
+            assert!(!r.is_fp());
+        }
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::int(31).to_string(), "r31");
+        assert_eq!(Reg::fp(0).to_string(), "f0");
+        assert_eq!(Reg::fp(31).to_string(), "f31");
+        assert_eq!(Reg::HI.to_string(), "hi");
+        assert_eq!(Reg::LO.to_string(), "lo");
+        assert_eq!(Reg::FSR.to_string(), "fsr");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(NUM_REGS);
+    }
+}

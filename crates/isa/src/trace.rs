@@ -1,0 +1,197 @@
+//! Dynamic execution traces produced by the functional interpreter.
+
+use crate::asm::Program;
+use crate::inst::Instruction;
+use std::sync::Arc;
+
+/// One retired dynamic instruction.
+///
+/// Records the dynamic facts the timing simulator cannot derive from the
+/// static program: the effective address and value of memory operations,
+/// the value a store overwrote (used by the value-based mis-speculation
+/// filter of `AS/NAV`), and the branch outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Static index of the executed instruction.
+    pub sidx: u32,
+    /// Effective address, for loads and stores; zero otherwise.
+    pub effaddr: u64,
+    /// Value loaded (for loads) or stored (for stores), masked to the
+    /// access width; zero otherwise.
+    pub value: u64,
+    /// For stores, the memory content the store overwrote (masked to the
+    /// access width); zero otherwise.
+    pub old_value: u64,
+    /// Access width in bytes for memory operations; zero otherwise.
+    pub size: u8,
+    /// Whether a control instruction was taken (jumps are always taken).
+    pub taken: bool,
+}
+
+impl TraceRecord {
+    /// Whether this record's byte range `[effaddr, effaddr+size)` overlaps
+    /// another memory record's byte range.
+    #[inline]
+    pub fn overlaps(&self, other: &TraceRecord) -> bool {
+        self.size != 0
+            && other.size != 0
+            && self.effaddr < other.effaddr + other.size as u64
+            && other.effaddr < self.effaddr + self.size as u64
+    }
+}
+
+/// Aggregate dynamic-instruction counts of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Total retired dynamic instructions.
+    pub total: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Retired taken conditional branches.
+    pub taken_branches: u64,
+    /// Retired floating-point arithmetic operations.
+    pub fp_ops: u64,
+}
+
+impl TraceCounts {
+    /// Fraction of dynamic instructions that are loads.
+    pub fn load_fraction(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.loads as f64 / self.total as f64 }
+    }
+
+    /// Fraction of dynamic instructions that are stores.
+    pub fn store_fraction(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.stores as f64 / self.total as f64 }
+    }
+}
+
+/// The correct-path dynamic instruction stream of one program execution.
+///
+/// Produced by [`Interpreter::run`](crate::Interpreter::run); consumed by
+/// the timing core, which replays it under different scheduling policies.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    program: Arc<Program>,
+    records: Vec<TraceRecord>,
+    counts: TraceCounts,
+    completed: bool,
+}
+
+impl Trace {
+    pub(crate) fn new(program: Arc<Program>, records: Vec<TraceRecord>, completed: bool) -> Trace {
+        let mut counts = TraceCounts { total: records.len() as u64, ..TraceCounts::default() };
+        for r in &records {
+            let inst = program.inst(r.sidx);
+            if inst.op.is_load() {
+                counts.loads += 1;
+            } else if inst.op.is_store() {
+                counts.stores += 1;
+            } else if inst.op.is_cond_branch() {
+                counts.branches += 1;
+                if r.taken {
+                    counts.taken_branches += 1;
+                }
+            }
+            if inst.op.fu_class().is_fp() {
+                counts.fp_ops += 1;
+            }
+        }
+        Trace { program, records, counts, completed }
+    }
+
+    /// The program this trace was produced from.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The dynamic instruction records, in program order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The record at dynamic index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn record(&self, i: usize) -> &TraceRecord {
+        &self.records[i]
+    }
+
+    /// The static instruction executed at dynamic index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn inst(&self, i: usize) -> &Instruction {
+        self.program.inst(self.records[i].sidx)
+    }
+
+    /// The program counter of the instruction at dynamic index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn pc(&self, i: usize) -> u64 {
+        self.program.pc_of(self.records[i].sidx)
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Aggregate dynamic counts.
+    pub fn counts(&self) -> &TraceCounts {
+        &self.counts
+    }
+
+    /// Whether execution reached `halt` (as opposed to the step limit).
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64, size: u8) -> TraceRecord {
+        TraceRecord { sidx: 0, effaddr: addr, value: 0, old_value: 0, size, taken: false }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        assert!(rec(100, 4).overlaps(&rec(100, 4)));
+        assert!(rec(100, 4).overlaps(&rec(103, 1)));
+        assert!(!rec(100, 4).overlaps(&rec(104, 4)));
+        assert!(rec(100, 8).overlaps(&rec(104, 4)));
+        assert!(!rec(100, 4).overlaps(&rec(96, 4)));
+        assert!(rec(100, 1).overlaps(&rec(98, 4)));
+    }
+
+    #[test]
+    fn non_memory_records_never_overlap() {
+        assert!(!rec(100, 0).overlaps(&rec(100, 4)));
+        assert!(!rec(100, 4).overlaps(&rec(100, 0)));
+    }
+
+    #[test]
+    fn fractions_of_empty_counts_are_zero() {
+        let c = TraceCounts::default();
+        assert_eq!(c.load_fraction(), 0.0);
+        assert_eq!(c.store_fraction(), 0.0);
+    }
+}

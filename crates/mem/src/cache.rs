@@ -1,0 +1,380 @@
+//! A banked, lockup-free, set-associative cache model.
+//!
+//! The model is *completion-time based*: every access is resolved
+//! immediately into the absolute cycle at which its data is available,
+//! with bank port contention and MSHR occupancy tracked as timestamps.
+//! This keeps the simulator deterministic and event-free while modeling
+//! the structural hazards of Table 2 (bank ports, primary/secondary miss
+//! limits).
+
+use crate::config::{CacheParams, Replacement};
+use crate::stats::CacheStats;
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU: last access stamp. FIFO: insertion stamp.
+    last_use: u64,
+    inserted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Mshr {
+    block: u64,
+    fill_at: u64,
+    secondaries_used: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    /// Cycle at which the bank port is next free.
+    port_free_at: u64,
+    mshrs: Vec<Mshr>,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Absolute cycle at which the requested data is available.
+    pub complete_at: u64,
+    /// Whether the access hit in this cache.
+    pub hit: bool,
+}
+
+/// A single cache level.
+///
+/// Misses are filled by a caller-provided `fill` latency (the time for the
+/// next level to produce the block), so levels compose without internal
+/// references; see [`MemSystem`](crate::MemSystem) for the composed
+/// hierarchy.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    params: CacheParams,
+    sets_per_bank: u64,
+    /// `lines[bank][set * assoc + way]`
+    lines: Vec<Vec<Line>>,
+    banks: Vec<Bank>,
+    use_counter: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(params: CacheParams) -> Cache {
+        let sets_per_bank = params.sets_per_bank();
+        let lines_per_bank = (sets_per_bank * params.assoc as u64) as usize;
+        let lines = (0..params.banks)
+            .map(|_| {
+                (0..lines_per_bank)
+                    .map(|_| Line { tag: 0, valid: false, last_use: 0, inserted: 0 })
+                    .collect()
+            })
+            .collect();
+        let banks = vec![Bank::default(); params.banks as usize];
+        Cache { params, sets_per_bank, lines, banks, use_counter: 0, stats: CacheStats::default() }
+    }
+
+    /// The configured geometry.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn block_of(&self, addr: u64) -> u64 {
+        addr / self.params.block_bytes
+    }
+
+    #[inline]
+    fn bank_of(&self, block: u64) -> usize {
+        (block % self.params.banks as u64) as usize
+    }
+
+    #[inline]
+    fn set_of(&self, block: u64) -> u64 {
+        (block / self.params.banks as u64) % self.sets_per_bank
+    }
+
+    #[inline]
+    fn tag_of(&self, block: u64) -> u64 {
+        block / self.params.banks as u64 / self.sets_per_bank
+    }
+
+    /// Looks up `addr` without modifying state or timing (for tests and
+    /// warm-up checks).
+    pub fn probe(&self, addr: u64) -> bool {
+        let block = self.block_of(addr);
+        let bank = self.bank_of(block);
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        let base = (set * self.params.assoc as u64) as usize;
+        self.lines[bank][base..base + self.params.assoc as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Accesses `addr` at cycle `now`.
+    ///
+    /// On a miss, `fill_latency` cycles (the next level's response time,
+    /// measured from when the miss is issued) bring the block in. Returns
+    /// the absolute completion cycle and whether the access hit.
+    ///
+    /// Structural hazards modeled:
+    /// * each bank serves one access per cycle (port occupancy),
+    /// * a limited number of primary MSHRs per bank; when exhausted the
+    ///   access is delayed until the earliest outstanding fill completes,
+    /// * a limited number of secondary misses may merge into an
+    ///   outstanding primary miss; beyond that the access is serialized
+    ///   after the fill.
+    pub fn access(&mut self, addr: u64, write: bool, now: u64, fill_latency: u64) -> Access {
+        self.use_counter += 1;
+        let use_stamp = self.use_counter;
+        let block = self.block_of(addr);
+        let bank_idx = self.bank_of(block);
+        let set = self.set_of(block);
+        let tag = self.tag_of(block);
+        let assoc = self.params.assoc as usize;
+        let base = (set * self.params.assoc as u64) as usize;
+
+        // Bank port: one access per cycle.
+        let start = now.max(self.banks[bank_idx].port_free_at);
+        self.banks[bank_idx].port_free_at = start + 1;
+        if start > now {
+            self.stats.bank_conflict_cycles += start - now;
+        }
+
+        self.stats.accesses += 1;
+        if write {
+            self.stats.writes += 1;
+        }
+
+        // An outstanding fill for this block makes the access a secondary
+        // miss even though the tag is already installed: the data is still
+        // in flight.
+        let bank = &mut self.banks[bank_idx];
+        bank.mshrs.retain(|m| m.fill_at > start);
+        if let Some(m) = bank.mshrs.iter_mut().find(|m| m.block == block) {
+            self.stats.misses += 1;
+            let complete_at = if m.secondaries_used < self.params.secondary_per_primary {
+                m.secondaries_used += 1;
+                self.stats.secondary_merges += 1;
+                m.fill_at
+            } else {
+                // No secondary slot: serialize after the fill.
+                self.stats.mshr_stall_cycles += m.fill_at.saturating_sub(start);
+                m.fill_at + 1
+            };
+            let lines = &mut self.lines[bank_idx];
+            if let Some(way) =
+                (0..assoc).find(|&w| lines[base + w].valid && lines[base + w].tag == tag)
+            {
+                lines[base + way].last_use = use_stamp;
+            }
+            return Access { complete_at, hit: false };
+        }
+
+        // Tag lookup.
+        let lines = &mut self.lines[bank_idx];
+        if let Some(way) = (0..assoc).find(|&w| lines[base + w].valid && lines[base + w].tag == tag)
+        {
+            lines[base + way].last_use = use_stamp;
+            return Access { complete_at: start + self.params.hit_latency, hit: true };
+        }
+
+        // Miss path: MSHR bookkeeping.
+        self.stats.misses += 1;
+        let bank = &mut self.banks[bank_idx];
+
+        let complete_at = if (bank.mshrs.len() as u32) < self.params.primary_mshrs_per_bank {
+            let fill_at = start + self.params.hit_latency + fill_latency;
+            bank.mshrs.push(Mshr { block, fill_at, secondaries_used: 0 });
+            fill_at
+        } else {
+            // All primary MSHRs busy: wait for the earliest fill, then issue.
+            let earliest = bank.mshrs.iter().map(|m| m.fill_at).min().expect("mshrs non-empty");
+            self.stats.mshr_stall_cycles += earliest.saturating_sub(start);
+            let fill_at = earliest + self.params.hit_latency + fill_latency;
+            bank.mshrs.push(Mshr { block, fill_at, secondaries_used: 0 });
+            fill_at
+        };
+
+        // Fill: install the block, evicting per the replacement policy.
+        let victim = (0..assoc)
+            .min_by_key(|&w| {
+                let l = &lines[base + w];
+                if !l.valid {
+                    0
+                } else {
+                    match self.params.replacement {
+                        Replacement::Lru => l.last_use,
+                        Replacement::Fifo => l.inserted,
+                    }
+                }
+            })
+            .expect("associativity >= 1");
+        lines[base + victim] = Line { tag, valid: true, last_use: use_stamp, inserted: use_stamp };
+
+        Access { complete_at, hit: false }
+    }
+
+    /// Resets timing state (ports, MSHRs) but keeps cache contents; used
+    /// between measurement phases.
+    pub fn reset_timing(&mut self) {
+        for b in &mut self.banks {
+            b.port_free_at = 0;
+            b.mshrs.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheParams {
+        CacheParams {
+            name: "T",
+            size_bytes: 1024, // 32 lines of 32B
+            assoc: 2,
+            banks: 2,
+            block_bytes: 32,
+            hit_latency: 2,
+            primary_mshrs_per_bank: 2,
+            secondary_per_primary: 1,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(small());
+        let a = c.access(0x1000, false, 0, 10);
+        assert!(!a.hit);
+        assert_eq!(a.complete_at, 12); // 2 (lookup) + 10 (fill)
+        let b = c.access(0x1000, false, 20, 10);
+        assert!(b.hit);
+        assert_eq!(b.complete_at, 22);
+    }
+
+    #[test]
+    fn same_block_different_words_hit() {
+        let mut c = Cache::new(small());
+        c.access(0x1000, false, 0, 10);
+        assert!(c.access(0x101f, false, 20, 10).hit); // last byte of block
+        assert!(!c.access(0x1020, false, 30, 10).hit); // next block
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let p = small();
+        let mut c = Cache::new(p.clone());
+        // Three blocks mapping to the same set of a 2-way cache.
+        // Set stride per bank: banks * sets_per_bank * block = full bank span.
+        let sets = p.sets_per_bank();
+        let stride = p.banks as u64 * sets * p.block_bytes;
+        let (a, b, d) = (0x1000, 0x1000 + stride, 0x1000 + 2 * stride);
+        c.access(a, false, 0, 10);
+        c.access(b, false, 100, 10);
+        c.access(a, false, 200, 10); // touch a: b becomes LRU
+        c.access(d, false, 300, 10); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn bank_port_serializes_same_cycle_accesses() {
+        let mut c = Cache::new(small());
+        c.access(0x1000, false, 0, 10);
+        c.access(0x1000, false, 50, 10); // warm
+        let x = c.access(0x1000, false, 100, 10);
+        let y = c.access(0x1000, false, 100, 10); // same bank, same cycle
+        assert_eq!(x.complete_at, 102);
+        assert_eq!(y.complete_at, 103);
+        assert!(c.stats().bank_conflict_cycles > 0);
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut c = Cache::new(small());
+        c.access(0x1000, false, 0, 10);
+        c.access(0x1020, false, 0, 10); // next block -> other bank
+        assert_eq!(c.stats().bank_conflict_cycles, 0);
+    }
+
+    #[test]
+    fn secondary_miss_merges_into_primary() {
+        let mut c = Cache::new(small());
+        let a = c.access(0x1000, false, 0, 100);
+        let b = c.access(0x1008, false, 1, 100); // same block, outstanding
+        assert!(!b.hit);
+        assert_eq!(b.complete_at, a.complete_at);
+        assert_eq!(c.stats().secondary_merges, 1);
+    }
+
+    #[test]
+    fn secondary_limit_serializes() {
+        let mut c = Cache::new(small()); // 1 secondary per primary
+        let a = c.access(0x1000, false, 0, 100);
+        let _merge = c.access(0x1008, false, 1, 100);
+        let over = c.access(0x1010, false, 2, 100); // same block, no slot left
+        assert!(over.complete_at > a.complete_at);
+    }
+
+    #[test]
+    fn primary_mshr_exhaustion_delays() {
+        let p = small(); // 2 primary per bank
+        let sets = p.sets_per_bank();
+        let stride = p.banks as u64 * sets * p.block_bytes;
+        let mut c = Cache::new(p);
+        // Three distinct blocks in the same bank, all missing at once.
+        let m1 = c.access(0x1000, false, 0, 100);
+        let _m2 = c.access(0x1000 + stride, false, 0, 100);
+        let m3 = c.access(0x1000 + 2 * stride, false, 0, 100);
+        assert!(m3.complete_at > m1.complete_at + 100, "third miss must wait for an MSHR");
+        assert!(c.stats().mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn fifo_evicts_by_insertion_order() {
+        let p = CacheParams { replacement: Replacement::Fifo, ..small() };
+        let sets = p.sets_per_bank();
+        let stride = p.banks as u64 * sets * p.block_bytes;
+        let mut c = Cache::new(p);
+        let (a, b, d) = (0x1000, 0x1000 + stride, 0x1000 + 2 * stride);
+        c.access(a, false, 0, 10);
+        c.access(b, false, 100, 10);
+        c.access(a, false, 200, 10); // touching a must NOT save it under FIFO
+        c.access(d, false, 300, 10); // evicts a (oldest insertion)
+        assert!(!c.probe(a), "FIFO ignores recency");
+        assert!(c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = Cache::new(small());
+        c.access(0x1000, false, 0, 10);
+        c.access(0x1000, true, 20, 10);
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 1);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_timing_keeps_contents() {
+        let mut c = Cache::new(small());
+        c.access(0x1000, false, 0, 10);
+        c.reset_timing();
+        assert!(c.probe(0x1000));
+        let a = c.access(0x1000, false, 0, 10);
+        assert!(a.hit);
+    }
+}

@@ -1,0 +1,223 @@
+//! The composed L1 / L2 / main-memory hierarchy.
+
+use crate::cache::{Access, Cache};
+use crate::config::MemConfig;
+use crate::stats::MemStats;
+
+/// Which first-level cache an access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch through the L1 I-cache.
+    Fetch,
+    /// Data read through the L1 D-cache.
+    Read,
+    /// Data write through the L1 D-cache.
+    Write,
+}
+
+/// The full memory system: split L1 caches, unified L2, main memory.
+///
+/// All methods are completion-time based: an access at cycle `now` returns
+/// the absolute cycle its data is available, accounting for hits, misses,
+/// bank conflicts and MSHR limits at each level.
+///
+/// # Examples
+///
+/// ```
+/// use mds_mem::{AccessKind, MemConfig, MemSystem};
+///
+/// let mut m = MemSystem::new(MemConfig::paper());
+/// let cold = m.access(AccessKind::Read, 0x1000, 0);
+/// let warm = m.access(AccessKind::Read, 0x1000, cold + 1);
+/// assert!(cold > warm - (cold + 1)); // the second access is a 2-cycle hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    config: MemConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    main_accesses: u64,
+    prefetches: u64,
+}
+
+impl MemSystem {
+    /// Creates a cold memory system.
+    pub fn new(config: MemConfig) -> MemSystem {
+        MemSystem {
+            l1i: Cache::new(config.l1i.clone()),
+            l1d: Cache::new(config.l1d.clone()),
+            l2: Cache::new(config.l2.clone()),
+            config,
+            main_accesses: 0,
+            prefetches: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Latency for the L2 to respond to an L1 miss, issued at `now`,
+    /// measured from issue to data return.
+    fn l2_fill_latency(&mut self, addr: u64, now: u64) -> u64 {
+        let l1_block = self.config.l1d.block_bytes.max(self.config.l1i.block_bytes);
+        let main_latency = self.config.main.latency(self.config.l2.block_bytes);
+        let l2_access: Access = self.l2.access(addr, false, now, main_latency);
+        if !l2_access.hit {
+            self.main_accesses += 1;
+        }
+        // Transfer the L1 block from L2 to L1.
+        let words = l1_block.div_ceil(4);
+        let transfer = words.div_ceil(4) * self.config.l2_transfer_per_four_words;
+        (l2_access.complete_at + transfer).saturating_sub(now)
+    }
+
+    /// Performs an access at cycle `now`, returning the absolute cycle the
+    /// data is available (for writes: the cycle the write is accepted).
+    pub fn access(&mut self, kind: AccessKind, addr: u64, now: u64) -> u64 {
+        // Compute the prospective L2 fill latency first (only charged on a
+        // miss). We must know it before calling `Cache::access`, which
+        // resolves the whole access immediately; probing tells us whether
+        // the miss path will be taken.
+        let (cache, write) = match kind {
+            AccessKind::Fetch => (&self.l1i, false),
+            AccessKind::Read => (&self.l1d, false),
+            AccessKind::Write => (&self.l1d, true),
+        };
+        let fill = if cache.probe(addr) {
+            0
+        } else {
+            self.l2_fill_latency(addr, now)
+        };
+        let was_data_miss = fill > 0 && !matches!(kind, AccessKind::Fetch);
+        let cache = match kind {
+            AccessKind::Fetch => &mut self.l1i,
+            AccessKind::Read | AccessKind::Write => &mut self.l1d,
+        };
+        let done = cache.access(addr, write, now, fill).complete_at;
+        // Next-line prefetch: a demand miss in the D-cache also brings in
+        // the following block, off the demand path.
+        if was_data_miss && self.config.l1d_next_line_prefetch {
+            let next = (addr / self.config.l1d.block_bytes + 1) * self.config.l1d.block_bytes;
+            if !self.l1d.probe(next) {
+                self.prefetches += 1;
+                let fill = self.l2_fill_latency(next, now);
+                self.l1d.access(next, false, now, fill);
+            }
+        }
+        done
+    }
+
+    /// Accumulated statistics for all levels.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            main_accesses: self.main_accesses,
+            prefetches: self.prefetches,
+        }
+    }
+
+    /// Resets timing state (ports, MSHRs) at every level while keeping
+    /// cache contents warm.
+    pub fn reset_timing(&mut self) {
+        self.l1i.reset_timing();
+        self.l1d.reset_timing();
+        self.l2.reset_timing();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_reaches_main_memory() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        let done = m.access(AccessKind::Read, 0x4_0000, 0);
+        // Must include L1 lookup (2) + L2 lookup (8) + main (34+)
+        assert!(done >= 44, "cold access completed unrealistically fast: {done}");
+        assert_eq!(m.stats().main_accesses, 1);
+        assert_eq!(m.stats().l1d.misses, 1);
+        assert_eq!(m.stats().l2.misses, 1);
+    }
+
+    #[test]
+    fn warm_read_is_an_l1_hit() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        let cold = m.access(AccessKind::Read, 0x4_0000, 0);
+        let warm = m.access(AccessKind::Read, 0x4_0000, cold + 10);
+        assert_eq!(warm - (cold + 10), 2); // L1D hit latency
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_distance() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        // Two L1 blocks in the same 128B L2 block: second L1 miss hits L2.
+        let t0 = m.access(AccessKind::Read, 0x8000, 0);
+        let t1 = m.access(AccessKind::Read, 0x8020, t0 + 1);
+        assert_eq!(m.stats().main_accesses, 1, "second block should hit in L2");
+        assert!(t1 - (t0 + 1) < t0, "L2 hit must be faster than main-memory access");
+    }
+
+    #[test]
+    fn icache_and_dcache_are_split() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        m.access(AccessKind::Fetch, 0x40_0000, 0);
+        m.access(AccessKind::Read, 0x10_0000, 0);
+        assert_eq!(m.stats().l1i.accesses, 1);
+        assert_eq!(m.stats().l1d.accesses, 1);
+    }
+
+    #[test]
+    fn writes_count_in_dcache() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        m.access(AccessKind::Write, 0x1000, 0);
+        assert_eq!(m.stats().l1d.writes, 1);
+    }
+
+    #[test]
+    fn ideal_config_single_cycle_hits() {
+        let mut m = MemSystem::new(MemConfig::ideal());
+        let t0 = m.access(AccessKind::Read, 0x1234, 0);
+        let t1 = m.access(AccessKind::Read, 0x1234, t0);
+        assert_eq!(t1 - t0, 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_warms_the_following_block() {
+        let mut cfg = MemConfig::paper();
+        cfg.l1d_next_line_prefetch = true;
+        let mut m = MemSystem::new(cfg);
+        let t0 = m.access(AccessKind::Read, 0x8000, 0); // miss, prefetch 0x8020
+        assert!(m.stats().prefetches >= 1);
+        let t1 = m.access(AccessKind::Read, 0x8020, t0 + 60);
+        assert_eq!(t1 - (t0 + 60), 2, "prefetched block must hit in L1");
+    }
+
+    #[test]
+    fn prefetch_off_by_default() {
+        let mut m = MemSystem::new(MemConfig::paper());
+        m.access(AccessKind::Read, 0x8000, 0);
+        assert_eq!(m.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = MemSystem::new(MemConfig::paper());
+            let mut t = 0;
+            let mut sum = 0u64;
+            for i in 0..1000u64 {
+                let addr = (i * 4093) % (1 << 20);
+                t = m.access(AccessKind::Read, addr, t);
+                sum = sum.wrapping_add(t);
+            }
+            sum
+        };
+        assert_eq!(run(), run());
+    }
+}

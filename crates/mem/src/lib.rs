@@ -1,0 +1,39 @@
+//! # mds-mem — cycle-level memory hierarchy substrate
+//!
+//! The memory system of the `mds` simulator (reproduction of Moshovos &
+//! Sohi, HPCA 2000): banked, lockup-free set-associative caches with
+//! primary/secondary MSHR limits ([`Cache`]), the composed
+//! L1-I/L1-D/L2/main hierarchy ([`MemSystem`]), and a [`StoreBuffer`] with
+//! load forwarding. Defaults reproduce Table 2 of the paper.
+//!
+//! The model is completion-time based: each access resolves immediately to
+//! the absolute cycle its data is available, with structural hazards (bank
+//! ports, MSHRs) tracked as timestamps. This keeps the out-of-order core
+//! simple and the whole simulation deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_mem::{AccessKind, MemConfig, MemSystem};
+//!
+//! let mut m = MemSystem::new(MemConfig::paper());
+//! let t_cold = m.access(AccessKind::Read, 0x1_0000, 0);
+//! let t_warm = m.access(AccessKind::Read, 0x1_0000, t_cold);
+//! assert_eq!(t_warm - t_cold, 2); // L1D hit latency from Table 2
+//! assert_eq!(m.stats().l1d.misses, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod config;
+mod hierarchy;
+mod stats;
+mod store_buffer;
+
+pub use cache::{Access, Cache};
+pub use config::{CacheParams, MainMemoryParams, MemConfig, Replacement};
+pub use hierarchy::{AccessKind, MemSystem};
+pub use stats::{CacheStats, MemStats};
+pub use store_buffer::{Forward, StoreBuffer};

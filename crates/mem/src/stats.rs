@@ -1,0 +1,72 @@
+//! Memory-system statistics.
+
+/// Counters accumulated by one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Misses merged into an outstanding MSHR as secondaries.
+    pub secondary_merges: u64,
+    /// Cycles lost waiting for a bank port.
+    pub bank_conflict_cycles: u64,
+    /// Cycles lost waiting for an MSHR (primary exhausted or secondary
+    /// slots full).
+    pub mshr_stall_cycles: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses (0 when there were no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate over all accesses (0 when there were no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.miss_rate()
+        }
+    }
+}
+
+/// Statistics for the composed hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Accesses that went all the way to main memory.
+    pub main_accesses: u64,
+    /// Next-line prefetches issued into the L1 data cache.
+    pub prefetches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_of_empty_stats_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let s = CacheStats { accesses: 10, misses: 3, ..CacheStats::default() };
+        assert!((s.miss_rate() + s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Store buffer with load forwarding.
+//!
+//! The paper's store buffer (Table 2) holds 128 entries, combines store
+//! data for load forwarding, and does not combine store requests to the
+//! L1 data cache. Entries are identified by the *sequence number* of the
+//! owning dynamic store so the core can squash speculative entries.
+
+/// Result of a forwarding lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forward {
+    /// A single older store fully covers the load.
+    Hit {
+        /// The forwarded value, masked to the load width.
+        value: u64,
+        /// The sequence number of the supplying store.
+        store_seq: u64,
+    },
+    /// One or more older stores overlap the load without one fully
+    /// covering it; the load must wait for the stores to drain.
+    Partial,
+    /// No older store overlaps the load; it may read the cache.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    addr: u64,
+    size: u8,
+    value: u64,
+}
+
+impl Entry {
+    fn overlaps(&self, addr: u64, size: u8) -> bool {
+        self.addr < addr + size as u64 && addr < self.addr + self.size as u64
+    }
+
+    fn covers(&self, addr: u64, size: u8) -> bool {
+        self.addr <= addr && addr + size as u64 <= self.addr + self.size as u64
+    }
+}
+
+/// A capacity-bounded store buffer ordered by dynamic sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use mds_mem::{Forward, StoreBuffer};
+///
+/// let mut sb = StoreBuffer::new(128);
+/// sb.push(10, 0x1000, 4, 0xaabbccdd);
+/// assert_eq!(
+///     sb.forward(11, 0x1000, 4),
+///     Forward::Hit { value: 0xaabbccdd, store_seq: 10 },
+/// );
+/// assert_eq!(sb.forward(11, 0x1002, 1), Forward::Hit { value: 0xbb, store_seq: 10 });
+/// assert_eq!(sb.forward(9, 0x1000, 4), Forward::Miss); // older than the store
+/// assert_eq!(sb.forward(11, 0x0ffe, 4), Forward::Partial); // straddles
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    capacity: usize,
+    entries: Vec<Entry>,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer holding at most `capacity` stores.
+    pub fn new(capacity: usize) -> StoreBuffer {
+        StoreBuffer { capacity, entries: Vec::new() }
+    }
+
+    /// Number of buffered stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer has no free entry.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Inserts a store, keeping entries ordered by sequence number.
+    ///
+    /// Stores may execute out of program order (notably across the units
+    /// of a split window), so insertion is position-sorted rather than
+    /// append-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or `seq` is already present.
+    pub fn push(&mut self, seq: u64, addr: u64, size: u8, value: u64) {
+        assert!(!self.is_full(), "store buffer overflow");
+        let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+        let entry = Entry { seq, addr, size, value: value & mask };
+        match self.entries.last() {
+            Some(last) if last.seq < seq => self.entries.push(entry),
+            _ => {
+                let pos = self.entries.partition_point(|e| e.seq < seq);
+                assert!(
+                    self.entries.get(pos).is_none_or(|e| e.seq != seq),
+                    "duplicate store sequence number {seq}"
+                );
+                self.entries.insert(pos, entry);
+            }
+        }
+    }
+
+    /// Forwarding lookup for a load with sequence number `load_seq`
+    /// reading `size` bytes at `addr`. Only stores older than the load
+    /// (`seq < load_seq`) are considered; the youngest such store wins.
+    pub fn forward(&self, load_seq: u64, addr: u64, size: u8) -> Forward {
+        for e in self.entries.iter().rev() {
+            if e.seq >= load_seq {
+                continue;
+            }
+            if e.covers(addr, size) {
+                let shift = 8 * (addr - e.addr);
+                let v = e.value >> shift;
+                let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+                return Forward::Hit { value: v & mask, store_seq: e.seq };
+            }
+            if e.overlaps(addr, size) {
+                return Forward::Partial;
+            }
+        }
+        Forward::Miss
+    }
+
+    /// Removes every store with `seq >= from_seq` (squash recovery).
+    pub fn squash_from(&mut self, from_seq: u64) {
+        self.entries.retain(|e| e.seq < from_seq);
+    }
+
+    /// Removes the single store with the given sequence number once it has
+    /// drained to the cache. Returns whether an entry was removed.
+    pub fn retire(&mut self, seq: u64) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.seq != seq);
+        self.entries.len() != before
+    }
+
+    /// Removes all stores (used between simulation phases).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn youngest_older_store_wins() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0x100, 4, 0x1111_1111);
+        sb.push(2, 0x100, 4, 0x2222_2222);
+        assert_eq!(sb.forward(3, 0x100, 4), Forward::Hit { value: 0x2222_2222, store_seq: 2 });
+        assert_eq!(sb.forward(2, 0x100, 4), Forward::Hit { value: 0x1111_1111, store_seq: 1 });
+    }
+
+    #[test]
+    fn partial_overlap_is_reported() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0x100, 2, 0xbeef);
+        assert_eq!(sb.forward(2, 0x100, 4), Forward::Partial);
+        assert_eq!(sb.forward(2, 0x102, 2), Forward::Miss);
+    }
+
+    #[test]
+    fn narrow_load_from_wide_store() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0x100, 8, 0x8877_6655_4433_2211);
+        assert_eq!(sb.forward(2, 0x104, 4), Forward::Hit { value: 0x8877_6655, store_seq: 1 });
+        assert_eq!(sb.forward(2, 0x107, 1), Forward::Hit { value: 0x88, store_seq: 1 });
+    }
+
+    #[test]
+    fn squash_removes_suffix() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0x100, 4, 1);
+        sb.push(5, 0x200, 4, 2);
+        sb.push(9, 0x300, 4, 3);
+        sb.squash_from(5);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.forward(10, 0x100, 4), Forward::Hit { value: 1, store_seq: 1 });
+        assert_eq!(sb.forward(10, 0x200, 4), Forward::Miss);
+        // Pushing after a squash with reused seqs is legal.
+        sb.push(5, 0x200, 4, 20);
+        assert_eq!(sb.forward(10, 0x200, 4), Forward::Hit { value: 20, store_seq: 5 });
+    }
+
+    #[test]
+    fn retire_removes_one_entry() {
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0x100, 4, 1);
+        sb.push(2, 0x104, 4, 2);
+        assert!(sb.retire(1));
+        assert!(!sb.retire(1));
+        assert_eq!(sb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(1, 0, 4, 0);
+        sb.push(2, 8, 4, 0);
+        assert!(sb.is_full());
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(1, 0, 4, 0);
+        sb.push(2, 8, 4, 0);
+    }
+
+    #[test]
+    fn out_of_order_push_keeps_seq_order() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(5, 0x100, 4, 50);
+        sb.push(3, 0x100, 4, 30); // older store executes later
+        // The youngest older store still wins regardless of push order.
+        assert_eq!(sb.forward(6, 0x100, 4), Forward::Hit { value: 50, store_seq: 5 });
+        assert_eq!(sb.forward(4, 0x100, 4), Forward::Hit { value: 30, store_seq: 3 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_seq_panics() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(5, 0, 4, 0);
+        sb.push(5, 8, 4, 0);
+    }
+
+    #[test]
+    fn value_is_masked_to_width() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(1, 0x100, 1, 0xffff_ffff_ffff_ffab);
+        assert_eq!(sb.forward(2, 0x100, 1), Forward::Hit { value: 0xab, store_seq: 1 });
+    }
+}

@@ -1,0 +1,42 @@
+//! # mds-predict — memory dependence predictors
+//!
+//! The prediction structures behind the paper's memory dependence
+//! speculation policies (Moshovos & Sohi, HPCA 2000, Sections 3.5–3.6):
+//!
+//! * [`SelectivePredictor`] — per-load confidence for **selective**
+//!   speculation (`NAS/SEL`): predicted loads are not speculated.
+//! * [`StoreBarrierPredictor`] — per-store confidence for the **store
+//!   barrier** policy (`NAS/STORE`): all loads wait for predicted stores.
+//! * [`Mdpt`] — the memory dependence prediction table with synonym
+//!   indirection for **speculation/synchronization** (`NAS/SYNC`).
+//! * [`StoreSets`] — the Chrysos & Emer store-set predictor, provided as
+//!   an extension for the ablation benchmarks.
+//!
+//! All tables default to the paper's parameters: 4K entries, 2-way set
+//! associative, 3 mis-speculations to arm a confidence entry, and a
+//! one-million-cycle periodic reset/flush.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_predict::{Mdpt, MdptParams};
+//!
+//! let mut mdpt = Mdpt::new(MdptParams::paper());
+//! mdpt.record_violation(0x4005f0, 0x4003a8);
+//! assert_eq!(mdpt.load_synonym(0x4005f0), mdpt.store_synonym(0x4003a8));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod mdpt;
+mod selective;
+mod store_barrier;
+mod store_set;
+mod table;
+
+pub use mdpt::{Mdpt, MdptParams, Synonym};
+pub use selective::{ConfidenceParams, SelectivePredictor};
+pub use store_barrier::StoreBarrierPredictor;
+pub use store_set::{StoreSetParams, StoreSets};
+pub use table::PcTable;

@@ -1,0 +1,205 @@
+//! Memory dependence prediction table (MDPT) for
+//! speculation/synchronization (Section 3.6; Moshovos et al. 1997).
+//!
+//! On a mis-speculation, entries are allocated for the offending load and
+//! store. Dependences are represented through *synonyms* — a level of
+//! indirection: the load and store are both tagged with the same synonym,
+//! and the core synchronizes a predicted load with the closest preceding
+//! in-flight store carrying the same synonym. The paper's configuration:
+//! 4K entries, 2-way, separate entries for loads and stores, no
+//! confidence (once allocated, synchronization is always enforced), full
+//! flush every one million cycles to shed stale (false) dependences.
+
+use crate::table::PcTable;
+
+/// A synonym: the indirection tag linking predicted-dependent loads and
+/// stores.
+pub type Synonym = u32;
+
+/// Configuration of the MDPT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdptParams {
+    /// Total table entries (shared by load and store entries).
+    pub entries: usize,
+    /// Set associativity.
+    pub assoc: usize,
+    /// Flush period in cycles (`None` disables flushing).
+    pub flush_interval: Option<u64>,
+}
+
+impl MdptParams {
+    /// The paper's configuration: 4K entries, 2-way, 1M-cycle flush.
+    pub fn paper() -> MdptParams {
+        MdptParams { entries: 4096, assoc: 2, flush_interval: Some(1_000_000) }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    synonym: Synonym,
+}
+
+/// The memory dependence prediction table.
+///
+/// Loads and stores occupy separate entries; both sides of a violated
+/// dependence receive the same synonym. Lookups are by instruction PC.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::{Mdpt, MdptParams};
+///
+/// let mut t = Mdpt::new(MdptParams::paper());
+/// t.record_violation(0x100, 0x200); // load pc, store pc
+/// let l = t.load_synonym(0x100).unwrap();
+/// let s = t.store_synonym(0x200).unwrap();
+/// assert_eq!(l, s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mdpt {
+    params: MdptParams,
+    loads: PcTable<Entry>,
+    stores: PcTable<Entry>,
+    next_synonym: Synonym,
+    last_flush: u64,
+    allocations: u64,
+}
+
+impl Mdpt {
+    /// Creates an empty MDPT. The entry budget is split evenly between
+    /// load and store entries.
+    pub fn new(params: MdptParams) -> Mdpt {
+        let half = (params.entries / 2).max(params.assoc);
+        Mdpt {
+            loads: PcTable::new(half.next_power_of_two(), params.assoc),
+            stores: PcTable::new(half.next_power_of_two(), params.assoc),
+            params,
+            next_synonym: 1,
+            last_flush: 0,
+            allocations: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &MdptParams {
+        &self.params
+    }
+
+    /// Total entry allocations performed (diagnostic).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Records a violated dependence between the load at `load_pc` and
+    /// the store at `store_pc`, allocating (or linking) entries for both.
+    ///
+    /// If either instruction already has an entry, its synonym is reused
+    /// so that multiple loads depending on one store (or one load
+    /// depending on multiple stores) converge on a common synonym.
+    pub fn record_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let synonym = match (self.loads.peek(load_pc), self.stores.peek(store_pc)) {
+            (_, Some(e)) => e.synonym, // prefer the store's existing tag
+            (Some(e), None) => e.synonym,
+            (None, None) => {
+                let s = self.next_synonym;
+                self.next_synonym = self.next_synonym.wrapping_add(1).max(1);
+                s
+            }
+        };
+        self.allocations += 2;
+        self.loads.insert(load_pc, Entry { synonym });
+        self.stores.insert(store_pc, Entry { synonym });
+    }
+
+    /// The synonym the load at `pc` must synchronize on, if predicted.
+    pub fn load_synonym(&self, pc: u64) -> Option<Synonym> {
+        self.loads.peek(pc).map(|e| e.synonym)
+    }
+
+    /// The synonym the store at `pc` produces, if predicted.
+    pub fn store_synonym(&self, pc: u64) -> Option<Synonym> {
+        self.stores.peek(pc).map(|e| e.synonym)
+    }
+
+    /// Flushes the whole table if the configured interval has elapsed
+    /// ("to reduce the frequency of false dependences", Section 3.6).
+    pub fn maybe_flush(&mut self, now: u64) {
+        if let Some(interval) = self.params.flush_interval {
+            if now.saturating_sub(self.last_flush) >= interval {
+                self.loads.clear();
+                self.stores.clear();
+                self.last_flush = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MdptParams {
+        MdptParams { entries: 32, assoc: 2, flush_interval: Some(100) }
+    }
+
+    #[test]
+    fn violation_links_load_and_store() {
+        let mut t = Mdpt::new(small());
+        t.record_violation(0x100, 0x200);
+        assert_eq!(t.load_synonym(0x100), t.store_synonym(0x200));
+        assert!(t.load_synonym(0x100).is_some());
+    }
+
+    #[test]
+    fn unknown_pcs_have_no_synonym() {
+        let t = Mdpt::new(small());
+        assert_eq!(t.load_synonym(0x100), None);
+        assert_eq!(t.store_synonym(0x200), None);
+    }
+
+    #[test]
+    fn two_loads_one_store_share_a_synonym() {
+        let mut t = Mdpt::new(small());
+        t.record_violation(0x100, 0x200);
+        t.record_violation(0x104, 0x200);
+        assert_eq!(t.load_synonym(0x100), t.load_synonym(0x104));
+    }
+
+    #[test]
+    fn one_load_two_stores_share_a_synonym() {
+        let mut t = Mdpt::new(small());
+        t.record_violation(0x100, 0x200);
+        t.record_violation(0x100, 0x204);
+        // The load keeps one synonym; both stores produce it.
+        assert_eq!(t.store_synonym(0x200), t.load_synonym(0x100));
+        assert_eq!(t.store_synonym(0x204), t.load_synonym(0x100));
+    }
+
+    #[test]
+    fn distinct_dependences_get_distinct_synonyms() {
+        let mut t = Mdpt::new(small());
+        t.record_violation(0x100, 0x200);
+        t.record_violation(0x104, 0x204);
+        assert_ne!(t.load_synonym(0x100), t.load_synonym(0x104));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = Mdpt::new(small());
+        t.record_violation(0x100, 0x200);
+        t.maybe_flush(99);
+        assert!(t.load_synonym(0x100).is_some());
+        t.maybe_flush(100);
+        assert_eq!(t.load_synonym(0x100), None);
+        assert_eq!(t.store_synonym(0x200), None);
+    }
+
+    #[test]
+    fn loads_and_stores_have_separate_entries() {
+        let mut t = Mdpt::new(small());
+        // Same pc used as both a load and a store must not collide.
+        t.record_violation(0x100, 0x100);
+        assert!(t.load_synonym(0x100).is_some());
+        assert!(t.store_synonym(0x100).is_some());
+    }
+}

@@ -1,0 +1,153 @@
+//! Selective memory dependence speculation predictor (Section 3.5).
+//!
+//! Predicts, per *load*, whether immediate speculation is likely to
+//! violate a dependence. Predicted loads are not speculated: they wait
+//! until all their ambiguous dependences resolve. The paper's
+//! configuration: 4K-entry 2-way table of 2-bit saturating confidence
+//! counters; 3 mis-speculations arm an entry; all counters reset every
+//! one million cycles.
+
+use crate::table::PcTable;
+
+/// Configuration shared by the confidence-counter predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceParams {
+    /// Total table entries.
+    pub entries: usize,
+    /// Set associativity.
+    pub assoc: usize,
+    /// Mis-speculations before a dependence is predicted (counter
+    /// saturation threshold).
+    pub threshold: u8,
+    /// Counter reset period in cycles (`None` disables resets).
+    pub reset_interval: Option<u64>,
+}
+
+impl ConfidenceParams {
+    /// The paper's configuration: 4K entries, 2-way, threshold 3, reset
+    /// every one million cycles.
+    pub fn paper() -> ConfidenceParams {
+        ConfidenceParams { entries: 4096, assoc: 2, threshold: 3, reset_interval: Some(1_000_000) }
+    }
+}
+
+/// Per-load confidence predictor for selective speculation.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::{ConfidenceParams, SelectivePredictor};
+///
+/// let mut p = SelectivePredictor::new(ConfidenceParams::paper());
+/// assert!(!p.predicts_dependence(0x1000));
+/// for _ in 0..3 {
+///     p.record_misspeculation(0x1000);
+/// }
+/// assert!(p.predicts_dependence(0x1000)); // armed after 3 mis-speculations
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectivePredictor {
+    params: ConfidenceParams,
+    table: PcTable<u8>,
+    last_reset: u64,
+}
+
+impl SelectivePredictor {
+    /// Creates a predictor with the given parameters.
+    pub fn new(params: ConfidenceParams) -> SelectivePredictor {
+        SelectivePredictor { table: PcTable::new(params.entries, params.assoc), params, last_reset: 0 }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &ConfidenceParams {
+        &self.params
+    }
+
+    /// Whether the load at `pc` is predicted to have a dependence (and so
+    /// should not be speculated).
+    pub fn predicts_dependence(&self, pc: u64) -> bool {
+        matches!(self.table.peek(pc), Some(&c) if c >= self.params.threshold)
+    }
+
+    /// Records a memory dependence mis-speculation by the load at `pc`.
+    pub fn record_misspeculation(&mut self, pc: u64) {
+        let threshold = self.params.threshold;
+        let c = self.table.get_or_insert_with(pc, || 0);
+        if *c < threshold {
+            *c += 1;
+        }
+    }
+
+    /// Resets all counters if the configured interval has elapsed since
+    /// the last reset ("to allow adapting back", Section 3.5).
+    pub fn maybe_reset(&mut self, now: u64) {
+        if let Some(interval) = self.params.reset_interval {
+            if now.saturating_sub(self.last_reset) >= interval {
+                self.table.clear();
+                self.last_reset = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ConfidenceParams {
+        ConfidenceParams { entries: 16, assoc: 2, threshold: 3, reset_interval: Some(100) }
+    }
+
+    #[test]
+    fn arms_after_threshold_misspeculations() {
+        let mut p = SelectivePredictor::new(small());
+        p.record_misspeculation(0x40);
+        p.record_misspeculation(0x40);
+        assert!(!p.predicts_dependence(0x40), "2 of 3 mis-speculations must not arm");
+        p.record_misspeculation(0x40);
+        assert!(p.predicts_dependence(0x40));
+    }
+
+    #[test]
+    fn independent_pcs_do_not_interfere() {
+        let mut p = SelectivePredictor::new(small());
+        for _ in 0..3 {
+            p.record_misspeculation(0x40);
+        }
+        assert!(!p.predicts_dependence(0x44));
+    }
+
+    #[test]
+    fn reset_clears_after_interval() {
+        let mut p = SelectivePredictor::new(small());
+        for _ in 0..3 {
+            p.record_misspeculation(0x40);
+        }
+        p.maybe_reset(50);
+        assert!(p.predicts_dependence(0x40), "interval not yet elapsed");
+        p.maybe_reset(150);
+        assert!(!p.predicts_dependence(0x40), "counters must reset");
+    }
+
+    #[test]
+    fn reset_can_be_disabled() {
+        let mut p = SelectivePredictor::new(ConfidenceParams {
+            reset_interval: None,
+            ..small()
+        });
+        for _ in 0..3 {
+            p.record_misspeculation(0x40);
+        }
+        p.maybe_reset(u64::MAX);
+        assert!(p.predicts_dependence(0x40));
+    }
+
+    #[test]
+    fn counter_saturates_at_threshold() {
+        let mut p = SelectivePredictor::new(small());
+        for _ in 0..100 {
+            p.record_misspeculation(0x40);
+        }
+        assert!(p.predicts_dependence(0x40));
+    }
+}

@@ -1,0 +1,105 @@
+//! Store barrier predictor (Section 3.5; Hesson et al., Adams et al.).
+//!
+//! Predicts, per *store*, whether the store has true dependences that
+//! would get mis-speculated. If so, **all** loads following the store are
+//! made to wait until the store executes. Compared to per-load
+//! predictors, it needs entries only for stores.
+
+use crate::selective::ConfidenceParams;
+use crate::table::PcTable;
+
+/// Per-store confidence predictor for the store barrier policy.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::{ConfidenceParams, StoreBarrierPredictor};
+///
+/// let mut p = StoreBarrierPredictor::new(ConfidenceParams::paper());
+/// for _ in 0..3 {
+///     p.record_misspeculation(0x2000); // store pc involved in violations
+/// }
+/// assert!(p.predicts_barrier(0x2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBarrierPredictor {
+    params: ConfidenceParams,
+    table: PcTable<u8>,
+    last_reset: u64,
+}
+
+impl StoreBarrierPredictor {
+    /// Creates a predictor with the given parameters (the paper uses the
+    /// same 4K 2-way, threshold-3, 1M-cycle-reset configuration as the
+    /// selective predictor).
+    pub fn new(params: ConfidenceParams) -> StoreBarrierPredictor {
+        StoreBarrierPredictor {
+            table: PcTable::new(params.entries, params.assoc),
+            params,
+            last_reset: 0,
+        }
+    }
+
+    /// Whether the store at `pc` is predicted to be a barrier: loads
+    /// younger than it must wait for it to execute.
+    pub fn predicts_barrier(&self, pc: u64) -> bool {
+        matches!(self.table.peek(pc), Some(&c) if c >= self.params.threshold)
+    }
+
+    /// Records that the store at `pc` was the producer in a memory
+    /// dependence mis-speculation.
+    pub fn record_misspeculation(&mut self, pc: u64) {
+        let threshold = self.params.threshold;
+        let c = self.table.get_or_insert_with(pc, || 0);
+        if *c < threshold {
+            *c += 1;
+        }
+    }
+
+    /// Resets all counters if the configured interval has elapsed.
+    pub fn maybe_reset(&mut self, now: u64) {
+        if let Some(interval) = self.params.reset_interval {
+            if now.saturating_sub(self.last_reset) >= interval {
+                self.table.clear();
+                self.last_reset = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ConfidenceParams {
+        ConfidenceParams { entries: 16, assoc: 2, threshold: 3, reset_interval: Some(100) }
+    }
+
+    #[test]
+    fn arms_per_store() {
+        let mut p = StoreBarrierPredictor::new(small());
+        for _ in 0..3 {
+            p.record_misspeculation(0x80);
+        }
+        assert!(p.predicts_barrier(0x80));
+        assert!(!p.predicts_barrier(0x84));
+    }
+
+    #[test]
+    fn below_threshold_is_not_a_barrier() {
+        let mut p = StoreBarrierPredictor::new(small());
+        p.record_misspeculation(0x80);
+        p.record_misspeculation(0x80);
+        assert!(!p.predicts_barrier(0x80));
+    }
+
+    #[test]
+    fn reset_disarms() {
+        let mut p = StoreBarrierPredictor::new(small());
+        for _ in 0..3 {
+            p.record_misspeculation(0x80);
+        }
+        p.maybe_reset(200);
+        assert!(!p.predicts_barrier(0x80));
+    }
+}

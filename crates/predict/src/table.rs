@@ -1,0 +1,210 @@
+//! Generic PC-indexed set-associative table with LRU replacement, the
+//! storage structure shared by all memory dependence predictors (the
+//! paper uses 4K-entry, 2-way tables throughout Sections 3.5–3.6).
+
+/// A set-associative, PC-tagged table with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct PcTable<T> {
+    sets: usize,
+    assoc: usize,
+    entries: Vec<Option<(u64, T)>>, // (pc tag, payload) per way
+    lru: Vec<u64>,
+    tick: u64,
+}
+
+impl<T> PcTable<T> {
+    /// Creates a table with `entries` total entries and the given
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or not divisible by
+    /// `assoc`, or if `assoc` is zero.
+    pub fn new(entries: usize, assoc: usize) -> PcTable<T> {
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert_eq!(entries % assoc, 0, "entries must divide evenly into ways");
+        let sets = entries / assoc;
+        PcTable {
+            sets,
+            assoc,
+            entries: (0..entries).map(|_| None).collect(),
+            lru: vec![0; entries],
+            tick: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    #[inline]
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up the payload for `pc`, updating recency.
+    pub fn get(&mut self, pc: u64) -> Option<&T> {
+        self.tick += 1;
+        let base = self.set_of(pc) * self.assoc;
+        for w in 0..self.assoc {
+            if let Some((tag, _)) = &self.entries[base + w] {
+                if *tag == pc {
+                    self.lru[base + w] = self.tick;
+                    return self.entries[base + w].as_ref().map(|(_, v)| v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up the payload for `pc` without updating recency.
+    pub fn peek(&self, pc: u64) -> Option<&T> {
+        let base = self.set_of(pc) * self.assoc;
+        (0..self.assoc).find_map(|w| match &self.entries[base + w] {
+            Some((tag, v)) if *tag == pc => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Mutable lookup, updating recency.
+    pub fn get_mut(&mut self, pc: u64) -> Option<&mut T> {
+        self.tick += 1;
+        let base = self.set_of(pc) * self.assoc;
+        for w in 0..self.assoc {
+            if let Some((tag, _)) = &self.entries[base + w] {
+                if *tag == pc {
+                    self.lru[base + w] = self.tick;
+                    return self.entries[base + w].as_mut().map(|(_, v)| v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts (or replaces) the entry for `pc`, evicting the set's LRU
+    /// way if necessary. Returns the evicted `(pc, payload)` if any.
+    pub fn insert(&mut self, pc: u64, value: T) -> Option<(u64, T)> {
+        self.tick += 1;
+        let base = self.set_of(pc) * self.assoc;
+        // Existing entry for the same pc: replace in place.
+        for w in 0..self.assoc {
+            if matches!(&self.entries[base + w], Some((tag, _)) if *tag == pc) {
+                self.lru[base + w] = self.tick;
+                return self.entries[base + w].replace((pc, value));
+            }
+        }
+        // Free way.
+        for w in 0..self.assoc {
+            if self.entries[base + w].is_none() {
+                self.lru[base + w] = self.tick;
+                self.entries[base + w] = Some((pc, value));
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim = (0..self.assoc)
+            .min_by_key(|&w| self.lru[base + w])
+            .expect("assoc >= 1");
+        self.lru[base + victim] = self.tick;
+        self.entries[base + victim].replace((pc, value))
+    }
+
+    /// Gets the entry for `pc`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, pc: u64, default: impl FnOnce() -> T) -> &mut T {
+        if self.peek(pc).is_none() {
+            self.insert(pc, default());
+        }
+        self.get_mut(pc).expect("just inserted")
+    }
+
+    /// Invalidates every entry.
+    pub fn clear(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get() {
+        let mut t = PcTable::new(8, 2);
+        t.insert(0x100, 7u32);
+        assert_eq!(t.get(0x100), Some(&7));
+        assert_eq!(t.get(0x104), None);
+    }
+
+    #[test]
+    fn replace_same_pc_keeps_one_entry() {
+        let mut t = PcTable::new(8, 2);
+        t.insert(0x100, 1u32);
+        let old = t.insert(0x100, 2u32);
+        assert_eq!(old, Some((0x100, 1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0x100), Some(&2));
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        let mut t = PcTable::new(8, 2); // 4 sets
+        // Three pcs in the same set (stride = sets * 4 bytes = 16).
+        let (a, b, c) = (0x100, 0x110, 0x120);
+        t.insert(a, 1u32);
+        t.insert(b, 2u32);
+        t.get(a); // b is now LRU
+        let evicted = t.insert(c, 3u32);
+        assert_eq!(evicted, Some((b, 2)));
+        assert!(t.peek(a).is_some());
+        assert!(t.peek(b).is_none());
+        assert!(t.peek(c).is_some());
+    }
+
+    #[test]
+    fn get_or_insert_with_defaults_once() {
+        let mut t = PcTable::new(8, 2);
+        *t.get_or_insert_with(0x100, || 0u32) += 1;
+        *t.get_or_insert_with(0x100, || 0u32) += 1;
+        assert_eq!(t.peek(0x100), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = PcTable::new(8, 2);
+        t.insert(0x100, 1u32);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut t = PcTable::new(8, 2);
+        let (a, b, c) = (0x100, 0x110, 0x120);
+        t.insert(a, 1u32);
+        t.insert(b, 2u32);
+        t.peek(a); // must NOT refresh a
+        let evicted = t.insert(c, 3u32);
+        assert_eq!(evicted, Some((a, 1)), "peek must not update recency");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        let _ = PcTable::<u32>::new(12, 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-benchmark execution characteristics.
+//!
+//! Table 1 of the paper gives, for each SPEC'95 program, the dynamic
+//! instruction count, the fraction of loads and stores, and the sampling
+//! ratio. The synthetic suite reproduces the load/store fractions
+//! exactly (they drive every experiment) and models each program's
+//! memory-dependence *character* — how often loads truly depend on
+//! recent stores, how late store data arrives, how much stack and
+//! pointer traffic there is — with the knobs below.
+
+/// A row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Dynamic instruction count of the original program, in millions.
+    pub ic_millions: f64,
+    /// Fraction of dynamic instructions that are loads.
+    pub loads: f64,
+    /// Fraction of dynamic instructions that are stores.
+    pub stores: f64,
+    /// The paper's timing:functional sampling ratio ("N/A" = no sampling).
+    pub sampling: &'static str,
+}
+
+/// The memory-dependence character of a benchmark, used by the workload
+/// generator to shape its instruction mix.
+///
+/// All `*_weight` fields are relative pattern weights (they need not sum
+/// to one); the generator picks patterns greedily to match the Table 1
+/// load/store fractions and uses the weights to choose among eligible
+/// patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Character {
+    /// Target fraction of loads (Table 1).
+    pub loads: f64,
+    /// Target fraction of stores (Table 1).
+    pub stores: f64,
+    /// Whether the benchmark is floating-point (uses FP loads/stores and
+    /// FP arithmetic chains).
+    pub fp: bool,
+    /// Weight of loop-carried store→load recurrences over a small set of
+    /// cells (the Figure 7 pattern; drives true dependences and naive
+    /// mis-speculation).
+    pub recurrence_weight: f64,
+    /// Weight of read-modify-write updates to pseudo-randomly indexed
+    /// histogram bins (occasional short-distance true dependences).
+    pub rmw_weight: f64,
+    /// Weight of call/return blocks with register save/restore stack
+    /// traffic (short-distance, quickly-resolved dependences).
+    pub stack_weight: f64,
+    /// Weight of streaming (dependence-free) loads.
+    pub stream_weight: f64,
+    /// Weight of pointer-chasing loads (serial address chains).
+    pub chase_weight: f64,
+    /// Weight of store→reload pairs: a store whose data arrives late,
+    /// reloaded from the same address a short (window-resident) distance
+    /// later — spill/refill and struct write-then-read traffic, the main
+    /// source of naive mis-speculation in codes without tight
+    /// recurrences.
+    pub reload_weight: f64,
+    /// Fraction of recurrence stores whose data hangs behind a
+    /// long-latency arithmetic chain (multiply/divide; FP chains when
+    /// `fp`). Late store data raises false-dependence resolution
+    /// latency and the cost of not speculating.
+    pub slow_store_frac: f64,
+    /// Data-dependent (hard-to-predict) branches per 100 instructions.
+    pub branchiness: f64,
+    /// Working-set size in bytes for the streamed arrays.
+    pub working_set: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Benchmark, SuiteParams};
+
+    #[test]
+    fn table1_fractions_are_sane() {
+        for b in Benchmark::ALL {
+            let row = b.table1();
+            assert!(row.loads > 0.1 && row.loads < 0.55, "{b}: loads {}", row.loads);
+            assert!(row.stores > 0.02 && row.stores < 0.30, "{b}: stores {}", row.stores);
+            assert!(row.ic_millions > 50.0);
+        }
+    }
+
+    #[test]
+    fn characters_follow_table1() {
+        for b in Benchmark::ALL {
+            let c = b.character();
+            let row = b.table1();
+            assert!((c.loads - row.loads).abs() < 1e-9, "{b}");
+            assert!((c.stores - row.stores).abs() < 1e-9, "{b}");
+            assert_eq!(c.fp, b.is_fp(), "{b}");
+        }
+    }
+
+    #[test]
+    fn params_presets_are_ordered() {
+        assert!(SuiteParams::tiny().dyn_target < SuiteParams::test().dyn_target);
+        assert!(SuiteParams::test().dyn_target <= SuiteParams::bench().dyn_target);
+    }
+}

@@ -1,0 +1,650 @@
+//! The synthetic workload generator.
+//!
+//! Builds a program whose dynamic instruction stream matches a target
+//! [`Character`]: the Table 1 load/store fractions exactly (by
+//! construction) and the benchmark's memory-dependence character through
+//! a weighted mix of micro-patterns:
+//!
+//! * **streaming** loads/stores — dependence-free array traffic;
+//! * **recurrences** — loop-carried store→load chains over a small set
+//!   of cells (the Figure 7 pattern), optionally with the store data
+//!   hanging behind a multiply/divide chain;
+//! * **read-modify-write** updates of pseudo-randomly indexed histogram
+//!   bins — occasional short-distance true dependences;
+//! * **call/return blocks** — register save/restore stack traffic;
+//! * **pointer chasing** — serial address chains;
+//! * **data-dependent branches** — hard-to-predict control flow.
+//!
+//! The generator is deterministic for a given seed.
+
+use crate::character::Character;
+use mds_isa::{Asm, IsaError, Label, Program, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dynamic instruction cost of one call/return block (jal + callee).
+const CALL_DYN_INSTS: u64 = 15;
+const CALL_LOADS: u64 = 3;
+const CALL_STORES: u64 = 3;
+
+/// Number of independent recurrence cells.
+const N_CELLS: i64 = 4;
+
+/// Histogram bins (power of two).
+const HIST_BINS: u64 = 2048;
+
+/// Pointer-chase ring nodes.
+const CHASE_NODES: u64 = 512;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pattern {
+    StreamLoad,
+    ChaseLoad,
+    /// A store; in FP programs a `slow` instance is a *compute-store*:
+    /// loads feed a deep multiply/divide chain whose result is stored.
+    /// Independent per instance, so it pipelines fully when loads may
+    /// issue early — and serializes iterations when they may not (the
+    /// paper's FP crater under `NAS/NO`).
+    StreamStore { slow: bool },
+    Recurrence { cell: i64, slow: bool },
+    Rmw,
+    StackCall,
+    /// The store half of a store→reload pair (data behind a multiply
+    /// chain); `off` is the pair's private slot in the B array.
+    ReloadStore { off: i64, slow: bool },
+    /// The load half; always emitted after its store.
+    ReloadLoad { off: i64 },
+    Branch,
+    Filler,
+}
+
+impl Pattern {
+    /// `(dynamic instructions, loads, stores)` contributed per execution.
+    fn cost(self, fp: bool) -> (u64, u64, u64) {
+        match self {
+            // FP streaming loads come in consumed pairs (two ldc1 feeding
+            // one add_d), as in real FP array kernels, so load latency is
+            // always on a consuming path and load-heavy codes like
+            // 145.fpppp (48.8% loads) remain constructible.
+            Pattern::StreamLoad if fp => (3, 2, 0),
+            Pattern::StreamLoad | Pattern::ChaseLoad => (1, 1, 0),
+            Pattern::StreamStore { slow: true } if fp => (5, 2, 1),
+            Pattern::StreamStore { .. } => (1, 0, 1),
+            Pattern::Recurrence { slow, .. } => {
+                let extra = if slow { 2 } else { 0 };
+                let _ = fp; // int and fp recurrences have equal length
+                (3 + extra, 1, 1)
+            }
+            Pattern::Rmw => (6, 1, 1),
+            Pattern::ReloadStore { slow, .. } if fp => (if slow { 4 } else { 1 }, if slow { 1 } else { 0 }, 1),
+            Pattern::ReloadStore { slow, .. } => (if slow { 3 } else { 1 }, 0, 1),
+            Pattern::ReloadLoad { .. } => (1, 1, 0),
+            Pattern::StackCall => (CALL_DYN_INSTS, CALL_LOADS, CALL_STORES),
+            Pattern::Branch => (2, 0, 0),
+            Pattern::Filler => (1, 0, 0),
+        }
+    }
+}
+
+/// Register conventions used by generated programs.
+mod regs {
+    use mds_isa::Reg;
+    pub fn arr_a() -> Reg { Reg::int(1) }
+    pub fn arr_b() -> Reg { Reg::int(2) }
+    pub fn hist() -> Reg { Reg::int(3) }
+    pub fn cells() -> Reg { Reg::int(4) }
+    pub fn chase() -> Reg { Reg::int(5) }
+    pub fn index() -> Reg { Reg::int(6) }
+    pub fn counter() -> Reg { Reg::int(7) }
+    pub fn ptr_a() -> Reg { Reg::int(8) }
+    pub fn ptr_b() -> Reg { Reg::int(9) }
+    pub fn konst() -> Reg { Reg::int(16) }
+    pub fn fodder() -> Reg { Reg::int(17) }
+    pub fn save0() -> Reg { Reg::int(18) }
+    pub fn save1() -> Reg { Reg::int(19) }
+}
+
+/// Builds the program for `character` sized to roughly `dyn_target`
+/// dynamic instructions.
+///
+/// # Errors
+///
+/// Propagates assembler errors (which indicate a generator bug).
+pub(crate) fn build_program(
+    character: &Character,
+    dyn_target: u64,
+    seed: u64,
+) -> Result<Program, IsaError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = plan_body(character, &mut rng);
+
+    let mut a = Asm::new();
+    let layout = DataLayout::allocate(&mut a, character, &mut rng);
+
+    // Loop overhead: per-iteration prologue (4) + counter + branch (2).
+    let body_dyn: u64 = plan.iter().map(|p| p.cost(character.fp).0).sum::<u64>() + 6;
+    let iterations = (dyn_target / body_dyn).max(1);
+
+    emit_init(&mut a, &layout, iterations);
+    let skip_callee = a.label();
+    a.j(skip_callee);
+    let callee = emit_callee(&mut a);
+    a.bind(skip_callee);
+
+    let top = a.label();
+    a.bind(top);
+    emit_iteration_prologue(&mut a, character);
+    let mut scratch = ScratchPool::new();
+    for &p in &plan {
+        emit_pattern(&mut a, p, character, callee, &mut scratch, &mut rng);
+    }
+    a.addi(regs::counter(), regs::counter(), -1);
+    a.bgtz(regs::counter(), top);
+    a.halt();
+    a.assemble()
+}
+
+/// Chooses the multiset of patterns for one loop body so the dynamic
+/// load/store fractions match the character, then shuffles them.
+fn plan_body(c: &Character, rng: &mut StdRng) -> Vec<Pattern> {
+    const BODY: f64 = 300.0;
+    let n_stores = (c.stores * BODY).round() as u64;
+    let n_branches = ((c.branchiness / 100.0) * BODY).round() as u64;
+
+    struct Acc {
+        loads: u64,
+        stores: u64,
+        insts: u64,
+    }
+    let mut acc = Acc { loads: 0, stores: 0, insts: 0 };
+    let mut patterns: Vec<Pattern> = Vec::new();
+    fn push(p: Pattern, fp: bool, patterns: &mut Vec<Pattern>, acc: &mut Acc) {
+        let (i, l, s) = p.cost(fp);
+        patterns.push(p);
+        acc.loads += l;
+        acc.stores += s;
+        acc.insts += i;
+    }
+
+    // 1. Spend the store budget across store-bearing patterns by weight.
+    let wsum = c.recurrence_weight
+        + c.rmw_weight
+        + c.stack_weight
+        + c.stream_weight
+        + c.reload_weight;
+    let mut spent_stores = 0u64;
+    let mut next_reload_off = 0i64;
+    while spent_stores < n_stores {
+        let x: f64 = rng.gen::<f64>() * wsum;
+        if x >= wsum - c.reload_weight {
+            let off = 1024 + next_reload_off * 8; // private slot per pair
+            next_reload_off += 1;
+            let slow = rng.gen::<f64>() < c.slow_store_frac.max(0.35);
+            push(Pattern::ReloadStore { off, slow }, c.fp, &mut patterns, &mut acc);
+            push(Pattern::ReloadLoad { off }, c.fp, &mut patterns, &mut acc);
+            spent_stores += 1;
+        } else if x < c.recurrence_weight {
+            let cell = rng.gen_range(0..N_CELLS);
+            let slow = rng.gen::<f64>() < c.slow_store_frac;
+            push(Pattern::Recurrence { cell, slow }, c.fp, &mut patterns, &mut acc);
+            spent_stores += 1;
+        } else if x < c.recurrence_weight + c.rmw_weight {
+            push(Pattern::Rmw, c.fp, &mut patterns, &mut acc);
+            spent_stores += 1;
+        } else if x < c.recurrence_weight + c.rmw_weight + c.stack_weight {
+            if spent_stores + CALL_STORES <= n_stores + 1 {
+                push(Pattern::StackCall, c.fp, &mut patterns, &mut acc);
+                spent_stores += CALL_STORES;
+            } else {
+                let slow = rng.gen::<f64>() < c.slow_store_frac;
+                push(Pattern::StreamStore { slow }, c.fp, &mut patterns, &mut acc);
+                spent_stores += 1;
+            }
+        } else {
+            let slow = rng.gen::<f64>() < c.slow_store_frac;
+            push(Pattern::StreamStore { slow }, c.fp, &mut patterns, &mut acc);
+            spent_stores += 1;
+        }
+    }
+
+    // 2. Branches (fixed per-body count).
+    for _ in 0..n_branches {
+        push(Pattern::Branch, c.fp, &mut patterns, &mut acc);
+    }
+
+    // 3. Remaining loads. The body size follows from the store budget
+    // (store patterns have fixed instruction costs), and loads fill in
+    // until their fraction of that size is met.
+    let total_target = (acc.stores as f64 / c.stores).round() as u64;
+    let n_loads = (c.loads * total_target as f64).round() as u64;
+    let chase_sum = c.stream_weight + c.chase_weight;
+    while acc.loads < n_loads {
+        let x: f64 = rng.gen::<f64>() * chase_sum.max(1e-9);
+        if x < c.chase_weight && !c.fp {
+            push(Pattern::ChaseLoad, c.fp, &mut patterns, &mut acc);
+        } else {
+            push(Pattern::StreamLoad, c.fp, &mut patterns, &mut acc);
+        }
+    }
+
+    // 4. Filler so that loads/insts lands on the target fraction. If the
+    // pattern costs overshoot the target total, the fractions come out
+    // proportionally low; the characters are chosen to stay feasible.
+    let want_total = total_target.max((acc.loads as f64 / c.loads).round() as u64);
+    while acc.insts + 6 < want_total {
+        push(Pattern::Filler, c.fp, &mut patterns, &mut acc);
+    }
+
+    // Shuffle for interleaving (Fisher–Yates with the seeded rng).
+    for i in (1..patterns.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        patterns.swap(i, j);
+    }
+    // Place each reload's load a short, window-resident distance after
+    // its store: these pairs are the spill/refill-style dependences that
+    // trip naive speculation (the store's data is still in flight when
+    // the load's address is ready).
+    let loads: Vec<i64> = patterns
+        .iter()
+        .filter_map(|p| match p {
+            Pattern::ReloadLoad { off } => Some(*off),
+            _ => None,
+        })
+        .collect();
+    patterns.retain(|p| !matches!(p, Pattern::ReloadLoad { .. }));
+    for off in loads {
+        let store_idx = patterns
+            .iter()
+            .position(|p| matches!(p, Pattern::ReloadStore { off: o, .. } if *o == off))
+            .expect("reload store exists");
+        let gap = rng.gen_range(2..12);
+        let at = (store_idx + gap).min(patterns.len());
+        patterns.insert(at, Pattern::ReloadLoad { off });
+    }
+    patterns
+}
+
+struct DataLayout {
+    arr_a: u64,
+    arr_b: u64,
+    hist: u64,
+    cells: u64,
+    chase: u64,
+    stack_top: u64,
+}
+
+impl DataLayout {
+    fn allocate(a: &mut Asm, c: &Character, rng: &mut StdRng) -> DataLayout {
+        let ws = c.working_set.next_power_of_two().max(4096);
+        let arr_a = a.alloc_data(ws + 4096, 64);
+        let arr_b = a.alloc_data(ws + 4096, 64);
+        let hist = a.alloc_data(HIST_BINS * 4, 64);
+        let cells = a.alloc_data(N_CELLS as u64 * 8, 64);
+        let chase = a.alloc_data(CHASE_NODES * 16, 64);
+        let stack = a.alloc_data(64 * 1024, 64);
+
+        // Seed array A with pseudo-random values (branch fodder and
+        // histogram indices).
+        for off in (0..ws + 4096).step_by(4) {
+            a.init_u32(arr_a + off, rng.gen());
+        }
+        for k in 0..N_CELLS as u64 {
+            a.init_u64(cells + 8 * k, 1 + k);
+        }
+        // Pointer-chase ring: one cycle through a random permutation.
+        let mut order: Vec<u64> = (0..CHASE_NODES).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for w in 0..CHASE_NODES as usize {
+            let from = order[w];
+            let to = order[(w + 1) % CHASE_NODES as usize];
+            a.init_u32(chase + 16 * from, (chase + 16 * to) as u32);
+        }
+
+        DataLayout {
+            arr_a,
+            arr_b,
+            hist,
+            cells,
+            chase,
+            stack_top: stack + 64 * 1024 - 256,
+        }
+    }
+}
+
+fn emit_init(a: &mut Asm, layout: &DataLayout, iterations: u64) {
+    a.li(regs::arr_a(), layout.arr_a as i64);
+    a.li(regs::arr_b(), layout.arr_b as i64);
+    a.li(regs::hist(), layout.hist as i64);
+    a.li(regs::cells(), layout.cells as i64);
+    a.li(regs::chase(), layout.chase as i64);
+    a.li(Reg::SP, layout.stack_top as i64);
+    a.li(regs::index(), 0);
+    a.li(regs::counter(), iterations as i64);
+    a.li(regs::konst(), 3);
+    a.li(regs::fodder(), 1);
+    a.li(regs::save0(), 7);
+    a.li(regs::save1(), 9);
+    a.li(Reg::int(28), 11);
+    // FP constants: f8 = 1.0 (recurrence step), f9 = running value.
+    let fp_const = a.alloc_data(16, 8);
+    a.init_f64(fp_const, 1.0);
+    a.init_f64(fp_const + 8, 1.000_000_1);
+    a.li(Reg::int(20), fp_const as i64);
+    a.ldc1(Reg::fp(8), Reg::int(20), 0);
+    a.ldc1(Reg::fp(10), Reg::int(20), 8);
+    for k in 11..=15 {
+        a.mov_d(Reg::fp(k), Reg::fp(8));
+    }
+}
+
+/// The shared callee: save two registers and the branch fodder to the
+/// stack, run a short body, reload them, return. 16 dynamic
+/// instructions plus the call itself.
+fn emit_callee(a: &mut Asm) -> Label {
+    let entry = a.label();
+    a.bind(entry);
+    a.addi(Reg::SP, Reg::SP, -32);
+    a.sw(regs::save0(), Reg::SP, 0);
+    a.sw(regs::save1(), Reg::SP, 4);
+    a.sw(Reg::int(28), Reg::SP, 8);
+    // Function body: real callees compute between the prologue spill and
+    // the epilogue reload, giving the spills time to drain (an immediate
+    // reload would mis-speculate on every call under naive speculation).
+    for k in 0..4 {
+        a.addi(Reg::int(27), Reg::int(27), 1 + k);
+    }
+    a.lw(regs::save0(), Reg::SP, 0);
+    a.lw(regs::save1(), Reg::SP, 4);
+    a.lw(Reg::int(28), Reg::SP, 8);
+    a.addi(Reg::SP, Reg::SP, 32);
+    a.jr(Reg::RA);
+    entry
+}
+
+fn emit_iteration_prologue(a: &mut Asm, c: &Character) {
+    // Advance the streaming index by one cache line and wrap.
+    a.addi(regs::index(), regs::index(), 64);
+    a.andi(regs::index(), regs::index(), c.working_set.next_power_of_two().max(4096) as i64 - 1);
+    a.add(regs::ptr_a(), regs::arr_a(), regs::index());
+    a.add(regs::ptr_b(), regs::arr_b(), regs::index());
+}
+
+/// Cycles through scratch registers so consecutive patterns are
+/// register-independent.
+struct ScratchPool {
+    next_int: usize,
+    next_fp: usize,
+    next_acc: usize,
+}
+
+impl ScratchPool {
+    fn new() -> ScratchPool {
+        ScratchPool { next_int: 0, next_fp: 0, next_acc: 0 }
+    }
+
+    /// Rotating FP accumulators (f11..f15): five independent chains so
+    /// filler arithmetic does not collapse into one serial dependence.
+    fn fp_acc(&mut self) -> Reg {
+        let r = Reg::fp(11 + (self.next_acc % 5) as u8);
+        self.next_acc += 1;
+        r
+    }
+
+    fn int(&mut self) -> Reg {
+        const POOL: [u8; 6] = [21, 22, 23, 24, 25, 26];
+        let r = Reg::int(POOL[self.next_int % POOL.len()]);
+        self.next_int += 1;
+        r
+    }
+
+    fn fp(&mut self) -> Reg {
+        let r = Reg::fp((self.next_fp % 6) as u8);
+        self.next_fp += 1;
+        r
+    }
+
+}
+
+fn emit_pattern(
+    a: &mut Asm,
+    p: Pattern,
+    c: &Character,
+    callee: Label,
+    scratch: &mut ScratchPool,
+    rng: &mut StdRng,
+) {
+    // Random in-line offset within one cache line region above the
+    // moving pointer (keeps accesses inside the array slack).
+    let line_off = |rng: &mut StdRng, align: i64| -> i64 {
+        let max = 4096 / align;
+        rng.gen_range(0..max) * align
+    };
+    match p {
+        Pattern::StreamLoad => {
+            if c.fp {
+                let f1 = scratch.fp();
+                let f2 = scratch.fp();
+                let t = scratch.fp();
+                a.ldc1(f1, regs::ptr_a(), line_off(rng, 8));
+                a.ldc1(f2, regs::ptr_a(), line_off(rng, 8));
+                a.add_d(t, f1, f2); // consume both loads
+            } else {
+                // Refresh the branch fodder so branches stay data-driven.
+                a.lw(regs::fodder(), regs::ptr_a(), line_off(rng, 4));
+            }
+        }
+        Pattern::ChaseLoad => {
+            a.lw(regs::chase(), regs::chase(), 0);
+        }
+        Pattern::StreamStore { slow } => {
+            if c.fp {
+                if slow {
+                    // Compute-store: two loads feed a deep, per-instance
+                    // FP chain whose result is stored (mul 5 + div 15).
+                    let f1 = scratch.fp();
+                    let f2 = scratch.fp();
+                    a.ldc1(f1, regs::ptr_a(), line_off(rng, 8));
+                    a.ldc1(f2, regs::ptr_a(), line_off(rng, 8));
+                    a.mul_d(f1, f1, f2);
+                    a.div_d(f1, f1, Reg::fp(10));
+                    a.sdc1(f1, regs::ptr_b(), line_off(rng, 8));
+                } else {
+                    let acc = scratch.fp_acc();
+                    a.sdc1(acc, regs::ptr_b(), line_off(rng, 8));
+                }
+            } else {
+                a.sw(regs::fodder(), regs::ptr_b(), line_off(rng, 4));
+            }
+        }
+        Pattern::Recurrence { cell, slow } => {
+            let off = cell * 8;
+            if c.fp {
+                let f = scratch.fp();
+                a.ldc1(f, regs::cells(), off);
+                if slow {
+                    a.div_d(f, f, Reg::fp(10)); // 15-cycle chain
+                    a.add_d(f, f, Reg::fp(8));
+                } else {
+                    a.add_d(f, f, Reg::fp(8));
+                }
+                a.sdc1(f, regs::cells(), off);
+            } else {
+                let t = scratch.int();
+                a.lw(t, regs::cells(), off);
+                if slow {
+                    a.mult(t, regs::konst()); // 4-cycle chain
+                    a.mflo(t);
+                    a.addi(t, t, 1);
+                } else {
+                    a.addi(t, t, 1);
+                }
+                a.sw(t, regs::cells(), off);
+            }
+        }
+        Pattern::Rmw => {
+            // Index the histogram with the most recent streamed value so
+            // the bin address is ready shortly after dispatch (real hash
+            // codes hoist the index computation). A per-instance constant
+            // decorrelates neighbouring updates: without it, adjacent
+            // patterns sharing one fodder value would always collide.
+            let (t, u) = (scratch.int(), scratch.int());
+            let salt = (rng.gen_range(0..HIST_BINS as i64)) << 2;
+            a.andi(t, regs::fodder(), ((HIST_BINS - 1) << 2) as i64);
+            a.xori(t, t, salt);
+            a.add(t, regs::hist(), t);
+            a.lw(u, t, 0);
+            a.addi(u, u, 1);
+            a.sw(u, t, 0);
+        }
+        Pattern::StackCall => {
+            a.jal(callee);
+        }
+        Pattern::ReloadStore { off, slow } => {
+            if c.fp {
+                if slow {
+                    // FP spill off the end of a deep chain fed by a load.
+                    let f = scratch.fp();
+                    a.ldc1(f, regs::ptr_a(), line_off(rng, 8));
+                    a.mul_d(f, f, Reg::fp(8));
+                    a.div_d(f, f, Reg::fp(10));
+                    a.sdc1(f, regs::ptr_b(), off);
+                } else {
+                    let acc = scratch.fp_acc();
+                    a.sdc1(acc, regs::ptr_b(), off);
+                }
+            } else if slow {
+                let t = scratch.int();
+                a.mult(regs::fodder(), regs::konst());
+                a.mflo(t);
+                a.sw(t, regs::ptr_b(), off);
+            } else {
+                a.sw(regs::fodder(), regs::ptr_b(), off);
+            }
+        }
+        Pattern::ReloadLoad { off } => {
+            if c.fp {
+                let f = scratch.fp();
+                a.ldc1(f, regs::ptr_b(), off);
+            } else {
+                let t = scratch.int();
+                a.lw(t, regs::ptr_b(), off);
+            }
+        }
+        Pattern::Branch => {
+            let t = scratch.int();
+            let skip = a.label();
+            a.andi(t, regs::fodder(), 1 << (rng.gen_range(0..4)));
+            a.bgtz(t, skip);
+            a.bind(skip); // taken and fall-through meet immediately
+        }
+        Pattern::Filler => {
+            if c.fp && rng.gen::<f64>() < 0.5 {
+                let acc = scratch.fp_acc();
+                a.add_d(acc, acc, Reg::fp(8));
+            } else {
+                let t = scratch.int();
+                a.addi(t, t, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::Interpreter;
+
+    fn test_character(fp: bool) -> Character {
+        Character {
+            loads: 0.25,
+            stores: 0.12,
+            fp,
+            recurrence_weight: 1.0,
+            rmw_weight: 1.0,
+            stack_weight: 1.0,
+            stream_weight: 2.0,
+            chase_weight: 0.5,
+            reload_weight: 1.0,
+            slow_store_frac: 0.3,
+            branchiness: 2.0,
+            working_set: 64 * 1024,
+        }
+    }
+
+    #[test]
+    fn generated_program_runs_to_halt() {
+        let p = build_program(&test_character(false), 20_000, 42).unwrap();
+        let t = Interpreter::new(p).run(200_000).unwrap();
+        assert!(t.completed());
+        assert!(t.len() > 10_000, "got {} dynamic instructions", t.len());
+    }
+
+    #[test]
+    fn fractions_match_character() {
+        for fp in [false, true] {
+            let c = test_character(fp);
+            let p = build_program(&c, 40_000, 7).unwrap();
+            let t = Interpreter::new(p).run(400_000).unwrap();
+            let lf = t.counts().load_fraction();
+            let sf = t.counts().store_fraction();
+            assert!((lf - c.loads).abs() < 0.03, "fp={fp}: load fraction {lf} vs {}", c.loads);
+            assert!((sf - c.stores).abs() < 0.03, "fp={fp}: store fraction {sf} vs {}", c.stores);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = test_character(false);
+        let t1 = Interpreter::new(build_program(&c, 10_000, 5).unwrap()).run(100_000).unwrap();
+        let t2 = Interpreter::new(build_program(&c, 10_000, 5).unwrap()).run(100_000).unwrap();
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t1.records()[100], t2.records()[100]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = test_character(false);
+        let p1 = build_program(&c, 10_000, 5).unwrap();
+        let p2 = build_program(&c, 10_000, 6).unwrap();
+        assert_ne!(p1.len(), 0);
+        // Same shape but different pattern interleavings.
+        let same = p1.insts().iter().zip(p2.insts().iter()).filter(|(a, b)| a == b).count();
+        assert!(same < p1.len().min(p2.len()), "seeds produced identical programs");
+    }
+
+    #[test]
+    fn fp_character_emits_fp_ops() {
+        let c = test_character(true);
+        let p = build_program(&c, 10_000, 3).unwrap();
+        let t = Interpreter::new(p).run(100_000).unwrap();
+        assert!(t.counts().fp_ops > 100, "fp benchmark must execute fp arithmetic");
+    }
+
+    #[test]
+    fn dyn_target_is_roughly_respected() {
+        let c = test_character(false);
+        for target in [5_000u64, 50_000] {
+            let t = Interpreter::new(build_program(&c, target, 1).unwrap())
+                .run(10 * target)
+                .unwrap();
+            let ratio = t.len() as f64 / target as f64;
+            assert!((0.5..2.0).contains(&ratio), "target {target}: got {}", t.len());
+        }
+    }
+
+    #[test]
+    fn branches_are_present_and_data_dependent() {
+        let c = test_character(false);
+        let t = Interpreter::new(build_program(&c, 30_000, 9).unwrap()).run(300_000).unwrap();
+        let taken = t.counts().taken_branches as f64;
+        let total = t.counts().branches as f64;
+        assert!(total > 100.0);
+        // The loop-closing branch is almost always taken; the fodder
+        // branches vary, so the overall ratio sits strictly inside (0,1).
+        let ratio = taken / total;
+        assert!(ratio > 0.05 && ratio < 0.999, "taken ratio {ratio}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Named micro-kernels: small, self-contained programs with known
+//! memory-dependence structure, used throughout the tests, examples and
+//! documentation. Each returns an assembled [`Program`].
+
+use mds_isa::{Asm, IsaError, Program, Reg};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// The paper's Figure 7 loop: `a[i] = a[i-1] + k` — a loop-carried
+/// store→load recurrence one element apart. `slow` routes the stored
+/// value through a multiply, delaying the store's data as in
+/// pointer-heavy codes.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+pub fn figure7_recurrence(iters: u32, slow: bool) -> Result<Program, IsaError> {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(8 * (iters as u64 + 2), 8);
+    let (i, n, base, k, t, v, c) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+    a.li(i, 1);
+    a.li(n, iters as i64 + 1);
+    a.li(base, arr as i64);
+    a.li(k, 3);
+    let top = a.label();
+    a.bind(top);
+    a.sll(t, i, 3);
+    a.add(t, base, t);
+    a.lw(v, t, -8);
+    if slow {
+        a.mult(v, k);
+        a.mflo(v);
+    } else {
+        a.add(v, v, k);
+    }
+    a.sw(v, t, 0);
+    a.addi(i, i, 1);
+    a.slt(c, i, n);
+    a.bgtz(c, top);
+    a.halt();
+    a.assemble()
+}
+
+/// The Figure 7 recurrence unrolled so each 8-instruction step carries
+/// its addresses as constants, with the load early and the (slow-data)
+/// store late — the shape that defeats address-based scheduling under a
+/// split window when `task_size` equals the step length (Section 3.7).
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+pub fn unrolled_recurrence(steps: u32) -> Result<Program, IsaError> {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4 * (steps as u64 + 2), 8);
+    let (base, three, v) = (r(1), r(2), r(4));
+    a.li(base, arr as i64);
+    a.li(three, 3);
+    a.li(r(3), 17);
+    a.sw(r(3), base, 0);
+    a.nop();
+    a.nop();
+    a.nop();
+    a.nop(); // align the first step to an 8-instruction task boundary
+    for j in 0..steps as i64 {
+        a.lw(v, base, 4 * j);
+        a.mult(v, three);
+        a.mflo(v);
+        a.addi(v, v, 1);
+        a.addi(r(10), r(10), 1);
+        a.addi(r(11), r(11), 1);
+        a.addi(r(12), r(12), 1);
+        a.sw(v, base, 4 * (j + 1));
+    }
+    a.halt();
+    a.assemble()
+}
+
+/// A pointer chase over a shuffled ring of `nodes` nodes, taking `steps`
+/// hops — serial address chains with no memory dependences.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn pointer_chase(nodes: u32, steps: u32) -> Result<Program, IsaError> {
+    assert!(nodes > 0, "need at least one node");
+    let mut a = Asm::new();
+    let heap = a.alloc_data(16 * nodes as u64, 64);
+    // Deterministic shuffle: node i -> (i * 7 + 3) % nodes (7 coprime to
+    // any power-of-two-ish count keeps one cycle for most sizes; fall
+    // back to i+1 ring if not coprime).
+    let next = |i: u64| -> u64 {
+        if nodes.is_multiple_of(7) {
+            (i + 1) % nodes as u64
+        } else {
+            (i * 7 + 3) % nodes as u64
+        }
+    };
+    for i in 0..nodes as u64 {
+        a.init_u32(heap + 16 * i, (heap + 16 * next(i)) as u32);
+    }
+    let (p, cnt) = (r(1), r(9));
+    a.li(p, heap as i64);
+    a.li(cnt, steps as i64);
+    let top = a.label();
+    a.bind(top);
+    a.lw(p, p, 0);
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    a.assemble()
+}
+
+/// Histogram updates: `updates` read-modify-writes to pseudo-random
+/// bins out of `bins` (power of two) — occasional short-distance true
+/// dependences when bins collide, the `129.compress` pattern.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+///
+/// # Panics
+///
+/// Panics if `bins` is not a power of two.
+pub fn histogram(updates: u32, bins: u32) -> Result<Program, IsaError> {
+    assert!(bins.is_power_of_two(), "bins must be a power of two");
+    let mut a = Asm::new();
+    let hist = a.alloc_data(4 * bins as u64, 64);
+    let (h, x, xprev, t, t2, u, three, cnt) =
+        (r(1), r(2), r(5), r(3), r(6), r(4), r(7), r(9));
+    a.li(h, hist as i64);
+    a.li(x, 0x243F_6A88); // pi bits as the mixing seed
+    a.li(xprev, 0x243F_6A88);
+    a.li(three, 3);
+    a.li(cnt, updates as i64);
+    let top = a.label();
+    a.bind(top);
+    // The bin index uses the value computed LAST iteration (software
+    // pipelining), so the load's address is ready at iteration start
+    // while the previous update's store data is still in its multiply
+    // chain — the collision-mis-speculation structure of hash codes.
+    a.srl(t, xprev, 12);
+    a.andi(t, t, ((bins - 1) << 2) as i64);
+    a.add(t, h, t);
+    a.lw(u, t, 0);
+    a.mult(u, three); // slow update
+    a.mflo(u);
+    a.addi(u, u, 1);
+    a.sw(u, t, 0);
+    // Advance the LCG for the next iteration, off the critical path.
+    a.mov(xprev, x);
+    a.li(t2, 1_664_525);
+    a.mult(x, t2);
+    a.mflo(x);
+    a.addi(x, x, 1_013_904_223);
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    a.assemble()
+}
+
+/// Dependence-free streaming: sums `elems` words of an array — the
+/// all-loads, no-conflicts baseline.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+pub fn streaming_sum(elems: u32) -> Result<Program, IsaError> {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4 * elems as u64 + 64, 64);
+    for i in 0..elems as u64 {
+        a.init_u32(arr + 4 * i, (i * 2_654_435_761) as u32);
+    }
+    let (base, sum, t, cnt) = (r(1), r(2), r(3), r(9));
+    a.li(base, arr as i64);
+    a.li(cnt, elems as i64);
+    let top = a.label();
+    a.bind(top);
+    a.lw(t, base, 0);
+    a.add(sum, sum, t);
+    a.addi(base, base, 4);
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    a.assemble()
+}
+
+/// Call-heavy code: `calls` invocations of a callee that spills and
+/// reloads three registers around a short body — the stack traffic of
+/// `126.gcc`-class programs.
+///
+/// # Errors
+///
+/// Propagates assembler errors (a kernel bug).
+pub fn call_storm(calls: u32) -> Result<Program, IsaError> {
+    let mut a = Asm::new();
+    let stack = a.alloc_data(64 * 1024, 64);
+    a.li(Reg::SP, (stack + 64 * 1024 - 256) as i64);
+    a.li(r(20), 7);
+    a.li(r(21), 9);
+    a.li(r(9), calls as i64);
+    let callee = a.label();
+    let top = a.label();
+    let start = a.label();
+    a.j(start);
+    a.bind(callee);
+    a.addi(Reg::SP, Reg::SP, -16);
+    a.sw(r(20), Reg::SP, 0);
+    a.sw(r(21), Reg::SP, 4);
+    a.addi(r(20), r(20), 1);
+    a.addi(r(21), r(21), 2);
+    a.lw(r(20), Reg::SP, 0);
+    a.lw(r(21), Reg::SP, 4);
+    a.addi(Reg::SP, Reg::SP, 16);
+    a.jr(Reg::RA);
+    a.bind(start);
+    a.bind(top);
+    a.jal(callee);
+    a.addi(r(9), r(9), -1);
+    a.bgtz(r(9), top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::Interpreter;
+
+    fn run(p: Program) -> mds_isa::Trace {
+        Interpreter::new(p).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn figure7_counts() {
+        let t = run(figure7_recurrence(100, false).unwrap());
+        assert!(t.completed());
+        assert_eq!(t.counts().loads, 100);
+        assert_eq!(t.counts().stores, 100);
+    }
+
+    #[test]
+    fn figure7_slow_variant_is_longer() {
+        let fast = run(figure7_recurrence(50, false).unwrap());
+        let slow = run(figure7_recurrence(50, true).unwrap());
+        assert!(slow.len() > fast.len());
+    }
+
+    #[test]
+    fn unrolled_recurrence_steps_are_eight_instructions() {
+        let t = run(unrolled_recurrence(32).unwrap());
+        assert!(t.completed());
+        assert_eq!(t.counts().loads, 32);
+        assert_eq!(t.counts().stores, 33); // + the seed store
+    }
+
+    #[test]
+    fn pointer_chase_visits_steps_nodes() {
+        let t = run(pointer_chase(64, 500).unwrap());
+        assert!(t.completed());
+        assert_eq!(t.counts().loads, 500);
+        // The ring permutation keeps every next-pointer inside the heap.
+        for (i, rec) in t.records().iter().enumerate() {
+            if t.program().inst(rec.sidx).op.is_load() {
+                assert!(rec.value != 0, "node {i} has a null next pointer");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_reads_and_writes_pair_up() {
+        let t = run(histogram(300, 64).unwrap());
+        assert!(t.completed());
+        assert_eq!(t.counts().loads, 300);
+        assert_eq!(t.counts().stores, 300);
+    }
+
+    #[test]
+    fn streaming_sum_loads_every_element() {
+        let t = run(streaming_sum(256).unwrap());
+        assert_eq!(t.counts().loads, 256);
+        assert_eq!(t.counts().stores, 0);
+    }
+
+    #[test]
+    fn call_storm_balances_spills_and_reloads() {
+        let t = run(call_storm(100).unwrap());
+        assert!(t.completed());
+        assert_eq!(t.counts().loads, 200);
+        assert_eq!(t.counts().stores, 200);
+    }
+}

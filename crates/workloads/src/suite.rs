@@ -1,0 +1,345 @@
+//! The 18-benchmark synthetic SPEC'95 suite.
+
+use crate::character::{Character, Table1Row};
+use crate::generator::build_program;
+use mds_isa::{Interpreter, IsaError, Program, Trace};
+use std::fmt;
+
+/// One synthetic benchmark, named after the SPEC'95 program whose
+/// Table 1 characteristics it reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror the SPEC'95 programs
+pub enum Benchmark {
+    // SPECint'95
+    Go,
+    M88ksim,
+    Gcc,
+    Compress,
+    Li,
+    Ijpeg,
+    Perl,
+    Vortex,
+    // SPECfp'95
+    Tomcatv,
+    Swim,
+    Su2cor,
+    Hydro2d,
+    Mgrid,
+    Applu,
+    Turb3d,
+    Apsi,
+    Fpppp,
+    Wave5,
+}
+
+/// Sizing parameters for the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteParams {
+    /// Approximate dynamic instructions to simulate per benchmark.
+    pub dyn_target: u64,
+    /// Seed for the workload generator (addresses, interleavings).
+    pub seed: u64,
+    /// Interpreter step limit (guards against generator bugs).
+    pub max_steps: u64,
+}
+
+impl SuiteParams {
+    /// Minimal sizing for doctests and smoke tests (~4k instructions).
+    pub fn tiny() -> SuiteParams {
+        SuiteParams { dyn_target: 4_000, seed: 0xB5, max_steps: 100_000 }
+    }
+
+    /// Test sizing (~20k instructions).
+    pub fn test() -> SuiteParams {
+        SuiteParams { dyn_target: 20_000, seed: 0xB5, max_steps: 500_000 }
+    }
+
+    /// Benchmark sizing (~60k instructions), the default for regenerating
+    /// the paper's tables and figures.
+    pub fn bench() -> SuiteParams {
+        SuiteParams { dyn_target: 60_000, seed: 0xB5, max_steps: 2_000_000 }
+    }
+}
+
+impl Default for SuiteParams {
+    fn default() -> SuiteParams {
+        SuiteParams::bench()
+    }
+}
+
+impl Benchmark {
+    /// Every benchmark, integer programs first (Table 1 order).
+    pub const ALL: [Benchmark; 18] = [
+        Benchmark::Go,
+        Benchmark::M88ksim,
+        Benchmark::Gcc,
+        Benchmark::Compress,
+        Benchmark::Li,
+        Benchmark::Ijpeg,
+        Benchmark::Perl,
+        Benchmark::Vortex,
+        Benchmark::Tomcatv,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Hydro2d,
+        Benchmark::Mgrid,
+        Benchmark::Applu,
+        Benchmark::Turb3d,
+        Benchmark::Apsi,
+        Benchmark::Fpppp,
+        Benchmark::Wave5,
+    ];
+
+    /// The SPECint'95 subset.
+    pub const INT: [Benchmark; 8] = [
+        Benchmark::Go,
+        Benchmark::M88ksim,
+        Benchmark::Gcc,
+        Benchmark::Compress,
+        Benchmark::Li,
+        Benchmark::Ijpeg,
+        Benchmark::Perl,
+        Benchmark::Vortex,
+    ];
+
+    /// The SPECfp'95 subset.
+    pub const FP: [Benchmark; 10] = [
+        Benchmark::Tomcatv,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Hydro2d,
+        Benchmark::Mgrid,
+        Benchmark::Applu,
+        Benchmark::Turb3d,
+        Benchmark::Apsi,
+        Benchmark::Fpppp,
+        Benchmark::Wave5,
+    ];
+
+    /// The full SPEC'95 name, e.g. `126.gcc`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Go => "099.go",
+            Benchmark::M88ksim => "124.m88ksim",
+            Benchmark::Gcc => "126.gcc",
+            Benchmark::Compress => "129.compress",
+            Benchmark::Li => "130.li",
+            Benchmark::Ijpeg => "132.ijpeg",
+            Benchmark::Perl => "134.perl",
+            Benchmark::Vortex => "147.vortex",
+            Benchmark::Tomcatv => "101.tomcatv",
+            Benchmark::Swim => "102.swim",
+            Benchmark::Su2cor => "103.su2cor",
+            Benchmark::Hydro2d => "104.hydro2d",
+            Benchmark::Mgrid => "107.mgrid",
+            Benchmark::Applu => "110.applu",
+            Benchmark::Turb3d => "125.turb3d",
+            Benchmark::Apsi => "141.apsi",
+            Benchmark::Fpppp => "145.fpppp",
+            Benchmark::Wave5 => "146.wave5",
+        }
+    }
+
+    /// The short numeric label the paper uses in its tables, e.g. `126`.
+    pub fn number(self) -> &'static str {
+        &self.name()[..3]
+    }
+
+    /// Whether this is a SPECfp'95 program.
+    pub fn is_fp(self) -> bool {
+        Benchmark::FP.contains(&self)
+    }
+
+    /// The paper's Table 1 row for this program.
+    pub fn table1(self) -> Table1Row {
+        // (IC millions, loads, stores, sampling ratio) from Table 1.
+        let (ic, l, s, sr) = match self {
+            Benchmark::Go => (133.8, 0.209, 0.073, "N/A"),
+            Benchmark::M88ksim => (196.3, 0.188, 0.096, "1:1"),
+            Benchmark::Gcc => (316.9, 0.243, 0.175, "1:2"),
+            Benchmark::Compress => (153.8, 0.217, 0.135, "1:2"),
+            Benchmark::Li => (206.5, 0.296, 0.176, "1:1"),
+            Benchmark::Ijpeg => (129.6, 0.177, 0.087, "N/A"),
+            Benchmark::Perl => (176.8, 0.256, 0.166, "1:1"),
+            Benchmark::Vortex => (376.9, 0.263, 0.273, "1:2"),
+            Benchmark::Tomcatv => (329.1, 0.319, 0.088, "1:2"),
+            Benchmark::Swim => (188.8, 0.270, 0.066, "1:2"),
+            Benchmark::Su2cor => (279.9, 0.338, 0.101, "1:3"),
+            Benchmark::Hydro2d => (1128.9, 0.297, 0.082, "1:10"),
+            Benchmark::Mgrid => (95.0, 0.466, 0.030, "N/A"),
+            Benchmark::Applu => (168.9, 0.314, 0.079, "1:1"),
+            Benchmark::Turb3d => (1666.6, 0.213, 0.146, "1:10"),
+            Benchmark::Apsi => (125.9, 0.314, 0.134, "N/A"),
+            Benchmark::Fpppp => (214.2, 0.488, 0.175, "1:2"),
+            Benchmark::Wave5 => (290.8, 0.302, 0.130, "1:2"),
+        };
+        Table1Row { ic_millions: ic, loads: l, stores: s, sampling: sr }
+    }
+
+    /// The memory-dependence character driving the workload generator.
+    ///
+    /// Load/store fractions come from Table 1; the remaining knobs model
+    /// each program class: integer codes mix stack, pointer and
+    /// read-modify-write traffic with branchy control flow; FP codes
+    /// stream large arrays behind long arithmetic chains. The
+    /// `slow_store_frac` values track the paper's Table 3 resolution
+    /// latencies (e.g. `103.su2cor` at 91 cycles vs `102.swim` at 5.4).
+    pub fn character(self) -> Character {
+        let t = self.table1();
+        // (recurrence, rmw, stack, stream, chase, reload, slow, branchiness, ws KiB)
+        let (rec, rmw, stack, stream, chase, reload, slow, br, ws) = match self {
+            // Integer: go is branchy board-scanning with little stack;
+            Benchmark::Go => (0.6, 1.0, 0.5, 3.0, 0.8, 0.8, 0.25, 4.0, 256),
+            // m88ksim: simulator loop, register-file updates;
+            Benchmark::M88ksim => (0.4, 0.6, 1.0, 2.5, 0.3, 0.18, 0.25, 2.5, 128),
+            // gcc: allocation-heavy, deep call chains, large code;
+            Benchmark::Gcc => (0.25, 0.5, 2.5, 2.0, 1.0, 1.2, 0.45, 3.0, 512),
+            // compress: hash-table updates dominate (highest NAV rate);
+            Benchmark::Compress => (1.0, 2.5, 0.3, 1.5, 0.2, 3.2, 0.45, 2.0, 256),
+            // li: interpreter, cons-cell chasing + stack;
+            Benchmark::Li => (0.6, 0.5, 2.0, 1.5, 2.0, 0.55, 0.40, 2.5, 128),
+            // ijpeg: regular DCT streaming, few conflicts;
+            Benchmark::Ijpeg => (0.3, 0.4, 0.3, 4.0, 0.1, 0.22, 0.25, 1.0, 256),
+            // perl: interpreter with stack and hashes;
+            Benchmark::Perl => (0.5, 0.6, 2.0, 1.5, 1.2, 0.45, 0.30, 2.5, 256),
+            // vortex: object store, store-heavy with deep calls;
+            Benchmark::Vortex => (0.2, 0.8, 1.2, 1.5, 0.8, 0.18, 0.30, 2.0, 512),
+            // FP: stencils stream; slow fractions follow Table 3 RL.
+            Benchmark::Tomcatv => (0.8, 0.1, 0.1, 4.0, 0.0, 0.6, 0.55, 0.6, 1024),
+            Benchmark::Swim => (0.5, 0.1, 0.1, 5.0, 0.0, 0.55, 0.10, 0.5, 1024),
+            Benchmark::Su2cor => (1.0, 0.2, 0.1, 4.0, 0.0, 0.15, 0.80, 0.8, 512),
+            Benchmark::Hydro2d => (1.5, 0.2, 0.1, 4.0, 0.0, 5.5, 0.20, 0.8, 512),
+            Benchmark::Mgrid => (0.3, 0.1, 0.1, 6.0, 0.0, 0.8, 0.35, 0.3, 1024),
+            Benchmark::Applu => (0.8, 0.2, 0.1, 4.0, 0.0, 0.15, 0.35, 0.7, 512),
+            Benchmark::Turb3d => (0.25, 0.3, 0.4, 3.0, 0.0, 0.4, 0.40, 1.0, 512),
+            Benchmark::Apsi => (0.6, 0.3, 0.2, 3.5, 0.0, 0.2, 0.70, 1.0, 256),
+            Benchmark::Fpppp => (0.6, 0.2, 0.3, 5.0, 0.0, 0.5, 0.30, 0.3, 128),
+            Benchmark::Wave5 => (0.8, 0.2, 0.2, 4.0, 0.0, 1.6, 0.15, 0.8, 512),
+        };
+        Character {
+            loads: t.loads,
+            stores: t.stores,
+            fp: self.is_fp(),
+            recurrence_weight: rec,
+            rmw_weight: rmw,
+            stack_weight: stack,
+            stream_weight: stream,
+            chase_weight: chase,
+            reload_weight: reload,
+            slow_store_frac: slow,
+            branchiness: br,
+            working_set: ws * 1024,
+        }
+    }
+
+    /// Builds this benchmark's program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (which indicate a generator bug).
+    pub fn program(self, params: &SuiteParams) -> Result<Program, IsaError> {
+        // Mix the benchmark identity into the seed so programs differ.
+        let seed = params.seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        build_program(&self.character(), params.dyn_target, seed)
+    }
+
+    /// Builds and functionally executes this benchmark, returning its
+    /// dynamic trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler or interpreter errors.
+    pub fn trace(self, params: &SuiteParams) -> Result<Trace, IsaError> {
+        Interpreter::new(self.program(params)?).run(params.max_steps)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_int_plus_fp() {
+        assert_eq!(Benchmark::ALL.len(), 18);
+        assert_eq!(Benchmark::INT.len() + Benchmark::FP.len(), 18);
+        for b in Benchmark::INT {
+            assert!(!b.is_fp(), "{b}");
+        }
+        for b in Benchmark::FP {
+            assert!(b.is_fp(), "{b}");
+        }
+    }
+
+    #[test]
+    fn names_and_numbers() {
+        assert_eq!(Benchmark::Gcc.name(), "126.gcc");
+        assert_eq!(Benchmark::Gcc.number(), "126");
+        assert_eq!(Benchmark::Tomcatv.to_string(), "101.tomcatv");
+    }
+
+    #[test]
+    fn every_benchmark_traces_to_completion() {
+        let p = SuiteParams::tiny();
+        for b in Benchmark::ALL {
+            let t = b.trace(&p).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert!(t.completed(), "{b} hit the step limit");
+            assert!(t.len() as u64 > p.dyn_target / 2, "{b}: only {} insts", t.len());
+        }
+    }
+
+    #[test]
+    fn load_store_fractions_track_table1() {
+        let p = SuiteParams::test();
+        for b in Benchmark::ALL {
+            let t = b.trace(&p).unwrap();
+            let row = b.table1();
+            let lf = t.counts().load_fraction();
+            let sf = t.counts().store_fraction();
+            assert!(
+                (lf - row.loads).abs() < 0.04,
+                "{b}: load fraction {lf:.3} vs Table 1 {:.3}",
+                row.loads
+            );
+            assert!(
+                (sf - row.stores).abs() < 0.04,
+                "{b}: store fraction {sf:.3} vs Table 1 {:.3}",
+                row.stores
+            );
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_execute_fp_work() {
+        let p = SuiteParams::tiny();
+        for b in [Benchmark::Swim, Benchmark::Fpppp] {
+            let t = b.trace(&p).unwrap();
+            assert!(t.counts().fp_ops > 50, "{b}: {} fp ops", t.counts().fp_ops);
+        }
+    }
+
+    #[test]
+    fn benchmarks_differ_from_each_other() {
+        let p = SuiteParams::tiny();
+        let a = Benchmark::Go.trace(&p).unwrap();
+        let b = Benchmark::Mgrid.trace(&p).unwrap();
+        assert!(
+            (a.counts().load_fraction() - b.counts().load_fraction()).abs() > 0.1,
+            "go and mgrid must have very different load mixes"
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let p = SuiteParams::tiny();
+        let a = Benchmark::Compress.trace(&p).unwrap();
+        let b = Benchmark::Compress.trace(&p).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.records()[10], b.records()[10]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Run a slice of the synthetic SPEC'95 suite through the main policy
+//! comparison (the essence of Figures 2 and 6).
+//!
+//! ```text
+//! cargo run --release --example benchmark_suite
+//! ```
+
+use mds::core::Policy;
+use mds::harness::{experiments, Suite};
+use mds::workloads::{Benchmark, SuiteParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmarks = [
+        Benchmark::Compress,
+        Benchmark::Gcc,
+        Benchmark::Vortex,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Mgrid,
+    ];
+    println!("generating {} synthetic benchmarks...", benchmarks.len());
+    let suite = Suite::generate(&benchmarks, &SuiteParams::test())?;
+
+    // Table 1: does the synthetic mix track the paper?
+    println!("\n{}", experiments::table1::run(&suite).render());
+
+    // Figure 2: no speculation vs oracle vs naive speculation.
+    println!("{}", experiments::fig2::run(&suite).render());
+
+    // Figure 6: speculation/synchronization.
+    println!("{}", experiments::fig6::run(&suite).render());
+
+    // Raw per-policy IPCs for one benchmark.
+    println!("per-policy IPC on 129.compress:");
+    let trace = suite.trace(Benchmark::Compress);
+    for policy in Policy::ALL {
+        let cfg = mds::core::CoreConfig::paper_128().with_policy(policy);
+        let r = mds::core::Simulator::new(cfg).run(trace);
+        println!("  {:11} {:5.2}", policy.paper_name(), r.ipc());
+    }
+    Ok(())
+}

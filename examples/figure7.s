@@ -1,0 +1,24 @@
+; The paper's Figure 7 loop, as assembly source for the `profile` tool:
+;
+;   cargo run --release -p mds-harness --bin profile -- --asm examples/figure7.s --policies
+;
+; for (i = 1; i < 512; i++)  a[i] = a[i-1] * 3;
+
+.alloc arr 4096 8
+.word  arr 17                 ; seed a[0]
+
+        li   r3, arr
+        li   r1, 1
+        li   r2, 512
+        li   r4, 3
+
+top:    sll  r5, r1, 2        ; r5 = i * 4
+        add  r5, r3, r5
+        lw   r6, -4(r5)       ; load a[i-1]  <-- last iteration's store
+        mult r6, r4           ; slow data chain
+        mflo r6
+        sw   r6, 0(r5)        ; store a[i]
+        addi r1, r1, 1
+        slt  r7, r1, r2
+        bgtz r7, top
+        halt

@@ -1,0 +1,75 @@
+//! The paper's Figure 7 loop — `a[i] = a[i-1] + k` — run under every
+//! scheduling policy. Shows naive speculation tripping over the
+//! loop-carried memory dependence, the predictors learning it, and the
+//! oracle ceiling.
+//!
+//! ```text
+//! cargo run --release --example recurrence_loop
+//! ```
+
+use mds::core::{CoreConfig, Policy, Simulator};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+
+fn figure7_trace(iters: i64) -> Result<Trace, Box<dyn std::error::Error>> {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(8 * (iters as u64 + 2), 8);
+    let (i, n, base, k, t, v, c) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    a.li(i, 1);
+    a.li(n, iters + 1);
+    a.li(base, arr as i64);
+    a.li(k, 3);
+    let top = a.label();
+    a.bind(top);
+    a.sll(t, i, 3); // t = i * 8
+    a.add(t, base, t);
+    a.lw(v, t, -8); // load a[i-1]  <-- depends on last iteration's store
+    a.mult(v, k); // slow data chain, as in pointer-heavy codes
+    a.mflo(v);
+    a.sw(v, t, 0); // store a[i]
+    a.addi(i, i, 1);
+    a.slt(c, i, n);
+    a.bgtz(c, top);
+    a.halt();
+    Ok(Interpreter::new(a.assemble()?).run(1_000_000)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = figure7_trace(2_000)?;
+    println!(
+        "Figure 7 recurrence: {} dynamic instructions, {} loads\n",
+        trace.len(),
+        trace.counts().loads
+    );
+    println!(
+        "{:11}  {:>6}  {:>12}  {:>10}  {:>9}",
+        "policy", "IPC", "missspec", "squashed", "forwarded"
+    );
+    let policies = Policy::ALL.into_iter().chain([Policy::NasStoreSets]);
+    for policy in policies {
+        let cfg = CoreConfig::paper_128().with_policy(policy);
+        let r = Simulator::new(cfg).run(&trace);
+        println!(
+            "{:11}  {:6.2}  {:12}  {:10}  {:9}",
+            policy.paper_name(),
+            r.ipc(),
+            r.stats.misspeculations,
+            r.stats.squashed,
+            r.stats.forwarded_loads
+        );
+    }
+    println!(
+        "\nExpected shape (paper sections 3.3-3.6): NAS/NAV mis-speculates on\n\
+         every few iterations; NAS/SYNC and NAS/SSET learn the dependence and\n\
+         approach NAS/ORACLE; AS/NAV sees the store address in time and avoids\n\
+         mis-speculation entirely."
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Section 3.7: why a 0-cycle address-based scheduler stops preventing
+//! mis-speculations when the window is split over independent units.
+//!
+//! Builds the unrolled recurrence of Figure 7 as a split window sees it
+//! (load early in each task, store with late data at the end of the
+//! previous task) and runs `AS/NAV` under both window models.
+//!
+//! ```text
+//! cargo run --release --example split_vs_continuous
+//! ```
+
+use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+
+/// One 8-instruction "iteration" per task: `a[j+1] = 3*a[j] + 1`.
+fn unrolled_recurrence(steps: i64) -> Result<Trace, Box<dyn std::error::Error>> {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4 * (steps as u64 + 2), 8);
+    let (base, three, v) = (Reg::int(1), Reg::int(2), Reg::int(4));
+    a.li(base, arr as i64);
+    a.li(three, 3);
+    a.li(Reg::int(3), 17);
+    a.sw(Reg::int(3), base, 0);
+    a.nop();
+    a.nop();
+    a.nop();
+    a.nop(); // align the first step to a task boundary
+    for j in 0..steps {
+        a.lw(v, base, 4 * j); // load, early in the task
+        a.mult(v, three); // slow data chain
+        a.mflo(v);
+        a.addi(v, v, 1);
+        a.addi(Reg::int(10), Reg::int(10), 1);
+        a.addi(Reg::int(11), Reg::int(11), 1);
+        a.addi(Reg::int(12), Reg::int(12), 1);
+        a.sw(v, base, 4 * (j + 1)); // store, late in the task
+    }
+    a.halt();
+    Ok(Interpreter::new(a.assemble()?).run(1_000_000)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = unrolled_recurrence(2_000)?;
+    println!("unrolled recurrence: {} dynamic instructions\n", trace.len());
+
+    let models = [
+        ("continuous (centralized)", WindowModel::Continuous),
+        ("split, 2 units", WindowModel::Split { units: 2, task_size: 8 }),
+        ("split, 4 units", WindowModel::Split { units: 4, task_size: 8 }),
+    ];
+    println!("{:28} {:>6} {:>12} {:>10}", "window model", "IPC", "missspec", "squashed");
+    for (name, model) in models {
+        let cfg = CoreConfig::paper_128()
+            .with_policy(Policy::AsNaive)
+            .with_window_model(model);
+        let r = Simulator::new(cfg).run(&trace);
+        println!(
+            "{:28} {:6.2} {:12} {:10}",
+            name,
+            r.ipc(),
+            r.stats.misspeculations,
+            r.stats.squashed
+        );
+    }
+    println!(
+        "\nThe continuous window fetches the store before the load, so the\n\
+         load always sees the posted address and waits. Under the split\n\
+         window a later unit's load accesses memory before the earlier\n\
+         unit's store is even fetched — no address scheduler can help\n\
+         (paper, Section 3.7 / Figure 7)."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The shipped assembly files parse, run, and behave as documented.
+
+use mds::analysis::DepProfile;
+use mds::core::{CoreConfig, Policy, Simulator};
+use mds::isa::{parse_program, Interpreter};
+
+#[test]
+fn figure7_asm_file_round_trips_through_the_whole_stack() {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/figure7.s"
+    ))
+    .expect("example file present");
+    let program = parse_program(&source).expect("parses");
+    let trace = Interpreter::new(program).run(1_000_000).expect("runs");
+    assert!(trace.completed());
+    assert_eq!(trace.counts().loads, 511);
+    assert_eq!(trace.counts().stores, 511);
+
+    // Its dependence profile: one static pair, all loads dependent but
+    // the first.
+    let profile = DepProfile::build(&trace);
+    assert_eq!(profile.static_pairs, 1);
+    assert_eq!(profile.dependent_loads, 510);
+    assert!(profile.window_resident_fraction(128) > 0.9);
+
+    // And the documented policy behaviour: naive speculation trips over
+    // the recurrence; synchronization learns it.
+    let nav = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&trace);
+    let sync = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasSync)).run(&trace);
+    assert!(nav.stats.misspeculations > 100);
+    assert!(sync.stats.misspeculations <= 3);
+    assert!(sync.ipc() > nav.ipc());
+}
+
+#[test]
+fn listing_of_a_parsed_file_reparses() {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/figure7.s"
+    ))
+    .expect("example file present");
+    let program = parse_program(&source).expect("parses");
+    let listing = program.listing();
+    let again = parse_program(&listing).expect("listing reparses");
+    assert_eq!(program.insts(), again.insts());
+}

@@ -1,0 +1,89 @@
+//! Shape-regression tests: the calibrated qualitative results the
+//! reproduction stands on, asserted with generous tolerances so
+//! refactoring cannot silently break them.
+
+use mds::core::{CoreConfig, Policy, Simulator};
+use mds::workloads::{Benchmark, SuiteParams};
+
+fn run(b: Benchmark, policy: Policy) -> mds::core::SimResult {
+    let trace = b.trace(&SuiteParams::test()).expect("trace");
+    Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace)
+}
+
+#[test]
+fn compress_naive_missspeculation_band() {
+    // Paper: 7.8%. Calibrated band: 3%..15%.
+    let r = run(Benchmark::Compress, Policy::NasNaive);
+    let rate = r.stats.misspeculation_rate();
+    assert!(
+        (0.03..0.15).contains(&rate),
+        "129.compress NAV rate drifted out of band: {rate:.4}"
+    );
+}
+
+#[test]
+fn sync_rates_stay_tiny_across_classes() {
+    for b in [Benchmark::Compress, Benchmark::Gcc, Benchmark::Su2cor] {
+        let r = run(b, Policy::NasSync);
+        assert!(
+            r.stats.misspeculation_rate() < 0.005,
+            "{b}: SYNC rate {:.5} (paper: 'virtually non-existent')",
+            r.stats.misspeculation_rate()
+        );
+    }
+}
+
+#[test]
+fn fp_oracle_gain_exceeds_int_class_floor() {
+    // Paper: +154% fp vs +55% int on average. Assert the fp benchmark
+    // with the deepest chains gains hugely and a mild int one modestly.
+    let su2cor_no = run(Benchmark::Su2cor, Policy::NasNo);
+    let su2cor_or = run(Benchmark::Su2cor, Policy::NasOracle);
+    let gain = su2cor_or.ipc() / su2cor_no.ipc();
+    assert!(gain > 2.0, "103.su2cor oracle gain collapsed: {gain:.2}x");
+
+    let go_no = run(Benchmark::Go, Policy::NasNo);
+    let go_or = run(Benchmark::Go, Policy::NasOracle);
+    let gain = go_or.ipc() / go_no.ipc();
+    assert!((1.05..3.0).contains(&gain), "099.go oracle gain out of band: {gain:.2}x");
+}
+
+#[test]
+fn sync_captures_most_of_the_oracle_gain() {
+    // The paper's central result, on the benchmark with the most to gain.
+    let nav = run(Benchmark::Compress, Policy::NasNaive);
+    let sync = run(Benchmark::Compress, Policy::NasSync);
+    let oracle = run(Benchmark::Compress, Policy::NasOracle);
+    let captured = (sync.ipc() - nav.ipc()) / (oracle.ipc() - nav.ipc());
+    assert!(
+        captured > 0.8,
+        "SYNC captured only {captured:.2} of the oracle gain on compress"
+    );
+}
+
+#[test]
+fn table1_fractions_hold_at_bench_scale() {
+    let params = SuiteParams::bench();
+    for b in [Benchmark::Fpppp, Benchmark::Vortex, Benchmark::Mgrid] {
+        let t = b.trace(&params).expect("trace");
+        let row = b.table1();
+        assert!(
+            (t.counts().load_fraction() - row.loads).abs() < 0.05,
+            "{b}: load fraction {:.3} vs {:.3}",
+            t.counts().load_fraction(),
+            row.loads
+        );
+    }
+}
+
+#[test]
+fn as_nav_stays_clean_on_the_continuous_window() {
+    for b in [Benchmark::Hydro2d, Benchmark::Perl] {
+        let r = run(b, Policy::AsNaive);
+        assert!(
+            r.stats.misspeculation_rate() < 0.002,
+            "{b}: AS/NAV rate {:.5} — the address scheduler must keep this near zero",
+            r.stats.misspeculation_rate()
+        );
+    }
+}

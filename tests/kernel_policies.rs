@@ -1,0 +1,117 @@
+//! Kernel × policy grid: each named kernel has a known dependence
+//! structure, so each policy's behaviour on it is predictable.
+
+use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::isa::{Interpreter, Program, Trace};
+use mds::workloads::kernels;
+
+fn trace(p: Program) -> Trace {
+    Interpreter::new(p).run(2_000_000).expect("kernel runs")
+}
+
+fn run(t: &Trace, policy: Policy) -> mds::core::SimResult {
+    Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(t)
+}
+
+#[test]
+fn figure7_naive_missspeculates_sync_learns() {
+    let t = trace(kernels::figure7_recurrence(500, true).unwrap());
+    let nav = run(&t, Policy::NasNaive);
+    let sync = run(&t, Policy::NasSync);
+    let oracle = run(&t, Policy::NasOracle);
+    assert!(
+        nav.stats.misspeculations > 100,
+        "every iteration re-violates: {}",
+        nav.stats.misspeculations
+    );
+    assert!(sync.stats.misspeculations <= 3, "MDPT learns the single pair");
+    assert!(sync.ipc() >= oracle.ipc() * 0.95, "one stable pair: sync ≈ oracle");
+}
+
+#[test]
+fn streaming_sum_makes_all_policies_equal() {
+    // No stores at all: every policy gives identical cycle counts.
+    let t = trace(kernels::streaming_sum(3000).unwrap());
+    let baseline = run(&t, Policy::NasNo);
+    for policy in Policy::ALL {
+        let r = run(&t, policy);
+        assert_eq!(r.stats.misspeculations, 0, "{policy}");
+        assert!(
+            (r.stats.cycles as f64 - baseline.stats.cycles as f64).abs()
+                <= baseline.stats.cycles as f64 * 0.02,
+            "{policy}: {} vs {} cycles — without stores the policies must coincide",
+            r.stats.cycles,
+            baseline.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn pointer_chase_is_load_latency_bound() {
+    let t = trace(kernels::pointer_chase(256, 2000).unwrap());
+    let no = run(&t, Policy::NasNo);
+    let oracle = run(&t, Policy::NasOracle);
+    // The chase is serial through memory: exploiting load/store
+    // parallelism cannot speed it up much.
+    assert!(
+        oracle.ipc() <= no.ipc() * 1.10,
+        "a pure pointer chase has no load/store parallelism to exploit: {:.2} vs {:.2}",
+        oracle.ipc(),
+        no.ipc()
+    );
+}
+
+#[test]
+fn histogram_collisions_missspeculate_at_low_rate() {
+    let t = trace(kernels::histogram(3000, 64).unwrap());
+    let nav = run(&t, Policy::NasNaive);
+    let rate = nav.stats.misspeculation_rate();
+    assert!(
+        rate > 0.0005 && rate < 0.2,
+        "64-bin histogram collides occasionally, got rate {rate}"
+    );
+    let sync = run(&t, Policy::NasSync);
+    assert!(sync.stats.misspeculation_rate() <= rate);
+}
+
+#[test]
+fn call_storm_forwards_through_the_store_buffer() {
+    let t = trace(kernels::call_storm(400).unwrap());
+    let nav = run(&t, Policy::NasNaive);
+    // Spill data is ready at entry, so stores execute promptly and the
+    // reloads mostly forward; naive speculation stays nearly clean.
+    assert!(
+        nav.stats.misspeculation_rate() < 0.05,
+        "prompt spills should rarely violate: {}",
+        nav.stats.misspeculation_rate()
+    );
+    assert!(nav.stats.forwarded_loads > 0, "some reloads must forward");
+}
+
+#[test]
+fn unrolled_recurrence_exposes_split_window_failure() {
+    let t = trace(kernels::unrolled_recurrence(600).unwrap());
+    let cont = Simulator::new(CoreConfig::paper_128().with_policy(Policy::AsNaive)).run(&t);
+    let split = Simulator::new(
+        CoreConfig::paper_128()
+            .with_policy(Policy::AsNaive)
+            .with_window_model(WindowModel::Split { units: 4, task_size: 8 }),
+    )
+    .run(&t);
+    assert!(split.stats.misspeculations > cont.stats.misspeculations.max(10) * 4);
+}
+
+#[test]
+fn oracle_never_squashes_on_any_kernel() {
+    for p in [
+        kernels::figure7_recurrence(100, true).unwrap(),
+        kernels::unrolled_recurrence(100).unwrap(),
+        kernels::histogram(500, 64).unwrap(),
+        kernels::call_storm(100).unwrap(),
+    ] {
+        let t = trace(p);
+        let r = run(&t, Policy::NasOracle);
+        assert_eq!(r.stats.misspeculations, 0);
+        assert_eq!(r.stats.committed, t.len() as u64);
+    }
+}

@@ -1,0 +1,101 @@
+//! The recorded pipeline trace tells a coherent story: stages appear in
+//! order for every committed instruction, and squashes explain repeats.
+
+use mds::core::{CoreConfig, PipeStage, Policy, Simulator};
+use mds::isa::Interpreter;
+use mds::workloads::kernels;
+
+fn stage_rank(s: PipeStage) -> u8 {
+    match s {
+        PipeStage::Fetch => 0,
+        PipeStage::Dispatch => 1,
+        PipeStage::AddrIssue => 2,
+        PipeStage::Issue => 3,
+        PipeStage::Execute => 4,
+        PipeStage::Complete => 5,
+        PipeStage::Commit => 6,
+        PipeStage::Squash => 7,
+    }
+}
+
+#[test]
+fn stages_are_monotone_between_squashes() {
+    let trace = Interpreter::new(kernels::figure7_recurrence(120, true).unwrap())
+        .run(100_000)
+        .unwrap();
+    let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+    cfg.record_pipeline_trace = true;
+    let result = Simulator::new(cfg).run(&trace);
+    let pt = result.pipetrace.expect("tracing enabled");
+
+    for seq in 0..trace.len() as u64 {
+        let events = pt.of(seq);
+        assert!(!events.is_empty(), "instruction {seq} left no events");
+        // Within one attempt (between squashes), cycle and stage rank
+        // both advance; a squash resets the attempt.
+        let mut last: Option<(u8, u64)> = None;
+        for e in &events {
+            if e.stage == PipeStage::Squash {
+                last = None;
+                continue;
+            }
+            if let Some((rank, cycle)) = last {
+                assert!(
+                    stage_rank(e.stage) > rank,
+                    "instruction {seq}: stage {:?} after rank {rank}",
+                    e.stage
+                );
+                assert!(
+                    e.cycle >= cycle,
+                    "instruction {seq}: time went backwards {} -> {}",
+                    cycle,
+                    e.cycle
+                );
+            }
+            last = Some((stage_rank(e.stage), e.cycle));
+        }
+        // Exactly one commit, and it is the final event.
+        let commits = events.iter().filter(|e| e.stage == PipeStage::Commit).count();
+        assert_eq!(commits, 1, "instruction {seq} committed {commits} times");
+        assert_eq!(events.last().expect("non-empty").stage, PipeStage::Commit);
+    }
+}
+
+#[test]
+fn squashed_instructions_refetch() {
+    let trace = Interpreter::new(kernels::figure7_recurrence(200, true).unwrap())
+        .run(100_000)
+        .unwrap();
+    let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+    cfg.record_pipeline_trace = true;
+    let result = Simulator::new(cfg).run(&trace);
+    assert!(result.stats.misspeculations > 0, "the kernel must squash");
+    let pt = result.pipetrace.expect("tracing enabled");
+
+    let mut saw_refetch = false;
+    for seq in 0..trace.len() as u64 {
+        let events = pt.of(seq);
+        let squashes = events.iter().filter(|e| e.stage == PipeStage::Squash).count();
+        let fetches = events.iter().filter(|e| e.stage == PipeStage::Fetch).count();
+        if squashes > 0 {
+            assert!(
+                fetches >= squashes,
+                "instruction {seq}: {squashes} squashes but only {fetches} fetches"
+            );
+            saw_refetch = true;
+        }
+    }
+    assert!(saw_refetch, "at least one instruction must have been squashed and refetched");
+}
+
+#[test]
+fn tracing_does_not_change_timing() {
+    let trace = Interpreter::new(kernels::histogram(800, 64).unwrap())
+        .run(100_000)
+        .unwrap();
+    let plain = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasSync)).run(&trace);
+    let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+    cfg.record_pipeline_trace = true;
+    let traced = Simulator::new(cfg).run(&trace);
+    assert_eq!(plain.stats, traced.stats, "observation must not perturb the machine");
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the paper's qualitative orderings
+//! must hold end-to-end on the synthetic suite.
+
+use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::workloads::{Benchmark, SuiteParams};
+
+fn run(b: Benchmark, policy: Policy) -> mds::core::SimResult {
+    let trace = b.trace(&SuiteParams::test()).expect("trace");
+    Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace)
+}
+
+#[test]
+fn every_policy_commits_the_whole_trace() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).unwrap();
+    let policies = Policy::ALL.into_iter().chain([Policy::NasStoreSets]);
+    for policy in policies {
+        let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
+        assert_eq!(r.stats.committed, trace.len() as u64, "{policy}");
+        assert_eq!(
+            r.stats.committed_loads,
+            trace.counts().loads,
+            "{policy}: committed loads"
+        );
+        assert_eq!(
+            r.stats.committed_stores,
+            trace.counts().stores,
+            "{policy}: committed stores"
+        );
+    }
+}
+
+#[test]
+fn non_speculative_policies_never_missspeculate() {
+    for b in [Benchmark::Compress, Benchmark::Su2cor] {
+        for policy in [Policy::NasNo, Policy::NasOracle, Policy::AsNo] {
+            let r = run(b, policy);
+            assert_eq!(r.stats.misspeculations, 0, "{b} {policy}");
+            assert_eq!(r.stats.squashed, 0, "{b} {policy}");
+        }
+    }
+}
+
+#[test]
+fn oracle_dominates_no_speculation() {
+    for b in [Benchmark::Compress, Benchmark::Gcc, Benchmark::Swim, Benchmark::Su2cor] {
+        let no = run(b, Policy::NasNo);
+        let oracle = run(b, Policy::NasOracle);
+        assert!(
+            oracle.ipc() >= no.ipc() * 0.99,
+            "{b}: oracle {:.3} vs no-spec {:.3}",
+            oracle.ipc(),
+            no.ipc()
+        );
+    }
+}
+
+#[test]
+fn naive_beats_no_speculation_but_not_oracle() {
+    for b in [Benchmark::Compress, Benchmark::Su2cor] {
+        let no = run(b, Policy::NasNo);
+        let nav = run(b, Policy::NasNaive);
+        let oracle = run(b, Policy::NasOracle);
+        assert!(nav.ipc() >= no.ipc() * 0.95, "{b}: naive should roughly dominate no-spec");
+        assert!(nav.ipc() <= oracle.ipc() * 1.02, "{b}: naive cannot beat oracle");
+    }
+}
+
+#[test]
+fn sync_suppresses_misspeculation_and_recovers_performance() {
+    for b in [Benchmark::Compress, Benchmark::Gcc] {
+        let nav = run(b, Policy::NasNaive);
+        let sync = run(b, Policy::NasSync);
+        let oracle = run(b, Policy::NasOracle);
+        assert!(
+            sync.stats.misspeculation_rate() < nav.stats.misspeculation_rate() / 3.0,
+            "{b}: sync rate {:.5} vs naive {:.5}",
+            sync.stats.misspeculation_rate(),
+            nav.stats.misspeculation_rate()
+        );
+        // SYNC approaches the oracle (the paper's Figure 6 headline).
+        let captured = (sync.ipc() - nav.ipc()) / (oracle.ipc() - nav.ipc()).max(1e-9);
+        assert!(
+            captured > 0.5 || oracle.ipc() - nav.ipc() < 0.05,
+            "{b}: sync captured only {captured:.2} of the oracle gain"
+        );
+    }
+}
+
+#[test]
+fn address_scheduler_virtually_eliminates_misspeculation() {
+    for b in [Benchmark::Compress, Benchmark::Hydro2d] {
+        let nas = run(b, Policy::NasNaive);
+        let asn = run(b, Policy::AsNaive);
+        assert!(
+            asn.stats.misspeculation_rate() <= nas.stats.misspeculation_rate() / 5.0
+                || asn.stats.misspeculations <= 2,
+            "{b}: AS/NAV rate {:.5} vs NAS/NAV {:.5}",
+            asn.stats.misspeculation_rate(),
+            nas.stats.misspeculation_rate()
+        );
+    }
+}
+
+#[test]
+fn split_window_breaks_address_scheduling() {
+    let trace = Benchmark::Compress.trace(&SuiteParams::test()).unwrap();
+    let cont = Simulator::new(CoreConfig::paper_128().with_policy(Policy::AsNaive)).run(&trace);
+    let split = Simulator::new(
+        CoreConfig::paper_128()
+            .with_policy(Policy::AsNaive)
+            .with_window_model(WindowModel::Split { units: 4, task_size: 16 }),
+    )
+    .run(&trace);
+    assert!(
+        split.stats.misspeculations > cont.stats.misspeculations,
+        "split {} must exceed continuous {}",
+        split.stats.misspeculations,
+        cont.stats.misspeculations
+    );
+    assert_eq!(split.stats.committed, trace.len() as u64);
+}
+
+#[test]
+fn scheduler_latency_costs_performance() {
+    let trace = Benchmark::Vortex.trace(&SuiteParams::test()).unwrap();
+    let ipc_at = |lat| {
+        Simulator::new(
+            CoreConfig::paper_128().with_policy(Policy::AsNaive).with_addr_sched_latency(lat),
+        )
+        .run(&trace)
+        .ipc()
+    };
+    let (l0, l2) = (ipc_at(0), ipc_at(2));
+    assert!(l0 >= l2 * 0.99, "0-cycle {l0:.3} should not lose to 2-cycle {l2:.3}");
+}
+
+#[test]
+fn window_size_matters_more_with_oracle() {
+    // Figure 1's second observation: growing the window helps much more
+    // when load/store parallelism is exploited.
+    let trace = Benchmark::Su2cor.trace(&SuiteParams::test()).unwrap();
+    let ipc = |cfg: CoreConfig| Simulator::new(cfg).run(&trace).ipc();
+    let no_64 = ipc(CoreConfig::paper_64().with_policy(Policy::NasNo));
+    let no_128 = ipc(CoreConfig::paper_128().with_policy(Policy::NasNo));
+    let or_64 = ipc(CoreConfig::paper_64().with_policy(Policy::NasOracle));
+    let or_128 = ipc(CoreConfig::paper_128().with_policy(Policy::NasOracle));
+    let no_gain = no_128 / no_64;
+    let or_gain = or_128 / or_64;
+    assert!(
+        or_gain >= no_gain * 0.95,
+        "oracle should benefit at least as much from a bigger window: \
+         no-spec {no_gain:.3} vs oracle {or_gain:.3}"
+    );
+}

@@ -1,0 +1,174 @@
+//! Cross-crate behavioral tests of the predictors, driven through real
+//! simulations rather than table pokes.
+
+use mds::core::{CoreConfig, Policy, Simulator};
+use mds::frontend::{Bimodal, Combined, DirectionPredictor, Gselect};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use mds::predict::{ConfidenceParams, Mdpt, MdptParams, SelectivePredictor};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// A loop whose single branch follows a fixed repeating pattern.
+fn pattern_trace(pattern: &[bool], reps: usize) -> Trace {
+    let mut a = Asm::new();
+    let table = a.alloc_data(pattern.len() as u64 * 4, 8);
+    for (i, &taken) in pattern.iter().enumerate() {
+        a.init_u32(table + 4 * i as u64, taken as u32);
+    }
+    a.li(r(1), table as i64); // pattern base
+    a.li(r(2), 0); // index
+    a.li(r(9), (pattern.len() * reps) as i64);
+    let top = a.label();
+    a.bind(top);
+    a.sll(r(3), r(2), 2);
+    a.add(r(3), r(1), r(3));
+    a.lw(r(4), r(3), 0);
+    let skip = a.label();
+    a.bgtz(r(4), skip); // the patterned branch
+    a.bind(skip);
+    a.addi(r(2), r(2), 1);
+    a.slti(r(5), r(2), pattern.len() as i64);
+    let nowrap = a.label();
+    a.bgtz(r(5), nowrap);
+    a.li(r(2), 0);
+    a.bind(nowrap);
+    a.addi(r(9), r(9), -1);
+    a.bgtz(r(9), top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+}
+
+#[test]
+fn combined_predictor_learns_periodic_patterns_in_simulation() {
+    // A short periodic pattern is learnable by Gselect; accuracy should
+    // be high once warm.
+    let t = pattern_trace(&[true, true, false, true], 400);
+    let res = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
+    let fe = res.stats.frontend;
+    assert!(
+        fe.accuracy() > 0.9,
+        "period-4 pattern should be learned: accuracy {:.3} ({} mispredicts / {} branches)",
+        fe.accuracy(),
+        fe.dir_mispredicts,
+        fe.branches
+    );
+}
+
+#[test]
+fn unit_predictors_agree_with_their_components() {
+    // When bimodal and gselect agree, the combined prediction matches.
+    let mut bim = Bimodal::new(4096);
+    let mut gs = Gselect::new(4096, 5);
+    let mut comb = Combined::new(4096, 4096, 4096, 5);
+    for i in 0..200u64 {
+        let pc = 0x1000 + (i % 7) * 4;
+        let taken = i % 3 != 0;
+        let (pb, pg) = (bim.predict(pc), gs.predict(pc));
+        if pb == pg {
+            assert_eq!(comb.predict(pc), pb, "combined must follow agreeing components");
+        }
+        bim.update(pc, taken);
+        gs.update(pc, taken);
+        comb.update(pc, taken);
+    }
+}
+
+#[test]
+fn selective_predictor_only_arms_miss_speculating_loads() {
+    let mut p = SelectivePredictor::new(ConfidenceParams::paper());
+    for i in 0..100 {
+        // 10 distinct loads, only one keeps mis-speculating.
+        let pc = 0x2000 + (i % 10) * 4;
+        if pc == 0x2000 {
+            p.record_misspeculation(pc);
+        }
+        let _ = i;
+    }
+    assert!(p.predicts_dependence(0x2000));
+    for k in 1..10u64 {
+        assert!(!p.predicts_dependence(0x2000 + 4 * k));
+    }
+}
+
+#[test]
+fn mdpt_synonyms_survive_until_flush() {
+    let mut m = Mdpt::new(MdptParams { flush_interval: Some(1000), ..MdptParams::paper() });
+    m.record_violation(0x10, 0x20);
+    m.maybe_flush(999);
+    assert!(m.load_synonym(0x10).is_some());
+    m.maybe_flush(1000);
+    assert!(m.load_synonym(0x10).is_none());
+}
+
+#[test]
+fn sync_policy_keeps_learning_across_mdpt_flushes() {
+    // Even with a pathologically small flush interval, NAS/SYNC must
+    // still complete and stay at least as fast as naive.
+    let mut asm = Asm::new();
+    let cell = asm.alloc_data(8, 8);
+    asm.li(r(1), cell as i64);
+    asm.li(r(9), 600);
+    let top = asm.label();
+    asm.bind(top);
+    asm.lw(r(2), r(1), 0);
+    asm.mult(r(2), r(2));
+    asm.mflo(r(3));
+    asm.addi(r(3), r(3), 1);
+    asm.sw(r(3), r(1), 0);
+    asm.addi(r(9), r(9), -1);
+    asm.bgtz(r(9), top);
+    asm.halt();
+    let t = Interpreter::new(asm.assemble().unwrap()).run(100_000).unwrap();
+
+    let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+    cfg.mdpt = MdptParams { flush_interval: Some(500), ..MdptParams::paper() };
+    let flushy = Simulator::new(cfg).run(&t);
+    let naive = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
+    assert_eq!(flushy.stats.committed, t.len() as u64);
+    assert!(
+        flushy.stats.misspeculations < naive.stats.misspeculations,
+        "even a flushy MDPT should beat naive: {} vs {}",
+        flushy.stats.misspeculations,
+        naive.stats.misspeculations
+    );
+}
+
+#[test]
+fn return_address_stack_handles_deep_call_chains_in_simulation() {
+    // Nested calls 3 deep, repeated: the RAS should predict all returns.
+    let mut a = Asm::new();
+    a.li(r(9), 200);
+    let f1 = a.label();
+    let f2 = a.label();
+    let f3 = a.label();
+    let top = a.label();
+    let over = a.label();
+    a.j(over);
+    a.bind(f3);
+    a.addi(r(3), r(3), 1);
+    a.jr(Reg::RA);
+    a.bind(f2);
+    a.mov(r(20), Reg::RA);
+    a.jal(f3);
+    a.mov(Reg::RA, r(20));
+    a.jr(Reg::RA);
+    a.bind(f1);
+    a.mov(r(21), Reg::RA);
+    a.jal(f2);
+    a.mov(Reg::RA, r(21));
+    a.jr(Reg::RA);
+    a.bind(over);
+    a.bind(top);
+    a.jal(f1);
+    a.addi(r(9), r(9), -1);
+    a.bgtz(r(9), top);
+    a.halt();
+    let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+    let res = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
+    let fe = res.stats.frontend;
+    assert!(fe.indirects > 500, "returns must be exercised: {}", fe.indirects);
+    let rate = fe.target_mispredicts as f64 / fe.indirects as f64;
+    assert!(rate < 0.05, "RAS should nail nested returns: {} / {}", fe.target_mispredicts, fe.indirects);
+}

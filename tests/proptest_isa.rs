@@ -1,0 +1,197 @@
+//! Property-based tests of the ISA substrate: the interpreter against a
+//! reference evaluator, and the memory image against a byte-map model.
+
+use mds::isa::{Asm, Interpreter, MemImage, Op, Reg};
+use proptest::prelude::*;
+
+/// A random straight-line integer ALU instruction on registers r1..r8.
+#[derive(Debug, Clone, Copy)]
+enum AluOp {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Addi(u8, u8, i32),
+    Slt(u8, u8, u8),
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    let r = 1u8..9;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| AluOp::Add(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| AluOp::Sub(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| AluOp::And(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| AluOp::Or(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| AluOp::Xor(a, b, c)),
+        (r.clone(), r.clone(), any::<i32>()).prop_map(|(a, b, i)| AluOp::Addi(a, b, i)),
+        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| AluOp::Slt(a, b, c)),
+    ]
+}
+
+/// Reference evaluation of the same operation on a model register file.
+fn reference_eval(regs: &mut [u64; 9], op: AluOp) {
+    let get = |regs: &[u64; 9], r: u8| regs[r as usize];
+    match op {
+        AluOp::Add(d, a, b) => regs[d as usize] = get(regs, a).wrapping_add(get(regs, b)),
+        AluOp::Sub(d, a, b) => regs[d as usize] = get(regs, a).wrapping_sub(get(regs, b)),
+        AluOp::And(d, a, b) => regs[d as usize] = get(regs, a) & get(regs, b),
+        AluOp::Or(d, a, b) => regs[d as usize] = get(regs, a) | get(regs, b),
+        AluOp::Xor(d, a, b) => regs[d as usize] = get(regs, a) ^ get(regs, b),
+        AluOp::Addi(d, a, i) => regs[d as usize] = get(regs, a).wrapping_add(i as i64 as u64),
+        AluOp::Slt(d, a, b) => {
+            regs[d as usize] = ((get(regs, a) as i64) < (get(regs, b) as i64)) as u64
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter agrees with a reference evaluator on random
+    /// straight-line ALU programs (observed through stores).
+    #[test]
+    fn interpreter_matches_reference(
+        seeds in proptest::collection::vec(any::<i32>(), 8),
+        ops in proptest::collection::vec(alu_op(), 1..40),
+    ) {
+        let mut model: [u64; 9] = [0; 9];
+        let mut a = Asm::new();
+        let out = a.alloc_data(8 * 9, 8);
+        for (k, &s) in seeds.iter().enumerate() {
+            let r = k as u8 + 1;
+            a.li(Reg::int(r), s as i64);
+            model[r as usize] = s as i64 as u64;
+        }
+        for &op in &ops {
+            match op {
+                AluOp::Add(d, x, y) => a.add(Reg::int(d), Reg::int(x), Reg::int(y)),
+                AluOp::Sub(d, x, y) => a.sub(Reg::int(d), Reg::int(x), Reg::int(y)),
+                AluOp::And(d, x, y) => a.and(Reg::int(d), Reg::int(x), Reg::int(y)),
+                AluOp::Or(d, x, y) => a.or(Reg::int(d), Reg::int(x), Reg::int(y)),
+                AluOp::Xor(d, x, y) => a.xor(Reg::int(d), Reg::int(x), Reg::int(y)),
+                AluOp::Addi(d, x, i) => a.addi(Reg::int(d), Reg::int(x), i as i64),
+                AluOp::Slt(d, x, y) => a.slt(Reg::int(d), Reg::int(x), Reg::int(y)),
+            }
+            reference_eval(&mut model, op);
+        }
+        // Store every register so the trace exposes the final state.
+        let base = Reg::int(9);
+        a.li(base, out as i64);
+        for r in 1..9u8 {
+            a.sw(Reg::int(r), base, 8 * r as i64);
+        }
+        a.halt();
+        let trace = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        prop_assert!(trace.completed());
+        // The final stores carry the register values (masked to 32 bits).
+        let stores: Vec<u64> = trace
+            .records()
+            .iter()
+            .filter(|rec| trace.program().inst(rec.sidx).op == Op::Sw)
+            .map(|rec| rec.value)
+            .collect();
+        prop_assert_eq!(stores.len(), 8);
+        for r in 1..9usize {
+            prop_assert_eq!(
+                stores[r - 1],
+                model[r] & 0xffff_ffff,
+                "register r{} diverged", r
+            );
+        }
+    }
+
+    /// The memory image behaves as a byte map with last-write-wins.
+    #[test]
+    fn mem_image_matches_byte_map(
+        writes in proptest::collection::vec(
+            (0u64..0x10000, prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], any::<u64>()),
+            1..60
+        ),
+        probes in proptest::collection::vec(0u64..0x10100, 1..30),
+    ) {
+        let mut img = MemImage::new();
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for &(addr, size, value) in &writes {
+            img.write(addr, size, value);
+            for i in 0..size as u64 {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for &p in &probes {
+            let expect = *model.get(&p).unwrap_or(&0);
+            prop_assert_eq!(img.read_u8(p), expect, "byte at {:#x}", p);
+        }
+    }
+
+    /// Wide reads assemble bytes little-endian from whatever writes
+    /// preceded them.
+    #[test]
+    fn mem_image_wide_reads_compose(
+        addr in 0u64..0x1000,
+        bytes in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        let mut img = MemImage::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            img.write_u8(addr + i as u64, b);
+        }
+        let v = img.read_u64(addr);
+        for (i, &b) in bytes.iter().enumerate() {
+            prop_assert_eq!(((v >> (8 * i)) & 0xff) as u8, b);
+        }
+    }
+}
+
+/// Listing round-trip: a program rendered with `Program::listing` and
+/// re-parsed with `parse_program` yields the same instruction sequence.
+mod listing_roundtrip {
+    use mds::isa::{parse_program, Asm, Reg};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn roundtrip_preserves_instructions(
+            body in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<i32>()), 1..30),
+            iters in 1u8..5,
+        ) {
+            let mut a = Asm::new();
+            let arr = a.alloc_data(4096, 64);
+            let r = Reg::int;
+            a.li(r(1), arr as i64);
+            a.li(r(9), iters as i64);
+            let top = a.label();
+            a.bind(top);
+            for &(kind, operand, imm) in &body {
+                let rd = r(2 + operand % 6);
+                let rs = r(2 + (operand / 7) % 6);
+                match kind % 10 {
+                    0 => a.add(rd, rs, r(1)),
+                    1 => a.addi(rd, rs, imm as i64),
+                    2 => a.lw(rd, r(1), (imm as i64).rem_euclid(512) * 4 % 2048),
+                    3 => a.sw(rd, r(1), (imm as i64).rem_euclid(512) * 4 % 2048),
+                    4 => a.mult(rd, rs),
+                    5 => a.mflo(rd),
+                    6 => a.sll(rd, rs, (imm as i64).rem_euclid(31)),
+                    7 => a.ldc1(Reg::fp(operand % 8), r(1), (imm as i64).rem_euclid(256) * 8),
+                    8 => a.add_d(Reg::fp(operand % 8), Reg::fp((operand / 3) % 8), Reg::fp(1)),
+                    _ => a.nop(),
+                }
+            }
+            a.addi(r(9), r(9), -1);
+            a.bgtz(r(9), top);
+            a.halt();
+            let original = a.assemble().unwrap();
+
+            let listing = original.listing();
+            let reparsed = parse_program(&listing)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{listing}"));
+            prop_assert_eq!(
+                original.insts(),
+                &reparsed.insts()[..original.len()],
+                "listing:\n{}", listing
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the timing core: for arbitrary small
+//! programs, speculation policies may change *timing* but never
+//! architectural outcome, and the fundamental orderings hold.
+
+use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use proptest::prelude::*;
+
+/// A random but well-formed loop: a mix of loads, stores, ALU ops and a
+/// loop-carried memory recurrence, parameterized by proptest.
+fn random_loop_trace(
+    iters: u64,
+    body: &[(u8, u8)], // (kind selector, operand selector)
+) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4096 + 64, 64);
+    let cell = a.alloc_data(8, 8);
+    let (cnt, base, cbase) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    a.li(cnt, iters as i64);
+    a.li(base, arr as i64);
+    a.li(cbase, cell as i64);
+    let top = a.label();
+    a.bind(top);
+    for &(kind, operand) in body {
+        let r = Reg::int(4 + (operand % 6));
+        let off = (operand as i64 % 64) * 4;
+        match kind % 5 {
+            0 => a.lw(r, base, off),
+            1 => a.sw(r, base, off),
+            2 => a.addi(r, r, operand as i64),
+            3 => {
+                // Loop-carried recurrence on the shared cell.
+                a.lw(r, cbase, 0);
+                a.addi(r, r, 1);
+                a.sw(r, cbase, 0);
+            }
+            _ => {
+                let r2 = Reg::int(4 + ((operand / 7) % 6));
+                a.add(r, r, r2);
+            }
+        }
+    }
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap()).run(2_000_000).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every policy commits exactly the trace, in order, regardless of
+    /// how much speculation or squashing happened along the way.
+    #[test]
+    fn speculation_never_changes_architectural_outcome(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..24),
+        iters in 1u64..40,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let reference = Simulator::new(
+            CoreConfig::paper_128().with_policy(Policy::NasNo),
+        ).run(&trace);
+        let policies = Policy::ALL.into_iter().chain([Policy::NasStoreSets]);
+        for policy in policies {
+            let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
+            prop_assert_eq!(r.stats.committed, trace.len() as u64, "{}", policy);
+            prop_assert_eq!(r.stats.committed_loads, reference.stats.committed_loads);
+            prop_assert_eq!(r.stats.committed_stores, reference.stats.committed_stores);
+        }
+    }
+
+    /// The oracle never loses to no-speculation, and no-speculation
+    /// configurations never squash.
+    #[test]
+    fn oracle_dominates_and_conservative_policies_do_not_squash(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..20),
+        iters in 1u64..30,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let no = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNo)).run(&trace);
+        let oracle =
+            Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasOracle)).run(&trace);
+        prop_assert_eq!(no.stats.misspeculations, 0);
+        prop_assert_eq!(oracle.stats.misspeculations, 0);
+        // Resource contention (ports, banks, issue slots) can cost the
+        // oracle a handful of cycles on degenerate programs — the paper's
+        // "opportunity cost" observation — but it must never lose big.
+        prop_assert!(
+            oracle.stats.cycles <= no.stats.cycles + no.stats.cycles / 20 + 4,
+            "oracle {} cycles vs no-spec {}",
+            oracle.stats.cycles,
+            no.stats.cycles
+        );
+    }
+
+    /// The split window commits the same stream as the continuous one.
+    #[test]
+    fn split_window_is_architecturally_equivalent(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..24,
+        units in 2u32..5,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let split = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_window_model(WindowModel::Split { units, task_size: 16 }),
+        )
+        .run(&trace);
+        prop_assert_eq!(split.stats.committed, trace.len() as u64);
+    }
+
+    /// Timing simulation is a pure function of (trace, config).
+    #[test]
+    fn simulation_is_deterministic(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        iters in 1u64..16,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+        let a = Simulator::new(cfg.clone()).run(&trace);
+        let b = Simulator::new(cfg).run(&trace);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}
