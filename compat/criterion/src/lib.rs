@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the API subset its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs one warm-up
+//! iteration, then `sample_size` timed iterations (repeating the
+//! workload until `measurement_time` is spent or the samples are
+//! exhausted), and prints mean / min / max wall-clock per iteration —
+//! enough for coarse trend-watching, not statistically rigorous.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, used to print a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Caps the time spent measuring one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Upstream parses CLI filters here; this stand-in accepts and
+    /// ignores them so `cargo bench` invocations keep working.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            measurement_time: self.measurement_time,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        self.benchmark_group(name).bench_function("run", f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut BenchmarkGroup {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut BenchmarkGroup {
+        let name = name.as_ref();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        // Warm-up (also primes lazy statics in the workload).
+        f(&mut b);
+        b.samples.clear();
+        let deadline = Instant::now() + self.measurement_time;
+        while b.samples.len() < self.sample_size && Instant::now() < deadline {
+            f(&mut b);
+        }
+        if b.samples.is_empty() {
+            println!("  {name}: no samples recorded");
+            return self;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {name}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples){rate}",
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark function to time its workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, keeping its output alive via
+    /// [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(50));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.finish();
+        assert!(runs >= 2, "warm-up plus at least one sample");
+    }
+}

@@ -1,0 +1,207 @@
+//! `#[derive(Serialize)]` for the offline `serde` stand-in.
+//!
+//! The build container has no registry access, so this derive is
+//! written against `proc_macro` alone — no `syn`/`quote`. It supports
+//! what the workspace uses: non-generic structs with named fields, and
+//! enums whose variants are all unit variants (serialized as their
+//! name). Anything else is rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a
+/// `Value::Object` of the struct's fields (or a `Value::Str` of the
+/// variant name for unit-only enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => render(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (doc comments etc.) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // pub(crate) / pub(in ...)
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, got {other:?}")),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("cannot derive Serialize for generic type {name}"))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "cannot derive Serialize for unit/tuple struct {name}"
+                ))
+            }
+            Some(_) => continue,
+            None => return Err(format!("no body found for {name}")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: named_fields(body)?,
+        }),
+        "enum" => Ok(Item::UnitEnum {
+            name,
+            variants: unit_variants(body)?,
+        }),
+        other => Err(format!("cannot derive Serialize for `{other}` items")),
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected a field name, got {tree:?}"));
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after {field}, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Consume the type: skip until a comma at angle-bracket depth 0.
+        // Commas inside parens/brackets/braces are inside `Group`s and
+        // invisible here; only generics need explicit depth tracking.
+        let mut depth = 0i32;
+        for tree in iter.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from the brace body of a unit-only enum.
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            return Err(format!("expected a variant name, got {tree:?}"));
+        };
+        variants.push(variant.to_string());
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            Some(other) => {
+                return Err(format!(
+                    "only unit variants are supported, found {other:?} after {variant}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn render(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -53,7 +53,11 @@ impl DistanceHistogram {
         let mut out = String::new();
         for (k, &count) in self.buckets.iter().enumerate() {
             if count > 0 {
-                out.push_str(&format!("  [{:>6}..{:>6})  {count}\n", 1u64 << k, 1u64 << (k + 1)));
+                out.push_str(&format!(
+                    "  [{:>6}..{:>6})  {count}\n",
+                    1u64 << k,
+                    1u64 << (k + 1)
+                ));
             }
         }
         out
@@ -125,7 +129,11 @@ impl DepProfile {
             dependent_loads: dependent,
             distances,
             static_pairs: pair_counts.len(),
-            top10_coverage: if dependent == 0 { 0.0 } else { top10 as f64 / dependent as f64 },
+            top10_coverage: if dependent == 0 {
+                0.0
+            } else {
+                top10 as f64 / dependent as f64
+            },
             footprint_bytes: touched.len() as u64,
         }
     }

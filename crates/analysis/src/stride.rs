@@ -70,8 +70,11 @@ impl StrideProfile {
                     AddressPattern::Constant
                 } else {
                     let total: u64 = acc.deltas.values().sum();
-                    let (&best, &n) =
-                        acc.deltas.iter().max_by_key(|(_, &n)| n).expect("non-empty");
+                    let (&best, &n) = acc
+                        .deltas
+                        .iter()
+                        .max_by_key(|(_, &n)| n)
+                        .expect("non-empty");
                     if best != 0 && n as f64 / total as f64 >= 0.9 {
                         AddressPattern::Strided(best)
                     } else if acc.deltas.keys().all(|&d| d == 0) {
@@ -80,7 +83,11 @@ impl StrideProfile {
                         AddressPattern::Irregular
                     }
                 };
-                InstStride { sidx, count: acc.count, pattern }
+                InstStride {
+                    sidx,
+                    count: acc.count,
+                    pattern,
+                }
             })
             .collect();
         insts.sort_by_key(|i| std::cmp::Reverse(i.count));
@@ -144,7 +151,10 @@ mod tests {
         // A 4-node pointer ring with irregular jumps.
         let order = [2u64, 0, 3, 1];
         for w in 0..4usize {
-            a.init_u32(chase + 16 * order[w], (chase + 16 * order[(w + 1) % 4]) as u32);
+            a.init_u32(
+                chase + 16 * order[w],
+                (chase + 16 * order[(w + 1) % 4]) as u32,
+            );
         }
         a.li(r(1), arr as i64);
         a.li(r(2), chase as i64);
@@ -162,9 +172,8 @@ mod tests {
         a.halt();
         let t = Interpreter::new(a.assemble().unwrap()).run(10_000).unwrap();
         let p = StrideProfile::build(&t);
-        let by_pattern = |want: fn(&AddressPattern) -> bool| {
-            p.insts.iter().filter(|i| want(&i.pattern)).count()
-        };
+        let by_pattern =
+            |want: fn(&AddressPattern) -> bool| p.insts.iter().filter(|i| want(&i.pattern)).count();
         assert!(by_pattern(|p| matches!(p, AddressPattern::Constant)) >= 1);
         assert!(p
             .insts

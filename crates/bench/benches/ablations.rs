@@ -1,17 +1,20 @@
 //! Ablation benchmarks beyond the paper: predictor sizing, MDPT flush
 //! interval, store sets vs MDPT synchronization, and the window sweep
 //! extending Figure 1.
+//!
+//! Sweeps share a memoizing [`Runner`]; timed iterations clear its
+//! cache so they measure fresh simulations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mds_harness::{experiments::ablation, Suite};
+use mds_harness::{experiments::ablation, Runner, Suite};
 use mds_workloads::{Benchmark, SuiteParams};
 use std::sync::OnceLock;
 
 /// Ablations run on a representative 6-benchmark subset to keep the
 /// sweeps tractable.
-fn suite() -> &'static Suite {
-    static SUITE: OnceLock<Suite> = OnceLock::new();
-    SUITE.get_or_init(|| {
+fn runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
         let subset = [
             Benchmark::Compress,
             Benchmark::Gcc,
@@ -20,67 +23,100 @@ fn suite() -> &'static Suite {
             Benchmark::Su2cor,
             Benchmark::Apsi,
         ];
-        Suite::generate(&subset, &SuiteParams::test()).expect("suite generation")
+        Runner::new(Suite::generate(&subset, &SuiteParams::test()).expect("suite generation"))
     })
 }
 
 fn bench_predictor_size(c: &mut Criterion) {
-    let s = suite();
-    println!("\n{}", ablation::predictor_size(s, &[256, 1024, 4096, 16384]).render());
+    let r = runner();
+    println!(
+        "\n{}",
+        ablation::predictor_size(r, &[256, 1024, 4096, 16384]).render()
+    );
     let mut g = c.benchmark_group("ablation_predictor_size");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ablation::predictor_size(s, &[256, 4096])));
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            ablation::predictor_size(r, &[256, 4096])
+        })
+    });
     g.finish();
 }
 
 fn bench_flush_interval(c: &mut Criterion) {
-    let s = suite();
+    let r = runner();
     println!(
         "\n{}",
-        ablation::flush_interval(s, &[Some(10_000), Some(100_000), Some(1_000_000), None])
-            .render()
+        ablation::flush_interval(r, &[Some(10_000), Some(100_000), Some(1_000_000), None]).render()
     );
     let mut g = c.benchmark_group("ablation_flush_interval");
     g.sample_size(10);
     g.bench_function("sweep", |b| {
-        b.iter(|| ablation::flush_interval(s, &[Some(1_000_000), None]))
+        b.iter(|| {
+            r.clear_cache();
+            ablation::flush_interval(r, &[Some(1_000_000), None])
+        })
     });
     g.finish();
 }
 
 fn bench_store_sets(c: &mut Criterion) {
-    let s = suite();
-    println!("\n{}", ablation::store_sets(s).render());
+    let r = runner();
+    println!("\n{}", ablation::store_sets(r).render());
     let mut g = c.benchmark_group("ablation_store_set");
     g.sample_size(10);
-    g.bench_function("compare", |b| b.iter(|| ablation::store_sets(s)));
+    g.bench_function("compare", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            ablation::store_sets(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_window_sweep(c: &mut Criterion) {
-    let s = suite();
-    println!("\n{}", ablation::window_sweep(s, &[32, 64, 128, 256]).render());
+    let r = runner();
+    println!(
+        "\n{}",
+        ablation::window_sweep(r, &[32, 64, 128, 256]).render()
+    );
     let mut g = c.benchmark_group("ablation_window_sweep");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ablation::window_sweep(s, &[64, 128])));
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            ablation::window_sweep(r, &[64, 128])
+        })
+    });
     g.finish();
 }
 
 fn bench_recovery(c: &mut Criterion) {
-    let s = suite();
-    println!("\n{}", ablation::recovery(s).render());
+    let r = runner();
+    println!("\n{}", ablation::recovery(r).render());
     let mut g = c.benchmark_group("ablation_recovery");
     g.sample_size(10);
-    g.bench_function("compare", |b| b.iter(|| ablation::recovery(s)));
+    g.bench_function("compare", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            ablation::recovery(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_branch_predictors(c: &mut Criterion) {
-    let s = suite();
-    println!("\n{}", ablation::branch_predictors(s).render());
+    let r = runner();
+    println!("\n{}", ablation::branch_predictors(r).render());
     let mut g = c.benchmark_group("ablation_branch_predictor");
     g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| ablation::branch_predictors(s)));
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            ablation::branch_predictors(r)
+        })
+    });
     g.finish();
 }
 

@@ -34,8 +34,7 @@ fn bench_store_buffer(c: &mut Criterion) {
             let mut hits = 0u64;
             for i in 0..10_000u64 {
                 sb.push(i, (i % 64) * 8, 8, i);
-                if let mds_mem::Forward::Hit { .. } = sb.forward(i + 1, ((i + 32) % 64) * 8, 8)
-                {
+                if let mds_mem::Forward::Hit { .. } = sb.forward(i + 1, ((i + 32) % 64) * 8, 8) {
                     hits += 1;
                 }
                 if i >= 100 {

@@ -4,23 +4,26 @@
 //! Each group builds the suite once, times the experiment, and prints
 //! the regenerated rows/series next to the paper's values, so
 //! `cargo bench` doubles as the reproduction run.
+//!
+//! The shared [`Runner`] memoizes results across experiments; each
+//! timed iteration clears the cache first so the numbers reflect fresh
+//! simulations, not cache lookups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mds_harness::{experiments, Suite};
+use mds_harness::{experiments, Runner, Suite};
 use mds_workloads::SuiteParams;
 use std::sync::OnceLock;
 
-fn suite() -> &'static Suite {
-    static SUITE: OnceLock<Suite> = OnceLock::new();
-    SUITE.get_or_init(|| {
+fn runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
         eprintln!("[bench] generating the 18-benchmark suite...");
-        Suite::full(&SuiteParams::test()).expect("suite generation")
+        Runner::new(Suite::full(&SuiteParams::test()).expect("suite generation"))
     })
 }
 
 fn once(name: &str, render: impl FnOnce() -> String) {
-    static PRINTED: OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> =
-        OnceLock::new();
+    static PRINTED: OnceLock<std::sync::Mutex<std::collections::HashSet<String>>> = OnceLock::new();
     let set = PRINTED.get_or_init(Default::default);
     let mut guard = set.lock().expect("print lock");
     if guard.insert(name.to_string()) {
@@ -29,102 +32,154 @@ fn once(name: &str, render: impl FnOnce() -> String) {
 }
 
 fn bench_table1(c: &mut Criterion) {
-    let s = suite();
-    once("table1", || experiments::table1::run(s).render());
+    let r = runner();
+    once("table1", || experiments::table1::run(r).render());
     let mut g = c.benchmark_group("table1_characteristics");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::table1::run(s)));
+    g.bench_function("run", |b| b.iter(|| experiments::table1::run(r)));
     g.finish();
 }
 
 fn bench_fig1(c: &mut Criterion) {
-    let s = suite();
-    once("fig1", || experiments::fig1::run(s).render());
+    let r = runner();
+    once("fig1", || experiments::fig1::run(r).render());
     let mut g = c.benchmark_group("fig1_potential");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig1::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig1::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_table3(c: &mut Criterion) {
-    let s = suite();
-    once("table3", || experiments::table3::run(s).render());
+    let r = runner();
+    once("table3", || experiments::table3::run(r).render());
     let mut g = c.benchmark_group("table3_false_deps");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::table3::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::table3::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig2(c: &mut Criterion) {
-    let s = suite();
-    once("fig2", || experiments::fig2::run(s).render());
+    let r = runner();
+    once("fig2", || experiments::fig2::run(r).render());
     let mut g = c.benchmark_group("fig2_naive");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig2::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig2::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    let s = suite();
-    once("fig3", || experiments::fig3::run(s).render());
+    let r = runner();
+    once("fig3", || experiments::fig3::run(r).render());
     let mut g = c.benchmark_group("fig3_addr_sched");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig3::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig3::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig4(c: &mut Criterion) {
-    let s = suite();
-    once("fig4", || experiments::fig4::run(s).render());
+    let r = runner();
+    once("fig4", || experiments::fig4::run(r).render());
     let mut g = c.benchmark_group("fig4_oracle_vs_addr");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig4::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig4::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig5(c: &mut Criterion) {
-    let s = suite();
-    once("fig5", || experiments::fig5::run(s).render());
+    let r = runner();
+    once("fig5", || experiments::fig5::run(r).render());
     let mut g = c.benchmark_group("fig5_sel_store");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig5::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig5::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig6(c: &mut Criterion) {
-    let s = suite();
-    once("fig6", || experiments::fig6::run(s).render());
+    let r = runner();
+    once("fig6", || experiments::fig6::run(r).render());
     let mut g = c.benchmark_group("fig6_sync");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig6::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig6::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_table4(c: &mut Criterion) {
-    let s = suite();
-    once("table4", || experiments::table4::run(s).render());
+    let r = runner();
+    once("table4", || experiments::table4::run(r).render());
     let mut g = c.benchmark_group("table4_missspec");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::table4::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::table4::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    let s = suite();
-    once("fig7", || experiments::fig7::run(s).render());
+    let r = runner();
+    once("fig7", || experiments::fig7::run(r).render());
     let mut g = c.benchmark_group("fig7_split_window");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::fig7::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::fig7::run(r)
+        })
+    });
     g.finish();
 }
 
 fn bench_summary(c: &mut Criterion) {
-    let s = suite();
-    once("summary", || experiments::summary::run(s).render());
-    once("table2", || experiments::table2::render(&mds_core::CoreConfig::paper_128()));
+    let r = runner();
+    once("summary", || experiments::summary::run(r).render());
+    once("table2", || {
+        experiments::table2::render(&mds_core::CoreConfig::paper_128())
+    });
     let mut g = c.benchmark_group("section4_summary");
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| experiments::summary::run(s)));
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            r.clear_cache();
+            experiments::summary::run(r)
+        })
+    });
     g.finish();
 }
 

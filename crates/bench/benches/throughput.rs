@@ -16,7 +16,9 @@ fn bench_interpreter(c: &mut Criterion) {
     let mut g = c.benchmark_group("throughput_interpreter");
     g.sample_size(10);
     g.throughput(Throughput::Elements(params.dyn_target));
-    g.bench_function("gcc", |b| b.iter(|| Benchmark::Gcc.trace(&params).expect("trace")));
+    g.bench_function("gcc", |b| {
+        b.iter(|| Benchmark::Gcc.trace(&params).expect("trace"))
+    });
     g.finish();
 }
 
@@ -25,9 +27,16 @@ fn bench_timing_core(c: &mut Criterion) {
     let mut g = c.benchmark_group("throughput_timing_core");
     g.sample_size(10);
     g.throughput(Throughput::Elements(t.len() as u64));
-    for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasSync, Policy::AsNaive] {
+    for policy in [
+        Policy::NasNo,
+        Policy::NasNaive,
+        Policy::NasSync,
+        Policy::AsNaive,
+    ] {
         let sim = Simulator::new(CoreConfig::paper_128().with_policy(policy));
-        g.bench_function(policy.paper_name().replace('/', "_"), |b| b.iter(|| sim.run(t)));
+        g.bench_function(policy.paper_name().replace('/', "_"), |b| {
+            b.iter(|| sim.run(t))
+        });
     }
     g.finish();
 }

@@ -330,7 +330,10 @@ mod tests {
         let c = CoreConfig::paper_128()
             .with_policy(Policy::AsNaive)
             .with_addr_sched_latency(2)
-            .with_window_model(WindowModel::Split { units: 4, task_size: 32 });
+            .with_window_model(WindowModel::Split {
+                units: 4,
+                task_size: 32,
+            });
         assert_eq!(c.policy, Policy::AsNaive);
         assert_eq!(c.addr_sched_latency, 2);
         assert_eq!(c.units(), 4);

@@ -109,7 +109,10 @@ impl Machine<'_> {
                     pc + 4
                 };
                 let fall_through = self.trace.program().pc_of(rec.sidx + 1);
-                match self.frontend.on_ctrl(pc, inst, rec.taken, target, fall_through) {
+                match self
+                    .frontend
+                    .on_ctrl(pc, inst, rec.taken, target, fall_through)
+                {
                     FetchOutcome::Correct { taken: false } => {}
                     FetchOutcome::Correct { taken: true } => {
                         cur_block = None; // redirected: new block next

@@ -108,7 +108,12 @@ impl Machine<'_> {
                     && !s.addr_issued)
         };
         if self.units.len() == 1 {
-            return self.window.iter().filter(|s| pending(s)).map(|s| s.seq).collect();
+            return self
+                .window
+                .iter()
+                .filter(|s| pending(s))
+                .map(|s| s.seq)
+                .collect();
         }
         let mut per_unit: Vec<Vec<u64>> = vec![Vec::new(); self.units.len()];
         for s in self.window.iter() {
@@ -247,7 +252,9 @@ impl Machine<'_> {
     /// `NAS/SYNC`: wait for the closest older store marked with the same
     /// synonym; the load may issue one cycle after that store issues.
     fn gate_synonym(&self, slot: &Slot) -> Gate {
-        let Some(syn) = slot.synonym else { return Gate::Ready };
+        let Some(syn) = slot.synonym else {
+            return Gate::Ready;
+        };
         let mut producer: Option<&Slot> = None;
         for s in self.window.iter() {
             if s.seq >= slot.seq {
@@ -258,9 +265,7 @@ impl Machine<'_> {
             }
         }
         match producer {
-            Some(st) if !(st.issued && self.now > st.issue_at) => {
-                Gate::Blocked { synced: true }
-            }
+            Some(st) if !(st.issued && self.now > st.issue_at) => Gate::Blocked { synced: true },
             _ => Gate::Ready,
         }
     }
@@ -268,11 +273,11 @@ impl Machine<'_> {
     /// Store-set synchronization: wait for the specific store instance
     /// the LFST named at dispatch.
     fn gate_store_set(&self, slot: &Slot) -> Gate {
-        let Some(wseq) = slot.sset_wait else { return Gate::Ready };
+        let Some(wseq) = slot.sset_wait else {
+            return Gate::Ready;
+        };
         match self.window.get(wseq) {
-            Some(st) if !(st.issued && self.now > st.issue_at) => {
-                Gate::Blocked { synced: true }
-            }
+            Some(st) if !(st.issued && self.now > st.issue_at) => Gate::Blocked { synced: true },
             _ => Gate::Ready, // issued, committed, or squashed
         }
     }
@@ -348,7 +353,9 @@ impl Machine<'_> {
     fn note_blocked(&mut self, seq: u64, synced: bool) {
         let has_true_dep = self.load_has_unexecuted_producer(seq);
         let now = self.now;
-        let Some(slot) = self.window.get_mut(seq) else { return };
+        let Some(slot) = self.window.get_mut(seq) else {
+            return;
+        };
         if synced {
             slot.sync_delayed = true;
         }
@@ -427,9 +434,10 @@ impl Machine<'_> {
             Forward::Miss => (self.mem.access(AccessKind::Read, addr, access_at), None),
         };
         // Speculative if any older store in the window has not executed.
-        let speculative = self.window.iter().any(|s| {
-            s.seq < seq && s.is_store && !(s.executed && s.exec_at <= now)
-        });
+        let speculative = self
+            .window
+            .iter()
+            .any(|s| s.seq < seq && s.is_store && !(s.executed && s.exec_at <= now));
         if let Some(slot) = self.window.get_mut(seq) {
             slot.issued = true;
             slot.issue_at = now;

@@ -85,7 +85,11 @@ impl PipeTrace {
 
     /// Events of one instruction, in recording order.
     pub fn of(&self, seq: u64) -> Vec<PipeEvent> {
-        self.events.iter().copied().filter(|e| e.seq == seq).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.seq == seq)
+            .collect()
     }
 
     /// Renders a timeline diagram for instructions `seq_range`, one row
@@ -94,8 +98,11 @@ impl PipeTrace {
     /// final occurrence, with `s` marking the squash itself.
     pub fn render(&self, seq_range: std::ops::Range<u64>) -> String {
         let rows: Vec<u64> = seq_range.collect();
-        let relevant: Vec<&PipeEvent> =
-            self.events.iter().filter(|e| rows.contains(&e.seq)).collect();
+        let relevant: Vec<&PipeEvent> = self
+            .events
+            .iter()
+            .filter(|e| rows.contains(&e.seq))
+            .collect();
         let Some(min_c) = relevant.iter().map(|e| e.cycle).min() else {
             return String::new();
         };

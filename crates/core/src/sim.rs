@@ -157,7 +157,11 @@ impl<'t> Machine<'t> {
             mdpt: Mdpt::new(cfg.mdpt),
             store_sets: StoreSets::new(cfg.store_sets),
             units: (0..units)
-                .map(|_| UnitState { queue: VecDeque::new(), next_fetch_at: 0, stalled_on: None })
+                .map(|_| UnitState {
+                    queue: VecDeque::new(),
+                    next_fetch_at: 0,
+                    stalled_on: None,
+                })
                 .collect(),
             task_size,
             task_pos: (0..n_tasks).map(|t| t * task_size).collect(),
@@ -275,7 +279,9 @@ impl<'t> Machine<'t> {
             self.stats.empty_window_cycles += 1;
         }
         while budget > 0 {
-            let Some(front) = self.window.front() else { break };
+            let Some(front) = self.window.front() else {
+                break;
+            };
             if front.seq != self.next_commit {
                 break; // older instruction not yet dispatched (split window)
             }
@@ -343,7 +349,9 @@ impl<'t> Machine<'t> {
                 .map(|(i, _)| i);
             let Some(i) = due else { break };
             let (store_seq, _) = self.pending_checks.swap_remove(i);
-            let Some(violator) = self.find_violation(store_seq) else { continue };
+            let Some(violator) = self.find_violation(store_seq) else {
+                continue;
+            };
             match self.cfg.recovery {
                 Recovery::Squash => self.squash(violator, store_seq),
                 Recovery::SelectiveReissue => self.selective_recover(violator, store_seq),
@@ -457,9 +465,7 @@ impl<'t> Machine<'t> {
                 let dep = in_affected(&affected, &self.regdeps.srcs[i])
                     || in_affected(&affected, &self.regdeps.addr[i])
                     || in_affected(&affected, &self.regdeps.data[i])
-                    || slot
-                        .forwarded_from
-                        .is_some_and(|f| affected.contains(&f));
+                    || slot.forwarded_from.is_some_and(|f| affected.contains(&f));
                 if dep {
                     affected.push(slot.seq);
                     grew = true;
@@ -471,7 +477,9 @@ impl<'t> Machine<'t> {
         }
 
         for &seq in &affected {
-            let Some(slot) = self.window.get_mut(seq) else { continue };
+            let Some(slot) = self.window.get_mut(seq) else {
+                continue;
+            };
             let was_store = slot.is_store && slot.issued;
             slot.issued = false;
             slot.executed = false;
@@ -486,7 +494,8 @@ impl<'t> Machine<'t> {
             }
             self.stats.reissued += 1;
         }
-        self.pending_checks.retain(|&(seq, _)| !affected.contains(&seq));
+        self.pending_checks
+            .retain(|&(seq, _)| !affected.contains(&seq));
         // Fetch state and younger unrelated instructions are untouched:
         // that is the whole point of selective invalidation.
     }
@@ -498,8 +507,7 @@ impl<'t> Machine<'t> {
         self.train_predictors(load_seq, store_seq);
 
         let removed = self.window.squash_from(load_seq);
-        self.mem_in_flight -=
-            removed.iter().filter(|s| s.is_load || s.is_store).count();
+        self.mem_in_flight -= removed.iter().filter(|s| s.is_load || s.is_store).count();
         if self.pipetrace.is_some() {
             let now = self.now;
             for s in &removed {
@@ -510,7 +518,8 @@ impl<'t> Machine<'t> {
         if self.cfg.policy == Policy::NasStoreSets {
             for s in &removed {
                 if s.is_store {
-                    self.store_sets.squash_store(self.trace.pc(s.seq as usize), s.seq);
+                    self.store_sets
+                        .squash_store(self.trace.pc(s.seq as usize), s.seq);
                 }
             }
         }
@@ -552,7 +561,9 @@ impl<'t> Machine<'t> {
                 if budget == 0 {
                     break;
                 }
-                let Some(&(seq, ready_at)) = self.units[u].queue.front() else { continue };
+                let Some(&(seq, ready_at)) = self.units[u].queue.front() else {
+                    continue;
+                };
                 if ready_at > self.now {
                     continue;
                 }
@@ -685,7 +696,9 @@ mod tests {
         a.addi(r(9), r(9), -1);
         a.bgtz(r(9), top);
         a.halt();
-        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+        Interpreter::new(a.assemble().unwrap())
+            .run(1_000_000)
+            .unwrap()
     }
 
     fn run_policy(trace: &Trace, policy: Policy) -> SimResult {
@@ -707,8 +720,16 @@ mod tests {
         // counter and branch add a little slack).
         let t = chain_loop_trace(100, 16);
         let res = run_policy(&t, Policy::NasNaive);
-        assert!(res.ipc() <= 1.25, "dependent chain must stay near IPC 1, got {}", res.ipc());
-        assert!(res.ipc() > 0.7, "pipeline should still stream, got {}", res.ipc());
+        assert!(
+            res.ipc() <= 1.25,
+            "dependent chain must stay near IPC 1, got {}",
+            res.ipc()
+        );
+        assert!(
+            res.ipc() > 0.7,
+            "pipeline should still stream, got {}",
+            res.ipc()
+        );
     }
 
     #[test]
@@ -726,9 +747,15 @@ mod tests {
         a.addi(r(9), r(9), -1);
         a.bgtz(r(9), top);
         a.halt();
-        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let t = Interpreter::new(a.assemble().unwrap())
+            .run(100_000)
+            .unwrap();
         let res = run_policy(&t, Policy::NasNaive);
-        assert!(res.ipc() > 3.0, "independent streams should superscale, got {}", res.ipc());
+        assert!(
+            res.ipc() > 3.0,
+            "independent streams should superscale, got {}",
+            res.ipc()
+        );
     }
 
     fn recurrence_trace(iters: usize) -> Trace {
@@ -751,7 +778,9 @@ mod tests {
         a.slt(r(7), i, n);
         a.bgtz(r(7), top);
         a.halt();
-        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+        Interpreter::new(a.assemble().unwrap())
+            .run(1_000_000)
+            .unwrap()
     }
 
     #[test]
@@ -770,7 +799,10 @@ mod tests {
         let t = recurrence_trace(200);
         for policy in [Policy::NasNo, Policy::NasOracle, Policy::AsNo] {
             let res = run_policy(&t, policy);
-            assert_eq!(res.stats.misspeculations, 0, "{policy} must not mis-speculate");
+            assert_eq!(
+                res.stats.misspeculations, 0,
+                "{policy} must not mis-speculate"
+            );
         }
     }
 
@@ -844,7 +876,9 @@ mod tests {
             a.lw(r(4), pb, (i % 64) * 4); // never conflicts
         }
         a.halt();
-        let t = Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap();
+        let t = Interpreter::new(a.assemble().unwrap())
+            .run(1_000_000)
+            .unwrap();
         let res = run_policy(&t, Policy::NasNo);
         assert!(
             res.stats.false_dep_loads > 20,
@@ -906,7 +940,9 @@ mod tests {
             a.sw(r(4), base, 4 * (j + 1));
         }
         a.halt();
-        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+        Interpreter::new(a.assemble().unwrap())
+            .run(1_000_000)
+            .unwrap()
     }
 
     #[test]
@@ -920,7 +956,10 @@ mod tests {
         let split = Simulator::new(
             CoreConfig::paper_128()
                 .with_policy(Policy::AsNaive)
-                .with_window_model(WindowModel::Split { units: 4, task_size: 8 }),
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 8,
+                }),
         )
         .run(&t);
         assert!(
@@ -937,7 +976,10 @@ mod tests {
         let res = Simulator::new(
             CoreConfig::paper_128()
                 .with_policy(Policy::NasNaive)
-                .with_window_model(WindowModel::Split { units: 4, task_size: 16 }),
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 16,
+                }),
         )
         .run(&t);
         assert_eq!(res.stats.committed, t.len() as u64);
@@ -950,7 +992,10 @@ mod tests {
             let res = Simulator::new(
                 CoreConfig::paper_128()
                     .with_policy(policy)
-                    .with_window_model(WindowModel::Split { units: 2, task_size: 32 }),
+                    .with_window_model(WindowModel::Split {
+                        units: 2,
+                        task_size: 32,
+                    }),
             )
             .run(&t);
             assert_eq!(res.stats.committed, t.len() as u64, "{policy}");
@@ -981,13 +1026,17 @@ mod tests {
         a.addi(r(9), r(9), -1);
         a.bgtz(r(9), top);
         a.halt();
-        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let t = Interpreter::new(a.assemble().unwrap())
+            .run(100_000)
+            .unwrap();
         // A small window creates the commit pressure that makes the
         // loads' stall visible (steady-state pipelining hides constant
         // per-iteration delays otherwise).
         let run32 = |policy| {
             Simulator::new(
-                CoreConfig::paper_128().with_window_size(32).with_policy(policy),
+                CoreConfig::paper_128()
+                    .with_window_size(32)
+                    .with_policy(policy),
             )
             .run(&t)
         };
@@ -1021,7 +1070,9 @@ mod tests {
         a.addi(r(9), r(9), -1);
         a.bgtz(r(9), top);
         a.halt();
-        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let t = Interpreter::new(a.assemble().unwrap())
+            .run(100_000)
+            .unwrap();
         let res = run_policy(&t, Policy::AsNaive);
         assert_eq!(
             res.stats.misspeculations, 0,
@@ -1125,7 +1176,9 @@ mod tests {
             a.addi(r(9), r(9), -1);
             a.bgtz(r(9), top);
             a.halt();
-            Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap()
+            Interpreter::new(a.assemble().unwrap())
+                .run(100_000)
+                .unwrap()
         };
         let b = run_policy(&make(true), Policy::NasNaive);
         let s = run_policy(&make(false), Policy::NasNaive);
@@ -1140,10 +1193,7 @@ mod tests {
     #[test]
     fn selective_reissue_recovers_without_refetch() {
         let t = recurrence_trace(300);
-        let squash = Simulator::new(
-            CoreConfig::paper_128().with_policy(Policy::NasNaive),
-        )
-        .run(&t);
+        let squash = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
         let reissue = Simulator::new(
             CoreConfig::paper_128()
                 .with_policy(Policy::NasNaive)
@@ -1151,8 +1201,14 @@ mod tests {
         )
         .run(&t);
         assert_eq!(reissue.stats.committed, t.len() as u64);
-        assert!(reissue.stats.misspeculations > 0, "recurrence must still violate");
-        assert_eq!(reissue.stats.squashed, 0, "selective recovery never squashes");
+        assert!(
+            reissue.stats.misspeculations > 0,
+            "recurrence must still violate"
+        );
+        assert_eq!(
+            reissue.stats.squashed, 0,
+            "selective recovery never squashes"
+        );
         assert!(reissue.stats.reissued > 0);
         assert!(
             reissue.ipc() >= squash.ipc() * 0.98,
@@ -1188,9 +1244,16 @@ mod tests {
             }
         }
         a.halt();
-        let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+        let t = Interpreter::new(a.assemble().unwrap())
+            .run(100_000)
+            .unwrap();
         let big = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasOracle)).run(&t);
         let small = Simulator::new(CoreConfig::paper_64().with_policy(Policy::NasOracle)).run(&t);
-        assert!(big.ipc() >= small.ipc() * 0.98, "128-entry {} vs 64-entry {}", big.ipc(), small.ipc());
+        assert!(
+            big.ipc() >= small.ipc() * 0.98,
+            "128-entry {} vs 64-entry {}",
+            big.ipc(),
+            small.ipc()
+        );
     }
 }

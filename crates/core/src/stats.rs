@@ -136,7 +136,11 @@ mod tests {
 
     #[test]
     fn ipc_division() {
-        let s = SimStats { cycles: 100, committed: 250, ..SimStats::default() };
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            ..SimStats::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert_eq!(SimStats::default().ipc(), 0.0);
     }
@@ -152,12 +156,20 @@ mod tests {
     #[test]
     fn speedup_ratio() {
         let a = SimResult {
-            stats: SimStats { cycles: 100, committed: 200, ..SimStats::default() },
+            stats: SimStats {
+                cycles: 100,
+                committed: 200,
+                ..SimStats::default()
+            },
             policy_name: "A".into(),
             pipetrace: None,
         };
         let b = SimResult {
-            stats: SimStats { cycles: 100, committed: 100, ..SimStats::default() },
+            stats: SimStats {
+                cycles: 100,
+                committed: 100,
+                ..SimStats::default()
+            },
             policy_name: "B".into(),
             pipetrace: None,
         };

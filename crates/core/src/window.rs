@@ -93,7 +93,10 @@ pub(crate) struct Window {
 
 impl Window {
     pub fn new(units: u32) -> Window {
-        Window { slots: Vec::new(), unit_counts: vec![0; units as usize] }
+        Window {
+            slots: Vec::new(),
+            unit_counts: vec![0; units as usize],
+        }
     }
 
     pub fn len(&self) -> usize {

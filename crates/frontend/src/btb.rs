@@ -20,7 +20,10 @@ impl Btb {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Btb {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
-        Btb { entries: vec![None; entries], mask: entries as u64 - 1 }
+        Btb {
+            entries: vec![None; entries],
+            mask: entries as u64 - 1,
+        }
     }
 
     #[inline]
@@ -67,7 +70,11 @@ impl ReturnStack {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> ReturnStack {
         assert!(depth > 0, "return stack needs at least one entry");
-        ReturnStack { buf: vec![0; depth], top: 0, len: 0 }
+        ReturnStack {
+            buf: vec![0; depth],
+            top: 0,
+            len: 0,
+        }
     }
 
     /// Pushes a return address (a call was fetched).

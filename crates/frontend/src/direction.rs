@@ -31,7 +31,10 @@ impl Bimodal {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Bimodal {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
-        Bimodal { table: vec![SatCounter2::default(); entries], mask: entries as u64 - 1 }
+        Bimodal {
+            table: vec![SatCounter2::default(); entries],
+            mask: entries as u64 - 1,
+        }
     }
 
     #[inline]
@@ -182,7 +185,10 @@ mod tests {
             p.update(0x1000, true);
         }
         assert!(p.predict(0x1000));
-        assert!(!p.predict(0x1004), "other branches stay at the cold default");
+        assert!(
+            !p.predict(0x1004),
+            "other branches stay at the cold default"
+        );
     }
 
     #[test]
@@ -214,7 +220,10 @@ mod tests {
             }
             p.update(0x1000, expect);
         }
-        assert!(correct >= 30, "gselect should learn the alternation, got {correct}/32");
+        assert!(
+            correct >= 30,
+            "gselect should learn the alternation, got {correct}/32"
+        );
     }
 
     #[test]
@@ -254,7 +263,10 @@ mod tests {
             }
             p.update(0x8000, taken);
         }
-        assert!(correct >= 60, "combined should reach near-perfect accuracy, got {correct}/64");
+        assert!(
+            correct >= 60,
+            "combined should reach near-perfect accuracy, got {correct}/64"
+        );
     }
 
     #[test]

@@ -125,7 +125,13 @@ impl FrontEnd {
 
     /// Creates a front end with explicit components (for experiments).
     pub fn new(dir: DirectionKind, btb: Btb, ras: ReturnStack, misfetch_bubble: u64) -> FrontEnd {
-        FrontEnd { dir, btb, ras, stats: FrontEndStats::default(), misfetch_bubble }
+        FrontEnd {
+            dir,
+            btb,
+            ras,
+            stats: FrontEndStats::default(),
+            misfetch_bubble,
+        }
     }
 
     /// Creates the paper's front end with a different direction predictor.
@@ -167,7 +173,9 @@ impl FrontEnd {
                     self.btb.insert(pc, target);
                     if !hit {
                         self.stats.misfetches += 1;
-                        return FetchOutcome::Misfetch { bubble: self.misfetch_bubble };
+                        return FetchOutcome::Misfetch {
+                            bubble: self.misfetch_bubble,
+                        };
                     }
                 }
                 FetchOutcome::Correct { taken }
@@ -184,7 +192,9 @@ impl FrontEnd {
                     FetchOutcome::Correct { taken: true }
                 } else {
                     self.stats.misfetches += 1;
-                    FetchOutcome::Misfetch { bubble: self.misfetch_bubble }
+                    FetchOutcome::Misfetch {
+                        bubble: self.misfetch_bubble,
+                    }
                 }
             }
             Op::Jr | Op::Jalr => {
@@ -221,11 +231,25 @@ mod tests {
     }
 
     fn jump(op: Op) -> Instruction {
-        Instruction { op, rd: None, rs: None, rt: None, imm: 0, target: Some(0) }
+        Instruction {
+            op,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: Some(0),
+        }
     }
 
     fn ret() -> Instruction {
-        Instruction { op: Op::Jr, rd: None, rs: Some(Reg::RA), rt: None, imm: 0, target: None }
+        Instruction {
+            op: Op::Jr,
+            rd: None,
+            rs: Some(Reg::RA),
+            rt: None,
+            imm: 0,
+            target: None,
+        }
     }
 
     #[test]
@@ -240,8 +264,10 @@ mod tests {
         // One update moved the 2-bit counter to weakly-not-taken; still
         // mispredicts, then becomes correct.
         let third = fe.on_ctrl(0x1000, &b, true, 0x2000, 0x1004);
-        assert!(matches!(third, FetchOutcome::Correct { taken: true }),
-                "after training, got {second:?} then {third:?}");
+        assert!(
+            matches!(third, FetchOutcome::Correct { taken: true }),
+            "after training, got {second:?} then {third:?}"
+        );
         assert_eq!(fe.stats().branches, 3);
     }
 
@@ -249,7 +275,10 @@ mod tests {
     fn not_taken_branch_is_correct_from_cold() {
         let mut fe = FrontEnd::paper();
         let b = branch();
-        assert_eq!(fe.on_ctrl(0x1000, &b, false, 0, 0x1004), FetchOutcome::Correct { taken: false });
+        assert_eq!(
+            fe.on_ctrl(0x1000, &b, false, 0, 0x1004),
+            FetchOutcome::Correct { taken: false }
+        );
         assert_eq!(fe.stats().dir_mispredicts, 0);
     }
 
@@ -270,8 +299,14 @@ mod tests {
     fn direct_jump_caches_target() {
         let mut fe = FrontEnd::paper();
         let j = jump(Op::J);
-        assert!(matches!(fe.on_ctrl(0x100, &j, true, 0x900, 0x104), FetchOutcome::Misfetch { .. }));
-        assert_eq!(fe.on_ctrl(0x100, &j, true, 0x900, 0x104), FetchOutcome::Correct { taken: true });
+        assert!(matches!(
+            fe.on_ctrl(0x100, &j, true, 0x900, 0x104),
+            FetchOutcome::Misfetch { .. }
+        ));
+        assert_eq!(
+            fe.on_ctrl(0x100, &j, true, 0x900, 0x104),
+            FetchOutcome::Correct { taken: true }
+        );
     }
 
     #[test]
@@ -282,8 +317,14 @@ mod tests {
         // call from two different sites; returns must go to each site.
         fe.on_ctrl(0x100, &call, true, 0x800, 0x104);
         fe.on_ctrl(0x200, &call, true, 0x800, 0x204);
-        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x204, 0x8f4), FetchOutcome::Correct { taken: true });
-        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4), FetchOutcome::Correct { taken: true });
+        assert_eq!(
+            fe.on_ctrl(0x8f0, &r, true, 0x204, 0x8f4),
+            FetchOutcome::Correct { taken: true }
+        );
+        assert_eq!(
+            fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4),
+            FetchOutcome::Correct { taken: true }
+        );
         assert_eq!(fe.stats().target_mispredicts, 0);
     }
 
@@ -291,18 +332,37 @@ mod tests {
     fn ras_underflow_mispredicts() {
         let mut fe = FrontEnd::paper();
         let r = ret();
-        assert_eq!(fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4), FetchOutcome::Mispredict);
+        assert_eq!(
+            fe.on_ctrl(0x8f0, &r, true, 0x104, 0x8f4),
+            FetchOutcome::Mispredict
+        );
         assert_eq!(fe.stats().target_mispredicts, 1);
     }
 
     #[test]
     fn indirect_jalr_uses_btb() {
         let mut fe = FrontEnd::paper();
-        let j = Instruction { op: Op::Jalr, rd: None, rs: Some(Reg::int(9)), rt: None, imm: 0, target: None };
-        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x1000, 0x404), FetchOutcome::Mispredict);
-        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x1000, 0x404), FetchOutcome::Correct { taken: true });
+        let j = Instruction {
+            op: Op::Jalr,
+            rd: None,
+            rs: Some(Reg::int(9)),
+            rt: None,
+            imm: 0,
+            target: None,
+        };
+        assert_eq!(
+            fe.on_ctrl(0x400, &j, true, 0x1000, 0x404),
+            FetchOutcome::Mispredict
+        );
+        assert_eq!(
+            fe.on_ctrl(0x400, &j, true, 0x1000, 0x404),
+            FetchOutcome::Correct { taken: true }
+        );
         // Target change mispredicts again.
-        assert_eq!(fe.on_ctrl(0x400, &j, true, 0x2000, 0x404), FetchOutcome::Mispredict);
+        assert_eq!(
+            fe.on_ctrl(0x400, &j, true, 0x2000, 0x404),
+            FetchOutcome::Mispredict
+        );
     }
 
     #[test]

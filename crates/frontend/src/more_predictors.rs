@@ -115,8 +115,8 @@ impl DirectionPredictor for LocalHistory {
         let hi = self.hist_index(pc);
         let h = self.histories[hi] as usize & self.pattern_mask;
         self.pattern[h].update(taken);
-        self.histories[hi] = ((self.histories[hi] << 1) | taken as u16)
-            & ((1 << self.history_bits) - 1) as u16;
+        self.histories[hi] =
+            ((self.histories[hi] << 1) | taken as u16) & ((1 << self.history_bits) - 1) as u16;
     }
 }
 
@@ -156,7 +156,10 @@ mod tests {
             }
             p.update(0x200, pattern[i % 3]);
         }
-        assert!(correct > 90, "gshare should learn period-3, got {correct}/99");
+        assert!(
+            correct > 90,
+            "gshare should learn period-3, got {correct}/99"
+        );
     }
 
     #[test]
@@ -180,6 +183,9 @@ mod tests {
             assert!(p.predict(0x200));
             p.update(0x200, true);
         }
-        assert!(correct >= 48, "local predictor should nail period-2, got {correct}/50");
+        assert!(
+            correct >= 48,
+            "local predictor should nail period-2, got {correct}/50"
+        );
     }
 }

@@ -41,12 +41,18 @@ impl Group {
 impl BarChart {
     /// Creates an empty chart; `unit` labels the value axis.
     pub fn new(unit: &str) -> BarChart {
-        BarChart { unit: unit.to_string(), groups: Vec::new() }
+        BarChart {
+            unit: unit.to_string(),
+            groups: Vec::new(),
+        }
     }
 
     /// Starts a new group and returns it for bar insertion.
     pub fn group(&mut self, label: &str) -> &mut Group {
-        self.groups.push(Group { label: label.to_string(), bars: Vec::new() });
+        self.groups.push(Group {
+            label: label.to_string(),
+            bars: Vec::new(),
+        });
         self.groups.last_mut().expect("just pushed")
     }
 

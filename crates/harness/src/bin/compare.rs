@@ -4,13 +4,18 @@
 //! ```text
 //! compare --left NAS/NAV --right NAS/SYNC [--benchmarks compress,swim]
 //!         [--scale tiny|test|bench] [--window N] [--sched-latency N]
-//!         [--split UNITSxTASK] [--reissue left|right|both]
+//!         [--split UNITSxTASK] [--reissue left|right|both] [--jobs N]
 //! ```
 
-use mds_core::{CoreConfig, Policy, Recovery, Simulator, WindowModel};
-use mds_harness::{geomean, Suite};
+use mds_core::{CoreConfig, Policy, Recovery, WindowModel};
+use mds_harness::cli::{parse_benchmarks, parse_jobs, parse_scale};
+use mds_harness::{geomean, Runner, Suite};
 use mds_workloads::{Benchmark, SuiteParams};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: compare [--left POLICY] [--right POLICY] \
+     [--benchmarks name,...] [--scale tiny|test|bench] [--window N] \
+     [--sched-latency N] [--split UNITSxTASK] [--reissue left|right|both] [--jobs N]";
 
 fn parse_policy(s: &str) -> Option<Policy> {
     Policy::ALL
@@ -28,6 +33,8 @@ struct Args {
     sched_latency: u64,
     split: Option<(u32, u32)>,
     reissue: (bool, bool),
+    jobs: usize,
+    help: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         sched_latency: 0,
         split: None,
         reissue: (false, false),
+        jobs: 0,
+        help: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,32 +62,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = next()?;
                 args.right = parse_policy(&v).ok_or(format!("unknown policy {v}"))?;
             }
-            "--benchmarks" => {
-                let v = next()?;
-                args.benchmarks = v
-                    .split(',')
-                    .map(|name| {
-                        Benchmark::ALL
-                            .into_iter()
-                            .find(|b| b.name().contains(name))
-                            .ok_or_else(|| format!("unknown benchmark {name}"))
-                    })
-                    .collect::<Result<_, _>>()?;
-            }
-            "--scale" => {
-                args.params = match next()?.as_str() {
-                    "tiny" => SuiteParams::tiny(),
-                    "test" => SuiteParams::test(),
-                    "bench" => SuiteParams::bench(),
-                    other => return Err(format!("unknown scale {other}")),
-                };
-            }
+            "--benchmarks" => args.benchmarks = parse_benchmarks(&next()?)?,
+            "--scale" => args.params = parse_scale(&next()?)?,
             "--window" => {
                 args.window = Some(next()?.parse().map_err(|e| format!("bad window: {e}"))?);
             }
             "--sched-latency" => {
-                args.sched_latency =
-                    next()?.parse().map_err(|e| format!("bad latency: {e}"))?;
+                args.sched_latency = next()?.parse().map_err(|e| format!("bad latency: {e}"))?;
             }
             "--split" => {
                 let v = next()?;
@@ -96,8 +86,9 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --reissue {other}")),
                 };
             }
-            "--help" | "-h" => return Err("see the module docs for usage".to_string()),
-            other => return Err(format!("unknown argument {other}")),
+            "--jobs" => args.jobs = parse_jobs(&next()?)?,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
     Ok(args)
@@ -127,6 +118,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     eprintln!("generating {} traces...", args.benchmarks.len());
     let suite = match Suite::generate(&args.benchmarks, &args.params) {
         Ok(s) => s,
@@ -135,9 +130,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let runner = Runner::new(suite).with_jobs(args.jobs);
 
     let left_cfg = configure(&args, args.left, args.reissue.0);
     let right_cfg = configure(&args, args.right, args.reissue.1);
+    let mut sets = runner.run_batch(&[left_cfg, right_cfg]);
+    let right = sets.pop().expect("two result sets");
+    let left = sets.pop().expect("two result sets");
+
     println!(
         "{:14} {:>12} {:>12} {:>9}   {:>10} {:>10}",
         "benchmark",
@@ -148,10 +148,12 @@ fn main() -> ExitCode {
         "ms-right"
     );
     let mut ratios = Vec::new();
-    for (b, trace) in suite.iter() {
-        let l = Simulator::new(left_cfg.clone()).run(trace);
-        let r = Simulator::new(right_cfg.clone()).run(trace);
-        let ratio = if l.ipc() > 0.0 { r.ipc() / l.ipc() } else { 0.0 };
+    for ((b, l), (_, r)) in left.iter().zip(&right) {
+        let ratio = if l.ipc() > 0.0 {
+            r.ipc() / l.ipc()
+        } else {
+            0.0
+        };
         ratios.push(ratio);
         println!(
             "{:14} {:12.2} {:12.2} {:+8.1}%   {:10} {:10}",

@@ -2,114 +2,118 @@
 //! or assembly files, plus an optional policy comparison.
 //!
 //! ```text
-//! profile --benchmark compress [--scale tiny|test|bench]
+//! profile --benchmark compress [--scale tiny|test|bench] [--policies] [--jobs N]
 //! profile --asm program.s [--policies]
 //! ```
 
 use mds_analysis::{DepProfile, StrideProfile};
-use mds_core::{CoreConfig, Policy, Simulator};
+use mds_core::{CoreConfig, Policy, SimResult, Simulator};
+use mds_harness::cli::{parse_jobs, parse_scale, resolve_benchmark};
+use mds_harness::{Runner, Suite};
 use mds_isa::{parse_program, Interpreter, Trace};
-use mds_workloads::{Benchmark, SuiteParams};
+use mds_workloads::SuiteParams;
 use std::process::ExitCode;
 
-fn usage() -> String {
-    "usage: profile (--benchmark NAME | --asm FILE) [--scale tiny|test|bench] [--policies]"
-        .to_string()
-}
+const USAGE: &str = "usage: profile (--benchmark NAME | --asm FILE) \
+     [--scale tiny|test|bench] [--policies] [--jobs N]";
 
 fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let mut benchmark: Option<String> = None;
     let mut asm: Option<String> = None;
     let mut params = SuiteParams::test();
     let mut policies = false;
+    let mut jobs = 0;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{arg} needs a value"));
         match arg.as_str() {
-            "--benchmark" => benchmark = it.next(),
-            "--asm" => asm = it.next(),
+            "--benchmark" => benchmark = Some(value()?),
+            "--asm" => asm = Some(value()?),
             "--policies" => policies = true,
-            "--scale" => {
-                params = match it.next().as_deref() {
-                    Some("tiny") => SuiteParams::tiny(),
-                    Some("test") => SuiteParams::test(),
-                    Some("bench") => SuiteParams::bench(),
-                    _ => {
-                        eprintln!("{}", usage());
-                        return ExitCode::FAILURE;
-                    }
-                };
+            "--scale" => params = parse_scale(&value()?)?,
+            "--jobs" => jobs = parse_jobs(&value()?)?,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
             }
-            _ => {
-                eprintln!("{}", usage());
-                return ExitCode::FAILURE;
-            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
 
-    let trace: Trace = match (benchmark, asm) {
+    let configs: Vec<CoreConfig> = Policy::ALL
+        .into_iter()
+        .map(|p| CoreConfig::paper_128().with_policy(p))
+        .collect();
+    match (benchmark, asm) {
         (Some(name), None) => {
-            let Some(b) = Benchmark::ALL.into_iter().find(|b| b.name().contains(&name)) else {
-                eprintln!("unknown benchmark {name}");
-                return ExitCode::FAILURE;
-            };
-            match b.trace(&params) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("trace generation failed: {e}");
-                    return ExitCode::FAILURE;
-                }
+            let b = resolve_benchmark(&name)?;
+            let suite = Suite::generate(&[b], &params)
+                .map_err(|e| format!("trace generation failed: {e}"))?;
+            profile_trace(suite.trace(b));
+            if policies {
+                // Single-benchmark batch: one simulation per policy, in
+                // parallel across `--jobs` workers.
+                let runner = Runner::new(suite).with_jobs(jobs);
+                let results = runner.run_batch(&configs);
+                print_policies(results.iter().map(|set| &set[0].1));
             }
         }
         (None, Some(path)) => {
-            let source = match std::fs::read_to_string(&path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let program = match parse_program(&source) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match Interpreter::new(program).run(params.max_steps) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("execution failed: {e}");
-                    return ExitCode::FAILURE;
-                }
+            let source =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let program = parse_program(&source).map_err(|e| format!("{path}: {e}"))?;
+            let trace = Interpreter::new(program)
+                .run(params.max_steps)
+                .map_err(|e| format!("execution failed: {e}"))?;
+            profile_trace(&trace);
+            if policies {
+                // Ad-hoc traces have no benchmark identity to memoize
+                // under, so simulate them directly.
+                let results: Vec<SimResult> = configs
+                    .iter()
+                    .map(|cfg| Simulator::new(cfg.clone()).run(&trace))
+                    .collect();
+                print_policies(results.iter());
             }
         }
-        _ => {
-            eprintln!("{}", usage());
-            return ExitCode::FAILURE;
-        }
-    };
+        _ => return Err(USAGE.to_string()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
 
+fn profile_trace(trace: &Trace) {
     println!(
         "trace: {} dynamic instructions ({:.1}% loads, {:.1}% stores)\n",
         trace.len(),
         100.0 * trace.counts().load_fraction(),
         100.0 * trace.counts().store_fraction()
     );
-    println!("memory dependence profile:\n{}", DepProfile::build(&trace).render());
-    println!("stride profile:\n{}", StrideProfile::build(&trace).render(8));
+    println!(
+        "memory dependence profile:\n{}",
+        DepProfile::build(trace).render()
+    );
+    println!("stride profile:\n{}", StrideProfile::build(trace).render(8));
+}
 
-    if policies {
-        println!("policy comparison (128-entry continuous window):");
-        for policy in Policy::ALL {
-            let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
-            println!(
-                "  {:11}  IPC {:5.2}  missspec {:>6}  squashed {:>8}",
-                policy.paper_name(),
-                r.ipc(),
-                r.stats.misspeculations,
-                r.stats.squashed
-            );
-        }
+fn print_policies<'a>(results: impl Iterator<Item = &'a SimResult>) {
+    println!("policy comparison (128-entry continuous window):");
+    for (policy, r) in Policy::ALL.into_iter().zip(results) {
+        println!(
+            "  {:11}  IPC {:5.2}  missspec {:>6}  squashed {:>8}",
+            policy.paper_name(),
+            r.ipc(),
+            r.stats.misspeculations,
+            r.stats.squashed
+        );
     }
-    ExitCode::SUCCESS
 }

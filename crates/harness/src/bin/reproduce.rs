@@ -1,181 +1,309 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! ```text
-//! reproduce [--scale tiny|test|bench] [--benchmarks a,b,c] [--only exp1,exp2] [--csv dir]
+//! reproduce [--scale tiny|test|bench] [--benchmarks a,b,c]
+//!           [--only exp1,exp2] [--out DIR] [--jobs N]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6
-//! table4 fig7 summary ablations`.
+//! table4 fig7 summary ablations stability`.
+//!
+//! Simulations run on a work-stealing thread pool (`--jobs`, default
+//! [`std::thread::available_parallelism`]) and are memoized across
+//! experiments, so configurations shared between figures are simulated
+//! once. With `--out DIR`, every report is written as rendered text
+//! (`.txt`), serialized JSON (`.json`), and tabular CSV (`.csv`), and a
+//! `BENCH_reproduce.json` records per-experiment wall-clock timings and
+//! the cache counters.
 
 use mds_core::CoreConfig;
-use mds_harness::{experiments, Suite};
-use mds_workloads::{Benchmark, SuiteParams};
+use mds_harness::cli::{parse_reproduce_args, ReproduceArgs, ReproduceCommand, REPRODUCE_USAGE};
+use mds_harness::{emit, experiments, Runner, Suite};
+use serde::{Serialize, Value};
 use std::process::ExitCode;
-
-struct Args {
-    params: SuiteParams,
-    benchmarks: Vec<Benchmark>,
-    only: Option<Vec<String>>,
-    out: Option<std::path::PathBuf>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut params = SuiteParams::bench();
-    let mut benchmarks: Vec<Benchmark> = Benchmark::ALL.to_vec();
-    let mut only = None;
-    let mut out = None;
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                params = match v.as_str() {
-                    "tiny" => SuiteParams::tiny(),
-                    "test" => SuiteParams::test(),
-                    "bench" => SuiteParams::bench(),
-                    other => return Err(format!("unknown scale {other}")),
-                };
-            }
-            "--benchmarks" => {
-                let v = it.next().ok_or("--benchmarks needs a value")?;
-                benchmarks = v
-                    .split(',')
-                    .map(|name| {
-                        Benchmark::ALL
-                            .into_iter()
-                            .find(|b| b.name().contains(name))
-                            .ok_or_else(|| format!("unknown benchmark {name}"))
-                    })
-                    .collect::<Result<_, _>>()?;
-            }
-            "--only" => {
-                let v = it.next().ok_or("--only needs a value")?;
-                only = Some(v.split(',').map(str::to_string).collect());
-            }
-            "--out" => {
-                out = Some(std::path::PathBuf::from(it.next().ok_or("--out needs a value")?));
-            }
-            "--help" | "-h" => {
-                return Err("usage: reproduce [--scale tiny|test|bench] \
-                            [--benchmarks substr,...] [--only table1,fig2,...]"
-                    .to_string())
-            }
-            other => return Err(format!("unknown argument {other}")),
-        }
-    }
-    Ok(Args { params, benchmarks, only, out })
-}
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_reproduce_args(&argv) {
+        Ok(ReproduceCommand::Run(args)) => args,
+        Ok(ReproduceCommand::Help) => {
+            println!("{REPRODUCE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let wants = |name: &str| args.only.as_ref().is_none_or(|v| v.iter().any(|x| x == name));
-    if let Some(dir) = &args.out {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+    match reproduce(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
         }
     }
-    let emit = |name: &str, text: String| {
-        println!("{text}");
-        if let Some(dir) = &args.out {
-            let path = dir.join(format!("{name}.txt"));
-            if let Err(e) = std::fs::write(&path, text) {
-                eprintln!("cannot write {}: {e}", path.display());
-            }
-        }
-    };
+}
+
+/// One run: generate traces, drive every requested experiment through a
+/// shared [`Runner`], and record timings.
+struct Reproduce {
+    args: ReproduceArgs,
+    runner: Runner,
+    /// Per-experiment `(name, wall-clock seconds)`, in run order.
+    timings: Vec<(String, f64)>,
+}
+
+fn reproduce(args: ReproduceArgs) -> Result<(), String> {
+    let total_start = Instant::now();
+    if let Some(dir) = &args.out {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
 
     eprintln!(
         "generating {} benchmark traces (~{} dynamic instructions each)...",
         args.benchmarks.len(),
         args.params.dyn_target
     );
-    let suite = match Suite::generate(&args.benchmarks, &args.params) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("workload generation failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let trace_start = Instant::now();
+    let suite = Suite::generate(&args.benchmarks, &args.params)
+        .map_err(|e| format!("workload generation failed: {e}"))?;
+    let trace_seconds = trace_start.elapsed().as_secs_f64();
 
-    if wants("table1") {
-        emit("table1", experiments::table1::run(&suite).render());
+    let runner = Runner::new(suite).with_jobs(args.jobs);
+    eprintln!(
+        "simulating on {} worker thread(s), memoizing shared configs...",
+        runner.jobs()
+    );
+
+    let mut r = Reproduce {
+        args,
+        runner,
+        timings: Vec::new(),
+    };
+    r.timed("table1", |run| {
+        let rep = experiments::table1::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("table2", |_| {
+        (experiments::table2::render(&CoreConfig::paper_128()), None)
+    })?;
+    r.timed("fig1", |run| {
+        let rep = experiments::fig1::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("table3", |run| {
+        let rep = experiments::table3::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig2", |run| {
+        let rep = experiments::fig2::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig3", |run| {
+        let rep = experiments::fig3::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig4", |run| {
+        let rep = experiments::fig4::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig5", |run| {
+        let rep = experiments::fig5::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig6", |run| {
+        let rep = experiments::fig6::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("table4", |run| {
+        let rep = experiments::table4::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("fig7", |run| {
+        let rep = experiments::fig7::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.timed("summary", |run| {
+        let rep = experiments::summary::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
+    r.ablations()?;
+    r.stability()?;
+
+    let stats = r.runner.stats();
+    let total_seconds = total_start.elapsed().as_secs_f64();
+    eprintln!(
+        "done: {} simulations run, {} requests served from cache ({:.0}% hit rate); \
+         {:.2}s simulating across {} thread(s), {:.2}s total",
+        stats.simulations,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.sim_seconds(),
+        r.runner.jobs(),
+        total_seconds,
+    );
+    r.write_bench_record(trace_seconds, total_seconds)?;
+    Ok(())
+}
+
+impl Reproduce {
+    fn wants(&self, name: &str) -> bool {
+        self.args
+            .only
+            .as_ref()
+            .is_none_or(|v| v.iter().any(|x| x == name))
     }
-    if wants("table2") {
-        emit("table2", experiments::table2::render(&CoreConfig::paper_128()));
-    }
-    if wants("fig1") {
-        eprintln!("running figure 1...");
-        emit("fig1", experiments::fig1::run(&suite).render());
-    }
-    if wants("table3") {
-        eprintln!("running table 3...");
-        emit("table3", experiments::table3::run(&suite).render());
-    }
-    if wants("fig2") {
-        eprintln!("running figure 2...");
-        emit("fig2", experiments::fig2::run(&suite).render());
-    }
-    if wants("fig3") {
-        eprintln!("running figure 3...");
-        emit("fig3", experiments::fig3::run(&suite).render());
-    }
-    if wants("fig4") {
-        eprintln!("running figure 4...");
-        emit("fig4", experiments::fig4::run(&suite).render());
-    }
-    if wants("fig5") {
-        eprintln!("running figure 5...");
-        emit("fig5", experiments::fig5::run(&suite).render());
-    }
-    if wants("fig6") {
-        eprintln!("running figure 6...");
-        emit("fig6", experiments::fig6::run(&suite).render());
-    }
-    if wants("table4") {
-        eprintln!("running table 4...");
-        emit("table4", experiments::table4::run(&suite).render());
-    }
-    if wants("fig7") {
-        eprintln!("running section 3.7 (split window)...");
-        emit("fig7", experiments::fig7::run(&suite).render());
-    }
-    if wants("summary") {
-        eprintln!("running summary...");
-        emit("summary", experiments::summary::run(&suite).render());
-    }
-    if wants("ablations") {
-        eprintln!("running ablations...");
-        emit(
-            "ablation_predictor_size",
-            experiments::ablation::predictor_size(&suite, &[256, 1024, 4096, 16384]).render(),
-        );
-        emit(
-            "ablation_flush_interval",
-            experiments::ablation::flush_interval(&suite, &[Some(100_000), Some(1_000_000), None])
-                .render(),
-        );
-        emit("ablation_store_sets", experiments::ablation::store_sets(&suite).render());
-        emit("ablation_recovery", experiments::ablation::recovery(&suite).render());
-        emit("ablation_branch_predictors", experiments::ablation::branch_predictors(&suite).render());
-        emit(
-            "ablation_window_sweep",
-            experiments::ablation::window_sweep(&suite, &[32, 64, 128, 256]).render(),
-        );
-        match experiments::stability::run(
-            &args.benchmarks,
-            &args.params,
-            &[args.params.seed, 0x1234, 0xDEAD_BEEF],
-        ) {
-            Ok(rep) => emit("stability", rep.render()),
-            Err(e) => eprintln!("stability experiment failed: {e}"),
+
+    /// Runs one experiment if requested, timing it and emitting its
+    /// artifacts.
+    fn timed(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&Runner) -> (String, Option<Value>),
+    ) -> Result<(), String> {
+        if !self.wants(name) {
+            return Ok(());
         }
+        eprintln!("running {name}...");
+        let start = Instant::now();
+        let (text, value) = f(&self.runner);
+        self.timings
+            .push((name.to_string(), start.elapsed().as_secs_f64()));
+        self.emit(name, &text, value.as_ref())
     }
-    ExitCode::SUCCESS
+
+    /// Prints one artifact and, with `--out`, writes its `.txt`,
+    /// `.json`, and `.csv` forms.
+    fn emit(&self, name: &str, text: &str, value: Option<&Value>) -> Result<(), String> {
+        println!("{text}");
+        let Some(dir) = &self.args.out else {
+            return Ok(());
+        };
+        let write = |path: std::path::PathBuf, content: &str| {
+            std::fs::write(&path, content)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+        write(dir.join(format!("{name}.txt")), text)?;
+        if let Some(value) = value {
+            write(dir.join(format!("{name}.json")), &value.to_json())?;
+            if let Some(csv) = emit::to_csv(value) {
+                write(dir.join(format!("{name}.csv")), &csv)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The six beyond-the-paper sweeps, timed as one experiment.
+    fn ablations(&mut self) -> Result<(), String> {
+        if !self.wants("ablations") {
+            return Ok(());
+        }
+        eprintln!("running ablations...");
+        let start = Instant::now();
+        let runner = &self.runner;
+        let artifacts = [
+            {
+                let rep = experiments::ablation::predictor_size(runner, &[256, 1024, 4096, 16384]);
+                ("ablation_predictor_size", rep.render(), rep.to_value())
+            },
+            {
+                let rep = experiments::ablation::flush_interval(
+                    runner,
+                    &[Some(100_000), Some(1_000_000), None],
+                );
+                ("ablation_flush_interval", rep.render(), rep.to_value())
+            },
+            {
+                let rep = experiments::ablation::store_sets(runner);
+                ("ablation_store_sets", rep.render(), rep.to_value())
+            },
+            {
+                let rep = experiments::ablation::recovery(runner);
+                ("ablation_recovery", rep.render(), rep.to_value())
+            },
+            {
+                let rep = experiments::ablation::branch_predictors(runner);
+                ("ablation_branch_predictors", rep.render(), rep.to_value())
+            },
+            {
+                let rep = experiments::ablation::window_sweep(runner, &[32, 64, 128, 256]);
+                ("ablation_window_sweep", rep.render(), rep.to_value())
+            },
+        ];
+        self.timings
+            .push(("ablations".to_string(), start.elapsed().as_secs_f64()));
+        for (name, text, value) in &artifacts {
+            self.emit(name, text, Some(value))?;
+        }
+        Ok(())
+    }
+
+    /// The per-seed stability rerun; a failure here fails the run.
+    fn stability(&mut self) -> Result<(), String> {
+        if !self.wants("stability") {
+            return Ok(());
+        }
+        eprintln!("running stability...");
+        let start = Instant::now();
+        let rep = experiments::stability::run(
+            &self.args.benchmarks,
+            &self.args.params,
+            &[self.args.params.seed, 0x1234, 0xDEAD_BEEF],
+            self.args.jobs,
+        )
+        .map_err(|e| format!("stability experiment failed: {e}"))?;
+        self.timings
+            .push(("stability".to_string(), start.elapsed().as_secs_f64()));
+        self.emit("stability", &rep.render(), Some(&rep.to_value()))
+    }
+
+    /// Writes `BENCH_reproduce.json` (into `--out` when given, else the
+    /// working directory) with per-experiment timings and cache stats.
+    fn write_bench_record(&self, trace_seconds: f64, total_seconds: f64) -> Result<(), String> {
+        let stats = self.runner.stats();
+        let experiments: Vec<Value> = self
+            .timings
+            .iter()
+            .map(|(name, seconds)| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("seconds".to_string(), Value::Float(*seconds)),
+                ])
+            })
+            .collect();
+        let record = Value::Object(vec![
+            (
+                "benchmarks".to_string(),
+                Value::UInt(self.args.benchmarks.len() as u64),
+            ),
+            (
+                "dyn_target".to_string(),
+                Value::UInt(self.args.params.dyn_target),
+            ),
+            ("jobs".to_string(), Value::UInt(self.runner.jobs() as u64)),
+            (
+                "trace_generation_seconds".to_string(),
+                Value::Float(trace_seconds),
+            ),
+            ("total_seconds".to_string(), Value::Float(total_seconds)),
+            ("simulations".to_string(), Value::UInt(stats.simulations)),
+            ("cache_hits".to_string(), Value::UInt(stats.cache_hits)),
+            ("cache_hit_rate".to_string(), Value::Float(stats.hit_rate())),
+            (
+                "simulation_seconds".to_string(),
+                Value::Float(stats.sim_seconds()),
+            ),
+            ("experiments".to_string(), Value::Array(experiments)),
+        ]);
+        let path = match &self.args.out {
+            Some(dir) => dir.join("BENCH_reproduce.json"),
+            None => std::path::PathBuf::from("BENCH_reproduce.json"),
+        };
+        std::fs::write(&path, record.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    }
 }

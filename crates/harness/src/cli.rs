@@ -1,0 +1,305 @@
+//! Shared, unit-testable command-line parsing for the harness binaries.
+//!
+//! The binaries (`reproduce`, `compare`, `profile`) keep their I/O and
+//! orchestration, but everything that can be got wrong in parsing — the
+//! benchmark-name resolution rules, experiment-name validation, scale
+//! and job-count parsing — lives here where tests can reach it.
+
+use mds_workloads::{Benchmark, SuiteParams};
+use std::path::PathBuf;
+
+/// The experiment names `reproduce` knows, in run order.
+///
+/// `ablations` covers the beyond-the-paper sweeps (predictor size,
+/// flush interval, store sets, recovery, branch predictors, window
+/// sweep); `stability` is the per-seed rerun of the headline result.
+pub const EXPERIMENTS: [&str; 14] = [
+    "table1",
+    "table2",
+    "fig1",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table4",
+    "fig7",
+    "summary",
+    "ablations",
+    "stability",
+];
+
+/// Usage string for `reproduce`.
+pub const REPRODUCE_USAGE: &str = "usage: reproduce [--scale tiny|test|bench] \
+     [--benchmarks name,...] [--only table1,fig2,...] [--out DIR] [--jobs N]\n\
+     experiments: table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 \
+     fig7 summary ablations stability";
+
+/// Parsed `reproduce` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproduceArgs {
+    /// Suite sizing.
+    pub params: SuiteParams,
+    /// Benchmarks to generate and simulate.
+    pub benchmarks: Vec<Benchmark>,
+    /// Experiment subset (`None` = all).
+    pub only: Option<Vec<String>>,
+    /// Artifact directory for `.txt`/`.json`/`.csv` emission.
+    pub out: Option<PathBuf>,
+    /// Worker threads (`0` = automatic).
+    pub jobs: usize,
+}
+
+impl Default for ReproduceArgs {
+    fn default() -> ReproduceArgs {
+        ReproduceArgs {
+            params: SuiteParams::bench(),
+            benchmarks: Benchmark::ALL.to_vec(),
+            only: None,
+            out: None,
+            jobs: 0,
+        }
+    }
+}
+
+/// What a `reproduce` invocation asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReproduceCommand {
+    /// Run with the parsed arguments.
+    Run(ReproduceArgs),
+    /// Print usage and exit successfully (`--help`).
+    Help,
+}
+
+/// Parses `reproduce` arguments (the part after the program name).
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag or value: unknown
+/// flags, missing values, unknown scales, unknown or ambiguous
+/// benchmark names, and unknown experiment names all fail here rather
+/// than silently running the wrong thing.
+pub fn parse_reproduce_args(args: &[String]) -> Result<ReproduceCommand, String> {
+    let mut parsed = ReproduceArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => parsed.params = parse_scale(value("--scale")?)?,
+            "--benchmarks" => parsed.benchmarks = parse_benchmarks(value("--benchmarks")?)?,
+            "--only" => {
+                let list: Vec<String> = value("--only")?.split(',').map(str::to_string).collect();
+                validate_experiments(&list)?;
+                parsed.only = Some(list);
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+            "--jobs" => parsed.jobs = parse_jobs(value("--jobs")?)?,
+            "--help" | "-h" => return Ok(ReproduceCommand::Help),
+            other => return Err(format!("unknown argument {other}\n{REPRODUCE_USAGE}")),
+        }
+    }
+    Ok(ReproduceCommand::Run(parsed))
+}
+
+/// Parses a `--scale` value.
+///
+/// # Errors
+///
+/// Rejects anything but `tiny`, `test`, or `bench`.
+pub fn parse_scale(v: &str) -> Result<SuiteParams, String> {
+    match v {
+        "tiny" => Ok(SuiteParams::tiny()),
+        "test" => Ok(SuiteParams::test()),
+        "bench" => Ok(SuiteParams::bench()),
+        other => Err(format!("unknown scale {other} (expected tiny|test|bench)")),
+    }
+}
+
+/// Parses a `--jobs` value (`0` = automatic).
+///
+/// # Errors
+///
+/// Rejects non-numeric values.
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    v.parse().map_err(|e| format!("bad --jobs value {v}: {e}"))
+}
+
+/// Resolves one benchmark name.
+///
+/// An exact match on the full SPEC name (`126.gcc`) or its short form
+/// (`gcc`) always wins; otherwise a substring must match exactly one
+/// benchmark, and an ambiguous substring errors with the candidates
+/// rather than silently picking the first.
+///
+/// # Errors
+///
+/// Unknown names and ambiguous substrings, with the candidate list.
+pub fn resolve_benchmark(name: &str) -> Result<Benchmark, String> {
+    let exact = Benchmark::ALL.into_iter().find(|b| {
+        b.name() == name
+            || b.name()
+                .split_once('.')
+                .is_some_and(|(_, short)| short == name)
+    });
+    if let Some(b) = exact {
+        return Ok(b);
+    }
+    let matches: Vec<Benchmark> = Benchmark::ALL
+        .into_iter()
+        .filter(|b| b.name().contains(name))
+        .collect();
+    match matches.as_slice() {
+        [] => Err(format!("unknown benchmark {name}")),
+        [one] => Ok(*one),
+        many => {
+            let candidates: Vec<&str> = many.iter().map(|b| b.name()).collect();
+            Err(format!(
+                "ambiguous benchmark {name}: matches {}",
+                candidates.join(", ")
+            ))
+        }
+    }
+}
+
+/// Resolves a comma-separated benchmark list via [`resolve_benchmark`].
+///
+/// # Errors
+///
+/// Propagates the first unknown or ambiguous name.
+pub fn parse_benchmarks(list: &str) -> Result<Vec<Benchmark>, String> {
+    list.split(',').map(resolve_benchmark).collect()
+}
+
+/// Checks every name against [`EXPERIMENTS`].
+///
+/// # Errors
+///
+/// Names the first unknown experiment and lists the valid ones, so a
+/// typo like `fig11` fails loudly instead of running nothing.
+pub fn validate_experiments(names: &[String]) -> Result<(), String> {
+    for name in names {
+        if !EXPERIMENTS.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown experiment {name} (expected one of: {})",
+                EXPERIMENTS.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let cmd = parse_reproduce_args(&[]).unwrap();
+        let ReproduceCommand::Run(args) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(args.benchmarks.len(), Benchmark::ALL.len());
+        assert_eq!(args.only, None);
+        assert_eq!(args.jobs, 0);
+        assert_eq!(args.out, None);
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert_eq!(
+            parse_reproduce_args(&strs(&["--help"])),
+            Ok(ReproduceCommand::Help)
+        );
+        assert_eq!(
+            parse_reproduce_args(&strs(&["-h"])),
+            Ok(ReproduceCommand::Help)
+        );
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cmd = parse_reproduce_args(&strs(&[
+            "--scale",
+            "tiny",
+            "--benchmarks",
+            "compress,swim",
+            "--only",
+            "fig1,table4",
+            "--out",
+            "/tmp/x",
+            "--jobs",
+            "3",
+        ]))
+        .unwrap();
+        let ReproduceCommand::Run(args) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(args.params, SuiteParams::tiny());
+        assert_eq!(args.benchmarks, vec![Benchmark::Compress, Benchmark::Swim]);
+        assert_eq!(
+            args.only,
+            Some(vec!["fig1".to_string(), "table4".to_string()])
+        );
+        assert_eq!(args.out, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(args.jobs, 3);
+    }
+
+    #[test]
+    fn unknown_experiment_errors() {
+        let err = parse_reproduce_args(&strs(&["--only", "fig11"])).unwrap_err();
+        assert!(err.contains("unknown experiment fig11"), "{err}");
+        assert!(err.contains("fig1"), "should list valid names: {err}");
+    }
+
+    #[test]
+    fn unknown_flag_and_missing_value_error() {
+        assert!(parse_reproduce_args(&strs(&["--frobnicate"])).is_err());
+        assert!(parse_reproduce_args(&strs(&["--scale"])).is_err());
+        assert!(parse_reproduce_args(&strs(&["--scale", "huge"])).is_err());
+        assert!(parse_reproduce_args(&strs(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn exact_benchmark_names_win_over_substrings() {
+        // "gcc" is the short form of 126.gcc; also a substring of it only.
+        assert_eq!(resolve_benchmark("gcc"), Ok(Benchmark::Gcc));
+        assert_eq!(resolve_benchmark("126.gcc"), Ok(Benchmark::Gcc));
+        // "su2cor" is exact-short for 103.su2cor.
+        assert_eq!(resolve_benchmark("su2cor"), Ok(Benchmark::Su2cor));
+    }
+
+    #[test]
+    fn unique_substring_resolves() {
+        assert_eq!(resolve_benchmark("compr"), Ok(Benchmark::Compress));
+        assert_eq!(resolve_benchmark("wave"), Ok(Benchmark::Wave5));
+    }
+
+    #[test]
+    fn ambiguous_substring_errors_with_candidates() {
+        // "im" hits 124.m88ksim and 102.swim.
+        let err = resolve_benchmark("im").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(
+            err.contains("124.m88ksim") && err.contains("102.swim"),
+            "{err}"
+        );
+        assert!(resolve_benchmark("nosuch")
+            .unwrap_err()
+            .contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn experiment_list_matches_known_names() {
+        validate_experiments(&strs(&["table1", "stability", "ablations"])).unwrap();
+        assert!(validate_experiments(&strs(&["fig8"])).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Rendering serialized experiment reports as CSV.
+
+use serde::Value;
+
+/// Renders a serialized report as CSV.
+///
+/// Every experiment report serializes to an object whose first array
+/// field (`rows`, `points`, `lines`, …) carries the per-benchmark or
+/// per-sweep-point data; the remaining scalar fields are summary
+/// statistics that the rendered text already shows. This takes that
+/// first array as the CSV body: object elements contribute a header
+/// row from their field names, tuple elements are emitted as bare
+/// value rows, and nested composites render as JSON in one cell.
+///
+/// Returns `None` when the value has no array to tabulate.
+pub fn to_csv(value: &Value) -> Option<String> {
+    let rows = match value {
+        Value::Array(items) => items.as_slice(),
+        Value::Object(fields) => fields.iter().find_map(|(_, v)| v.as_array())?,
+        _ => return None,
+    };
+    let mut out = String::new();
+    if let Some(Value::Object(first)) = rows.first() {
+        let header: Vec<String> = first.iter().map(|(k, _)| quote(k)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+    }
+    for row in rows {
+        let cells: Vec<String> = match row {
+            Value::Object(fields) => fields.iter().map(|(_, v)| cell(v)).collect(),
+            Value::Array(items) => items.iter().map(cell).collect(),
+            other => vec![cell(other)],
+        };
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// One CSV cell: scalars render plainly, composites as quoted JSON.
+fn cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => quote(s),
+        Value::Array(_) | Value::Object(_) => quote(&v.to_json()),
+        scalar => scalar.to_json(),
+    }
+}
+
+/// Quotes a field if it contains a delimiter, quote, or newline.
+fn quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        benchmark: String,
+        ipc: f64,
+    }
+
+    #[derive(Serialize)]
+    struct Report {
+        rows: Vec<Row>,
+        mean: f64,
+    }
+
+    #[test]
+    fn object_rows_get_a_header() {
+        let rep = Report {
+            rows: vec![
+                Row {
+                    benchmark: "129.compress".into(),
+                    ipc: 1.5,
+                },
+                Row {
+                    benchmark: "102.swim".into(),
+                    ipc: 2.25,
+                },
+            ],
+            mean: 1.8,
+        };
+        let csv = to_csv(&rep.to_value()).unwrap();
+        assert_eq!(csv, "benchmark,ipc\n129.compress,1.5\n102.swim,2.25\n");
+    }
+
+    #[test]
+    fn tuple_rows_have_no_header() {
+        #[derive(Serialize)]
+        struct Sweep {
+            points: Vec<(u64, f64)>,
+        }
+        let csv = to_csv(
+            &Sweep {
+                points: vec![(16, 1.0), (4096, 2.5)],
+            }
+            .to_value(),
+        )
+        .unwrap();
+        assert_eq!(csv, "16,1.0\n4096,2.5\n");
+    }
+
+    #[test]
+    fn quoting_and_composites() {
+        #[derive(Serialize)]
+        struct Odd {
+            rows: Vec<(String, [f64; 2])>,
+        }
+        let csv = to_csv(
+            &Odd {
+                rows: vec![("a,b".into(), [1.0, 2.0])],
+            }
+            .to_value(),
+        )
+        .unwrap();
+        assert_eq!(csv, "\"a,b\",\"[1.0,2.0]\"\n");
+    }
+
+    #[test]
+    fn scalar_only_values_yield_none() {
+        assert_eq!(to_csv(&Value::Float(1.0)), None);
+        assert_eq!(
+            to_csv(&Value::Object(vec![("x".into(), Value::UInt(1))])),
+            None
+        );
+    }
+}

@@ -2,10 +2,10 @@
 //! out: predictor sizing, MDPT flush interval, store sets vs MDPT, and a
 //! window-size sweep extending Figure 1's trend.
 
-use crate::experiments::ipcs;
-use crate::runner::{geomean, Suite};
+use crate::experiments::ipcs_batch;
+use crate::runner::{geomean, Runner};
 use crate::table::{ipc, pct4, TextTable};
-use mds_core::{BranchPredictorConfig, CoreConfig, Policy, Recovery, Simulator};
+use mds_core::{BranchPredictorConfig, CoreConfig, Policy, Recovery};
 use mds_predict::MdptParams;
 use serde::Serialize;
 
@@ -17,17 +17,31 @@ pub struct PredictorSizeSweep {
 }
 
 /// Sweeps MDPT capacity (the paper fixes 4K 2-way).
-pub fn predictor_size(suite: &Suite, sizes: &[usize]) -> PredictorSizeSweep {
-    let mut points = Vec::new();
-    for &entries in sizes {
-        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
-        cfg.mdpt = MdptParams { entries, ..MdptParams::paper() };
-        let results = suite.run(&cfg);
-        let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
-        let mean_ms = results.iter().map(|(_, r)| r.stats.misspeculation_rate()).sum::<f64>()
-            / results.len() as f64;
-        points.push((entries, mean_ipc, mean_ms));
-    }
+pub fn predictor_size(runner: &Runner, sizes: &[usize]) -> PredictorSizeSweep {
+    let configs: Vec<CoreConfig> = sizes
+        .iter()
+        .map(|&entries| {
+            let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+            cfg.mdpt = MdptParams {
+                entries,
+                ..MdptParams::paper()
+            };
+            cfg
+        })
+        .collect();
+    let points = sizes
+        .iter()
+        .zip(runner.run_batch(&configs))
+        .map(|(&entries, results)| {
+            let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
+            let mean_ms = results
+                .iter()
+                .map(|(_, r)| r.stats.misspeculation_rate())
+                .sum::<f64>()
+                / results.len() as f64;
+            (entries, mean_ipc, mean_ms)
+        })
+        .collect();
     PredictorSizeSweep { points }
 }
 
@@ -51,21 +65,39 @@ pub struct FlushIntervalSweep {
 }
 
 /// Sweeps the MDPT flush interval (the paper fixes one million cycles).
-pub fn flush_interval(suite: &Suite, intervals: &[Option<u64>]) -> FlushIntervalSweep {
-    let mut points = Vec::new();
-    for &interval in intervals {
-        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
-        cfg.mdpt = MdptParams { flush_interval: interval, ..MdptParams::paper() };
-        let results = suite.run(&cfg);
-        let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
-        let delayed: u64 = results.iter().map(|(_, r)| r.stats.sync_delayed_loads).sum();
-        let loads: u64 = results.iter().map(|(_, r)| r.stats.committed_loads).sum();
-        points.push((
-            interval.unwrap_or(0),
-            mean_ipc,
-            if loads == 0 { 0.0 } else { delayed as f64 / loads as f64 },
-        ));
-    }
+pub fn flush_interval(runner: &Runner, intervals: &[Option<u64>]) -> FlushIntervalSweep {
+    let configs: Vec<CoreConfig> = intervals
+        .iter()
+        .map(|&interval| {
+            let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+            cfg.mdpt = MdptParams {
+                flush_interval: interval,
+                ..MdptParams::paper()
+            };
+            cfg
+        })
+        .collect();
+    let points = intervals
+        .iter()
+        .zip(runner.run_batch(&configs))
+        .map(|(&interval, results)| {
+            let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
+            let delayed: u64 = results
+                .iter()
+                .map(|(_, r)| r.stats.sync_delayed_loads)
+                .sum();
+            let loads: u64 = results.iter().map(|(_, r)| r.stats.committed_loads).sum();
+            (
+                interval.unwrap_or(0),
+                mean_ipc,
+                if loads == 0 {
+                    0.0
+                } else {
+                    delayed as f64 / loads as f64
+                },
+            )
+        })
+        .collect();
     FlushIntervalSweep { points }
 }
 
@@ -74,10 +106,17 @@ impl FlushIntervalSweep {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&["flush interval", "mean IPC", "sync-delayed loads"]);
         for &(iv, i, d) in &self.points {
-            let label = if iv == 0 { "never".to_string() } else { iv.to_string() };
+            let label = if iv == 0 {
+                "never".to_string()
+            } else {
+                iv.to_string()
+            };
             t.row_owned(vec![label, ipc(i), format!("{:.2}%", 100.0 * d)]);
         }
-        format!("Ablation: MDPT flush interval under NAS/SYNC\n{}", t.render())
+        format!(
+            "Ablation: MDPT flush interval under NAS/SYNC\n{}",
+            t.render()
+        )
     }
 }
 
@@ -91,9 +130,16 @@ pub struct StoreSetComparison {
 }
 
 /// Compares `NAS/SYNC` with the Chrysos & Emer store-set predictor.
-pub fn store_sets(suite: &Suite) -> StoreSetComparison {
-    let sync = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasSync));
-    let sset = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasStoreSets));
+pub fn store_sets(runner: &Runner) -> StoreSetComparison {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            CoreConfig::paper_128().with_policy(Policy::NasSync),
+            CoreConfig::paper_128().with_policy(Policy::NasStoreSets),
+        ],
+    );
+    let sset = sets.pop().expect("two result sets");
+    let sync = sets.pop().expect("two result sets");
     let rows = sync
         .iter()
         .zip(&sset)
@@ -134,16 +180,23 @@ pub struct RecoveryComparison {
 }
 
 /// Compares the two recovery models under `NAS/NAV`.
-pub fn recovery(suite: &Suite) -> RecoveryComparison {
+pub fn recovery(runner: &Runner) -> RecoveryComparison {
     let squash_cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
     let reissue_cfg = squash_cfg.clone().with_recovery(Recovery::SelectiveReissue);
-    let squash = suite.run(&squash_cfg);
-    let reissue = suite.run(&reissue_cfg);
+    let mut sets = runner.run_batch(&[squash_cfg, reissue_cfg]);
+    let reissue = sets.pop().expect("two result sets");
+    let squash = sets.pop().expect("two result sets");
     let rows: Vec<(String, f64, f64, u64, u64)> = squash
         .iter()
         .zip(&reissue)
         .map(|((b, rs), (_, rr))| {
-            (b.name().to_string(), rs.ipc(), rr.ipc(), rs.stats.squashed, rr.stats.reissued)
+            (
+                b.name().to_string(),
+                rs.ipc(),
+                rr.ipc(),
+                rs.stats.squashed,
+                rr.stats.reissued,
+            )
         })
         .collect();
     let means = (
@@ -157,7 +210,11 @@ impl RecoveryComparison {
     /// Renders the comparison.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "squash IPC", "reissue IPC", "squashed", "reissued",
+            "Program",
+            "squash IPC",
+            "reissue IPC",
+            "squashed",
+            "reissued",
         ]);
         for (b, s, r, sq, ri) in &self.rows {
             t.row_owned(vec![
@@ -189,24 +246,50 @@ pub struct BranchPredictorSweep {
 /// Runs `NAS/NAV` under several direction predictors. The paper fixes
 /// the 64K combined predictor; this shows front-end quality scales IPC
 /// without changing the policy orderings.
-pub fn branch_predictors(suite: &Suite) -> BranchPredictorSweep {
-    let configs = [
+pub fn branch_predictors(runner: &Runner) -> BranchPredictorSweep {
+    let predictors = [
         ("static-NT", BranchPredictorConfig::StaticNotTaken),
-        ("bimodal-4K", BranchPredictorConfig::Bimodal { entries: 4096 }),
-        ("gshare-64K", BranchPredictorConfig::Gshare { entries: 65536, history: 12 }),
-        ("local-4K", BranchPredictorConfig::Local { entries: 4096, history: 10 }),
+        (
+            "bimodal-4K",
+            BranchPredictorConfig::Bimodal { entries: 4096 },
+        ),
+        (
+            "gshare-64K",
+            BranchPredictorConfig::Gshare {
+                entries: 65536,
+                history: 12,
+            },
+        ),
+        (
+            "local-4K",
+            BranchPredictorConfig::Local {
+                entries: 4096,
+                history: 10,
+            },
+        ),
         ("combined-64K (paper)", BranchPredictorConfig::PaperCombined),
     ];
-    let mut points = Vec::new();
-    for (name, bp) in configs {
-        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
-        cfg.branch_predictor = bp;
-        let results = suite.run(&cfg);
-        let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
-        let acc = results.iter().map(|(_, r)| r.stats.frontend.accuracy()).sum::<f64>()
-            / results.len() as f64;
-        points.push((name.to_string(), mean_ipc, acc));
-    }
+    let configs: Vec<CoreConfig> = predictors
+        .iter()
+        .map(|(_, bp)| {
+            let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+            cfg.branch_predictor = *bp;
+            cfg
+        })
+        .collect();
+    let points = predictors
+        .iter()
+        .zip(runner.run_batch(&configs))
+        .map(|(&(name, _), results)| {
+            let mean_ipc = geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>());
+            let acc = results
+                .iter()
+                .map(|(_, r)| r.stats.frontend.accuracy())
+                .sum::<f64>()
+                / results.len() as f64;
+            (name.to_string(), mean_ipc, acc)
+        })
+        .collect();
     BranchPredictorSweep { points }
 }
 
@@ -217,8 +300,11 @@ impl BranchPredictorSweep {
         for (name, i, a) in &self.points {
             t.row_owned(vec![name.clone(), ipc(*i), format!("{:.1}%", 100.0 * a)]);
         }
-        format!("Ablation: branch predictor quality under NAS/NAV
-{}", t.render())
+        format!(
+            "Ablation: branch predictor quality under NAS/NAV
+{}",
+            t.render()
+        )
     }
 }
 
@@ -230,18 +316,30 @@ pub struct WindowSweep {
 }
 
 /// Sweeps the window size for `NAS/NO` vs `NAS/ORACLE`.
-pub fn window_sweep(suite: &Suite, sizes: &[usize]) -> WindowSweep {
-    let mut points = Vec::new();
+pub fn window_sweep(runner: &Runner, sizes: &[usize]) -> WindowSweep {
+    let mut configs = Vec::new();
     for &w in sizes {
-        let run = |policy: Policy| {
-            let cfg = CoreConfig::paper_128().with_policy(policy).with_window_size(w);
-            let sim = Simulator::new(cfg);
-            geomean(&suite.iter().map(|(_, t)| sim.run(t).ipc()).collect::<Vec<_>>())
-        };
-        let no = run(Policy::NasNo);
-        let oracle = run(Policy::NasOracle);
-        points.push((w, no, oracle));
+        for policy in [Policy::NasNo, Policy::NasOracle] {
+            configs.push(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_window_size(w),
+            );
+        }
     }
+    let mut sets = runner.run_batch(&configs).into_iter();
+    let points = sizes
+        .iter()
+        .map(|&w| {
+            let mut mean = || {
+                let results = sets.next().expect("one result set per (size, policy)");
+                geomean(&results.iter().map(|(_, r)| r.ipc()).collect::<Vec<_>>())
+            };
+            let no = mean();
+            let oracle = mean();
+            (w, no, oracle)
+        })
+        .collect();
     WindowSweep { points }
 }
 
@@ -257,7 +355,10 @@ impl WindowSweep {
                 format!("{:.2}x", if n > 0.0 { o / n } else { 0.0 }),
             ]);
         }
-        format!("Ablation: window-size sweep (extends Figure 1)\n{}", t.render())
+        format!(
+            "Ablation: window-size sweep (extends Figure 1)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -266,14 +367,14 @@ mod tests {
     use super::*;
     use mds_workloads::{Benchmark, SuiteParams};
 
-    fn small_suite() -> Suite {
-        Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap()
+    fn small_runner() -> Runner {
+        Runner::new(crate::Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap())
     }
 
     #[test]
     fn tiny_mdpt_missspeculates_more() {
-        let suite = small_suite();
-        let sweep = predictor_size(&suite, &[16, 4096]);
+        let runner = small_runner();
+        let sweep = predictor_size(&runner, &[16, 4096]);
         let (small, big) = (&sweep.points[0], &sweep.points[1]);
         assert!(
             small.2 >= big.2,
@@ -286,24 +387,24 @@ mod tests {
 
     #[test]
     fn flush_interval_sweep_runs() {
-        let suite = small_suite();
-        let sweep = flush_interval(&suite, &[Some(10_000), Some(1_000_000), None]);
+        let runner = small_runner();
+        let sweep = flush_interval(&runner, &[Some(10_000), Some(1_000_000), None]);
         assert_eq!(sweep.points.len(), 3);
         assert!(sweep.render().contains("flush interval"));
     }
 
     #[test]
     fn store_set_comparison_runs() {
-        let suite = small_suite();
-        let cmp = store_sets(&suite);
+        let runner = small_runner();
+        let cmp = store_sets(&runner);
         assert_eq!(cmp.rows.len(), 1);
         assert!(cmp.means.0 > 0.0 && cmp.means.1 > 0.0);
     }
 
     #[test]
     fn selective_reissue_does_not_lose_to_squash() {
-        let suite = small_suite();
-        let cmp = recovery(&suite);
+        let runner = small_runner();
+        let cmp = recovery(&runner);
         assert!(
             cmp.means.1 >= cmp.means.0 * 0.97,
             "reissue {} vs squash {}",
@@ -315,8 +416,8 @@ mod tests {
 
     #[test]
     fn better_predictors_do_not_hurt() {
-        let suite = small_suite();
-        let sweep = branch_predictors(&suite);
+        let runner = small_runner();
+        let sweep = branch_predictors(&runner);
         let static_nt = &sweep.points[0];
         let combined = sweep.points.last().expect("non-empty");
         assert!(
@@ -331,8 +432,8 @@ mod tests {
 
     #[test]
     fn window_gap_grows_with_size() {
-        let suite = small_suite();
-        let sweep = window_sweep(&suite, &[32, 128]);
+        let runner = small_runner();
+        let sweep = window_sweep(&runner, &[32, 128]);
         let gap32 = sweep.points[0].2 / sweep.points[0].1;
         let gap128 = sweep.points[1].2 / sweep.points[1].1;
         assert!(

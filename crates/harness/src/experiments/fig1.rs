@@ -1,9 +1,9 @@
 //! Figure 1 — the performance potential of load/store parallelism:
 //! `NAS/NO` vs `NAS/ORACLE` on 64- and 128-entry windows.
 
-use crate::experiments::{ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
 use crate::barchart::BarChart;
+use crate::experiments::{ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{ipc, speedup_pct, TextTable};
 use mds_core::{CoreConfig, Policy};
 use serde::Serialize;
@@ -45,18 +45,28 @@ pub struct Report {
 }
 
 /// Runs the four configurations of Figure 1 over the suite.
-pub fn run(suite: &Suite) -> Report {
-    let no_64 = ipcs(suite, &CoreConfig::paper_64().with_policy(Policy::NasNo));
-    let or_64 = ipcs(suite, &CoreConfig::paper_64().with_policy(Policy::NasOracle));
-    let no_128 = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasNo));
-    let or_128 = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasOracle));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            CoreConfig::paper_64().with_policy(Policy::NasNo),
+            CoreConfig::paper_64().with_policy(Policy::NasOracle),
+            CoreConfig::paper_128().with_policy(Policy::NasNo),
+            CoreConfig::paper_128().with_policy(Policy::NasOracle),
+        ],
+    );
+    let or_128 = sets.pop().expect("four result sets");
+    let no_128 = sets.pop().expect("four result sets");
+    let or_64 = sets.pop().expect("four result sets");
+    let no_64 = sets.pop().expect("four result sets");
 
     let sp_64 = speedups(&or_64, &no_64);
     let sp_128 = speedups(&or_128, &no_128);
     let (int_64, fp_64) = int_fp_geomeans(&sp_64);
     let (int_128, fp_128) = int_fp_geomeans(&sp_128);
 
-    let rows = suite
+    let rows = runner
+        .suite()
         .benchmarks()
         .iter()
         .enumerate()
@@ -96,8 +106,13 @@ impl Report {
     /// Renders the figure as a table (one row per bar group).
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "64 NAS/NO", "64 NAS/ORACLE", "64 speedup", "128 NAS/NO",
-            "128 NAS/ORACLE", "128 speedup",
+            "Program",
+            "64 NAS/NO",
+            "64 NAS/ORACLE",
+            "64 speedup",
+            "128 NAS/NO",
+            "128 NAS/ORACLE",
+            "128 speedup",
         ]);
         for r in &self.rows {
             t.row_owned(vec![
@@ -131,12 +146,20 @@ mod tests {
 
     #[test]
     fn oracle_beats_no_speculation_and_gap_grows_with_window() {
-        let suite =
-            Suite::generate(&[Benchmark::Compress, Benchmark::Su2cor], &SuiteParams::tiny())
-                .unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(
+                &[Benchmark::Compress, Benchmark::Su2cor],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        let rep = run(&runner);
         for r in &rep.rows {
-            assert!(r.speedup_128 >= 0.99, "{}: oracle must not lose", r.benchmark);
+            assert!(
+                r.speedup_128 >= 0.99,
+                "{}: oracle must not lose",
+                r.benchmark
+            );
             assert!(
                 r.speedup_128 >= r.speedup_64 * 0.9,
                 "{}: the gap should grow (or hold) with window size: 64 {:.2} vs 128 {:.2}",

@@ -1,9 +1,9 @@
 //! Figure 2 — performance of naive memory dependence speculation with
 //! no address scheduler: `NAS/NO` vs `NAS/ORACLE` vs `NAS/NAV`.
 
-use crate::experiments::{cfg, ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
 use crate::barchart::BarChart;
+use crate::experiments::{cfg, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{ipc, speedup_pct, TextTable};
 use mds_core::Policy;
 use serde::Serialize;
@@ -37,10 +37,18 @@ pub struct Report {
 }
 
 /// Runs the three Figure 2 configurations.
-pub fn run(suite: &Suite) -> Report {
-    let no = ipcs(suite, &cfg(Policy::NasNo));
-    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
-    let naive = ipcs(suite, &cfg(Policy::NasNaive));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            cfg(Policy::NasNo),
+            cfg(Policy::NasOracle),
+            cfg(Policy::NasNaive),
+        ],
+    );
+    let naive = sets.pop().expect("three result sets");
+    let oracle = sets.pop().expect("three result sets");
+    let no = sets.pop().expect("three result sets");
     let sp = speedups(&naive, &no);
     let (int_sp, fp_sp) = int_fp_geomeans(&sp);
 
@@ -54,11 +62,19 @@ pub fn run(suite: &Suite) -> Report {
                 ipc_oracle: oracle[i].1,
                 ipc_naive: naive[i].1,
                 naive_over_no: sp[i].1,
-                captured: if gain_oracle > 0.0 { gain_naive / gain_oracle } else { 1.0 },
+                captured: if gain_oracle > 0.0 {
+                    gain_naive / gain_oracle
+                } else {
+                    1.0
+                },
             }
         })
         .collect();
-    Report { rows, int_naive_speedup: int_sp, fp_naive_speedup: fp_sp }
+    Report {
+        rows,
+        int_naive_speedup: int_sp,
+        fp_naive_speedup: fp_sp,
+    }
 }
 
 impl Report {
@@ -77,7 +93,12 @@ impl Report {
     /// Renders the figure as a table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "NAS/NO", "NAS/ORACLE", "NAS/NAV", "NAV vs NO", "of oracle gain",
+            "Program",
+            "NAS/NO",
+            "NAS/ORACLE",
+            "NAS/NAV",
+            "NAV vs NO",
+            "of oracle gain",
         ]);
         for r in &self.rows {
             t.row_owned(vec![
@@ -107,12 +128,20 @@ mod tests {
 
     #[test]
     fn naive_lands_between_no_and_oracle() {
-        let suite =
-            Suite::generate(&[Benchmark::Compress, Benchmark::Su2cor], &SuiteParams::tiny())
-                .unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(
+                &[Benchmark::Compress, Benchmark::Su2cor],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        let rep = run(&runner);
         for r in &rep.rows {
-            assert!(r.ipc_naive >= r.ipc_no * 0.98, "{}: naive must help", r.benchmark);
+            assert!(
+                r.ipc_naive >= r.ipc_no * 0.98,
+                "{}: naive must help",
+                r.benchmark
+            );
             assert!(
                 r.ipc_naive <= r.ipc_oracle * 1.02,
                 "{}: naive cannot beat the oracle meaningfully",

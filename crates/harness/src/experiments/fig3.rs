@@ -2,8 +2,8 @@
 //! `AS/NAV` over `AS/NO` as the scheduler latency grows from 0 to 2
 //! cycles, plus the base `AS/NO` IPCs.
 
-use crate::experiments::{ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{ipc, speedup_pct, TextTable};
 use mds_core::{CoreConfig, Policy};
 use serde::Serialize;
@@ -39,18 +39,26 @@ pub struct Report {
 }
 
 /// Runs the 6 configurations of Figure 3.
-pub fn run(suite: &Suite) -> Report {
+pub fn run(runner: &Runner) -> Report {
+    let mut configs = Vec::new();
+    for &lat in &LATENCIES {
+        configs.push(
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNo)
+                .with_addr_sched_latency(lat),
+        );
+        configs.push(
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_addr_sched_latency(lat),
+        );
+    }
+    let mut sets = ipcs_batch(runner, &configs).into_iter();
     let mut no = Vec::new();
     let mut nav = Vec::new();
-    for &lat in &LATENCIES {
-        no.push(ipcs(
-            suite,
-            &CoreConfig::paper_128().with_policy(Policy::AsNo).with_addr_sched_latency(lat),
-        ));
-        nav.push(ipcs(
-            suite,
-            &CoreConfig::paper_128().with_policy(Policy::AsNaive).with_addr_sched_latency(lat),
-        ));
+    for _ in &LATENCIES {
+        no.push(sets.next().expect("one AS/NO set per latency"));
+        nav.push(sets.next().expect("one AS/NAV set per latency"));
     }
     let mut int_speedup = [1.0; 3];
     let mut fp_speedup = [1.0; 3];
@@ -63,7 +71,7 @@ pub fn run(suite: &Suite) -> Report {
         per_lat_speedups.push(sp);
     }
 
-    let rows = (0..suite.benchmarks().len())
+    let rows = (0..runner.suite().len())
         .map(|i| Row {
             benchmark: no[0][i].0.name().to_string(),
             ipc_as_no: [no[0][i].1, no[1][i].1, no[2][i].1],
@@ -75,15 +83,17 @@ pub fn run(suite: &Suite) -> Report {
             ],
         })
         .collect();
-    Report { rows, int_speedup, fp_speedup }
+    Report {
+        rows,
+        int_speedup,
+        fp_speedup,
+    }
 }
 
 impl Report {
     /// Renders both parts of the figure.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(&[
-            "Program", "AS/NO(0)", "NAV/NO @0", "NAV/NO @1", "NAV/NO @2",
-        ]);
+        let mut t = TextTable::new(&["Program", "AS/NO(0)", "NAV/NO @0", "NAV/NO @1", "NAV/NO @2"]);
         for r in &self.rows {
             t.row_owned(vec![
                 r.benchmark.clone(),
@@ -115,8 +125,10 @@ mod tests {
 
     #[test]
     fn scheduler_latency_degrades_absolute_performance() {
-        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap(),
+        );
+        let rep = run(&runner);
         let r = &rep.rows[0];
         assert!(
             r.ipc_as_naive[0] >= r.ipc_as_naive[2] * 0.98,

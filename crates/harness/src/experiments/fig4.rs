@@ -2,8 +2,8 @@
 //! naive speculation: `NAS/ORACLE` and `AS/NAV` at 0/1/2-cycle scheduler
 //! latency, all relative to the 0-cycle `AS/NO` base.
 
-use crate::experiments::{ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{ipcs, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{speedup_pct, TextTable};
 use mds_core::{CoreConfig, Policy};
 use serde::Serialize;
@@ -31,9 +31,16 @@ pub struct Report {
 }
 
 /// Runs the Figure 4 comparison.
-pub fn run(suite: &Suite) -> Report {
-    let base = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::AsNo));
-    let oracle = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::NasOracle));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            CoreConfig::paper_128().with_policy(Policy::AsNo),
+            CoreConfig::paper_128().with_policy(Policy::NasOracle),
+        ],
+    );
+    let oracle = sets.pop().expect("two result sets");
+    let base = sets.pop().expect("two result sets");
     let oracle_sp = speedups(&oracle, &base);
     let oracle_mean = int_fp_geomeans(&oracle_sp);
 
@@ -41,8 +48,10 @@ pub fn run(suite: &Suite) -> Report {
     let mut as_naive_mean = [(1.0, 1.0); 3];
     for (l, &lat) in [0u64, 1, 2].iter().enumerate() {
         let nav = ipcs(
-            suite,
-            &CoreConfig::paper_128().with_policy(Policy::AsNaive).with_addr_sched_latency(lat),
+            runner,
+            &CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_addr_sched_latency(lat),
         );
         let sp = speedups(&nav, &base);
         as_naive_mean[l] = int_fp_geomeans(&sp);
@@ -56,14 +65,22 @@ pub fn run(suite: &Suite) -> Report {
             as_naive: [nav_sp[0][i].1, nav_sp[1][i].1, nav_sp[2][i].1],
         })
         .collect();
-    Report { rows, oracle_mean, as_naive_mean }
+    Report {
+        rows,
+        oracle_mean,
+        as_naive_mean,
+    }
 }
 
 impl Report {
     /// Renders the figure as a table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "NAS/ORACLE", "AS/NAV @0", "AS/NAV @1", "AS/NAV @2",
+            "Program",
+            "NAS/ORACLE",
+            "AS/NAV @0",
+            "AS/NAV @1",
+            "AS/NAV @2",
         ]);
         for r in &self.rows {
             t.row_owned(vec![
@@ -97,9 +114,11 @@ mod tests {
 
     #[test]
     fn zero_cycle_as_naive_tracks_oracle() {
-        let suite =
-            Suite::generate(&[Benchmark::Su2cor, Benchmark::Gcc], &SuiteParams::tiny()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Su2cor, Benchmark::Gcc], &SuiteParams::tiny())
+                .unwrap(),
+        );
+        let rep = run(&runner);
         for r in &rep.rows {
             // The paper: "with few exceptions, the 0-cycle AS/NAV and the
             // NAS/ORACLE perform equally well"; allow generous slack at

@@ -1,8 +1,8 @@
 //! Figure 5 — selective (`NAS/SEL`) and store-barrier (`NAS/STORE`)
 //! speculation relative to naive speculation (`NAS/NAV`).
 
-use crate::experiments::{cfg, ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{cfg, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{speedup_pct, TextTable};
 use mds_core::Policy;
 use serde::Serialize;
@@ -32,11 +32,20 @@ pub struct Report {
 }
 
 /// Runs the Figure 5 comparison.
-pub fn run(suite: &Suite) -> Report {
-    let nav = ipcs(suite, &cfg(Policy::NasNaive));
-    let sel = ipcs(suite, &cfg(Policy::NasSelective));
-    let store = ipcs(suite, &cfg(Policy::NasStoreBarrier));
-    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            cfg(Policy::NasNaive),
+            cfg(Policy::NasSelective),
+            cfg(Policy::NasStoreBarrier),
+            cfg(Policy::NasOracle),
+        ],
+    );
+    let oracle = sets.pop().expect("four result sets");
+    let store = sets.pop().expect("four result sets");
+    let sel = sets.pop().expect("four result sets");
+    let nav = sets.pop().expect("four result sets");
     let sel_sp = speedups(&sel, &nav);
     let store_sp = speedups(&store, &nav);
     let oracle_sp = speedups(&oracle, &nav);
@@ -51,14 +60,17 @@ pub fn run(suite: &Suite) -> Report {
             oracle: oracle_sp[i].1,
         })
         .collect();
-    Report { rows, selective_mean, store_barrier_mean }
+    Report {
+        rows,
+        selective_mean,
+        store_barrier_mean,
+    }
 }
 
 impl Report {
     /// Renders the figure as a table.
     pub fn render(&self) -> String {
-        let mut t =
-            TextTable::new(&["Program", "NAS/SEL", "NAS/STORE", "NAS/ORACLE (ceiling)"]);
+        let mut t = TextTable::new(&["Program", "NAS/SEL", "NAS/STORE", "NAS/ORACLE (ceiling)"]);
         for r in &self.rows {
             t.row_owned(vec![
                 r.benchmark.clone(),
@@ -87,14 +99,26 @@ mod tests {
 
     #[test]
     fn sel_and_store_fall_short_of_oracle() {
-        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap(),
+        );
+        let rep = run(&runner);
         let r = &rep.rows[0];
         // Compress has real dependences, so the oracle clearly beats
         // naive; SEL and STORE capture less than the oracle.
-        assert!(r.oracle > 1.02, "oracle should beat naive on compress: {:.3}", r.oracle);
-        assert!(r.selective <= r.oracle * 1.02, "selective cannot beat oracle");
-        assert!(r.store_barrier <= r.oracle * 1.02, "store barrier cannot beat oracle");
+        assert!(
+            r.oracle > 1.02,
+            "oracle should beat naive on compress: {:.3}",
+            r.oracle
+        );
+        assert!(
+            r.selective <= r.oracle * 1.02,
+            "selective cannot beat oracle"
+        );
+        assert!(
+            r.store_barrier <= r.oracle * 1.02,
+            "store barrier cannot beat oracle"
+        );
         assert!(rep.render().contains("Figure 5"));
     }
 }

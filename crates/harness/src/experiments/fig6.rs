@@ -1,8 +1,8 @@
 //! Figure 6 — speculation/synchronization (`NAS/SYNC`) relative to
 //! naive speculation, with the oracle ceiling alongside.
 
-use crate::experiments::{cfg, ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{cfg, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::{speedup_pct, TextTable};
 use mds_core::Policy;
 use serde::Serialize;
@@ -30,10 +30,18 @@ pub struct Report {
 }
 
 /// Runs the Figure 6 comparison.
-pub fn run(suite: &Suite) -> Report {
-    let nav = ipcs(suite, &cfg(Policy::NasNaive));
-    let sync = ipcs(suite, &cfg(Policy::NasSync));
-    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            cfg(Policy::NasNaive),
+            cfg(Policy::NasSync),
+            cfg(Policy::NasOracle),
+        ],
+    );
+    let oracle = sets.pop().expect("three result sets");
+    let sync = sets.pop().expect("three result sets");
+    let nav = sets.pop().expect("three result sets");
     let sync_sp = speedups(&sync, &nav);
     let oracle_sp = speedups(&oracle, &nav);
     let sync_mean = int_fp_geomeans(&sync_sp);
@@ -46,7 +54,11 @@ pub fn run(suite: &Suite) -> Report {
             oracle: oracle_sp[i].1,
         })
         .collect();
-    Report { rows, sync_mean, oracle_mean }
+    Report {
+        rows,
+        sync_mean,
+        oracle_mean,
+    }
 }
 
 impl Report {
@@ -80,8 +92,10 @@ mod tests {
 
     #[test]
     fn sync_approaches_the_oracle() {
-        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap(),
+        );
+        let rep = run(&runner);
         let r = &rep.rows[0];
         assert!(r.oracle > 1.02, "oracle should beat naive on compress");
         // The paper's headline: SYNC captures most of the oracle's gain.

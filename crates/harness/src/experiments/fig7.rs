@@ -7,14 +7,16 @@
 //! all mis-speculations; the split window cannot, because a later unit's
 //! load computes its address before an earlier unit's store is fetched.
 
-use crate::experiments::results;
-use crate::runner::Suite;
+use crate::runner::Runner;
 use crate::table::{ipc, pct4, TextTable};
 use mds_core::{CoreConfig, Policy, WindowModel};
 use serde::Serialize;
 
 /// Split-window shape used by the experiment.
-pub const SPLIT: WindowModel = WindowModel::Split { units: 4, task_size: 16 };
+pub const SPLIT: WindowModel = WindowModel::Split {
+    units: 4,
+    task_size: 16,
+};
 
 /// One benchmark's comparison.
 #[derive(Debug, Clone, Serialize)]
@@ -41,12 +43,15 @@ pub struct Report {
 }
 
 /// Runs `AS/NAV` under both window models.
-pub fn run(suite: &Suite) -> Report {
-    let cont = results(suite, &CoreConfig::paper_128().with_policy(Policy::AsNaive));
-    let split = results(
-        suite,
-        &CoreConfig::paper_128().with_policy(Policy::AsNaive).with_window_model(SPLIT),
-    );
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = runner.run_batch(&[
+        CoreConfig::paper_128().with_policy(Policy::AsNaive),
+        CoreConfig::paper_128()
+            .with_policy(Policy::AsNaive)
+            .with_window_model(SPLIT),
+    ]);
+    let split = sets.pop().expect("two result sets");
+    let cont = sets.pop().expect("two result sets");
     let total = (
         cont.iter().map(|(_, r)| r.stats.misspeculations).sum(),
         split.iter().map(|(_, r)| r.stats.misspeculations).sum(),
@@ -62,14 +67,21 @@ pub fn run(suite: &Suite) -> Report {
             missspec_split: rs.stats.misspeculation_rate(),
         })
         .collect();
-    Report { rows, total_missspec: total }
+    Report {
+        rows,
+        total_missspec: total,
+    }
 }
 
 impl Report {
     /// Renders the comparison.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "IPC cont", "IPC split", "missspec cont", "missspec split",
+            "Program",
+            "IPC cont",
+            "IPC split",
+            "missspec cont",
+            "missspec split",
         ]);
         for r in &self.rows {
             t.row_owned(vec![
@@ -99,12 +111,14 @@ mod tests {
 
     #[test]
     fn split_window_missspeculates_more() {
-        let suite = Suite::generate(
-            &[Benchmark::Compress, Benchmark::Hydro2d],
-            &SuiteParams::test(),
-        )
-        .unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(
+                &[Benchmark::Compress, Benchmark::Hydro2d],
+                &SuiteParams::test(),
+            )
+            .unwrap(),
+        );
+        let rep = run(&runner);
         assert!(
             rep.total_missspec.1 > rep.total_missspec.0,
             "split {} must exceed continuous {}",

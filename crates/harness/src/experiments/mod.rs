@@ -1,11 +1,12 @@
 //! One module per table and figure of the paper's evaluation.
 //!
-//! Every experiment consumes a pre-generated [`Suite`] (so
-//! the functional traces are shared across the configurations it
-//! compares), returns a serializable report struct with the raw numbers,
-//! and renders the same rows/series the paper presents.
+//! Every experiment consumes a shared [`Runner`] (so the functional
+//! traces are generated once and (benchmark, config) results are
+//! memoized across *all* experiments in a run), returns a serializable
+//! report struct with the raw numbers, and renders the same rows/series
+//! the paper presents.
 //!
-//! [`Suite`]: crate::Suite
+//! [`Runner`]: crate::Runner
 //!
 //! | Module | Reproduces |
 //! |---|---|
@@ -39,18 +40,32 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-use crate::runner::Suite;
+use crate::runner::Runner;
 use mds_core::{CoreConfig, Policy, SimResult};
 use mds_workloads::Benchmark;
 
 /// Runs every suite benchmark under `config`, returning the IPCs.
-pub(crate) fn ipcs(suite: &Suite, config: &CoreConfig) -> Vec<(Benchmark, f64)> {
-    suite.run(config).into_iter().map(|(b, r)| (b, r.ipc())).collect()
+pub(crate) fn ipcs(runner: &Runner, config: &CoreConfig) -> Vec<(Benchmark, f64)> {
+    runner
+        .run(config)
+        .into_iter()
+        .map(|(b, r)| (b, r.ipc()))
+        .collect()
+}
+
+/// Runs every suite benchmark under each config in one parallel wave,
+/// returning one IPC set per config.
+pub(crate) fn ipcs_batch(runner: &Runner, configs: &[CoreConfig]) -> Vec<Vec<(Benchmark, f64)>> {
+    runner
+        .run_batch(configs)
+        .into_iter()
+        .map(|set| set.into_iter().map(|(b, r)| (b, r.ipc())).collect())
+        .collect()
 }
 
 /// Runs every suite benchmark under `config`, returning full results.
-pub(crate) fn results(suite: &Suite, config: &CoreConfig) -> Vec<(Benchmark, SimResult)> {
-    suite.run(config)
+pub(crate) fn results(runner: &Runner, config: &CoreConfig) -> Vec<(Benchmark, SimResult)> {
+    runner.run(config)
 }
 
 /// Per-benchmark speedup of `new` over `base` (paired by suite order).

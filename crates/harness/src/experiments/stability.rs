@@ -5,8 +5,8 @@
 //! The paper ran fixed binaries, so it had no analogous axis; for a
 //! synthetic suite this is the honest error bar.
 
-use crate::experiments::{cfg, ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{cfg, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner, Suite};
 use crate::table::{speedup_pct, TextTable};
 use mds_core::Policy;
 use mds_workloads::{Benchmark, SuiteParams};
@@ -32,7 +32,11 @@ pub struct Report {
     pub sync_spread: (f64, f64),
 }
 
-/// Runs the Figure 6 comparison at each seed over `benchmarks`.
+/// Runs the Figure 6 comparison at each seed over `benchmarks`,
+/// simulating with `jobs` worker threads (`0` = automatic).
+///
+/// Each seed generates a distinct trace set, so each gets its own
+/// [`Runner`] — results never alias across seeds.
 ///
 /// # Errors
 ///
@@ -41,14 +45,23 @@ pub fn run(
     benchmarks: &[Benchmark],
     base: &SuiteParams,
     seeds: &[u64],
+    jobs: usize,
 ) -> Result<Report, mds_isa::IsaError> {
     let mut points = Vec::new();
     for &seed in seeds {
         let params = SuiteParams { seed, ..*base };
-        let suite = Suite::generate(benchmarks, &params)?;
-        let nav = ipcs(&suite, &cfg(Policy::NasNaive));
-        let sync = ipcs(&suite, &cfg(Policy::NasSync));
-        let oracle = ipcs(&suite, &cfg(Policy::NasOracle));
+        let runner = Runner::new(Suite::generate(benchmarks, &params)?).with_jobs(jobs);
+        let mut sets = ipcs_batch(
+            &runner,
+            &[
+                cfg(Policy::NasNaive),
+                cfg(Policy::NasSync),
+                cfg(Policy::NasOracle),
+            ],
+        );
+        let oracle = sets.pop().expect("three result sets");
+        let sync = sets.pop().expect("three result sets");
+        let nav = sets.pop().expect("three result sets");
         points.push(SeedPoint {
             seed,
             sync: int_fp_geomeans(&speedups(&sync, &nav)),
@@ -62,15 +75,16 @@ pub fn run(
         max - min
     };
     let sync_spread = (spread(|p| p.sync.0), spread(|p| p.sync.1));
-    Ok(Report { points, sync_spread })
+    Ok(Report {
+        points,
+        sync_spread,
+    })
 }
 
 impl Report {
     /// Renders the per-seed table and the spread.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(&[
-            "seed", "SYNC int", "SYNC fp", "ORACLE int", "ORACLE fp",
-        ]);
+        let mut t = TextTable::new(&["seed", "SYNC int", "SYNC fp", "ORACLE int", "ORACLE fp"]);
         for p in &self.points {
             t.row_owned(vec![
                 format!("{:#x}", p.seed),
@@ -100,6 +114,7 @@ mod tests {
             &[Benchmark::Compress, Benchmark::Su2cor],
             &SuiteParams::tiny(),
             &[0xB5, 0x1234, 0xDEAD],
+            0,
         )
         .unwrap();
         assert_eq!(rep.points.len(), 3);

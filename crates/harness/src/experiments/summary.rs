@@ -1,7 +1,7 @@
 //! Section 4 — the paper's headline averages, regenerated.
 
-use crate::experiments::{cfg, ipcs, speedups};
-use crate::runner::{int_fp_geomeans, Suite};
+use crate::experiments::{cfg, ipcs_batch, speedups};
+use crate::runner::{int_fp_geomeans, Runner};
 use crate::table::speedup_pct;
 use mds_core::{CoreConfig, Policy};
 use serde::Serialize;
@@ -25,15 +25,27 @@ pub struct Report {
 }
 
 /// Computes the five headline comparisons of the paper's summary.
-pub fn run(suite: &Suite) -> Report {
-    let no = ipcs(suite, &cfg(Policy::NasNo));
-    let nav = ipcs(suite, &cfg(Policy::NasNaive));
-    let sync = ipcs(suite, &cfg(Policy::NasSync));
-    let oracle = ipcs(suite, &cfg(Policy::NasOracle));
-    let as_no = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::AsNo));
-    let as_nav = ipcs(suite, &CoreConfig::paper_128().with_policy(Policy::AsNaive));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = ipcs_batch(
+        runner,
+        &[
+            cfg(Policy::NasNo),
+            cfg(Policy::NasNaive),
+            cfg(Policy::NasSync),
+            cfg(Policy::NasOracle),
+            CoreConfig::paper_128().with_policy(Policy::AsNo),
+            CoreConfig::paper_128().with_policy(Policy::AsNaive),
+        ],
+    );
+    let as_nav = sets.pop().expect("six result sets");
+    let as_no = sets.pop().expect("six result sets");
+    let oracle = sets.pop().expect("six result sets");
+    let sync = sets.pop().expect("six result sets");
+    let nav = sets.pop().expect("six result sets");
+    let no = sets.pop().expect("six result sets");
 
-    let mk = |label: &str, new: &[(mds_workloads::Benchmark, f64)],
+    let mk = |label: &str,
+              new: &[(mds_workloads::Benchmark, f64)],
               base: &[(mds_workloads::Benchmark, f64)],
               paper: (f64, f64)| {
         Line {
@@ -45,11 +57,36 @@ pub fn run(suite: &Suite) -> Report {
 
     Report {
         lines: vec![
-            mk("NAS/ORACLE over NAS/NO (exploiting load/store parallelism)", &oracle, &no, (1.55, 2.54)),
-            mk("NAS/NAV over NAS/NO (naive speculation)", &nav, &no, (1.29, 2.13)),
-            mk("AS/NAV over AS/NO (naive speculation w/ address scheduler)", &as_nav, &as_no, (1.046, 1.053)),
-            mk("NAS/SYNC over NAS/NAV (speculation/synchronization)", &sync, &nav, (1.197, 1.191)),
-            mk("NAS/ORACLE over NAS/NAV (the ceiling SYNC approaches)", &oracle, &nav, (1.209, 1.204)),
+            mk(
+                "NAS/ORACLE over NAS/NO (exploiting load/store parallelism)",
+                &oracle,
+                &no,
+                (1.55, 2.54),
+            ),
+            mk(
+                "NAS/NAV over NAS/NO (naive speculation)",
+                &nav,
+                &no,
+                (1.29, 2.13),
+            ),
+            mk(
+                "AS/NAV over AS/NO (naive speculation w/ address scheduler)",
+                &as_nav,
+                &as_no,
+                (1.046, 1.053),
+            ),
+            mk(
+                "NAS/SYNC over NAS/NAV (speculation/synchronization)",
+                &sync,
+                &nav,
+                (1.197, 1.191),
+            ),
+            mk(
+                "NAS/ORACLE over NAS/NAV (the ceiling SYNC approaches)",
+                &oracle,
+                &nav,
+                (1.209, 1.204),
+            ),
         ],
     }
 }
@@ -79,12 +116,14 @@ mod tests {
 
     #[test]
     fn orderings_hold() {
-        let suite = Suite::generate(
-            &[Benchmark::Compress, Benchmark::Su2cor],
-            &SuiteParams::test(),
-        )
-        .unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(
+                &[Benchmark::Compress, Benchmark::Su2cor],
+                &SuiteParams::test(),
+            )
+            .unwrap(),
+        );
+        let rep = run(&runner);
         assert_eq!(rep.lines.len(), 5);
         let oracle_over_no = &rep.lines[0];
         let nav_over_no = &rep.lines[1];

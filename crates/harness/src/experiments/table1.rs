@@ -1,6 +1,6 @@
 //! Table 1 — benchmark execution characteristics.
 
-use crate::runner::Suite;
+use crate::runner::Runner;
 use crate::table::{pct, TextTable};
 use serde::Serialize;
 
@@ -33,8 +33,9 @@ pub struct Report {
 }
 
 /// Measures the suite's execution characteristics.
-pub fn run(suite: &Suite) -> Report {
-    let rows = suite
+pub fn run(runner: &Runner) -> Report {
+    let rows = runner
+        .suite()
         .iter()
         .map(|(b, t)| {
             let row = b.table1();
@@ -57,7 +58,13 @@ impl Report {
     /// Renders the table with measured-vs-paper columns.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(&[
-            "Program", "IC(dyn)", "Loads", "Stores", "Loads(paper)", "Stores(paper)", "SR(paper)",
+            "Program",
+            "IC(dyn)",
+            "Loads",
+            "Stores",
+            "Loads(paper)",
+            "Stores(paper)",
+            "SR(paper)",
         ]);
         for r in &self.rows {
             t.row_owned(vec![
@@ -70,7 +77,10 @@ impl Report {
                 r.paper_sampling.clone(),
             ]);
         }
-        format!("Table 1: benchmark execution characteristics\n{}", t.render())
+        format!(
+            "Table 1: benchmark execution characteristics\n{}",
+            t.render()
+        )
     }
 }
 
@@ -81,9 +91,11 @@ mod tests {
 
     #[test]
     fn measured_fractions_track_paper() {
-        let suite =
-            Suite::generate(&[Benchmark::Gcc, Benchmark::Mgrid], &SuiteParams::tiny()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Gcc, Benchmark::Mgrid], &SuiteParams::tiny())
+                .unwrap(),
+        );
+        let rep = run(&runner);
         assert_eq!(rep.rows.len(), 2);
         for r in &rep.rows {
             assert!((r.loads - r.paper_loads).abs() < 0.05, "{}", r.benchmark);

@@ -3,7 +3,7 @@
 //! window.
 
 use crate::experiments::{cfg, results};
-use crate::runner::Suite;
+use crate::runner::Runner;
 use crate::table::{pct, TextTable};
 use mds_core::Policy;
 use mds_workloads::Benchmark;
@@ -56,8 +56,8 @@ pub fn paper_values(b: Benchmark) -> (f64, f64) {
 }
 
 /// Measures false dependences under `NAS/NO`.
-pub fn run(suite: &Suite) -> Report {
-    let rows = results(suite, &cfg(Policy::NasNo))
+pub fn run(runner: &Runner) -> Report {
+    let rows = results(runner, &cfg(Policy::NasNo))
         .into_iter()
         .map(|(b, r)| {
             let (fd, rl) = paper_values(b);
@@ -76,8 +76,7 @@ pub fn run(suite: &Suite) -> Report {
 impl Report {
     /// Renders the table with measured-vs-paper columns.
     pub fn render(&self) -> String {
-        let mut t =
-            TextTable::new(&["Program", "FD", "RL", "FD(paper)", "RL(paper)"]);
+        let mut t = TextTable::new(&["Program", "FD", "RL", "FD(paper)", "RL(paper)"]);
         for r in &self.rows {
             t.row_owned(vec![
                 r.benchmark.clone(),
@@ -101,9 +100,11 @@ mod tests {
 
     #[test]
     fn false_dependences_are_widespread() {
-        let suite =
-            Suite::generate(&[Benchmark::Swim, Benchmark::Gcc], &SuiteParams::tiny()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Swim, Benchmark::Gcc], &SuiteParams::tiny())
+                .unwrap(),
+        );
+        let rep = run(&runner);
         // The paper's central observation: many loads (often most) are
         // delayed by false dependences, for many cycles.
         for r in &rep.rows {

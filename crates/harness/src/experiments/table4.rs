@@ -1,8 +1,8 @@
 //! Table 4 — memory dependence mis-speculation rates under naive
 //! speculation and under speculation/synchronization.
 
-use crate::experiments::{cfg, results};
-use crate::runner::Suite;
+use crate::experiments::cfg;
+use crate::runner::Runner;
 use crate::table::{pct4, TextTable};
 use mds_core::Policy;
 use mds_workloads::Benchmark;
@@ -55,9 +55,10 @@ pub fn paper_values(b: Benchmark) -> (f64, f64) {
 }
 
 /// Measures mis-speculation rates under `NAS/NAV` and `NAS/SYNC`.
-pub fn run(suite: &Suite) -> Report {
-    let nav = results(suite, &cfg(Policy::NasNaive));
-    let sync = results(suite, &cfg(Policy::NasSync));
+pub fn run(runner: &Runner) -> Report {
+    let mut sets = runner.run_batch(&[cfg(Policy::NasNaive), cfg(Policy::NasSync)]);
+    let sync = sets.pop().expect("two result sets");
+    let nav = sets.pop().expect("two result sets");
     let rows = nav
         .into_iter()
         .zip(sync)
@@ -78,9 +79,7 @@ pub fn run(suite: &Suite) -> Report {
 impl Report {
     /// Renders the table with measured-vs-paper columns.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(&[
-            "Program", "NAV", "SYNC", "NAV(paper)", "SYNC(paper)",
-        ]);
+        let mut t = TextTable::new(&["Program", "NAV", "SYNC", "NAV(paper)", "SYNC(paper)"]);
         for r in &self.rows {
             t.row_owned(vec![
                 r.benchmark.clone(),
@@ -90,7 +89,10 @@ impl Report {
                 pct4(r.paper_sync),
             ]);
         }
-        format!("Table 4: memory dependence mis-speculation rates\n{}", t.render())
+        format!(
+            "Table 4: memory dependence mis-speculation rates\n{}",
+            t.render()
+        )
     }
 }
 
@@ -101,10 +103,16 @@ mod tests {
 
     #[test]
     fn sync_suppresses_misspeculations() {
-        let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap();
-        let rep = run(&suite);
+        let runner = Runner::new(
+            crate::Suite::generate(&[Benchmark::Compress], &SuiteParams::test()).unwrap(),
+        );
+        let rep = run(&runner);
         let r = &rep.rows[0];
-        assert!(r.naive_rate > 0.01, "compress must mis-speculate naively: {}", r.naive_rate);
+        assert!(
+            r.naive_rate > 0.01,
+            "compress must mis-speculate naively: {}",
+            r.naive_rate
+        );
         assert!(
             r.sync_rate < r.naive_rate / 5.0,
             "sync must suppress mis-speculation: {} vs {}",

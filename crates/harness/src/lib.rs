@@ -7,17 +7,21 @@
 //! rows/series the paper reports, alongside the paper's own numbers
 //! where the paper gives them.
 //!
-//! The entry point is [`Suite`]: generate the functional traces once,
-//! then feed them to any number of experiments.
+//! The entry point is [`Runner`]: generate the functional traces once
+//! with [`Suite`], wrap them in a runner, then feed it to any number of
+//! experiments — repeated (benchmark, config) requests are memoized and
+//! pending simulations run on a work-stealing thread pool, with results
+//! always assembled in deterministic suite order.
 //!
 //! # Examples
 //!
 //! ```
-//! use mds_harness::{experiments, Suite};
+//! use mds_harness::{experiments, Runner, Suite};
 //! use mds_workloads::{Benchmark, SuiteParams};
 //!
 //! let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny())?;
-//! let table1 = experiments::table1::run(&suite);
+//! let runner = Runner::new(suite);
+//! let table1 = experiments::table1::run(&runner);
 //! assert_eq!(table1.rows.len(), 1);
 //! println!("{}", table1.render());
 //! # Ok::<(), mds_isa::IsaError>(())
@@ -27,10 +31,12 @@
 #![forbid(unsafe_code)]
 
 mod barchart;
+pub mod cli;
+pub mod emit;
 pub mod experiments;
 mod runner;
 mod table;
 
 pub use barchart::{BarChart, Group};
-pub use runner::{geomean, int_fp_geomeans, Suite};
+pub use runner::{geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite};
 pub use table::{ipc, pct, pct4, speedup_pct, Align, TextTable};

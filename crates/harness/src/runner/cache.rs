@@ -1,0 +1,112 @@
+//! Cross-experiment memoization of simulation results.
+
+use crate::runner::key::ConfigKey;
+use mds_core::SimResult;
+use mds_workloads::Benchmark;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Memoizes [`SimResult`]s by (benchmark, [`ConfigKey`]) so that
+/// configurations shared across experiments — e.g. `NAS/NO`,
+/// `NAS/NAV`, and `NAS/ORACLE`, which fig1, fig2, fig6, summary, and
+/// table4 all revisit — are simulated exactly once per `reproduce`
+/// run.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    map: Mutex<HashMap<ConfigKey, HashMap<Benchmark, SimResult>>>,
+    hits: AtomicU64,
+    simulations: AtomicU64,
+    sim_nanos: AtomicU64,
+}
+
+impl SimCache {
+    /// A memoized result, if present. Counts a hit when it is.
+    pub fn get(&self, benchmark: Benchmark, key: &ConfigKey) -> Option<SimResult> {
+        let map = self.map.lock().expect("cache poisoned");
+        let found = map
+            .get(key)
+            .and_then(|per_bench| per_bench.get(&benchmark))
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Whether a result is memoized, without counting a hit.
+    pub fn contains(&self, benchmark: Benchmark, key: &ConfigKey) -> bool {
+        let map = self.map.lock().expect("cache poisoned");
+        map.get(key)
+            .is_some_and(|per_bench| per_bench.contains_key(&benchmark))
+    }
+
+    /// A memoized result without touching the hit counter — used when
+    /// assembling a batch's return value from entries the batch itself
+    /// already accounted for.
+    pub fn peek(&self, benchmark: Benchmark, key: &ConfigKey) -> Option<SimResult> {
+        let map = self.map.lock().expect("cache poisoned");
+        map.get(key)
+            .and_then(|per_bench| per_bench.get(&benchmark))
+            .cloned()
+    }
+
+    /// Records one freshly simulated result and its wall-clock cost.
+    pub fn insert(&self, benchmark: Benchmark, key: ConfigKey, result: SimResult, nanos: u64) {
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache poisoned");
+        map.entry(key).or_default().insert(benchmark, result);
+    }
+
+    /// Drops every memoized result (the counters are preserved),
+    /// forcing subsequent requests to re-simulate — used by benchmarks
+    /// that must time fresh simulations on every iteration.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+    }
+
+    /// Counts one request served from the cache.
+    pub fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> RunnerStats {
+        RunnerStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters describing what a [`Runner`](crate::Runner) actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RunnerStats {
+    /// (benchmark, config) requests served from the cache.
+    pub cache_hits: u64,
+    /// Simulations actually executed.
+    pub simulations: u64,
+    /// Total wall-clock nanoseconds spent inside simulations, summed
+    /// over jobs (exceeds elapsed time when jobs run in parallel).
+    pub sim_nanos: u64,
+}
+
+impl RunnerStats {
+    /// Fraction of requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.simulations;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total simulation time in seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_nanos as f64 / 1e9
+    }
+}

@@ -1,0 +1,68 @@
+//! Work-stealing parallel execution of pending simulation jobs.
+//!
+//! Workers share one atomic cursor over the job list: each thread
+//! claims the next un-started job with a `fetch_add`, so a thread that
+//! finishes a short simulation immediately steals the next pending one
+//! instead of idling behind a static partition. Results are reported
+//! back tagged with their job index, so callers always observe them in
+//! submission order regardless of completion order.
+
+use mds_core::{CoreConfig, SimResult, Simulator};
+use mds_isa::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One pending simulation.
+pub(super) struct Job<'a> {
+    /// The configuration to simulate under.
+    pub config: &'a CoreConfig,
+    /// The trace to replay.
+    pub trace: &'a Trace,
+}
+
+/// Runs one job, returning the result and its wall-clock nanoseconds.
+fn run_one(job: &Job<'_>) -> (SimResult, u64) {
+    let start = Instant::now();
+    let result = Simulator::new(job.config.clone()).run(job.trace);
+    (result, start.elapsed().as_nanos() as u64)
+}
+
+/// Executes `jobs` on up to `threads` scoped worker threads, returning
+/// `(result, nanos)` per job **in job order**.
+///
+/// `Simulator` is deterministic and stateless across runs, so the
+/// output is identical whatever thread count or completion order —
+/// `threads == 1` simply runs inline on the caller's thread.
+pub(super) fn run_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<(SimResult, u64)> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().map(run_one).collect();
+    }
+
+    let mut slots: Vec<Option<(SimResult, u64)>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send((i, run_one(job))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, done) in rx {
+            slots[i] = Some(done);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job reports exactly once"))
+        .collect()
+}

@@ -1,0 +1,56 @@
+//! Stable fingerprints for simulator configurations.
+
+use mds_core::CoreConfig;
+
+/// A stable fingerprint of a [`CoreConfig`], used to key memoized
+/// simulation results by (benchmark, configuration).
+///
+/// `CoreConfig` is a tree of integers, booleans, and fieldless enums,
+/// so its `Debug` rendering is a total, injective serialization: two
+/// configs produce the same key exactly when every field is equal.
+/// Deriving `Hash`/`Eq` on `CoreConfig` itself would also work, but the
+/// string form keeps the config types untouched and doubles as a
+/// human-readable cache label when debugging.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfigKey(String);
+
+impl ConfigKey {
+    /// Fingerprints a configuration.
+    pub fn of(config: &CoreConfig) -> ConfigKey {
+        ConfigKey(format!("{config:?}"))
+    }
+
+    /// The underlying serialized form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_core::Policy;
+
+    #[test]
+    fn equal_configs_share_a_key() {
+        let a = ConfigKey::of(&CoreConfig::paper_128());
+        let b = ConfigKey::of(&CoreConfig::paper_128());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_field_change_changes_the_key() {
+        let base = CoreConfig::paper_128();
+        let keys = [
+            ConfigKey::of(&base),
+            ConfigKey::of(&base.clone().with_policy(Policy::NasOracle)),
+            ConfigKey::of(&base.clone().with_window_size(64)),
+            ConfigKey::of(&base.clone().with_addr_sched_latency(1)),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Parallel, memoizing simulation driver.
+//!
+//! Experiments submit (benchmark, configuration) requests to a
+//! [`Runner`]; the runner serves repeats from its [`SimCache`] and
+//! executes the rest on a work-stealing scoped thread pool
+//! ([`exec`]), collecting results back into deterministic suite order
+//! so every rendered table and figure is byte-identical to a
+//! sequential (`--jobs 1`) run.
+
+mod cache;
+mod exec;
+mod key;
+mod suite;
+
+pub use cache::{RunnerStats, SimCache};
+pub use key::ConfigKey;
+pub use suite::Suite;
+
+use exec::Job;
+use mds_core::{CoreConfig, SimResult};
+use mds_workloads::Benchmark;
+use std::collections::HashSet;
+
+/// Drives simulations over a [`Suite`]: memoizes per-(benchmark,
+/// config) results across experiments and runs pending simulations in
+/// parallel.
+///
+/// # Examples
+///
+/// ```
+/// use mds_harness::Runner;
+/// use mds_harness::Suite;
+/// use mds_core::{CoreConfig, Policy};
+/// use mds_workloads::{Benchmark, SuiteParams};
+///
+/// let suite = Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny())?;
+/// let runner = Runner::new(suite);
+/// let first = runner.run(&CoreConfig::paper_128().with_policy(Policy::NasNaive));
+/// let again = runner.run(&CoreConfig::paper_128().with_policy(Policy::NasNaive));
+/// assert_eq!(first[0].1.ipc(), again[0].1.ipc());
+/// assert_eq!(runner.stats().simulations, 1); // the repeat was a cache hit
+/// # Ok::<(), mds_isa::IsaError>(())
+/// ```
+#[derive(Debug)]
+pub struct Runner {
+    suite: Suite,
+    jobs: usize,
+    cache: SimCache,
+}
+
+impl Runner {
+    /// Wraps a suite with the thread count from
+    /// [`std::thread::available_parallelism`].
+    pub fn new(suite: Suite) -> Runner {
+        let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+        Runner {
+            suite,
+            jobs,
+            cache: SimCache::default(),
+        }
+    }
+
+    /// Overrides the worker-thread count; `0` restores the automatic
+    /// choice.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Runner {
+        self.jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            jobs
+        };
+        self
+    }
+
+    /// The wrapped suite.
+    pub fn suite(&self) -> &Suite {
+        &self.suite
+    }
+
+    /// The worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every suite benchmark under `config`, returning
+    /// per-benchmark results in suite order.
+    pub fn run(&self, config: &CoreConfig) -> Vec<(Benchmark, SimResult)> {
+        self.run_batch(std::slice::from_ref(config))
+            .pop()
+            .expect("one result set per config")
+    }
+
+    /// Runs every suite benchmark under each of `configs` in one
+    /// parallel wave, returning one result set per config, each in
+    /// suite order.
+    ///
+    /// Requests already memoized (or repeated within the batch) are
+    /// served from the [`SimCache`]; only the remainder is simulated.
+    pub fn run_batch(&self, configs: &[CoreConfig]) -> Vec<Vec<(Benchmark, SimResult)>> {
+        let keys: Vec<ConfigKey> = configs.iter().map(ConfigKey::of).collect();
+
+        // Collect the pending (benchmark, config) set: not yet cached
+        // and not already scheduled earlier in this batch.
+        let mut scheduled: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
+        let mut pending: Vec<Job<'_>> = Vec::new();
+        let mut pending_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
+        for (config, key) in configs.iter().zip(&keys) {
+            for (benchmark, trace) in self.suite.iter() {
+                if self.cache.contains(benchmark, key) || !scheduled.insert((benchmark, key)) {
+                    self.cache.count_hit();
+                } else {
+                    pending.push(Job { config, trace });
+                    pending_keys.push((benchmark, key.clone()));
+                }
+            }
+        }
+
+        let done = exec::run_jobs(&pending, self.jobs);
+        for ((benchmark, key), (result, nanos)) in pending_keys.into_iter().zip(done) {
+            self.cache.insert(benchmark, key, result, nanos);
+        }
+
+        // Assemble each config's results in suite order from the cache
+        // (without re-counting hits), so output ordering never depends
+        // on execution interleaving.
+        keys.iter()
+            .map(|key| {
+                self.suite
+                    .iter()
+                    .map(|(b, _)| {
+                        let result = self
+                            .cache
+                            .peek(b, key)
+                            .expect("every requested (benchmark, config) is cached");
+                        (b, result)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A snapshot of the cache-hit and simulation counters.
+    pub fn stats(&self) -> RunnerStats {
+        self.cache.stats()
+    }
+
+    /// Drops every memoized result (counters are preserved) so the next
+    /// request re-simulates — for benchmarks that time fresh runs.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+/// Geometric mean of `values` (1.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Splits per-benchmark values into `(integer, floating-point)` subsets
+/// and returns the geometric mean of each — the paper reports separate
+/// int/fp averages throughout.
+pub fn int_fp_geomeans(pairs: &[(Benchmark, f64)]) -> (f64, f64) {
+    let int: Vec<f64> = pairs
+        .iter()
+        .filter(|(b, _)| !b.is_fp())
+        .map(|(_, v)| *v)
+        .collect();
+    let fp: Vec<f64> = pairs
+        .iter()
+        .filter(|(b, _)| b.is_fp())
+        .map(|(_, v)| *v)
+        .collect();
+    (geomean(&int), geomean(&fp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_core::Policy;
+    use mds_workloads::SuiteParams;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_fp_split() {
+        let pairs = vec![
+            (Benchmark::Gcc, 2.0),
+            (Benchmark::Go, 8.0),
+            (Benchmark::Swim, 3.0),
+        ];
+        let (i, f) = int_fp_geomeans(&pairs);
+        assert!((i - 4.0).abs() < 1e-12);
+        assert!((f - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_generates_and_runs() {
+        let runner = Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        assert_eq!(runner.suite().benchmarks().len(), 2);
+        let results = runner.run(&CoreConfig::paper_128().with_policy(Policy::NasNaive));
+        assert_eq!(results.len(), 2);
+        for (b, r) in &results {
+            assert!(r.ipc() > 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_benchmark_panics() {
+        let suite = Suite::generate(&[Benchmark::Gcc], &SuiteParams::tiny()).unwrap();
+        let _ = suite.trace(Benchmark::Swim);
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_exactly() {
+        let mk = || {
+            Runner::new(
+                Suite::generate(
+                    &[Benchmark::Compress, Benchmark::Swim],
+                    &SuiteParams::tiny(),
+                )
+                .unwrap(),
+            )
+        };
+        let sequential = mk().with_jobs(1);
+        let parallel = mk().with_jobs(4);
+        for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasOracle] {
+            let cfg = CoreConfig::paper_128().with_policy(policy);
+            let a = sequential.run(&cfg);
+            let b = parallel.run(&cfg);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn second_identical_request_simulates_nothing() {
+        let runner = Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
+        let first = runner.run(&cfg);
+        let after_first = runner.stats();
+        assert_eq!(after_first.simulations, 2);
+        assert_eq!(after_first.cache_hits, 0);
+
+        let second = runner.run(&cfg);
+        let after_second = runner.stats();
+        assert_eq!(after_second.simulations, 2, "repeat must not simulate");
+        assert_eq!(after_second.cache_hits, 2);
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_configs() {
+        let runner =
+            Runner::new(Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap());
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        let sets = runner.run_batch(&[cfg.clone(), cfg.clone(), cfg.with_window_size(64)]);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(runner.stats().simulations, 2, "two distinct configs");
+        assert_eq!(runner.stats().cache_hits, 1, "the in-batch repeat");
+        assert_eq!(format!("{:?}", sets[0]), format!("{:?}", sets[1]));
+    }
+}

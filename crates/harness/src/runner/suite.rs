@@ -1,0 +1,83 @@
+//! Benchmark traces, generated once and replayed under every
+//! configuration an experiment compares.
+
+use mds_isa::{IsaError, Trace};
+use mds_workloads::{Benchmark, SuiteParams};
+
+/// The functional traces of a benchmark set, generated once and replayed
+/// under every configuration an experiment compares.
+///
+/// Simulation itself goes through [`Runner`](crate::Runner), which
+/// memoizes per-(benchmark, config) results and runs pending
+/// simulations in parallel.
+#[derive(Debug)]
+pub struct Suite {
+    params: SuiteParams,
+    entries: Vec<(Benchmark, Trace)>,
+}
+
+impl Suite {
+    /// Generates traces for the given benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation or interpretation errors.
+    pub fn generate(benchmarks: &[Benchmark], params: &SuiteParams) -> Result<Suite, IsaError> {
+        let mut entries = Vec::with_capacity(benchmarks.len());
+        for &b in benchmarks {
+            entries.push((b, b.trace(params)?));
+        }
+        Ok(Suite {
+            params: *params,
+            entries,
+        })
+    }
+
+    /// The full 18-benchmark suite at the given sizing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation or interpretation errors.
+    pub fn full(params: &SuiteParams) -> Result<Suite, IsaError> {
+        Suite::generate(&Benchmark::ALL, params)
+    }
+
+    /// The sizing parameters the suite was generated with.
+    pub fn params(&self) -> &SuiteParams {
+        &self.params
+    }
+
+    /// The benchmarks in this suite, in order.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        self.entries.iter().map(|(b, _)| *b).collect()
+    }
+
+    /// The trace of one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark is not part of this suite.
+    pub fn trace(&self, benchmark: Benchmark) -> &Trace {
+        &self
+            .entries
+            .iter()
+            .find(|(b, _)| *b == benchmark)
+            .unwrap_or_else(|| panic!("{benchmark} not in suite"))
+            .1
+    }
+
+    /// Iterates over `(benchmark, trace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Benchmark, &Trace)> {
+        self.entries.iter().map(|(b, t)| (*b, t))
+    }
+
+    /// The number of benchmarks in the suite.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -33,7 +33,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> TextTable {
-        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -43,7 +46,8 @@ impl TextTable {
     /// Panics if the row length does not match the header count.
     pub fn row(&mut self, cells: &[&str]) -> &mut TextTable {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -131,7 +135,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

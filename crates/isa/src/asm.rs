@@ -100,7 +100,7 @@ pub struct Label(u32);
 #[derive(Debug, Default)]
 pub struct Asm {
     insts: Vec<Instruction>,
-    labels: Vec<Option<u32>>, // label id -> bound index
+    labels: Vec<Option<u32>>,    // label id -> bound index
     fixups: Vec<(usize, Label)>, // instruction slot -> label to resolve
     data: MemImage,
     data_cursor: u64,
@@ -113,7 +113,10 @@ pub const DATA_BASE: u64 = 0x1000_0000;
 impl Asm {
     /// Creates an empty builder.
     pub fn new() -> Asm {
-        Asm { data_cursor: DATA_BASE, ..Asm::default() }
+        Asm {
+            data_cursor: DATA_BASE,
+            ..Asm::default()
+        }
     }
 
     /// Index that the next emitted instruction will occupy.
@@ -173,210 +176,442 @@ impl Asm {
 
     fn emit_branch(&mut self, op: Op, rs: Option<Reg>, rt: Option<Reg>, label: Label) {
         self.fixups.push((self.insts.len(), label));
-        self.emit(Instruction { op, rd: None, rs, rt, imm: 0, target: Some(u32::MAX) });
+        self.emit(Instruction {
+            op,
+            rd: None,
+            rs,
+            rt,
+            imm: 0,
+            target: Some(u32::MAX),
+        });
     }
 
     // ---- integer ALU -----------------------------------------------------
 
     /// `rd <- rs + rt`
-    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Add, rd, rs, rt)); }
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Add, rd, rs, rt));
+    }
     /// `rd <- rs - rt`
-    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Sub, rd, rs, rt)); }
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Sub, rd, rs, rt));
+    }
     /// `rd <- rs & rt`
-    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::And, rd, rs, rt)); }
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::And, rd, rs, rt));
+    }
     /// `rd <- rs | rt`
-    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Or, rd, rs, rt)); }
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Or, rd, rs, rt));
+    }
     /// `rd <- rs ^ rt`
-    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Xor, rd, rs, rt)); }
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Xor, rd, rs, rt));
+    }
     /// `rd <- !(rs | rt)`
-    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Nor, rd, rs, rt)); }
+    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Nor, rd, rs, rt));
+    }
     /// `rd <- rs << (rt & 63)`
-    pub fn sllv(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Sllv, rd, rs, rt)); }
+    pub fn sllv(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Sllv, rd, rs, rt));
+    }
     /// `rd <- (rs as u64) >> (rt & 63)`
-    pub fn srlv(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Srlv, rd, rs, rt)); }
+    pub fn srlv(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Srlv, rd, rs, rt));
+    }
     /// `rd <- (rs as i64) >> (rt & 63)`
-    pub fn srav(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Srav, rd, rs, rt)); }
+    pub fn srav(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Srav, rd, rs, rt));
+    }
     /// `rd <- (rs < rt) as signed`
-    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Slt, rd, rs, rt)); }
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Slt, rd, rs, rt));
+    }
     /// `rd <- (rs < rt) as unsigned`
-    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) { self.emit(Instruction::rrr(Op::Sltu, rd, rs, rt)); }
+    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instruction::rrr(Op::Sltu, rd, rs, rt));
+    }
     /// `rd <- rs + imm`
-    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Addi, rd, rs, imm)); }
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Addi, rd, rs, imm));
+    }
     /// `rd <- rs & imm`
-    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Andi, rd, rs, imm)); }
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Andi, rd, rs, imm));
+    }
     /// `rd <- rs | imm`
-    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Ori, rd, rs, imm)); }
+    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Ori, rd, rs, imm));
+    }
     /// `rd <- rs ^ imm`
-    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Xori, rd, rs, imm)); }
+    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Xori, rd, rs, imm));
+    }
     /// `rd <- (rs < imm) as signed`
-    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Slti, rd, rs, imm)); }
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Slti, rd, rs, imm));
+    }
     /// `rd <- (rs < imm) as unsigned`
-    pub fn sltiu(&mut self, rd: Reg, rs: Reg, imm: i64) { self.emit(Instruction::rri(Op::Sltiu, rd, rs, imm)); }
+    pub fn sltiu(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Sltiu, rd, rs, imm));
+    }
     /// `rd <- rs << shamt`
-    pub fn sll(&mut self, rd: Reg, rs: Reg, shamt: i64) { self.emit(Instruction::rri(Op::Sll, rd, rs, shamt)); }
+    pub fn sll(&mut self, rd: Reg, rs: Reg, shamt: i64) {
+        self.emit(Instruction::rri(Op::Sll, rd, rs, shamt));
+    }
     /// `rd <- (rs as u64) >> shamt`
-    pub fn srl(&mut self, rd: Reg, rs: Reg, shamt: i64) { self.emit(Instruction::rri(Op::Srl, rd, rs, shamt)); }
+    pub fn srl(&mut self, rd: Reg, rs: Reg, shamt: i64) {
+        self.emit(Instruction::rri(Op::Srl, rd, rs, shamt));
+    }
     /// `rd <- (rs as i64) >> shamt`
-    pub fn sra(&mut self, rd: Reg, rs: Reg, shamt: i64) { self.emit(Instruction::rri(Op::Sra, rd, rs, shamt)); }
+    pub fn sra(&mut self, rd: Reg, rs: Reg, shamt: i64) {
+        self.emit(Instruction::rri(Op::Sra, rd, rs, shamt));
+    }
     /// `rd <- imm << 16`
-    pub fn lui(&mut self, rd: Reg, imm: i64) { self.emit(Instruction::rri(Op::Lui, rd, Reg::ZERO, imm)); }
+    pub fn lui(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instruction::rri(Op::Lui, rd, Reg::ZERO, imm));
+    }
 
     /// Pseudo-instruction: load the (possibly wide) immediate into `rd`.
     ///
     /// Expands to a single `addi rd, r0, imm`; the simulator's immediates
     /// are full-width, so one instruction always suffices.
-    pub fn li(&mut self, rd: Reg, imm: i64) { self.addi(rd, Reg::ZERO, imm); }
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.addi(rd, Reg::ZERO, imm);
+    }
 
     /// Pseudo-instruction: copy `rs` into `rd`.
-    pub fn mov(&mut self, rd: Reg, rs: Reg) { self.addi(rd, rs, 0); }
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
 
     /// `nop`
-    pub fn nop(&mut self) { self.emit(Instruction::nop()); }
+    pub fn nop(&mut self) {
+        self.emit(Instruction::nop());
+    }
 
     // ---- multiply / divide ----------------------------------------------
 
     /// `(HI, LO) <- rs * rt` (signed)
     pub fn mult(&mut self, rs: Reg, rt: Reg) {
-        self.emit(Instruction { op: Op::Mult, rd: None, rs: Some(rs), rt: Some(rt), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Mult,
+            rd: None,
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: None,
+        });
     }
     /// `(HI, LO) <- rs * rt` (unsigned)
     pub fn multu(&mut self, rs: Reg, rt: Reg) {
-        self.emit(Instruction { op: Op::Multu, rd: None, rs: Some(rs), rt: Some(rt), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Multu,
+            rd: None,
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: None,
+        });
     }
     /// `LO <- rs / rt; HI <- rs % rt` (signed; division by zero yields zero)
     pub fn div(&mut self, rs: Reg, rt: Reg) {
-        self.emit(Instruction { op: Op::Div, rd: None, rs: Some(rs), rt: Some(rt), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Div,
+            rd: None,
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: None,
+        });
     }
     /// `LO <- rs / rt; HI <- rs % rt` (unsigned; division by zero yields zero)
     pub fn divu(&mut self, rs: Reg, rt: Reg) {
-        self.emit(Instruction { op: Op::Divu, rd: None, rs: Some(rs), rt: Some(rt), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Divu,
+            rd: None,
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: None,
+        });
     }
     /// `rd <- HI`
     pub fn mfhi(&mut self, rd: Reg) {
-        self.emit(Instruction { op: Op::Mfhi, rd: Some(rd), rs: None, rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Mfhi,
+            rd: Some(rd),
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
     /// `rd <- LO`
     pub fn mflo(&mut self, rd: Reg) {
-        self.emit(Instruction { op: Op::Mflo, rd: Some(rd), rs: None, rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Mflo,
+            rd: Some(rd),
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
 
     // ---- memory ----------------------------------------------------------
 
     /// `rd <- sign_extend(mem8[base + disp])`
-    pub fn lb(&mut self, rd: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lb, rd, base, disp)); }
+    pub fn lb(&mut self, rd: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lb, rd, base, disp));
+    }
     /// `rd <- zero_extend(mem8[base + disp])`
-    pub fn lbu(&mut self, rd: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lbu, rd, base, disp)); }
+    pub fn lbu(&mut self, rd: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lbu, rd, base, disp));
+    }
     /// `rd <- sign_extend(mem16[base + disp])`
-    pub fn lh(&mut self, rd: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lh, rd, base, disp)); }
+    pub fn lh(&mut self, rd: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lh, rd, base, disp));
+    }
     /// `rd <- zero_extend(mem16[base + disp])`
-    pub fn lhu(&mut self, rd: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lhu, rd, base, disp)); }
+    pub fn lhu(&mut self, rd: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lhu, rd, base, disp));
+    }
     /// `rd <- sign_extend(mem32[base + disp])`
-    pub fn lw(&mut self, rd: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lw, rd, base, disp)); }
+    pub fn lw(&mut self, rd: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lw, rd, base, disp));
+    }
     /// `mem8[base + disp] <- rt`
-    pub fn sb(&mut self, rt: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Sb, rt, base, disp)); }
+    pub fn sb(&mut self, rt: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Sb, rt, base, disp));
+    }
     /// `mem16[base + disp] <- rt`
-    pub fn sh(&mut self, rt: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Sh, rt, base, disp)); }
+    pub fn sh(&mut self, rt: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Sh, rt, base, disp));
+    }
     /// `mem32[base + disp] <- rt`
-    pub fn sw(&mut self, rt: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Sw, rt, base, disp)); }
+    pub fn sw(&mut self, rt: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Sw, rt, base, disp));
+    }
     /// `ft <- mem32[base + disp]` (FP single, stored as bits)
-    pub fn lwc1(&mut self, ft: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Lwc1, ft, base, disp)); }
+    pub fn lwc1(&mut self, ft: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Lwc1, ft, base, disp));
+    }
     /// `mem32[base + disp] <- ft`
-    pub fn swc1(&mut self, ft: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Swc1, ft, base, disp)); }
+    pub fn swc1(&mut self, ft: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Swc1, ft, base, disp));
+    }
     /// `ft <- mem64[base + disp]` (FP double)
-    pub fn ldc1(&mut self, ft: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Ldc1, ft, base, disp)); }
+    pub fn ldc1(&mut self, ft: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Ldc1, ft, base, disp));
+    }
     /// `mem64[base + disp] <- ft`
-    pub fn sdc1(&mut self, ft: Reg, base: Reg, disp: i64) { self.emit(Instruction::mem(Op::Sdc1, ft, base, disp)); }
+    pub fn sdc1(&mut self, ft: Reg, base: Reg, disp: i64) {
+        self.emit(Instruction::mem(Op::Sdc1, ft, base, disp));
+    }
 
     // ---- floating point ---------------------------------------------------
 
     /// `fd <- fs + ft` (single)
-    pub fn add_s(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::AddS, fd, fs, ft)); }
+    pub fn add_s(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::AddS, fd, fs, ft));
+    }
     /// `fd <- fs - ft` (single)
-    pub fn sub_s(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::SubS, fd, fs, ft)); }
+    pub fn sub_s(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::SubS, fd, fs, ft));
+    }
     /// `fd <- fs * ft` (single)
-    pub fn mul_s(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::MulS, fd, fs, ft)); }
+    pub fn mul_s(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::MulS, fd, fs, ft));
+    }
     /// `fd <- fs / ft` (single)
-    pub fn div_s(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::DivS, fd, fs, ft)); }
+    pub fn div_s(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::DivS, fd, fs, ft));
+    }
     /// `fd <- fs + ft` (double)
-    pub fn add_d(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::AddD, fd, fs, ft)); }
+    pub fn add_d(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::AddD, fd, fs, ft));
+    }
     /// `fd <- fs - ft` (double)
-    pub fn sub_d(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::SubD, fd, fs, ft)); }
+    pub fn sub_d(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::SubD, fd, fs, ft));
+    }
     /// `fd <- fs * ft` (double)
-    pub fn mul_d(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::MulD, fd, fs, ft)); }
+    pub fn mul_d(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::MulD, fd, fs, ft));
+    }
     /// `fd <- fs / ft` (double)
-    pub fn div_d(&mut self, fd: Reg, fs: Reg, ft: Reg) { self.emit(Instruction::rrr(Op::DivD, fd, fs, ft)); }
+    pub fn div_d(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instruction::rrr(Op::DivD, fd, fs, ft));
+    }
     /// `FSR <- (fs < ft)` (double compare)
     pub fn c_lt_d(&mut self, fs: Reg, ft: Reg) {
-        self.emit(Instruction { op: Op::CLtD, rd: None, rs: Some(fs), rt: Some(ft), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::CLtD,
+            rd: None,
+            rs: Some(fs),
+            rt: Some(ft),
+            imm: 0,
+            target: None,
+        });
     }
     /// `FSR <- (fs == ft)` (double compare)
     pub fn c_eq_d(&mut self, fs: Reg, ft: Reg) {
-        self.emit(Instruction { op: Op::CEqD, rd: None, rs: Some(fs), rt: Some(ft), imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::CEqD,
+            rd: None,
+            rs: Some(fs),
+            rt: Some(ft),
+            imm: 0,
+            target: None,
+        });
     }
     /// `fd <- (fs as integer bits) converted to double`
     pub fn cvt_d_w(&mut self, fd: Reg, fs: Reg) {
-        self.emit(Instruction { op: Op::CvtDW, rd: Some(fd), rs: Some(fs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::CvtDW,
+            rd: Some(fd),
+            rs: Some(fs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
     /// `fd <- truncate(fs) as integer bits`
     pub fn cvt_w_d(&mut self, fd: Reg, fs: Reg) {
-        self.emit(Instruction { op: Op::CvtWD, rd: Some(fd), rs: Some(fs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::CvtWD,
+            rd: Some(fd),
+            rs: Some(fs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
     /// `fd <- fs`
     pub fn mov_d(&mut self, fd: Reg, fs: Reg) {
-        self.emit(Instruction { op: Op::MovD, rd: Some(fd), rs: Some(fs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::MovD,
+            rd: Some(fd),
+            rs: Some(fs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
     /// `fd <- -fs`
     pub fn neg_d(&mut self, fd: Reg, fs: Reg) {
-        self.emit(Instruction { op: Op::NegD, rd: Some(fd), rs: Some(fs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::NegD,
+            rd: Some(fd),
+            rs: Some(fs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
     /// `fd <- |fs|`
     pub fn abs_d(&mut self, fd: Reg, fs: Reg) {
-        self.emit(Instruction { op: Op::AbsD, rd: Some(fd), rs: Some(fs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::AbsD,
+            rd: Some(fd),
+            rs: Some(fs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
 
     // ---- control ----------------------------------------------------------
 
     /// Branch to `label` if `rs == rt`.
-    pub fn beq(&mut self, rs: Reg, rt: Reg, label: Label) { self.emit_branch(Op::Beq, Some(rs), Some(rt), label); }
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.emit_branch(Op::Beq, Some(rs), Some(rt), label);
+    }
     /// Branch to `label` if `rs != rt`.
-    pub fn bne(&mut self, rs: Reg, rt: Reg, label: Label) { self.emit_branch(Op::Bne, Some(rs), Some(rt), label); }
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: Label) {
+        self.emit_branch(Op::Bne, Some(rs), Some(rt), label);
+    }
     /// Branch to `label` if `rs <= 0`.
-    pub fn blez(&mut self, rs: Reg, label: Label) { self.emit_branch(Op::Blez, Some(rs), None, label); }
+    pub fn blez(&mut self, rs: Reg, label: Label) {
+        self.emit_branch(Op::Blez, Some(rs), None, label);
+    }
     /// Branch to `label` if `rs > 0`.
-    pub fn bgtz(&mut self, rs: Reg, label: Label) { self.emit_branch(Op::Bgtz, Some(rs), None, label); }
+    pub fn bgtz(&mut self, rs: Reg, label: Label) {
+        self.emit_branch(Op::Bgtz, Some(rs), None, label);
+    }
     /// Branch to `label` if `rs < 0`.
-    pub fn bltz(&mut self, rs: Reg, label: Label) { self.emit_branch(Op::Bltz, Some(rs), None, label); }
+    pub fn bltz(&mut self, rs: Reg, label: Label) {
+        self.emit_branch(Op::Bltz, Some(rs), None, label);
+    }
     /// Branch to `label` if `rs >= 0`.
-    pub fn bgez(&mut self, rs: Reg, label: Label) { self.emit_branch(Op::Bgez, Some(rs), None, label); }
+    pub fn bgez(&mut self, rs: Reg, label: Label) {
+        self.emit_branch(Op::Bgez, Some(rs), None, label);
+    }
     /// Branch to `label` if the FP condition flag is set.
-    pub fn bc1t(&mut self, label: Label) { self.emit_branch(Op::Bc1t, None, None, label); }
+    pub fn bc1t(&mut self, label: Label) {
+        self.emit_branch(Op::Bc1t, None, None, label);
+    }
     /// Branch to `label` if the FP condition flag is clear.
-    pub fn bc1f(&mut self, label: Label) { self.emit_branch(Op::Bc1f, None, None, label); }
+    pub fn bc1f(&mut self, label: Label) {
+        self.emit_branch(Op::Bc1f, None, None, label);
+    }
 
     /// Unconditional jump to `label`.
     pub fn j(&mut self, label: Label) {
         self.fixups.push((self.insts.len(), label));
-        self.emit(Instruction { op: Op::J, rd: None, rs: None, rt: None, imm: 0, target: Some(u32::MAX) });
+        self.emit(Instruction {
+            op: Op::J,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: Some(u32::MAX),
+        });
     }
 
     /// Call: jump to `label`, writing the return address into `r31`.
     pub fn jal(&mut self, label: Label) {
         self.fixups.push((self.insts.len(), label));
-        self.emit(Instruction { op: Op::Jal, rd: None, rs: None, rt: None, imm: 0, target: Some(u32::MAX) });
+        self.emit(Instruction {
+            op: Op::Jal,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: Some(u32::MAX),
+        });
     }
 
     /// Indirect jump to the instruction address in `rs` (used for returns).
     pub fn jr(&mut self, rs: Reg) {
-        self.emit(Instruction { op: Op::Jr, rd: None, rs: Some(rs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Jr,
+            rd: None,
+            rs: Some(rs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
 
     /// Indirect call through `rs`, writing the return address into `r31`.
     pub fn jalr(&mut self, rs: Reg) {
-        self.emit(Instruction { op: Op::Jalr, rd: None, rs: Some(rs), rt: None, imm: 0, target: None });
+        self.emit(Instruction {
+            op: Op::Jalr,
+            rd: None,
+            rs: Some(rs),
+            rt: None,
+            imm: 0,
+            target: None,
+        });
     }
 
     /// Stops execution.
-    pub fn halt(&mut self) { self.emit(Instruction::halt()); }
+    pub fn halt(&mut self) {
+        self.emit(Instruction::halt());
+    }
 
     // ---- finalization -------------------------------------------------------
 
@@ -402,7 +637,11 @@ impl Asm {
         for (slot, idx) in resolved {
             self.insts[slot].target = Some(idx);
         }
-        Ok(Program { insts: self.insts, data: self.data, entry: self.entry })
+        Ok(Program {
+            insts: self.insts,
+            data: self.data,
+            entry: self.entry,
+        })
     }
 }
 
@@ -457,14 +696,19 @@ impl Program {
                 }
                 Op::Mfhi | Op::Mflo => format!("{m} {}", inst.rd.expect("rd")),
                 Op::Lui => format!("{m} {}, {}", inst.rd.expect("rd"), inst.imm),
-                Op::CvtDW | Op::CvtWD | Op::MovD | Op::NegD | Op::AbsD => format!(
-                    "{m} {}, {}",
-                    inst.rd.expect("rd"),
-                    inst.rs.expect("rs")
-                ),
+                Op::CvtDW | Op::CvtWD | Op::MovD | Op::NegD | Op::AbsD => {
+                    format!("{m} {}, {}", inst.rd.expect("rd"), inst.rs.expect("rs"))
+                }
                 // Register-immediate forms.
-                Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Sltiu | Op::Sll
-                | Op::Srl | Op::Sra => format!(
+                Op::Addi
+                | Op::Andi
+                | Op::Ori
+                | Op::Xori
+                | Op::Slti
+                | Op::Sltiu
+                | Op::Sll
+                | Op::Srl
+                | Op::Sra => format!(
                     "{m} {}, {}, {}",
                     inst.rd.expect("rd"),
                     inst.rs.expect("rs"),

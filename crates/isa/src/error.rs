@@ -42,7 +42,10 @@ impl fmt::Display for IsaError {
                 write!(f, "indirect jump to invalid instruction address {value:#x}")
             }
             IsaError::StepLimit { limit } => {
-                write!(f, "execution exceeded {limit} dynamic instructions without halting")
+                write!(
+                    f,
+                    "execution exceeded {limit} dynamic instructions without halting"
+                )
             }
         }
     }

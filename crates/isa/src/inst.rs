@@ -45,12 +45,26 @@ pub struct Instruction {
 impl Instruction {
     /// Three-register ALU instruction: `rd <- rs op rt`.
     pub fn rrr(op: Op, rd: Reg, rs: Reg, rt: Reg) -> Instruction {
-        Instruction { op, rd: Some(rd), rs: Some(rs), rt: Some(rt), imm: 0, target: None }
+        Instruction {
+            op,
+            rd: Some(rd),
+            rs: Some(rs),
+            rt: Some(rt),
+            imm: 0,
+            target: None,
+        }
     }
 
     /// Register-immediate ALU instruction: `rd <- rs op imm`.
     pub fn rri(op: Op, rd: Reg, rs: Reg, imm: i64) -> Instruction {
-        Instruction { op, rd: Some(rd), rs: Some(rs), rt: None, imm, target: None }
+        Instruction {
+            op,
+            rd: Some(rd),
+            rs: Some(rs),
+            rt: None,
+            imm,
+            target: None,
+        }
     }
 
     /// Memory instruction: `reg <- mem[base + disp]` or `mem[base + disp] <- reg`.
@@ -59,9 +73,23 @@ impl Instruction {
     pub fn mem(op: Op, reg: Reg, base: Reg, disp: i64) -> Instruction {
         debug_assert!(op.is_mem(), "Instruction::mem used with non-memory op {op}");
         if op.is_load() {
-            Instruction { op, rd: Some(reg), rs: Some(base), rt: None, imm: disp, target: None }
+            Instruction {
+                op,
+                rd: Some(reg),
+                rs: Some(base),
+                rt: None,
+                imm: disp,
+                target: None,
+            }
         } else {
-            Instruction { op, rd: None, rs: Some(base), rt: Some(reg), imm: disp, target: None }
+            Instruction {
+                op,
+                rd: None,
+                rs: Some(base),
+                rt: Some(reg),
+                imm: disp,
+                target: None,
+            }
         }
     }
 
@@ -69,17 +97,38 @@ impl Instruction {
     /// zero, targeting static index `target`.
     pub fn branch(op: Op, rs: Option<Reg>, rt: Option<Reg>, target: u32) -> Instruction {
         debug_assert!(op.is_cond_branch(), "Instruction::branch used with {op}");
-        Instruction { op, rd: None, rs, rt, imm: 0, target: Some(target) }
+        Instruction {
+            op,
+            rd: None,
+            rs,
+            rt,
+            imm: 0,
+            target: Some(target),
+        }
     }
 
     /// A no-operation instruction.
     pub fn nop() -> Instruction {
-        Instruction { op: Op::Nop, rd: None, rs: None, rt: None, imm: 0, target: None }
+        Instruction {
+            op: Op::Nop,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: None,
+        }
     }
 
     /// The program-terminating instruction.
     pub fn halt() -> Instruction {
-        Instruction { op: Op::Halt, rd: None, rs: None, rt: None, imm: 0, target: None }
+        Instruction {
+            op: Op::Halt,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: None,
+        }
     }
 
     /// Source registers read by this instruction, excluding the hard-wired
@@ -225,7 +274,14 @@ mod tests {
 
     #[test]
     fn mfhi_reads_hi() {
-        let i = Instruction { op: Op::Mfhi, rd: Some(Reg::int(5)), rs: None, rt: None, imm: 0, target: None };
+        let i = Instruction {
+            op: Op::Mfhi,
+            rd: Some(Reg::int(5)),
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: None,
+        };
         assert_eq!(i.src_regs(), vec![Reg::HI]);
         assert_eq!(i.dst_regs(), vec![Reg::int(5)]);
     }
@@ -241,7 +297,14 @@ mod tests {
 
     #[test]
     fn call_writes_return_address() {
-        let i = Instruction { op: Op::Jal, rd: None, rs: None, rt: None, imm: 0, target: Some(0) };
+        let i = Instruction {
+            op: Op::Jal,
+            rd: None,
+            rs: None,
+            rt: None,
+            imm: 0,
+            target: Some(0),
+        };
         assert_eq!(i.dst_regs(), vec![Reg::RA]);
     }
 

@@ -28,13 +28,20 @@ pub struct ArchState {
 impl ArchState {
     /// Creates a state with all registers zero and the given initial memory.
     pub fn new(mem: MemImage) -> ArchState {
-        ArchState { regs: [0; NUM_REGS], mem }
+        ArchState {
+            regs: [0; NUM_REGS],
+            mem,
+        }
     }
 
     /// Reads register `r` (the zero register always reads zero).
     #[inline]
     pub fn reg(&self, r: Reg) -> u64 {
-        if r.is_zero() { 0 } else { self.regs[r.index()] }
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
     }
 
     /// Writes register `r` (writes to the zero register are ignored).
@@ -78,13 +85,19 @@ impl Interpreter {
     /// Creates an interpreter over `program` with its initial data image.
     pub fn new(program: Program) -> Interpreter {
         let mem = program.data().clone();
-        Interpreter { program: Arc::new(program), state: ArchState::new(mem) }
+        Interpreter {
+            program: Arc::new(program),
+            state: ArchState::new(mem),
+        }
     }
 
     /// Creates an interpreter sharing an already-wrapped program.
     pub fn from_arc(program: Arc<Program>) -> Interpreter {
         let mem = program.data().clone();
-        Interpreter { program, state: ArchState::new(mem) }
+        Interpreter {
+            program,
+            state: ArchState::new(mem),
+        }
     }
 
     /// The architectural state (for inspection after [`run`](Self::run)).
@@ -134,12 +147,23 @@ impl Interpreter {
 
     /// Executes one instruction, returning its trace record and the next
     /// static index.
-    fn step(&mut self, sidx: u32, inst: &crate::inst::Instruction) -> Result<(TraceRecord, u64), IsaError> {
+    fn step(
+        &mut self,
+        sidx: u32,
+        inst: &crate::inst::Instruction,
+    ) -> Result<(TraceRecord, u64), IsaError> {
         let s = &mut self.state;
         let rs = inst.rs.map(|r| s.reg(r)).unwrap_or(0);
         let rt = inst.rt.map(|r| s.reg(r)).unwrap_or(0);
         let imm = inst.imm;
-        let mut rec = TraceRecord { sidx, effaddr: 0, value: 0, old_value: 0, size: 0, taken: false };
+        let mut rec = TraceRecord {
+            sidx,
+            effaddr: 0,
+            value: 0,
+            old_value: 0,
+            size: 0,
+            taken: false,
+        };
         let mut next = sidx as u64 + 1;
 
         macro_rules! set_rd {
@@ -196,13 +220,19 @@ impl Interpreter {
                 let (q, r) = if rt == 0 {
                     (0, 0)
                 } else {
-                    ((rs as i64).wrapping_div(rt as i64), (rs as i64).wrapping_rem(rt as i64))
+                    (
+                        (rs as i64).wrapping_div(rt as i64),
+                        (rs as i64).wrapping_rem(rt as i64),
+                    )
                 };
                 s.set_reg(Reg::LO, q as u64);
                 s.set_reg(Reg::HI, r as u64);
             }
             Op::Divu => {
-                let (q, r) = (rs.checked_div(rt).unwrap_or(0), rs.checked_rem(rt).unwrap_or(0));
+                let (q, r) = (
+                    rs.checked_div(rt).unwrap_or(0),
+                    rs.checked_rem(rt).unwrap_or(0),
+                );
                 s.set_reg(Reg::LO, q);
                 s.set_reg(Reg::HI, r);
             }
@@ -231,7 +261,11 @@ impl Interpreter {
                 let addr = rs.wrapping_add(imm as u64);
                 let size = inst.mem_width().expect("store has width").bytes() as u8;
                 let old = s.mem.read(addr, size);
-                let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+                let mask = if size == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * size)) - 1
+                };
                 let v = rt & mask;
                 s.mem.write(addr, size, v);
                 rec.effaddr = addr;
@@ -244,11 +278,19 @@ impl Interpreter {
             Op::AddS => set_rd!(f32_to(f32_of(rs) + f32_of(rt))),
             Op::SubS => set_rd!(f32_to(f32_of(rs) - f32_of(rt))),
             Op::MulS => set_rd!(f32_to(f32_of(rs) * f32_of(rt))),
-            Op::DivS => set_rd!(f32_to(if f32_of(rt) == 0.0 { 0.0 } else { f32_of(rs) / f32_of(rt) })),
+            Op::DivS => set_rd!(f32_to(if f32_of(rt) == 0.0 {
+                0.0
+            } else {
+                f32_of(rs) / f32_of(rt)
+            })),
             Op::AddD => set_rd!(f64_to(f64_of(rs) + f64_of(rt))),
             Op::SubD => set_rd!(f64_to(f64_of(rs) - f64_of(rt))),
             Op::MulD => set_rd!(f64_to(f64_of(rs) * f64_of(rt))),
-            Op::DivD => set_rd!(f64_to(if f64_of(rt) == 0.0 { 0.0 } else { f64_of(rs) / f64_of(rt) })),
+            Op::DivD => set_rd!(f64_to(if f64_of(rt) == 0.0 {
+                0.0
+            } else {
+                f64_of(rs) / f64_of(rt)
+            })),
             Op::CLtD => s.set_reg(Reg::FSR, (f64_of(rs) < f64_of(rt)) as u64),
             Op::CEqD => s.set_reg(Reg::FSR, (f64_of(rs) == f64_of(rt)) as u64),
             Op::CvtDW => set_rd!(f64_to(rs as u32 as i32 as f64)),
@@ -316,7 +358,9 @@ mod tests {
     }
 
     fn run(a: Asm) -> Trace {
-        Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+        Interpreter::new(a.assemble().unwrap())
+            .run(1_000_000)
+            .unwrap()
     }
 
     #[test]
@@ -463,7 +507,10 @@ mod tests {
         a.halt();
         let t = run(a);
         let sidxs: Vec<u32> = t.records().iter().map(|rec| rec.sidx).collect();
-        assert!(!sidxs.contains(&5), "fall-through instruction must be skipped");
+        assert!(
+            !sidxs.contains(&5),
+            "fall-through instruction must be skipped"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl MemImage {
     ///
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn read(&self, addr: u64, size: u8) -> u64 {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         let mut v = 0u64;
         for i in 0..size as u64 {
             v |= (self.read_u8(addr + i) as u64) << (8 * i);
@@ -76,7 +79,10 @@ impl MemImage {
     ///
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn write(&mut self, addr: u64, size: u8, value: u64) {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         for i in 0..size as u64 {
             self.write_u8(addr + i, (value >> (8 * i)) as u8);
         }

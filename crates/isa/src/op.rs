@@ -78,28 +78,84 @@ pub enum FuClass {
 #[allow(missing_docs)] // variant names follow MIPS mnemonics
 pub enum Op {
     // Integer ALU, register forms.
-    Add, Sub, And, Or, Xor, Nor, Sllv, Srlv, Srav, Slt, Sltu,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    Sllv,
+    Srlv,
+    Srav,
+    Slt,
+    Sltu,
     // Integer ALU, immediate forms.
-    Addi, Andi, Ori, Xori, Slti, Sltiu, Sll, Srl, Sra, Lui,
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Sltiu,
+    Sll,
+    Srl,
+    Sra,
+    Lui,
     // Multiply / divide (results in HI/LO).
-    Mult, Multu, Div, Divu, Mfhi, Mflo,
+    Mult,
+    Multu,
+    Div,
+    Divu,
+    Mfhi,
+    Mflo,
     // Integer loads.
-    Lb, Lbu, Lh, Lhu, Lw,
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
     // Integer stores.
-    Sb, Sh, Sw,
+    Sb,
+    Sh,
+    Sw,
     // FP loads / stores.
-    Lwc1, Swc1, Ldc1, Sdc1,
+    Lwc1,
+    Swc1,
+    Ldc1,
+    Sdc1,
     // FP arithmetic (single / double precision).
-    AddS, SubS, MulS, DivS,
-    AddD, SubD, MulD, DivD,
+    AddS,
+    SubS,
+    MulS,
+    DivS,
+    AddD,
+    SubD,
+    MulD,
+    DivD,
     // FP compare (sets FSR), convert, move, negate, absolute value.
-    CLtD, CEqD, CvtDW, CvtWD, MovD, NegD, AbsD,
+    CLtD,
+    CEqD,
+    CvtDW,
+    CvtWD,
+    MovD,
+    NegD,
+    AbsD,
     // Branches.
-    Beq, Bne, Blez, Bgtz, Bltz, Bgez, Bc1t, Bc1f,
+    Beq,
+    Bne,
+    Blez,
+    Bgtz,
+    Bltz,
+    Bgez,
+    Bc1t,
+    Bc1f,
     // Jumps.
-    J, Jal, Jr, Jalr,
+    J,
+    Jal,
+    Jr,
+    Jalr,
     // Misc.
-    Nop, Halt,
+    Nop,
+    Halt,
 }
 
 impl Op {
@@ -223,23 +279,74 @@ impl Op {
     pub fn mnemonic(self) -> &'static str {
         use Op::*;
         match self {
-            Add => "add", Sub => "sub", And => "and", Or => "or", Xor => "xor", Nor => "nor",
-            Sllv => "sllv", Srlv => "srlv", Srav => "srav", Slt => "slt", Sltu => "sltu",
-            Addi => "addi", Andi => "andi", Ori => "ori", Xori => "xori", Slti => "slti",
-            Sltiu => "sltiu", Sll => "sll", Srl => "srl", Sra => "sra", Lui => "lui",
-            Mult => "mult", Multu => "multu", Div => "div", Divu => "divu",
-            Mfhi => "mfhi", Mflo => "mflo",
-            Lb => "lb", Lbu => "lbu", Lh => "lh", Lhu => "lhu", Lw => "lw",
-            Sb => "sb", Sh => "sh", Sw => "sw",
-            Lwc1 => "lwc1", Swc1 => "swc1", Ldc1 => "ldc1", Sdc1 => "sdc1",
-            AddS => "add.s", SubS => "sub.s", MulS => "mul.s", DivS => "div.s",
-            AddD => "add.d", SubD => "sub.d", MulD => "mul.d", DivD => "div.d",
-            CLtD => "c.lt.d", CEqD => "c.eq.d", CvtDW => "cvt.d.w", CvtWD => "cvt.w.d",
-            MovD => "mov.d", NegD => "neg.d", AbsD => "abs.d",
-            Beq => "beq", Bne => "bne", Blez => "blez", Bgtz => "bgtz",
-            Bltz => "bltz", Bgez => "bgez", Bc1t => "bc1t", Bc1f => "bc1f",
-            J => "j", Jal => "jal", Jr => "jr", Jalr => "jalr",
-            Nop => "nop", Halt => "halt",
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Nor => "nor",
+            Sllv => "sllv",
+            Srlv => "srlv",
+            Srav => "srav",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Lui => "lui",
+            Mult => "mult",
+            Multu => "multu",
+            Div => "div",
+            Divu => "divu",
+            Mfhi => "mfhi",
+            Mflo => "mflo",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Lwc1 => "lwc1",
+            Swc1 => "swc1",
+            Ldc1 => "ldc1",
+            Sdc1 => "sdc1",
+            AddS => "add.s",
+            SubS => "sub.s",
+            MulS => "mul.s",
+            DivS => "div.s",
+            AddD => "add.d",
+            SubD => "sub.d",
+            MulD => "mul.d",
+            DivD => "div.d",
+            CLtD => "c.lt.d",
+            CEqD => "c.eq.d",
+            CvtDW => "cvt.d.w",
+            CvtWD => "cvt.w.d",
+            MovD => "mov.d",
+            NegD => "neg.d",
+            AbsD => "abs.d",
+            Beq => "beq",
+            Bne => "bne",
+            Blez => "blez",
+            Bgtz => "bgtz",
+            Bltz => "bltz",
+            Bgez => "bgez",
+            Bc1t => "bc1t",
+            Bc1f => "bc1f",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Nop => "nop",
+            Halt => "halt",
         }
     }
 }
@@ -256,14 +363,74 @@ mod tests {
     use super::*;
 
     const ALL_OPS: &[Op] = &[
-        Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Nor, Op::Sllv, Op::Srlv, Op::Srav,
-        Op::Slt, Op::Sltu, Op::Addi, Op::Andi, Op::Ori, Op::Xori, Op::Slti, Op::Sltiu, Op::Sll,
-        Op::Srl, Op::Sra, Op::Lui, Op::Mult, Op::Multu, Op::Div, Op::Divu, Op::Mfhi, Op::Mflo,
-        Op::Lb, Op::Lbu, Op::Lh, Op::Lhu, Op::Lw, Op::Sb, Op::Sh, Op::Sw, Op::Lwc1, Op::Swc1,
-        Op::Ldc1, Op::Sdc1, Op::AddS, Op::SubS, Op::MulS, Op::DivS, Op::AddD, Op::SubD,
-        Op::MulD, Op::DivD, Op::CLtD, Op::CEqD, Op::CvtDW, Op::CvtWD, Op::MovD, Op::NegD,
-        Op::AbsD, Op::Beq, Op::Bne, Op::Blez, Op::Bgtz, Op::Bltz, Op::Bgez, Op::Bc1t, Op::Bc1f,
-        Op::J, Op::Jal, Op::Jr, Op::Jalr, Op::Nop, Op::Halt,
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Nor,
+        Op::Sllv,
+        Op::Srlv,
+        Op::Srav,
+        Op::Slt,
+        Op::Sltu,
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slti,
+        Op::Sltiu,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Lui,
+        Op::Mult,
+        Op::Multu,
+        Op::Div,
+        Op::Divu,
+        Op::Mfhi,
+        Op::Mflo,
+        Op::Lb,
+        Op::Lbu,
+        Op::Lh,
+        Op::Lhu,
+        Op::Lw,
+        Op::Sb,
+        Op::Sh,
+        Op::Sw,
+        Op::Lwc1,
+        Op::Swc1,
+        Op::Ldc1,
+        Op::Sdc1,
+        Op::AddS,
+        Op::SubS,
+        Op::MulS,
+        Op::DivS,
+        Op::AddD,
+        Op::SubD,
+        Op::MulD,
+        Op::DivD,
+        Op::CLtD,
+        Op::CEqD,
+        Op::CvtDW,
+        Op::CvtWD,
+        Op::MovD,
+        Op::NegD,
+        Op::AbsD,
+        Op::Beq,
+        Op::Bne,
+        Op::Blez,
+        Op::Bgtz,
+        Op::Bltz,
+        Op::Bgez,
+        Op::Bc1t,
+        Op::Bc1f,
+        Op::J,
+        Op::Jal,
+        Op::Jr,
+        Op::Jalr,
+        Op::Nop,
+        Op::Halt,
     ];
 
     #[test]

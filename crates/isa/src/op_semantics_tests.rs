@@ -18,7 +18,9 @@ fn run_and_stores(build: impl FnOnce(&mut Asm, Reg)) -> Vec<u64> {
     a.li(base, out as i64);
     build(&mut a, base);
     a.halt();
-    let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+    let t = Interpreter::new(a.assemble().unwrap())
+        .run(100_000)
+        .unwrap();
     assert!(t.completed());
     stores_of(&t)
 }

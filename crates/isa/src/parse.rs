@@ -55,7 +55,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses assembly source into a [`Program`].
@@ -155,8 +158,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
             Some(i) => (&code[..i], code[i..].trim()),
             None => (code, ""),
         };
-        let ops: Vec<&str> =
-            if ops_str.is_empty() { Vec::new() } else { ops_str.split(',').map(str::trim).collect() };
+        let ops: Vec<&str> = if ops_str.is_empty() {
+            Vec::new()
+        } else {
+            ops_str.split(',').map(str::trim).collect()
+        };
         emit(&mut a, &mut labels, &symbols, mnemonic, &ops, lineno)?;
     }
 
@@ -245,7 +251,10 @@ fn emit(
         if ops.len() == want {
             Ok(())
         } else {
-            Err(err(line, format!("{mnemonic} expects {want} operands, got {}", ops.len())))
+            Err(err(
+                line,
+                format!("{mnemonic} expects {want} operands, got {}", ops.len()),
+            ))
         }
     };
     let label = |a: &mut Asm, labels: &mut HashMap<String, crate::asm::Label>, s: &str| {

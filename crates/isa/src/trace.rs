@@ -60,12 +60,20 @@ pub struct TraceCounts {
 impl TraceCounts {
     /// Fraction of dynamic instructions that are loads.
     pub fn load_fraction(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.loads as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.total as f64
+        }
     }
 
     /// Fraction of dynamic instructions that are stores.
     pub fn store_fraction(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.stores as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.total as f64
+        }
     }
 }
 
@@ -83,7 +91,10 @@ pub struct Trace {
 
 impl Trace {
     pub(crate) fn new(program: Arc<Program>, records: Vec<TraceRecord>, completed: bool) -> Trace {
-        let mut counts = TraceCounts { total: records.len() as u64, ..TraceCounts::default() };
+        let mut counts = TraceCounts {
+            total: records.len() as u64,
+            ..TraceCounts::default()
+        };
         for r in &records {
             let inst = program.inst(r.sidx);
             if inst.op.is_load() {
@@ -100,7 +111,12 @@ impl Trace {
                 counts.fp_ops += 1;
             }
         }
-        Trace { program, records, counts, completed }
+        Trace {
+            program,
+            records,
+            counts,
+            completed,
+        }
     }
 
     /// The program this trace was produced from.
@@ -169,7 +185,14 @@ mod tests {
     use super::*;
 
     fn rec(addr: u64, size: u8) -> TraceRecord {
-        TraceRecord { sidx: 0, effaddr: addr, value: 0, old_value: 0, size, taken: false }
+        TraceRecord {
+            sidx: 0,
+            effaddr: addr,
+            value: 0,
+            old_value: 0,
+            size,
+            taken: false,
+        }
     }
 
     #[test]

@@ -67,12 +67,24 @@ impl Cache {
         let lines = (0..params.banks)
             .map(|_| {
                 (0..lines_per_bank)
-                    .map(|_| Line { tag: 0, valid: false, last_use: 0, inserted: 0 })
+                    .map(|_| Line {
+                        tag: 0,
+                        valid: false,
+                        last_use: 0,
+                        inserted: 0,
+                    })
                     .collect()
             })
             .collect();
         let banks = vec![Bank::default(); params.banks as usize];
-        Cache { params, sets_per_bank, lines, banks, use_counter: 0, stats: CacheStats::default() }
+        Cache {
+            params,
+            sets_per_bank,
+            lines,
+            banks,
+            use_counter: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configured geometry.
@@ -175,7 +187,10 @@ impl Cache {
             {
                 lines[base + way].last_use = use_stamp;
             }
-            return Access { complete_at, hit: false };
+            return Access {
+                complete_at,
+                hit: false,
+            };
         }
 
         // Tag lookup.
@@ -183,7 +198,10 @@ impl Cache {
         if let Some(way) = (0..assoc).find(|&w| lines[base + w].valid && lines[base + w].tag == tag)
         {
             lines[base + way].last_use = use_stamp;
-            return Access { complete_at: start + self.params.hit_latency, hit: true };
+            return Access {
+                complete_at: start + self.params.hit_latency,
+                hit: true,
+            };
         }
 
         // Miss path: MSHR bookkeeping.
@@ -192,14 +210,27 @@ impl Cache {
 
         let complete_at = if (bank.mshrs.len() as u32) < self.params.primary_mshrs_per_bank {
             let fill_at = start + self.params.hit_latency + fill_latency;
-            bank.mshrs.push(Mshr { block, fill_at, secondaries_used: 0 });
+            bank.mshrs.push(Mshr {
+                block,
+                fill_at,
+                secondaries_used: 0,
+            });
             fill_at
         } else {
             // All primary MSHRs busy: wait for the earliest fill, then issue.
-            let earliest = bank.mshrs.iter().map(|m| m.fill_at).min().expect("mshrs non-empty");
+            let earliest = bank
+                .mshrs
+                .iter()
+                .map(|m| m.fill_at)
+                .min()
+                .expect("mshrs non-empty");
             self.stats.mshr_stall_cycles += earliest.saturating_sub(start);
             let fill_at = earliest + self.params.hit_latency + fill_latency;
-            bank.mshrs.push(Mshr { block, fill_at, secondaries_used: 0 });
+            bank.mshrs.push(Mshr {
+                block,
+                fill_at,
+                secondaries_used: 0,
+            });
             fill_at
         };
 
@@ -217,9 +248,17 @@ impl Cache {
                 }
             })
             .expect("associativity >= 1");
-        lines[base + victim] = Line { tag, valid: true, last_use: use_stamp, inserted: use_stamp };
+        lines[base + victim] = Line {
+            tag,
+            valid: true,
+            last_use: use_stamp,
+            inserted: use_stamp,
+        };
 
-        Access { complete_at, hit: false }
+        Access {
+            complete_at,
+            hit: false,
+        }
     }
 
     /// Resets timing state (ports, MSHRs) but keeps cache contents; used
@@ -336,13 +375,19 @@ mod tests {
         let m1 = c.access(0x1000, false, 0, 100);
         let _m2 = c.access(0x1000 + stride, false, 0, 100);
         let m3 = c.access(0x1000 + 2 * stride, false, 0, 100);
-        assert!(m3.complete_at > m1.complete_at + 100, "third miss must wait for an MSHR");
+        assert!(
+            m3.complete_at > m1.complete_at + 100,
+            "third miss must wait for an MSHR"
+        );
         assert!(c.stats().mshr_stall_cycles > 0);
     }
 
     #[test]
     fn fifo_evicts_by_insertion_order() {
-        let p = CacheParams { replacement: Replacement::Fifo, ..small() };
+        let p = CacheParams {
+            replacement: Replacement::Fifo,
+            ..small()
+        };
         let sets = p.sets_per_bank();
         let stride = p.banks as u64 * sets * p.block_bytes;
         let mut c = Cache::new(p);

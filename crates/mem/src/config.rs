@@ -116,7 +116,10 @@ impl MainMemoryParams {
     /// The paper's main memory (Table 2): 34 cycles plus 2 cycles per
     /// 4-word transfer.
     pub fn paper() -> MainMemoryParams {
-        MainMemoryParams { base_latency: 34, per_four_words: 2 }
+        MainMemoryParams {
+            base_latency: 34,
+            per_four_words: 2,
+        }
     }
 
     /// Latency to transfer `bytes` from main memory.
@@ -174,8 +177,15 @@ impl MemConfig {
         MemConfig {
             l1i: fast("L1I"),
             l1d: fast("L1D"),
-            l2: CacheParams { name: "L2", block_bytes: 128, ..fast("L2") },
-            main: MainMemoryParams { base_latency: 1, per_four_words: 0 },
+            l2: CacheParams {
+                name: "L2",
+                block_bytes: 128,
+                ..fast("L2")
+            },
+            main: MainMemoryParams {
+                base_latency: 1,
+                per_four_words: 0,
+            },
             l2_transfer_per_four_words: 0,
             l1d_next_line_prefetch: false,
         }
@@ -199,16 +209,20 @@ mod tests {
         // paper says 256 sets per bank for 32K; its numbers imply direct
         // counting of sets across ways. Our geometry: capacity is what
         // matters for miss behaviour.
-        assert_eq!(p.sets_per_bank() * p.banks as u64 * p.assoc as u64 * p.block_bytes,
-                   p.size_bytes);
+        assert_eq!(
+            p.sets_per_bank() * p.banks as u64 * p.assoc as u64 * p.block_bytes,
+            p.size_bytes
+        );
     }
 
     #[test]
     fn paper_l1i_geometry() {
         let p = CacheParams::paper_l1i();
         assert_eq!(p.sets_per_bank(), 128);
-        assert_eq!(p.sets_per_bank() * p.banks as u64 * p.assoc as u64 * p.block_bytes,
-                   p.size_bytes);
+        assert_eq!(
+            p.sets_per_bank() * p.banks as u64 * p.assoc as u64 * p.block_bytes,
+            p.size_bytes
+        );
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
         let mut m = MemSystem::new(MemConfig::paper());
         let done = m.access(AccessKind::Read, 0x4_0000, 0);
         // Must include L1 lookup (2) + L2 lookup (8) + main (34+)
-        assert!(done >= 44, "cold access completed unrealistically fast: {done}");
+        assert!(
+            done >= 44,
+            "cold access completed unrealistically fast: {done}"
+        );
         assert_eq!(m.stats().main_accesses, 1);
         assert_eq!(m.stats().l1d.misses, 1);
         assert_eq!(m.stats().l2.misses, 1);
@@ -160,7 +163,10 @@ mod tests {
         let t0 = m.access(AccessKind::Read, 0x8000, 0);
         let t1 = m.access(AccessKind::Read, 0x8020, t0 + 1);
         assert_eq!(m.stats().main_accesses, 1, "second block should hit in L2");
-        assert!(t1 - (t0 + 1) < t0, "L2 hit must be faster than main-memory access");
+        assert!(
+            t1 - (t0 + 1) < t0,
+            "L2 hit must be faster than main-memory access"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn rates_sum_to_one() {
-        let s = CacheStats { accesses: 10, misses: 3, ..CacheStats::default() };
+        let s = CacheStats {
+            accesses: 10,
+            misses: 3,
+            ..CacheStats::default()
+        };
         assert!((s.miss_rate() + s.hit_rate() - 1.0).abs() < 1e-12);
     }
 }

@@ -66,7 +66,10 @@ pub struct StoreBuffer {
 impl StoreBuffer {
     /// Creates an empty buffer holding at most `capacity` stores.
     pub fn new(capacity: usize) -> StoreBuffer {
-        StoreBuffer { capacity, entries: Vec::new() }
+        StoreBuffer {
+            capacity,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of buffered stores.
@@ -95,8 +98,17 @@ impl StoreBuffer {
     /// Panics if the buffer is full or `seq` is already present.
     pub fn push(&mut self, seq: u64, addr: u64, size: u8, value: u64) {
         assert!(!self.is_full(), "store buffer overflow");
-        let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
-        let entry = Entry { seq, addr, size, value: value & mask };
+        let mask = if size == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * size)) - 1
+        };
+        let entry = Entry {
+            seq,
+            addr,
+            size,
+            value: value & mask,
+        };
         match self.entries.last() {
             Some(last) if last.seq < seq => self.entries.push(entry),
             _ => {
@@ -121,8 +133,15 @@ impl StoreBuffer {
             if e.covers(addr, size) {
                 let shift = 8 * (addr - e.addr);
                 let v = e.value >> shift;
-                let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
-                return Forward::Hit { value: v & mask, store_seq: e.seq };
+                let mask = if size == 8 {
+                    u64::MAX
+                } else {
+                    (1u64 << (8 * size)) - 1
+                };
+                return Forward::Hit {
+                    value: v & mask,
+                    store_seq: e.seq,
+                };
             }
             if e.overlaps(addr, size) {
                 return Forward::Partial;
@@ -159,8 +178,20 @@ mod tests {
         let mut sb = StoreBuffer::new(8);
         sb.push(1, 0x100, 4, 0x1111_1111);
         sb.push(2, 0x100, 4, 0x2222_2222);
-        assert_eq!(sb.forward(3, 0x100, 4), Forward::Hit { value: 0x2222_2222, store_seq: 2 });
-        assert_eq!(sb.forward(2, 0x100, 4), Forward::Hit { value: 0x1111_1111, store_seq: 1 });
+        assert_eq!(
+            sb.forward(3, 0x100, 4),
+            Forward::Hit {
+                value: 0x2222_2222,
+                store_seq: 2
+            }
+        );
+        assert_eq!(
+            sb.forward(2, 0x100, 4),
+            Forward::Hit {
+                value: 0x1111_1111,
+                store_seq: 1
+            }
+        );
     }
 
     #[test]
@@ -175,8 +206,20 @@ mod tests {
     fn narrow_load_from_wide_store() {
         let mut sb = StoreBuffer::new(8);
         sb.push(1, 0x100, 8, 0x8877_6655_4433_2211);
-        assert_eq!(sb.forward(2, 0x104, 4), Forward::Hit { value: 0x8877_6655, store_seq: 1 });
-        assert_eq!(sb.forward(2, 0x107, 1), Forward::Hit { value: 0x88, store_seq: 1 });
+        assert_eq!(
+            sb.forward(2, 0x104, 4),
+            Forward::Hit {
+                value: 0x8877_6655,
+                store_seq: 1
+            }
+        );
+        assert_eq!(
+            sb.forward(2, 0x107, 1),
+            Forward::Hit {
+                value: 0x88,
+                store_seq: 1
+            }
+        );
     }
 
     #[test]
@@ -187,11 +230,23 @@ mod tests {
         sb.push(9, 0x300, 4, 3);
         sb.squash_from(5);
         assert_eq!(sb.len(), 1);
-        assert_eq!(sb.forward(10, 0x100, 4), Forward::Hit { value: 1, store_seq: 1 });
+        assert_eq!(
+            sb.forward(10, 0x100, 4),
+            Forward::Hit {
+                value: 1,
+                store_seq: 1
+            }
+        );
         assert_eq!(sb.forward(10, 0x200, 4), Forward::Miss);
         // Pushing after a squash with reused seqs is legal.
         sb.push(5, 0x200, 4, 20);
-        assert_eq!(sb.forward(10, 0x200, 4), Forward::Hit { value: 20, store_seq: 5 });
+        assert_eq!(
+            sb.forward(10, 0x200, 4),
+            Forward::Hit {
+                value: 20,
+                store_seq: 5
+            }
+        );
     }
 
     #[test]
@@ -225,9 +280,21 @@ mod tests {
         let mut sb = StoreBuffer::new(4);
         sb.push(5, 0x100, 4, 50);
         sb.push(3, 0x100, 4, 30); // older store executes later
-        // The youngest older store still wins regardless of push order.
-        assert_eq!(sb.forward(6, 0x100, 4), Forward::Hit { value: 50, store_seq: 5 });
-        assert_eq!(sb.forward(4, 0x100, 4), Forward::Hit { value: 30, store_seq: 3 });
+                                  // The youngest older store still wins regardless of push order.
+        assert_eq!(
+            sb.forward(6, 0x100, 4),
+            Forward::Hit {
+                value: 50,
+                store_seq: 5
+            }
+        );
+        assert_eq!(
+            sb.forward(4, 0x100, 4),
+            Forward::Hit {
+                value: 30,
+                store_seq: 3
+            }
+        );
     }
 
     #[test]
@@ -242,6 +309,12 @@ mod tests {
     fn value_is_masked_to_width() {
         let mut sb = StoreBuffer::new(4);
         sb.push(1, 0x100, 1, 0xffff_ffff_ffff_ffab);
-        assert_eq!(sb.forward(2, 0x100, 1), Forward::Hit { value: 0xab, store_seq: 1 });
+        assert_eq!(
+            sb.forward(2, 0x100, 1),
+            Forward::Hit {
+                value: 0xab,
+                store_seq: 1
+            }
+        );
     }
 }

@@ -30,7 +30,11 @@ pub struct MdptParams {
 impl MdptParams {
     /// The paper's configuration: 4K entries, 2-way, 1M-cycle flush.
     pub fn paper() -> MdptParams {
-        MdptParams { entries: 4096, assoc: 2, flush_interval: Some(1_000_000) }
+        MdptParams {
+            entries: 4096,
+            assoc: 2,
+            flush_interval: Some(1_000_000),
+        }
     }
 }
 
@@ -139,7 +143,11 @@ mod tests {
     use super::*;
 
     fn small() -> MdptParams {
-        MdptParams { entries: 32, assoc: 2, flush_interval: Some(100) }
+        MdptParams {
+            entries: 32,
+            assoc: 2,
+            flush_interval: Some(100),
+        }
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl ConfidenceParams {
     /// The paper's configuration: 4K entries, 2-way, threshold 3, reset
     /// every one million cycles.
     pub fn paper() -> ConfidenceParams {
-        ConfidenceParams { entries: 4096, assoc: 2, threshold: 3, reset_interval: Some(1_000_000) }
+        ConfidenceParams {
+            entries: 4096,
+            assoc: 2,
+            threshold: 3,
+            reset_interval: Some(1_000_000),
+        }
     }
 }
 
@@ -55,7 +60,11 @@ pub struct SelectivePredictor {
 impl SelectivePredictor {
     /// Creates a predictor with the given parameters.
     pub fn new(params: ConfidenceParams) -> SelectivePredictor {
-        SelectivePredictor { table: PcTable::new(params.entries, params.assoc), params, last_reset: 0 }
+        SelectivePredictor {
+            table: PcTable::new(params.entries, params.assoc),
+            params,
+            last_reset: 0,
+        }
     }
 
     /// The configured parameters.
@@ -95,7 +104,12 @@ mod tests {
     use super::*;
 
     fn small() -> ConfidenceParams {
-        ConfidenceParams { entries: 16, assoc: 2, threshold: 3, reset_interval: Some(100) }
+        ConfidenceParams {
+            entries: 16,
+            assoc: 2,
+            threshold: 3,
+            reset_interval: Some(100),
+        }
     }
 
     #[test]
@@ -103,7 +117,10 @@ mod tests {
         let mut p = SelectivePredictor::new(small());
         p.record_misspeculation(0x40);
         p.record_misspeculation(0x40);
-        assert!(!p.predicts_dependence(0x40), "2 of 3 mis-speculations must not arm");
+        assert!(
+            !p.predicts_dependence(0x40),
+            "2 of 3 mis-speculations must not arm"
+        );
         p.record_misspeculation(0x40);
         assert!(p.predicts_dependence(0x40));
     }

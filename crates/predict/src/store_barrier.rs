@@ -72,7 +72,12 @@ mod tests {
     use super::*;
 
     fn small() -> ConfidenceParams {
-        ConfidenceParams { entries: 16, assoc: 2, threshold: 3, reset_interval: Some(100) }
+        ConfidenceParams {
+            entries: 16,
+            assoc: 2,
+            threshold: 3,
+            reset_interval: Some(100),
+        }
     }
 
     #[test]

@@ -162,7 +162,11 @@ mod tests {
     use super::*;
 
     fn small() -> StoreSetParams {
-        StoreSetParams { ssit_entries: 64, lfst_entries: 16, clear_interval: Some(100) }
+        StoreSetParams {
+            ssit_entries: 64,
+            lfst_entries: 16,
+            clear_interval: Some(100),
+        }
     }
 
     #[test]
@@ -204,7 +208,11 @@ mod tests {
         p.record_violation(0x100, 0x200);
         p.record_violation(0x100, 0x204); // merge second store into the set
         assert_eq!(p.dispatch_store(0x200, 5), None);
-        assert_eq!(p.dispatch_store(0x204, 6), Some(5), "same set serializes stores");
+        assert_eq!(
+            p.dispatch_store(0x204, 6),
+            Some(5),
+            "same set serializes stores"
+        );
         assert_eq!(p.dispatch_load(0x100), Some(6));
     }
 

@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_a_set() {
         let mut t = PcTable::new(8, 2); // 4 sets
-        // Three pcs in the same set (stride = sets * 4 bytes = 16).
+                                        // Three pcs in the same set (stride = sets * 4 bytes = 16).
         let (a, b, c) = (0x100, 0x110, 0x120);
         t.insert(a, 1u32);
         t.insert(b, 2u32);

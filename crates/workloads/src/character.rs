@@ -76,8 +76,16 @@ mod tests {
     fn table1_fractions_are_sane() {
         for b in Benchmark::ALL {
             let row = b.table1();
-            assert!(row.loads > 0.1 && row.loads < 0.55, "{b}: loads {}", row.loads);
-            assert!(row.stores > 0.02 && row.stores < 0.30, "{b}: stores {}", row.stores);
+            assert!(
+                row.loads > 0.1 && row.loads < 0.55,
+                "{b}: loads {}",
+                row.loads
+            );
+            assert!(
+                row.stores > 0.02 && row.stores < 0.30,
+                "{b}: stores {}",
+                row.stores
+            );
             assert!(row.ic_millions > 50.0);
         }
     }

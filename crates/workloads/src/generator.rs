@@ -45,15 +45,25 @@ enum Pattern {
     /// Independent per instance, so it pipelines fully when loads may
     /// issue early — and serializes iterations when they may not (the
     /// paper's FP crater under `NAS/NO`).
-    StreamStore { slow: bool },
-    Recurrence { cell: i64, slow: bool },
+    StreamStore {
+        slow: bool,
+    },
+    Recurrence {
+        cell: i64,
+        slow: bool,
+    },
     Rmw,
     StackCall,
     /// The store half of a store→reload pair (data behind a multiply
     /// chain); `off` is the pair's private slot in the B array.
-    ReloadStore { off: i64, slow: bool },
+    ReloadStore {
+        off: i64,
+        slow: bool,
+    },
     /// The load half; always emitted after its store.
-    ReloadLoad { off: i64 },
+    ReloadLoad {
+        off: i64,
+    },
     Branch,
     Filler,
 }
@@ -76,7 +86,9 @@ impl Pattern {
                 (3 + extra, 1, 1)
             }
             Pattern::Rmw => (6, 1, 1),
-            Pattern::ReloadStore { slow, .. } if fp => (if slow { 4 } else { 1 }, if slow { 1 } else { 0 }, 1),
+            Pattern::ReloadStore { slow, .. } if fp => {
+                (if slow { 4 } else { 1 }, if slow { 1 } else { 0 }, 1)
+            }
             Pattern::ReloadStore { slow, .. } => (if slow { 3 } else { 1 }, 0, 1),
             Pattern::ReloadLoad { .. } => (1, 1, 0),
             Pattern::StackCall => (CALL_DYN_INSTS, CALL_LOADS, CALL_STORES),
@@ -89,19 +101,45 @@ impl Pattern {
 /// Register conventions used by generated programs.
 mod regs {
     use mds_isa::Reg;
-    pub fn arr_a() -> Reg { Reg::int(1) }
-    pub fn arr_b() -> Reg { Reg::int(2) }
-    pub fn hist() -> Reg { Reg::int(3) }
-    pub fn cells() -> Reg { Reg::int(4) }
-    pub fn chase() -> Reg { Reg::int(5) }
-    pub fn index() -> Reg { Reg::int(6) }
-    pub fn counter() -> Reg { Reg::int(7) }
-    pub fn ptr_a() -> Reg { Reg::int(8) }
-    pub fn ptr_b() -> Reg { Reg::int(9) }
-    pub fn konst() -> Reg { Reg::int(16) }
-    pub fn fodder() -> Reg { Reg::int(17) }
-    pub fn save0() -> Reg { Reg::int(18) }
-    pub fn save1() -> Reg { Reg::int(19) }
+    pub fn arr_a() -> Reg {
+        Reg::int(1)
+    }
+    pub fn arr_b() -> Reg {
+        Reg::int(2)
+    }
+    pub fn hist() -> Reg {
+        Reg::int(3)
+    }
+    pub fn cells() -> Reg {
+        Reg::int(4)
+    }
+    pub fn chase() -> Reg {
+        Reg::int(5)
+    }
+    pub fn index() -> Reg {
+        Reg::int(6)
+    }
+    pub fn counter() -> Reg {
+        Reg::int(7)
+    }
+    pub fn ptr_a() -> Reg {
+        Reg::int(8)
+    }
+    pub fn ptr_b() -> Reg {
+        Reg::int(9)
+    }
+    pub fn konst() -> Reg {
+        Reg::int(16)
+    }
+    pub fn fodder() -> Reg {
+        Reg::int(17)
+    }
+    pub fn save0() -> Reg {
+        Reg::int(18)
+    }
+    pub fn save1() -> Reg {
+        Reg::int(19)
+    }
 }
 
 /// Builds the program for `character` sized to roughly `dyn_target`
@@ -156,7 +194,11 @@ fn plan_body(c: &Character, rng: &mut StdRng) -> Vec<Pattern> {
         stores: u64,
         insts: u64,
     }
-    let mut acc = Acc { loads: 0, stores: 0, insts: 0 };
+    let mut acc = Acc {
+        loads: 0,
+        stores: 0,
+        insts: 0,
+    };
     let mut patterns: Vec<Pattern> = Vec::new();
     fn push(p: Pattern, fp: bool, patterns: &mut Vec<Pattern>, acc: &mut Acc) {
         let (i, l, s) = p.cost(fp);
@@ -167,11 +209,8 @@ fn plan_body(c: &Character, rng: &mut StdRng) -> Vec<Pattern> {
     }
 
     // 1. Spend the store budget across store-bearing patterns by weight.
-    let wsum = c.recurrence_weight
-        + c.rmw_weight
-        + c.stack_weight
-        + c.stream_weight
-        + c.reload_weight;
+    let wsum =
+        c.recurrence_weight + c.rmw_weight + c.stack_weight + c.stream_weight + c.reload_weight;
     let mut spent_stores = 0u64;
     let mut next_reload_off = 0i64;
     while spent_stores < n_stores {
@@ -180,13 +219,23 @@ fn plan_body(c: &Character, rng: &mut StdRng) -> Vec<Pattern> {
             let off = 1024 + next_reload_off * 8; // private slot per pair
             next_reload_off += 1;
             let slow = rng.gen::<f64>() < c.slow_store_frac.max(0.35);
-            push(Pattern::ReloadStore { off, slow }, c.fp, &mut patterns, &mut acc);
+            push(
+                Pattern::ReloadStore { off, slow },
+                c.fp,
+                &mut patterns,
+                &mut acc,
+            );
             push(Pattern::ReloadLoad { off }, c.fp, &mut patterns, &mut acc);
             spent_stores += 1;
         } else if x < c.recurrence_weight {
             let cell = rng.gen_range(0..N_CELLS);
             let slow = rng.gen::<f64>() < c.slow_store_frac;
-            push(Pattern::Recurrence { cell, slow }, c.fp, &mut patterns, &mut acc);
+            push(
+                Pattern::Recurrence { cell, slow },
+                c.fp,
+                &mut patterns,
+                &mut acc,
+            );
             spent_stores += 1;
         } else if x < c.recurrence_weight + c.rmw_weight {
             push(Pattern::Rmw, c.fp, &mut patterns, &mut acc);
@@ -367,7 +416,11 @@ fn emit_callee(a: &mut Asm) -> Label {
 fn emit_iteration_prologue(a: &mut Asm, c: &Character) {
     // Advance the streaming index by one cache line and wrap.
     a.addi(regs::index(), regs::index(), 64);
-    a.andi(regs::index(), regs::index(), c.working_set.next_power_of_two().max(4096) as i64 - 1);
+    a.andi(
+        regs::index(),
+        regs::index(),
+        c.working_set.next_power_of_two().max(4096) as i64 - 1,
+    );
     a.add(regs::ptr_a(), regs::arr_a(), regs::index());
     a.add(regs::ptr_b(), regs::arr_b(), regs::index());
 }
@@ -382,7 +435,11 @@ struct ScratchPool {
 
 impl ScratchPool {
     fn new() -> ScratchPool {
-        ScratchPool { next_int: 0, next_fp: 0, next_acc: 0 }
+        ScratchPool {
+            next_int: 0,
+            next_fp: 0,
+            next_acc: 0,
+        }
     }
 
     /// Rotating FP accumulators (f11..f15): five independent chains so
@@ -405,7 +462,6 @@ impl ScratchPool {
         self.next_fp += 1;
         r
     }
-
 }
 
 fn emit_pattern(
@@ -590,16 +646,28 @@ mod tests {
             let t = Interpreter::new(p).run(400_000).unwrap();
             let lf = t.counts().load_fraction();
             let sf = t.counts().store_fraction();
-            assert!((lf - c.loads).abs() < 0.03, "fp={fp}: load fraction {lf} vs {}", c.loads);
-            assert!((sf - c.stores).abs() < 0.03, "fp={fp}: store fraction {sf} vs {}", c.stores);
+            assert!(
+                (lf - c.loads).abs() < 0.03,
+                "fp={fp}: load fraction {lf} vs {}",
+                c.loads
+            );
+            assert!(
+                (sf - c.stores).abs() < 0.03,
+                "fp={fp}: store fraction {sf} vs {}",
+                c.stores
+            );
         }
     }
 
     #[test]
     fn deterministic_for_same_seed() {
         let c = test_character(false);
-        let t1 = Interpreter::new(build_program(&c, 10_000, 5).unwrap()).run(100_000).unwrap();
-        let t2 = Interpreter::new(build_program(&c, 10_000, 5).unwrap()).run(100_000).unwrap();
+        let t1 = Interpreter::new(build_program(&c, 10_000, 5).unwrap())
+            .run(100_000)
+            .unwrap();
+        let t2 = Interpreter::new(build_program(&c, 10_000, 5).unwrap())
+            .run(100_000)
+            .unwrap();
         assert_eq!(t1.len(), t2.len());
         assert_eq!(t1.records()[100], t2.records()[100]);
     }
@@ -611,8 +679,16 @@ mod tests {
         let p2 = build_program(&c, 10_000, 6).unwrap();
         assert_ne!(p1.len(), 0);
         // Same shape but different pattern interleavings.
-        let same = p1.insts().iter().zip(p2.insts().iter()).filter(|(a, b)| a == b).count();
-        assert!(same < p1.len().min(p2.len()), "seeds produced identical programs");
+        let same = p1
+            .insts()
+            .iter()
+            .zip(p2.insts().iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            same < p1.len().min(p2.len()),
+            "seeds produced identical programs"
+        );
     }
 
     #[test]
@@ -620,7 +696,10 @@ mod tests {
         let c = test_character(true);
         let p = build_program(&c, 10_000, 3).unwrap();
         let t = Interpreter::new(p).run(100_000).unwrap();
-        assert!(t.counts().fp_ops > 100, "fp benchmark must execute fp arithmetic");
+        assert!(
+            t.counts().fp_ops > 100,
+            "fp benchmark must execute fp arithmetic"
+        );
     }
 
     #[test]
@@ -631,14 +710,20 @@ mod tests {
                 .run(10 * target)
                 .unwrap();
             let ratio = t.len() as f64 / target as f64;
-            assert!((0.5..2.0).contains(&ratio), "target {target}: got {}", t.len());
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "target {target}: got {}",
+                t.len()
+            );
         }
     }
 
     #[test]
     fn branches_are_present_and_data_dependent() {
         let c = test_character(false);
-        let t = Interpreter::new(build_program(&c, 30_000, 9).unwrap()).run(300_000).unwrap();
+        let t = Interpreter::new(build_program(&c, 30_000, 9).unwrap())
+            .run(300_000)
+            .unwrap();
         let taken = t.counts().taken_branches as f64;
         let total = t.counts().branches as f64;
         assert!(total > 100.0);

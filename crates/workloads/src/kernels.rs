@@ -131,8 +131,7 @@ pub fn histogram(updates: u32, bins: u32) -> Result<Program, IsaError> {
     assert!(bins.is_power_of_two(), "bins must be a power of two");
     let mut a = Asm::new();
     let hist = a.alloc_data(4 * bins as u64, 64);
-    let (h, x, xprev, t, t2, u, three, cnt) =
-        (r(1), r(2), r(5), r(3), r(6), r(4), r(7), r(9));
+    let (h, x, xprev, t, t2, u, three, cnt) = (r(1), r(2), r(5), r(3), r(6), r(4), r(7), r(9));
     a.li(h, hist as i64);
     a.li(x, 0x243F_6A88); // pi bits as the mixing seed
     a.li(xprev, 0x243F_6A88);

@@ -46,18 +46,30 @@ pub struct SuiteParams {
 impl SuiteParams {
     /// Minimal sizing for doctests and smoke tests (~4k instructions).
     pub fn tiny() -> SuiteParams {
-        SuiteParams { dyn_target: 4_000, seed: 0xB5, max_steps: 100_000 }
+        SuiteParams {
+            dyn_target: 4_000,
+            seed: 0xB5,
+            max_steps: 100_000,
+        }
     }
 
     /// Test sizing (~20k instructions).
     pub fn test() -> SuiteParams {
-        SuiteParams { dyn_target: 20_000, seed: 0xB5, max_steps: 500_000 }
+        SuiteParams {
+            dyn_target: 20_000,
+            seed: 0xB5,
+            max_steps: 500_000,
+        }
     }
 
     /// Benchmark sizing (~60k instructions), the default for regenerating
     /// the paper's tables and figures.
     pub fn bench() -> SuiteParams {
-        SuiteParams { dyn_target: 60_000, seed: 0xB5, max_steps: 2_000_000 }
+        SuiteParams {
+            dyn_target: 60_000,
+            seed: 0xB5,
+            max_steps: 2_000_000,
+        }
     }
 }
 
@@ -173,7 +185,12 @@ impl Benchmark {
             Benchmark::Fpppp => (214.2, 0.488, 0.175, "1:2"),
             Benchmark::Wave5 => (290.8, 0.302, 0.130, "1:2"),
         };
-        Table1Row { ic_millions: ic, loads: l, stores: s, sampling: sr }
+        Table1Row {
+            ic_millions: ic,
+            loads: l,
+            stores: s,
+            sampling: sr,
+        }
     }
 
     /// The memory-dependence character driving the workload generator.
@@ -289,7 +306,11 @@ mod tests {
         for b in Benchmark::ALL {
             let t = b.trace(&p).unwrap_or_else(|e| panic!("{b}: {e}"));
             assert!(t.completed(), "{b} hit the step limit");
-            assert!(t.len() as u64 > p.dyn_target / 2, "{b}: only {} insts", t.len());
+            assert!(
+                t.len() as u64 > p.dyn_target / 2,
+                "{b}: only {} insts",
+                t.len()
+            );
         }
     }
 

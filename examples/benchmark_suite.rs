@@ -6,7 +6,7 @@
 //! ```
 
 use mds::core::Policy;
-use mds::harness::{experiments, Suite};
+use mds::harness::{experiments, Runner, Suite};
 use mds::workloads::{Benchmark, SuiteParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,24 +19,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Benchmark::Mgrid,
     ];
     println!("generating {} synthetic benchmarks...", benchmarks.len());
-    let suite = Suite::generate(&benchmarks, &SuiteParams::test())?;
+    let runner = Runner::new(Suite::generate(&benchmarks, &SuiteParams::test())?);
 
     // Table 1: does the synthetic mix track the paper?
-    println!("\n{}", experiments::table1::run(&suite).render());
+    println!("\n{}", experiments::table1::run(&runner).render());
 
     // Figure 2: no speculation vs oracle vs naive speculation.
-    println!("{}", experiments::fig2::run(&suite).render());
+    println!("{}", experiments::fig2::run(&runner).render());
 
     // Figure 6: speculation/synchronization.
-    println!("{}", experiments::fig6::run(&suite).render());
+    println!("{}", experiments::fig6::run(&runner).render());
 
-    // Raw per-policy IPCs for one benchmark.
+    // Raw per-policy IPCs for one benchmark (NAS/ORACLE and NAS/NAV are
+    // already memoized from the figures above).
     println!("per-policy IPC on 129.compress:");
-    let trace = suite.trace(Benchmark::Compress);
     for policy in Policy::ALL {
         let cfg = mds::core::CoreConfig::paper_128().with_policy(policy);
-        let r = mds::core::Simulator::new(cfg).run(trace);
+        let results = runner.run(&cfg);
+        let (_, r) = results
+            .iter()
+            .find(|(b, _)| *b == Benchmark::Compress)
+            .expect("compress is in the suite");
         println!("  {:11} {:5.2}", policy.paper_name(), r.ipc());
     }
+    let stats = runner.stats();
+    println!(
+        "({} simulations, {} cache hits this run)",
+        stats.simulations, stats.cache_hits
+    );
     Ok(())
 }

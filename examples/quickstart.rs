@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Replay it under "no speculation" and "oracle dependence knowledge".
-    for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasSync, Policy::NasOracle] {
+    for policy in [
+        Policy::NasNo,
+        Policy::NasNaive,
+        Policy::NasSync,
+        Policy::NasOracle,
+    ] {
         let result = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
         println!(
             "{:11}  IPC {:5.2}   mis-speculations {:4}   cycles {}",

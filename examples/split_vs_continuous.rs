@@ -41,14 +41,32 @@ fn unrolled_recurrence(steps: i64) -> Result<Trace, Box<dyn std::error::Error>> 
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = unrolled_recurrence(2_000)?;
-    println!("unrolled recurrence: {} dynamic instructions\n", trace.len());
+    println!(
+        "unrolled recurrence: {} dynamic instructions\n",
+        trace.len()
+    );
 
     let models = [
         ("continuous (centralized)", WindowModel::Continuous),
-        ("split, 2 units", WindowModel::Split { units: 2, task_size: 8 }),
-        ("split, 4 units", WindowModel::Split { units: 4, task_size: 8 }),
+        (
+            "split, 2 units",
+            WindowModel::Split {
+                units: 2,
+                task_size: 8,
+            },
+        ),
+        (
+            "split, 4 units",
+            WindowModel::Split {
+                units: 4,
+                task_size: 8,
+            },
+        ),
     ];
-    println!("{:28} {:>6} {:>12} {:>10}", "window model", "IPC", "missspec", "squashed");
+    println!(
+        "{:28} {:>6} {:>12} {:>10}",
+        "window model", "IPC", "missspec", "squashed"
+    );
     for (name, model) in models {
         let cfg = CoreConfig::paper_128()
             .with_policy(Policy::AsNaive)

@@ -6,11 +6,9 @@ use mds::isa::{parse_program, Interpreter};
 
 #[test]
 fn figure7_asm_file_round_trips_through_the_whole_stack() {
-    let source = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/examples/figure7.s"
-    ))
-    .expect("example file present");
+    let source =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/figure7.s"))
+            .expect("example file present");
     let program = parse_program(&source).expect("parses");
     let trace = Interpreter::new(program).run(1_000_000).expect("runs");
     assert!(trace.completed());
@@ -35,11 +33,9 @@ fn figure7_asm_file_round_trips_through_the_whole_stack() {
 
 #[test]
 fn listing_of_a_parsed_file_reparses() {
-    let source = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/examples/figure7.s"
-    ))
-    .expect("example file present");
+    let source =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/figure7.s"))
+            .expect("example file present");
     let program = parse_program(&source).expect("parses");
     let listing = program.listing();
     let again = parse_program(&listing).expect("listing reparses");

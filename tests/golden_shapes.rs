@@ -45,7 +45,10 @@ fn fp_oracle_gain_exceeds_int_class_floor() {
     let go_no = run(Benchmark::Go, Policy::NasNo);
     let go_or = run(Benchmark::Go, Policy::NasOracle);
     let gain = go_or.ipc() / go_no.ipc();
-    assert!((1.05..3.0).contains(&gain), "099.go oracle gain out of band: {gain:.2}x");
+    assert!(
+        (1.05..3.0).contains(&gain),
+        "099.go oracle gain out of band: {gain:.2}x"
+    );
 }
 
 #[test]

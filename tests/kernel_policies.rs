@@ -24,8 +24,14 @@ fn figure7_naive_missspeculates_sync_learns() {
         "every iteration re-violates: {}",
         nav.stats.misspeculations
     );
-    assert!(sync.stats.misspeculations <= 3, "MDPT learns the single pair");
-    assert!(sync.ipc() >= oracle.ipc() * 0.95, "one stable pair: sync ≈ oracle");
+    assert!(
+        sync.stats.misspeculations <= 3,
+        "MDPT learns the single pair"
+    );
+    assert!(
+        sync.ipc() >= oracle.ipc() * 0.95,
+        "one stable pair: sync ≈ oracle"
+    );
 }
 
 #[test]
@@ -95,7 +101,10 @@ fn unrolled_recurrence_exposes_split_window_failure() {
     let split = Simulator::new(
         CoreConfig::paper_128()
             .with_policy(Policy::AsNaive)
-            .with_window_model(WindowModel::Split { units: 4, task_size: 8 }),
+            .with_window_model(WindowModel::Split {
+                units: 4,
+                task_size: 8,
+            }),
     )
     .run(&t);
     assert!(split.stats.misspeculations > cont.stats.misspeculations.max(10) * 4);

@@ -55,7 +55,10 @@ fn stages_are_monotone_between_squashes() {
             last = Some((stage_rank(e.stage), e.cycle));
         }
         // Exactly one commit, and it is the final event.
-        let commits = events.iter().filter(|e| e.stage == PipeStage::Commit).count();
+        let commits = events
+            .iter()
+            .filter(|e| e.stage == PipeStage::Commit)
+            .count();
         assert_eq!(commits, 1, "instruction {seq} committed {commits} times");
         assert_eq!(events.last().expect("non-empty").stage, PipeStage::Commit);
     }
@@ -75,8 +78,14 @@ fn squashed_instructions_refetch() {
     let mut saw_refetch = false;
     for seq in 0..trace.len() as u64 {
         let events = pt.of(seq);
-        let squashes = events.iter().filter(|e| e.stage == PipeStage::Squash).count();
-        let fetches = events.iter().filter(|e| e.stage == PipeStage::Fetch).count();
+        let squashes = events
+            .iter()
+            .filter(|e| e.stage == PipeStage::Squash)
+            .count();
+        let fetches = events
+            .iter()
+            .filter(|e| e.stage == PipeStage::Fetch)
+            .count();
         if squashes > 0 {
             assert!(
                 fetches >= squashes,
@@ -85,7 +94,10 @@ fn squashed_instructions_refetch() {
             saw_refetch = true;
         }
     }
-    assert!(saw_refetch, "at least one instruction must have been squashed and refetched");
+    assert!(
+        saw_refetch,
+        "at least one instruction must have been squashed and refetched"
+    );
 }
 
 #[test]
@@ -97,5 +109,8 @@ fn tracing_does_not_change_timing() {
     let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
     cfg.record_pipeline_trace = true;
     let traced = Simulator::new(cfg).run(&trace);
-    assert_eq!(plain.stats, traced.stats, "observation must not perturb the machine");
+    assert_eq!(
+        plain.stats, traced.stats,
+        "observation must not perturb the machine"
+    );
 }

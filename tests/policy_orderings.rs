@@ -42,7 +42,12 @@ fn non_speculative_policies_never_missspeculate() {
 
 #[test]
 fn oracle_dominates_no_speculation() {
-    for b in [Benchmark::Compress, Benchmark::Gcc, Benchmark::Swim, Benchmark::Su2cor] {
+    for b in [
+        Benchmark::Compress,
+        Benchmark::Gcc,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+    ] {
         let no = run(b, Policy::NasNo);
         let oracle = run(b, Policy::NasOracle);
         assert!(
@@ -60,8 +65,14 @@ fn naive_beats_no_speculation_but_not_oracle() {
         let no = run(b, Policy::NasNo);
         let nav = run(b, Policy::NasNaive);
         let oracle = run(b, Policy::NasOracle);
-        assert!(nav.ipc() >= no.ipc() * 0.95, "{b}: naive should roughly dominate no-spec");
-        assert!(nav.ipc() <= oracle.ipc() * 1.02, "{b}: naive cannot beat oracle");
+        assert!(
+            nav.ipc() >= no.ipc() * 0.95,
+            "{b}: naive should roughly dominate no-spec"
+        );
+        assert!(
+            nav.ipc() <= oracle.ipc() * 1.02,
+            "{b}: naive cannot beat oracle"
+        );
     }
 }
 
@@ -108,7 +119,10 @@ fn split_window_breaks_address_scheduling() {
     let split = Simulator::new(
         CoreConfig::paper_128()
             .with_policy(Policy::AsNaive)
-            .with_window_model(WindowModel::Split { units: 4, task_size: 16 }),
+            .with_window_model(WindowModel::Split {
+                units: 4,
+                task_size: 16,
+            }),
     )
     .run(&trace);
     assert!(
@@ -125,13 +139,18 @@ fn scheduler_latency_costs_performance() {
     let trace = Benchmark::Vortex.trace(&SuiteParams::test()).unwrap();
     let ipc_at = |lat| {
         Simulator::new(
-            CoreConfig::paper_128().with_policy(Policy::AsNaive).with_addr_sched_latency(lat),
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_addr_sched_latency(lat),
         )
         .run(&trace)
         .ipc()
     };
     let (l0, l2) = (ipc_at(0), ipc_at(2));
-    assert!(l0 >= l2 * 0.99, "0-cycle {l0:.3} should not lose to 2-cycle {l2:.3}");
+    assert!(
+        l0 >= l2 * 0.99,
+        "0-cycle {l0:.3} should not lose to 2-cycle {l2:.3}"
+    );
 }
 
 #[test]

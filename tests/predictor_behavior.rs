@@ -37,7 +37,9 @@ fn pattern_trace(pattern: &[bool], reps: usize) -> Trace {
     a.addi(r(9), r(9), -1);
     a.bgtz(r(9), top);
     a.halt();
-    Interpreter::new(a.assemble().unwrap()).run(1_000_000).unwrap()
+    Interpreter::new(a.assemble().unwrap())
+        .run(1_000_000)
+        .unwrap()
 }
 
 #[test]
@@ -67,7 +69,11 @@ fn unit_predictors_agree_with_their_components() {
         let taken = i % 3 != 0;
         let (pb, pg) = (bim.predict(pc), gs.predict(pc));
         if pb == pg {
-            assert_eq!(comb.predict(pc), pb, "combined must follow agreeing components");
+            assert_eq!(
+                comb.predict(pc),
+                pb,
+                "combined must follow agreeing components"
+            );
         }
         bim.update(pc, taken);
         gs.update(pc, taken);
@@ -94,7 +100,10 @@ fn selective_predictor_only_arms_miss_speculating_loads() {
 
 #[test]
 fn mdpt_synonyms_survive_until_flush() {
-    let mut m = Mdpt::new(MdptParams { flush_interval: Some(1000), ..MdptParams::paper() });
+    let mut m = Mdpt::new(MdptParams {
+        flush_interval: Some(1000),
+        ..MdptParams::paper()
+    });
     m.record_violation(0x10, 0x20);
     m.maybe_flush(999);
     assert!(m.load_synonym(0x10).is_some());
@@ -120,10 +129,15 @@ fn sync_policy_keeps_learning_across_mdpt_flushes() {
     asm.addi(r(9), r(9), -1);
     asm.bgtz(r(9), top);
     asm.halt();
-    let t = Interpreter::new(asm.assemble().unwrap()).run(100_000).unwrap();
+    let t = Interpreter::new(asm.assemble().unwrap())
+        .run(100_000)
+        .unwrap();
 
     let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasSync);
-    cfg.mdpt = MdptParams { flush_interval: Some(500), ..MdptParams::paper() };
+    cfg.mdpt = MdptParams {
+        flush_interval: Some(500),
+        ..MdptParams::paper()
+    };
     let flushy = Simulator::new(cfg).run(&t);
     let naive = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
     assert_eq!(flushy.stats.committed, t.len() as u64);
@@ -165,10 +179,21 @@ fn return_address_stack_handles_deep_call_chains_in_simulation() {
     a.addi(r(9), r(9), -1);
     a.bgtz(r(9), top);
     a.halt();
-    let t = Interpreter::new(a.assemble().unwrap()).run(100_000).unwrap();
+    let t = Interpreter::new(a.assemble().unwrap())
+        .run(100_000)
+        .unwrap();
     let res = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNaive)).run(&t);
     let fe = res.stats.frontend;
-    assert!(fe.indirects > 500, "returns must be exercised: {}", fe.indirects);
+    assert!(
+        fe.indirects > 500,
+        "returns must be exercised: {}",
+        fe.indirects
+    );
     let rate = fe.target_mispredicts as f64 / fe.indirects as f64;
-    assert!(rate < 0.05, "RAS should nail nested returns: {} / {}", fe.target_mispredicts, fe.indirects);
+    assert!(
+        rate < 0.05,
+        "RAS should nail nested returns: {} / {}",
+        fe.target_mispredicts,
+        fe.indirects
+    );
 }

@@ -20,8 +20,15 @@ fn model_forward(
         let overlaps = saddr < addr + size as u64 && addr < saddr + ssize as u64;
         if covers {
             let shift = 8 * (addr - saddr);
-            let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
-            return Forward::Hit { value: (value >> shift) & mask, store_seq: seq };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * size)) - 1
+            };
+            return Forward::Hit {
+                value: (value >> shift) & mask,
+                store_seq: seq,
+            };
         }
         if overlaps {
             return Forward::Partial;
@@ -125,7 +132,11 @@ proptest! {
 #[test]
 fn cache_geometry_validates() {
     // Sanity outside proptest: paper geometries divide evenly.
-    for p in [CacheParams::paper_l1i(), CacheParams::paper_l1d(), CacheParams::paper_l2()] {
+    for p in [
+        CacheParams::paper_l1i(),
+        CacheParams::paper_l1d(),
+        CacheParams::paper_l2(),
+    ] {
         assert_eq!(
             p.sets_per_bank() * p.banks as u64 * p.assoc as u64 * p.block_bytes,
             p.size_bytes,

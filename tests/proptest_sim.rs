@@ -43,7 +43,9 @@ fn random_loop_trace(
     a.addi(cnt, cnt, -1);
     a.bgtz(cnt, top);
     a.halt();
-    Interpreter::new(a.assemble().unwrap()).run(2_000_000).unwrap()
+    Interpreter::new(a.assemble().unwrap())
+        .run(2_000_000)
+        .unwrap()
 }
 
 proptest! {
