@@ -285,6 +285,12 @@ impl CoreConfig {
         self
     }
 
+    /// Returns the configuration with pipeline-trace recording set.
+    pub fn with_pipetrace(mut self, record: bool) -> CoreConfig {
+        self.record_pipeline_trace = record;
+        self
+    }
+
     /// Number of units the window is split over (1 for continuous).
     pub fn units(&self) -> u32 {
         match self.window_model {

@@ -433,6 +433,8 @@ impl Machine<'_> {
             Forward::Partial => unreachable!("gate blocks partial forwards"),
             Forward::Miss => (self.mem.access(AccessKind::Read, addr, access_at), None),
         };
+        let dmiss =
+            forwarded_from.is_none() && complete_at > access_at + self.cfg.mem.l1d.hit_latency;
         // Speculative if any older store in the window has not executed.
         let speculative = self
             .window
@@ -446,6 +448,7 @@ impl Machine<'_> {
             slot.complete_at = complete_at;
             slot.forwarded_from = forwarded_from;
             slot.speculative = speculative;
+            slot.dmiss = dmiss;
         }
         let addr_p = self.regdeps.addr[i].clone();
         self.mark_propagated(&addr_p);

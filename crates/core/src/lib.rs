@@ -75,6 +75,7 @@ mod stats;
 mod window;
 
 pub use config::{BranchPredictorConfig, CoreConfig, Policy, Recovery, WindowModel};
+pub use mds_obs::{CpiStack, Histogram, StallCause};
 pub use oracle::OracleDeps;
 pub use pipetrace::{PipeEvent, PipeStage, PipeTrace};
 pub use sim::Simulator;

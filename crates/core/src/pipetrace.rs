@@ -83,6 +83,26 @@ impl PipeTrace {
         &self.events
     }
 
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of every `every`-th dynamic instruction (those with
+    /// `seq % every == 0`), in recording order. `every == 0` yields
+    /// nothing; `every == 1` yields everything.
+    pub fn sampled(&self, every: u64) -> impl Iterator<Item = PipeEvent> + '_ {
+        self.events
+            .iter()
+            .copied()
+            .filter(move |e| every != 0 && e.seq % every == 0)
+    }
+
     /// Events of one instruction, in recording order.
     pub fn of(&self, seq: u64) -> Vec<PipeEvent> {
         self.events
@@ -171,5 +191,19 @@ mod tests {
     fn empty_range_renders_empty() {
         let t = PipeTrace::default();
         assert_eq!(t.render(0..4), "");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sampled_filters_by_sequence_stride() {
+        let mut t = PipeTrace::default();
+        for seq in 0..10 {
+            t.record(seq, PipeStage::Fetch, seq);
+        }
+        assert_eq!(t.sampled(0).count(), 0);
+        assert_eq!(t.sampled(1).count(), 10);
+        let sampled: Vec<u64> = t.sampled(4).map(|e| e.seq).collect();
+        assert_eq!(sampled, vec![0, 4, 8]);
+        assert_eq!(t.len(), 10);
     }
 }

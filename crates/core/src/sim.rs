@@ -16,6 +16,7 @@ use crate::window::{RegDeps, Slot, Window, NOT_YET};
 use mds_frontend::{Bimodal, DirectionKind, FrontEnd, Gshare, LocalHistory, StaticNotTaken};
 use mds_isa::Trace;
 use mds_mem::{AccessKind, MemSystem, StoreBuffer};
+use mds_obs::StallCause;
 use mds_predict::{Mdpt, SelectivePredictor, StoreBarrierPredictor, StoreSets};
 use std::collections::VecDeque;
 
@@ -129,6 +130,9 @@ pub(crate) struct Machine<'t> {
     pub now: u64,
     pub stats: SimStats,
     pub pipetrace: Option<PipeTrace>,
+    /// An empty window is a squash's fault until re-fetch refills it
+    /// (distinguishes `SquashRecovery` from plain `EmptyWindow` cycles).
+    pub squash_shadow: bool,
     /// In-flight (dispatched, uncommitted) memory operations, bounded by
     /// the load/store queue size.
     pub mem_in_flight: usize,
@@ -172,6 +176,7 @@ impl<'t> Machine<'t> {
             now: 0,
             stats: SimStats::default(),
             pipetrace: cfg.record_pipeline_trace.then(PipeTrace::default),
+            squash_shadow: false,
             mem_in_flight: 0,
         }
     }
@@ -272,12 +277,9 @@ impl<'t> Machine<'t> {
     }
 
     fn commit_stage(&mut self) {
-        self.stats.window_occupancy_sum += self.window.len() as u64;
+        self.stats.window_occupancy.record(self.window.len() as u64);
         let mut budget = self.cfg.commit_width;
         let committed_before = self.stats.committed;
-        if self.window.is_empty() {
-            self.stats.empty_window_cycles += 1;
-        }
         while budget > 0 {
             let Some(front) = self.window.front() else {
                 break;
@@ -313,12 +315,14 @@ impl<'t> Machine<'t> {
                     if s.fd_false {
                         self.stats.false_dep_loads += 1;
                         self.stats.false_dep_cycles += delay;
+                        self.stats.false_dep_delay.record(delay);
                     } else {
                         self.stats.true_dep_loads += 1;
                     }
                 }
-                if s.forwarded_from.is_some() {
+                if let Some(f) = s.forwarded_from {
                     self.stats.forwarded_loads += 1;
+                    self.stats.forward_distance.record(s.seq - f);
                 }
                 if s.speculative {
                     self.stats.speculative_loads += 1;
@@ -330,9 +334,60 @@ impl<'t> Machine<'t> {
             self.next_commit += 1;
             budget -= 1;
         }
-        if self.stats.committed == committed_before && !self.window.is_empty() {
-            self.stats.commit_stall_cycles += 1;
+        if self.stats.committed > committed_before {
+            self.stats.cpi.commit();
+        } else {
+            let cause = self.classify_stall_cause();
+            self.stats.cpi.record(cause);
         }
+    }
+
+    /// Attributes a non-committing cycle to the cause blocking the
+    /// window head (the CPI-stack methodology: commit is in order, so
+    /// whatever stalls the head stalls the machine).
+    fn classify_stall_cause(&self) -> StallCause {
+        let Some(front) = self.window.front() else {
+            return if self.squash_shadow {
+                StallCause::SquashRecovery
+            } else {
+                StallCause::EmptyWindow
+            };
+        };
+        if front.seq != self.next_commit {
+            // Split window: an older instruction has not dispatched yet.
+            return StallCause::Other;
+        }
+        if !front.issued {
+            if self.cfg.policy.uses_address_scheduler()
+                && (front.is_load || front.is_store)
+                && front.addr_issued
+                && self.now < front.addr_posted_at
+            {
+                return StallCause::SchedulerLatency;
+            }
+            // A gate-blocked load cannot be the head pre-issue (the
+            // blocking older store is ahead of it), so a not-issued head
+            // is waiting on register operands, ports, or the scheduler.
+            return StallCause::Other;
+        }
+        // Issued but not yet committable: the head is draining the
+        // latency of whatever delayed or serviced it.
+        if front.is_load {
+            if front.dmiss {
+                return StallCause::CacheMiss;
+            }
+            if front.sync_delayed {
+                return StallCause::SyncDelay;
+            }
+            if front.fd_blocked_at.is_some() {
+                return if front.fd_false {
+                    StallCause::FalseDependence
+                } else {
+                    StallCause::TrueDependence
+                };
+            }
+        }
+        StallCause::Other
     }
 
     /// Runs the store-triggered violation checks whose stores executed by
@@ -489,6 +544,7 @@ impl<'t> Machine<'t> {
             slot.forwarded_from = None;
             slot.value_propagated = false;
             slot.speculative = false;
+            slot.dmiss = false;
             if was_store {
                 self.sb.retire(seq);
             }
@@ -526,6 +582,7 @@ impl<'t> Machine<'t> {
         self.sb.squash_from(load_seq);
         self.pending_checks.retain(|&(seq, _)| seq < load_seq);
 
+        let mut discarded = removed.len() as u64;
         let resume = self.now + 1 + self.cfg.squash_latency;
         for ui in 0..self.units.len() {
             let removed_from_queue: Vec<u64> = self.units[ui]
@@ -536,6 +593,7 @@ impl<'t> Machine<'t> {
                 .collect();
             self.units[ui].queue.retain(|&(seq, _)| seq < load_seq);
             self.stats.squashed += removed_from_queue.len() as u64;
+            discarded += removed_from_queue.len() as u64;
             if self.pipetrace.is_some() {
                 let now = self.now;
                 for seq in removed_from_queue {
@@ -548,6 +606,8 @@ impl<'t> Machine<'t> {
             }
             u.next_fetch_at = u.next_fetch_at.max(resume);
         }
+        self.stats.squash_penalty.record(discarded);
+        self.squash_shadow = true;
         self.reset_fetch_to(load_seq);
     }
 
@@ -611,6 +671,7 @@ impl<'t> Machine<'t> {
             forwarded_from: None,
             speculative: false,
             value_propagated: false,
+            dmiss: false,
             synonym: None,
             predicted_wait: false,
             barrier: false,
@@ -648,6 +709,7 @@ impl<'t> Machine<'t> {
             self.mem_in_flight += 1;
         }
         self.window.insert(slot);
+        self.squash_shadow = false;
         self.trace_event(seq, PipeStage::Dispatch, self.now);
     }
 
@@ -1086,17 +1148,89 @@ mod tests {
         let r = run_policy(&t, Policy::NasNo);
         let occ = r.stats.mean_window_occupancy();
         assert!(occ > 0.0 && occ <= 128.0, "occupancy {occ}");
-        assert!(
-            r.stats.empty_window_cycles + r.stats.commit_stall_cycles <= r.stats.cycles,
-            "stall attribution cannot exceed total cycles"
+        assert_eq!(
+            r.stats.window_occupancy.count(),
+            r.stats.cycles,
+            "occupancy is sampled exactly once per cycle"
         );
         // A serial recurrence under NO stalls commit on most cycles.
         assert!(
-            r.stats.commit_stall_cycles > r.stats.cycles / 4,
+            r.stats.cpi.total_stalls() > r.stats.cycles / 4,
             "expected heavy commit stalling: {} of {}",
-            r.stats.commit_stall_cycles,
+            r.stats.cpi.total_stalls(),
             r.stats.cycles
         );
+    }
+
+    #[test]
+    fn cpi_stack_partitions_total_cycles() {
+        let t = recurrence_trace(200);
+        for policy in Policy::ALL {
+            let r = run_policy(&t, policy);
+            assert_eq!(
+                r.stats.cpi.total_cycles(),
+                r.stats.cycles,
+                "{policy}: CPI stack must charge every cycle exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn cpi_stack_charges_dependences_under_nas_no() {
+        use mds_obs::StallCause;
+        let t = recurrence_trace(300);
+        let r = run_policy(&t, Policy::NasNo);
+        // A serial memory recurrence under NO blocks head loads on both
+        // kinds of dependence; together they must show up in the stack.
+        let dep = r.stats.cpi.stall(StallCause::TrueDependence)
+            + r.stats.cpi.stall(StallCause::FalseDependence);
+        assert!(
+            dep > 0,
+            "blocked head loads must be charged to dependences: {:?}",
+            r.stats.cpi
+        );
+    }
+
+    #[test]
+    fn cpi_stack_charges_squash_recovery_under_naive() {
+        use mds_obs::StallCause;
+        let t = recurrence_trace(300);
+        let r = run_policy(&t, Policy::NasNaive);
+        assert!(r.stats.misspeculations > 10);
+        assert!(
+            r.stats.cpi.stall(StallCause::SquashRecovery) > 0,
+            "squashes empty the window; recovery cycles must be charged: {:?}",
+            r.stats.cpi
+        );
+        assert_eq!(
+            r.stats.squash_penalty.count(),
+            r.stats.misspeculations,
+            "one squash-penalty sample per squash event"
+        );
+        assert_eq!(r.stats.squash_penalty.sum(), r.stats.squashed);
+    }
+
+    #[test]
+    fn histogram_counts_match_flat_counters() {
+        let t = recurrence_trace(200);
+        for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasSync] {
+            let r = run_policy(&t, policy);
+            assert_eq!(
+                r.stats.false_dep_delay.count(),
+                r.stats.false_dep_loads,
+                "{policy}"
+            );
+            assert_eq!(
+                r.stats.false_dep_delay.sum(),
+                r.stats.false_dep_cycles,
+                "{policy}"
+            );
+            assert_eq!(
+                r.stats.forward_distance.count(),
+                r.stats.forwarded_loads,
+                "{policy}"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use mds_frontend::FrontEndStats;
 use mds_mem::MemStats;
+use mds_obs::{CpiStack, Histogram, Metric, MetricSource};
 
 /// Counters accumulated over one timing simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -40,14 +41,21 @@ pub struct SimStats {
     /// store delivered its value to an already-executed load without a
     /// squash because the value had not propagated or was identical).
     pub silent_fixups: u64,
-    /// Sum of window occupancy over all cycles (divide by `cycles` for
-    /// the mean).
-    pub window_occupancy_sum: u64,
-    /// Cycles in which nothing committed because the window was empty.
-    pub empty_window_cycles: u64,
-    /// Cycles in which nothing committed although the window held
-    /// instructions (head not yet complete).
-    pub commit_stall_cycles: u64,
+    /// CPI-stack attribution: every cycle is either a commit cycle or
+    /// charged to exactly one [`StallCause`](mds_obs::StallCause), so
+    /// `cpi.total_cycles() == cycles` always holds.
+    pub cpi: CpiStack,
+    /// Distribution of per-load false-dependence delays in cycles
+    /// (`count == false_dep_loads`, `sum == false_dep_cycles`).
+    pub false_dep_delay: Histogram,
+    /// Distribution of instructions discarded per squash event
+    /// (`count == misspeculations` under squash recovery).
+    pub squash_penalty: Histogram,
+    /// Window occupancy sampled once per cycle (`count == cycles`).
+    pub window_occupancy: Histogram,
+    /// Store-to-load forwarding distance in dynamic instructions
+    /// (`count == forwarded_loads`).
+    pub forward_distance: Histogram,
     /// Front-end statistics.
     pub frontend: FrontEndStats,
     /// Memory hierarchy statistics.
@@ -85,11 +93,7 @@ impl SimStats {
 
     /// Mean instruction-window occupancy over the run.
     pub fn mean_window_occupancy(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.window_occupancy_sum as f64 / self.cycles as f64
-        }
+        self.window_occupancy.mean()
     }
 
     /// Mean false-dependence resolution latency in cycles (Table 3 "RL").
@@ -99,6 +103,71 @@ impl SimStats {
         } else {
             self.false_dep_cycles as f64 / self.false_dep_loads as f64
         }
+    }
+
+    /// Adds every counter, histogram, and CPI-stack entry of `other`
+    /// into `self` (for aggregating across benchmarks or runs).
+    pub fn absorb(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.committed_loads += other.committed_loads;
+        self.committed_stores += other.committed_stores;
+        self.misspeculations += other.misspeculations;
+        self.squashed += other.squashed;
+        self.reissued += other.reissued;
+        self.false_dep_loads += other.false_dep_loads;
+        self.false_dep_cycles += other.false_dep_cycles;
+        self.true_dep_loads += other.true_dep_loads;
+        self.forwarded_loads += other.forwarded_loads;
+        self.speculative_loads += other.speculative_loads;
+        self.sync_delayed_loads += other.sync_delayed_loads;
+        self.silent_fixups += other.silent_fixups;
+        self.cpi.merge(&other.cpi);
+        self.false_dep_delay.merge(&other.false_dep_delay);
+        self.squash_penalty.merge(&other.squash_penalty);
+        self.window_occupancy.merge(&other.window_occupancy);
+        self.forward_distance.merge(&other.forward_distance);
+        self.frontend.merge(&other.frontend);
+        self.mem.merge(&other.mem);
+    }
+}
+
+impl MetricSource for SimStats {
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
+        out("cycles", Metric::Counter(self.cycles));
+        out("committed", Metric::Counter(self.committed));
+        out("committed_loads", Metric::Counter(self.committed_loads));
+        out("committed_stores", Metric::Counter(self.committed_stores));
+        out("misspeculations", Metric::Counter(self.misspeculations));
+        out("squashed", Metric::Counter(self.squashed));
+        out("reissued", Metric::Counter(self.reissued));
+        out("false_dep_loads", Metric::Counter(self.false_dep_loads));
+        out("false_dep_cycles", Metric::Counter(self.false_dep_cycles));
+        out("true_dep_loads", Metric::Counter(self.true_dep_loads));
+        out("forwarded_loads", Metric::Counter(self.forwarded_loads));
+        out("speculative_loads", Metric::Counter(self.speculative_loads));
+        out(
+            "sync_delayed_loads",
+            Metric::Counter(self.sync_delayed_loads),
+        );
+        out("silent_fixups", Metric::Counter(self.silent_fixups));
+        out("ipc", Metric::Gauge(self.ipc()));
+        self.cpi
+            .visit(&mut |name, cycles| out(&format!("cpi.{name}"), Metric::Counter(cycles)));
+        out("false_dep_delay", Metric::Histogram(&self.false_dep_delay));
+        out("squash_penalty", Metric::Histogram(&self.squash_penalty));
+        out(
+            "window_occupancy",
+            Metric::Histogram(&self.window_occupancy),
+        );
+        out(
+            "forward_distance",
+            Metric::Histogram(&self.forward_distance),
+        );
+        self.frontend
+            .visit(&mut |name, metric| out(&format!("frontend.{name}"), metric));
+        self.mem
+            .visit(&mut |name, metric| out(&format!("mem.{name}"), metric));
     }
 }
 
@@ -133,6 +202,7 @@ impl SimResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mds_obs::StallCause;
 
     #[test]
     fn ipc_division() {
@@ -174,5 +244,60 @@ mod tests {
             pipetrace: None,
         };
         assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_distributions() {
+        let mut a = SimStats {
+            cycles: 10,
+            committed: 8,
+            ..SimStats::default()
+        };
+        a.cpi.commit();
+        a.window_occupancy.record(4);
+        let mut b = SimStats {
+            cycles: 5,
+            committed: 2,
+            ..SimStats::default()
+        };
+        b.cpi.record(StallCause::CacheMiss);
+        b.window_occupancy.record(6);
+        b.frontend.branches = 3;
+        b.mem.l1d.accesses = 7;
+        a.absorb(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.committed, 10);
+        assert_eq!(a.cpi.total_cycles(), 2);
+        assert_eq!(a.window_occupancy.count(), 2);
+        assert_eq!(a.window_occupancy.sum(), 10);
+        assert_eq!(a.frontend.branches, 3);
+        assert_eq!(a.mem.l1d.accesses, 7);
+    }
+
+    #[test]
+    fn visit_exposes_namespaced_metrics() {
+        let mut s = SimStats {
+            cycles: 42,
+            ..SimStats::default()
+        };
+        s.cpi.record(StallCause::FalseDependence);
+        s.false_dep_delay.record(9);
+        let mut names = Vec::new();
+        s.visit(&mut |name, _| names.push(name.to_string()));
+        for expected in [
+            "cycles",
+            "ipc",
+            "cpi.commit",
+            "cpi.false_dependence",
+            "false_dep_delay",
+            "frontend.branches",
+            "mem.l1d.miss_rate",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+        let snap = mds_obs::snapshot(&s);
+        let json = snap.to_json();
+        assert!(json.contains("\"cycles\":42"), "{json}");
+        assert!(json.contains("\"cpi.false_dependence\":1"), "{json}");
     }
 }

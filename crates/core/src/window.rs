@@ -47,6 +47,9 @@ pub(crate) struct Slot {
     pub speculative: bool,
     /// Loads: a consumer has issued using this load's value.
     pub value_propagated: bool,
+    /// Loads: the access missed in the L1 data cache (completion took
+    /// longer than a hit would have).
+    pub dmiss: bool,
 
     /// `NAS/SYNC`: MDPT synonym (producer for stores, consumer for loads).
     pub synonym: Option<u32>,
@@ -101,10 +104,6 @@ impl Window {
 
     pub fn len(&self) -> usize {
         self.slots.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
     }
 
     pub fn unit_count(&self, unit: u32) -> usize {
@@ -258,6 +257,7 @@ mod tests {
             forwarded_from: None,
             speculative: false,
             value_propagated: false,
+            dmiss: false,
             synonym: None,
             predicted_wait: false,
             barrier: false,

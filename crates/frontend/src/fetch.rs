@@ -5,6 +5,7 @@ use crate::btb::{Btb, ReturnStack};
 use crate::direction::{Bimodal, Combined, DirectionPredictor, Gselect};
 use crate::more_predictors::{Gshare, LocalHistory, StaticNotTaken};
 use mds_isa::{Instruction, Op, Reg};
+use mds_obs::{Metric, MetricSource};
 
 /// What the front end did with a control instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,29 @@ impl FrontEndStats {
         } else {
             1.0 - self.dir_mispredicts as f64 / self.branches as f64
         }
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &FrontEndStats) {
+        self.branches += other.branches;
+        self.dir_mispredicts += other.dir_mispredicts;
+        self.indirects += other.indirects;
+        self.target_mispredicts += other.target_mispredicts;
+        self.misfetches += other.misfetches;
+    }
+}
+
+impl MetricSource for FrontEndStats {
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
+        out("branches", Metric::Counter(self.branches));
+        out("dir_mispredicts", Metric::Counter(self.dir_mispredicts));
+        out("indirects", Metric::Counter(self.indirects));
+        out(
+            "target_mispredicts",
+            Metric::Counter(self.target_mispredicts),
+        );
+        out("misfetches", Metric::Counter(self.misfetches));
+        out("accuracy", Metric::Gauge(self.accuracy()));
     }
 }
 

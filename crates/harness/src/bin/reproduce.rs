@@ -3,10 +3,12 @@
 //! ```text
 //! reproduce [--scale tiny|test|bench] [--benchmarks a,b,c]
 //!           [--only exp1,exp2] [--out DIR] [--jobs N]
+//!           [--trace-out FILE.jsonl] [--trace-every N] [--list]
 //! ```
 //!
 //! Experiments: `table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6
-//! table4 fig7 summary ablations stability`.
+//! table4 fig7 summary cpistack ablations stability` (`--list` prints
+//! them one per line).
 //!
 //! Simulations run on a work-stealing thread pool (`--jobs`, default
 //! [`std::thread::available_parallelism`]) and are memoized across
@@ -14,11 +16,20 @@
 //! once. With `--out DIR`, every report is written as rendered text
 //! (`.txt`), serialized JSON (`.json`), and tabular CSV (`.csv`), and a
 //! `BENCH_reproduce.json` records per-experiment wall-clock timings and
-//! the cache counters.
+//! the cache counters (written atomically: temp file + rename).
+//!
+//! With `--trace-out`, a structured JSONL event trace is appended as
+//! the run progresses: `run_start`/`run_finish`, per-experiment
+//! `experiment_start`/`experiment_finish`, one `sim` record per
+//! simulation (wall time, cycles, IPC), `cache_hit` records, and —
+//! with a non-zero `--trace-every N` stride — sampled per-instruction
+//! `pipe` pipeline events. Tracing never changes the rendered tables.
 
 use mds_core::CoreConfig;
-use mds_harness::cli::{parse_reproduce_args, ReproduceArgs, ReproduceCommand, REPRODUCE_USAGE};
-use mds_harness::{emit, experiments, Runner, Suite};
+use mds_harness::cli::{
+    parse_reproduce_args, ReproduceArgs, ReproduceCommand, EXPERIMENTS, REPRODUCE_USAGE,
+};
+use mds_harness::{emit, experiments, Runner, Suite, TraceSink};
 use serde::{Serialize, Value};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -29,6 +40,12 @@ fn main() -> ExitCode {
         Ok(ReproduceCommand::Run(args)) => args,
         Ok(ReproduceCommand::Help) => {
             println!("{REPRODUCE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(ReproduceCommand::List) => {
+            for name in EXPERIMENTS {
+                println!("{name}");
+            }
             return ExitCode::SUCCESS;
         }
         Err(msg) => {
@@ -71,11 +88,32 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
         .map_err(|e| format!("workload generation failed: {e}"))?;
     let trace_seconds = trace_start.elapsed().as_secs_f64();
 
-    let runner = Runner::new(suite).with_jobs(args.jobs);
+    let mut runner = Runner::new(suite).with_jobs(args.jobs);
+    if let Some(path) = &args.trace_out {
+        let sink = TraceSink::create(path, args.trace_every)
+            .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
+        eprintln!(
+            "tracing to {} (pipeline events every {} instructions)...",
+            path.display(),
+            args.trace_every
+        );
+        runner = runner.with_trace(sink);
+    }
     eprintln!(
         "simulating on {} worker thread(s), memoizing shared configs...",
         runner.jobs()
     );
+    runner
+        .trace_event(
+            "run_start",
+            &[
+                ("benchmarks", Value::UInt(args.benchmarks.len() as u64)),
+                ("dyn_target", Value::UInt(args.params.dyn_target)),
+                ("jobs", Value::UInt(runner.jobs() as u64)),
+                ("trace_seconds", Value::Float(trace_seconds)),
+            ],
+        )
+        .map_err(|e| format!("cannot write trace: {e}"))?;
 
     let mut r = Reproduce {
         args,
@@ -129,6 +167,10 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
         let rep = experiments::summary::run(run);
         (rep.render(), Some(rep.to_value()))
     })?;
+    r.timed("cpistack", |run| {
+        let rep = experiments::cpistack::run(run);
+        (rep.render(), Some(rep.to_value()))
+    })?;
     r.ablations()?;
     r.stability()?;
 
@@ -144,6 +186,22 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
         r.runner.jobs(),
         total_seconds,
     );
+    r.runner
+        .trace_event(
+            "run_finish",
+            &[
+                ("simulations", Value::UInt(stats.simulations)),
+                ("cache_hits", Value::UInt(stats.cache_hits)),
+                ("simulation_seconds", Value::Float(stats.sim_seconds())),
+                ("total_seconds", Value::Float(total_seconds)),
+            ],
+        )
+        .map_err(|e| format!("cannot write trace: {e}"))?;
+    if let Some(sink) = r.runner.trace() {
+        sink.flush()
+            .map_err(|e| format!("cannot flush trace: {e}"))?;
+        eprintln!("wrote {} trace event(s)", sink.lines());
+    }
     r.write_bench_record(trace_seconds, total_seconds)?;
     Ok(())
 }
@@ -167,11 +225,29 @@ impl Reproduce {
             return Ok(());
         }
         eprintln!("running {name}...");
+        self.experiment_event("experiment_start", name, None)?;
         let start = Instant::now();
         let (text, value) = f(&self.runner);
-        self.timings
-            .push((name.to_string(), start.elapsed().as_secs_f64()));
+        let seconds = start.elapsed().as_secs_f64();
+        self.timings.push((name.to_string(), seconds));
+        self.experiment_event("experiment_finish", name, Some(seconds))?;
         self.emit(name, &text, value.as_ref())
+    }
+
+    /// Emits an experiment lifecycle record to the trace, if tracing.
+    fn experiment_event(
+        &self,
+        event: &str,
+        name: &str,
+        seconds: Option<f64>,
+    ) -> Result<(), String> {
+        let mut fields = vec![("name", Value::Str(name.to_string()))];
+        if let Some(s) = seconds {
+            fields.push(("seconds", Value::Float(s)));
+        }
+        self.runner
+            .trace_event(event, &fields)
+            .map_err(|e| format!("cannot write trace: {e}"))
     }
 
     /// Prints one artifact and, with `--out`, writes its `.txt`,
@@ -201,6 +277,7 @@ impl Reproduce {
             return Ok(());
         }
         eprintln!("running ablations...");
+        self.experiment_event("experiment_start", "ablations", None)?;
         let start = Instant::now();
         let runner = &self.runner;
         let artifacts = [
@@ -232,8 +309,9 @@ impl Reproduce {
                 ("ablation_window_sweep", rep.render(), rep.to_value())
             },
         ];
-        self.timings
-            .push(("ablations".to_string(), start.elapsed().as_secs_f64()));
+        let seconds = start.elapsed().as_secs_f64();
+        self.timings.push(("ablations".to_string(), seconds));
+        self.experiment_event("experiment_finish", "ablations", Some(seconds))?;
         for (name, text, value) in &artifacts {
             self.emit(name, text, Some(value))?;
         }
@@ -246,6 +324,7 @@ impl Reproduce {
             return Ok(());
         }
         eprintln!("running stability...");
+        self.experiment_event("experiment_start", "stability", None)?;
         let start = Instant::now();
         let rep = experiments::stability::run(
             &self.args.benchmarks,
@@ -254,8 +333,9 @@ impl Reproduce {
             self.args.jobs,
         )
         .map_err(|e| format!("stability experiment failed: {e}"))?;
-        self.timings
-            .push(("stability".to_string(), start.elapsed().as_secs_f64()));
+        let seconds = start.elapsed().as_secs_f64();
+        self.timings.push(("stability".to_string(), seconds));
+        self.experiment_event("experiment_finish", "stability", Some(seconds))?;
         self.emit("stability", &rep.render(), Some(&rep.to_value()))
     }
 
@@ -301,7 +381,9 @@ impl Reproduce {
             Some(dir) => dir.join("BENCH_reproduce.json"),
             None => std::path::PathBuf::from("BENCH_reproduce.json"),
         };
-        std::fs::write(&path, record.to_json())
+        // Atomic so a killed run (or a concurrent artifact collector)
+        // never leaves a truncated record behind.
+        emit::write_atomic(&path, &record.to_json())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         eprintln!("wrote {}", path.display());
         Ok(())

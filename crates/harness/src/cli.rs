@@ -13,7 +13,7 @@ use std::path::PathBuf;
 /// `ablations` covers the beyond-the-paper sweeps (predictor size,
 /// flush interval, store sets, recovery, branch predictors, window
 /// sweep); `stability` is the per-seed rerun of the headline result.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig1",
@@ -26,6 +26,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "table4",
     "fig7",
     "summary",
+    "cpistack",
     "ablations",
     "stability",
 ];
@@ -33,8 +34,9 @@ pub const EXPERIMENTS: [&str; 14] = [
 /// Usage string for `reproduce`.
 pub const REPRODUCE_USAGE: &str = "usage: reproduce [--scale tiny|test|bench] \
      [--benchmarks name,...] [--only table1,fig2,...] [--out DIR] [--jobs N]\n\
+     [--trace-out FILE.jsonl] [--trace-every N] [--list]\n\
      experiments: table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 \
-     fig7 summary ablations stability";
+     fig7 summary cpistack ablations stability";
 
 /// Parsed `reproduce` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,12 @@ pub struct ReproduceArgs {
     pub out: Option<PathBuf>,
     /// Worker threads (`0` = automatic).
     pub jobs: usize,
+    /// JSONL trace file (`--trace-out`); `None` disables tracing.
+    pub trace_out: Option<PathBuf>,
+    /// Pipeline-event sampling stride (`--trace-every`): events of
+    /// every `N`-th dynamic instruction are recorded; `0` keeps only
+    /// lifecycle events.
+    pub trace_every: u64,
 }
 
 impl Default for ReproduceArgs {
@@ -59,6 +67,8 @@ impl Default for ReproduceArgs {
             only: None,
             out: None,
             jobs: 0,
+            trace_out: None,
+            trace_every: 64,
         }
     }
 }
@@ -70,6 +80,8 @@ pub enum ReproduceCommand {
     Run(ReproduceArgs),
     /// Print usage and exit successfully (`--help`).
     Help,
+    /// Print the experiment names, one per line (`--list`).
+    List,
 }
 
 /// Parses `reproduce` arguments (the part after the program name).
@@ -99,6 +111,9 @@ pub fn parse_reproduce_args(args: &[String]) -> Result<ReproduceCommand, String>
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
             "--jobs" => parsed.jobs = parse_jobs(value("--jobs")?)?,
+            "--trace-out" => parsed.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-every" => parsed.trace_every = parse_trace_every(value("--trace-every")?)?,
+            "--list" => return Ok(ReproduceCommand::List),
             "--help" | "-h" => return Ok(ReproduceCommand::Help),
             other => return Err(format!("unknown argument {other}\n{REPRODUCE_USAGE}")),
         }
@@ -127,6 +142,16 @@ pub fn parse_scale(v: &str) -> Result<SuiteParams, String> {
 /// Rejects non-numeric values.
 pub fn parse_jobs(v: &str) -> Result<usize, String> {
     v.parse().map_err(|e| format!("bad --jobs value {v}: {e}"))
+}
+
+/// Parses a `--trace-every` stride (`0` = lifecycle events only).
+///
+/// # Errors
+///
+/// Rejects non-numeric values.
+pub fn parse_trace_every(v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|e| format!("bad --trace-every value {v}: {e}"))
 }
 
 /// Resolves one benchmark name.
@@ -211,6 +236,21 @@ mod tests {
         assert_eq!(args.only, None);
         assert_eq!(args.jobs, 0);
         assert_eq!(args.out, None);
+        assert_eq!(args.trace_out, None);
+        assert_eq!(args.trace_every, 64);
+    }
+
+    #[test]
+    fn list_short_circuits() {
+        assert_eq!(
+            parse_reproduce_args(&strs(&["--list"])),
+            Ok(ReproduceCommand::List)
+        );
+        // --list wins even with other flags present before it.
+        assert_eq!(
+            parse_reproduce_args(&strs(&["--jobs", "2", "--list"])),
+            Ok(ReproduceCommand::List)
+        );
     }
 
     #[test]
@@ -238,6 +278,10 @@ mod tests {
             "/tmp/x",
             "--jobs",
             "3",
+            "--trace-out",
+            "/tmp/x/trace.jsonl",
+            "--trace-every",
+            "128",
         ]))
         .unwrap();
         let ReproduceCommand::Run(args) = cmd else {
@@ -251,6 +295,8 @@ mod tests {
         );
         assert_eq!(args.out, Some(PathBuf::from("/tmp/x")));
         assert_eq!(args.jobs, 3);
+        assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/x/trace.jsonl")));
+        assert_eq!(args.trace_every, 128);
     }
 
     #[test]
@@ -266,6 +312,8 @@ mod tests {
         assert!(parse_reproduce_args(&strs(&["--scale"])).is_err());
         assert!(parse_reproduce_args(&strs(&["--scale", "huge"])).is_err());
         assert!(parse_reproduce_args(&strs(&["--jobs", "many"])).is_err());
+        assert!(parse_reproduce_args(&strs(&["--trace-every", "often"])).is_err());
+        assert!(parse_reproduce_args(&strs(&["--trace-out"])).is_err());
     }
 
     #[test]
@@ -299,7 +347,7 @@ mod tests {
 
     #[test]
     fn experiment_list_matches_known_names() {
-        validate_experiments(&strs(&["table1", "stability", "ablations"])).unwrap();
+        validate_experiments(&strs(&["table1", "stability", "ablations", "cpistack"])).unwrap();
         assert!(validate_experiments(&strs(&["fig8"])).is_err());
     }
 }

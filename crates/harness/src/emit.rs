@@ -1,6 +1,9 @@
-//! Rendering serialized experiment reports as CSV.
+//! Rendering serialized experiment reports as CSV and writing
+//! artifacts atomically.
 
 use serde::Value;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Renders a serialized report as CSV.
 ///
@@ -54,6 +57,23 @@ fn quote(s: &str) -> String {
     } else {
         s.to_string()
     }
+}
+
+/// Writes `content` to `path` atomically: the bytes go to a `.tmp`
+/// sibling first and are renamed into place, so a crash mid-write (or
+/// a concurrent reader such as a CI artifact collector) never observes
+/// a truncated file.
+///
+/// # Errors
+///
+/// Propagates the write or rename error.
+pub fn write_atomic<P: AsRef<Path>>(path: P, content: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -131,5 +151,78 @@ mod tests {
             to_csv(&Value::Object(vec![("x".into(), Value::UInt(1))])),
             None
         );
+    }
+
+    #[test]
+    fn newlines_and_quotes_in_cells_are_escaped() {
+        let rep = Report {
+            rows: vec![Row {
+                benchmark: "line1\nline2 \"quoted\"".into(),
+                ipc: 1.0,
+            }],
+            mean: 1.0,
+        };
+        let csv = to_csv(&rep.to_value()).unwrap();
+        assert_eq!(csv, "benchmark,ipc\n\"line1\nline2 \"\"quoted\"\"\",1.0\n");
+        // The embedded newline stays inside one quoted field: an RFC
+        // 4180 reader sees exactly two records (header + one row).
+        assert_eq!(csv.matches('\n').count(), 3);
+    }
+
+    #[test]
+    fn carriage_returns_force_quoting() {
+        let rep = Report {
+            rows: vec![Row {
+                benchmark: "a\rb".into(),
+                ipc: 2.0,
+            }],
+            mean: 2.0,
+        };
+        let csv = to_csv(&rep.to_value()).unwrap();
+        assert!(csv.contains("\"a\rb\""), "{csv:?}");
+    }
+
+    #[test]
+    fn nested_composites_render_as_quoted_json() {
+        #[derive(Serialize)]
+        struct Deep {
+            rows: Vec<(String, Vec<(String, f64)>)>,
+        }
+        let csv = to_csv(
+            &Deep {
+                rows: vec![("x".into(), vec![("k".into(), 1.5)])],
+            }
+            .to_value(),
+        )
+        .unwrap();
+        // The nested array-of-tuples serializes to JSON with commas and
+        // quotes, so the whole cell must be quoted with doubled quotes.
+        assert_eq!(csv, "x,\"[[\"\"k\"\",1.5]]\"\n");
+    }
+
+    #[test]
+    fn empty_table_emits_empty_body() {
+        let rep = Report {
+            rows: vec![],
+            mean: 0.0,
+        };
+        // An empty rows array is still "tabular": the CSV exists (so
+        // downstream globs find the artifact) but has no header or rows.
+        assert_eq!(to_csv(&rep.to_value()), Some(String::new()));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("mds-emit-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        assert!(
+            !dir.join("artifact.json.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

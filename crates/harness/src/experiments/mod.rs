@@ -22,10 +22,12 @@
 //! | [`table4`] | Table 4 — mis-speculation rates (`NAV` and `SYNC`) |
 //! | [`fig7`] | Section 3.7 — split vs continuous window |
 //! | [`summary`] | Section 4 — the headline average speedups |
+//! | [`cpistack`] | beyond the paper: CPI-stack stall attribution per policy |
 //! | [`ablation`] | beyond the paper: predictor sizing, flush interval, store sets, window sweep |
 //! | [`stability`] | beyond the paper: seed sensitivity of the headline result |
 
 pub mod ablation;
+pub mod cpistack;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -38,5 +38,7 @@ mod runner;
 mod table;
 
 pub use barchart::{BarChart, Group};
-pub use runner::{geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite};
+pub use runner::{
+    geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite, TraceSink,
+};
 pub use table::{ipc, pct, pct4, speedup_pct, Align, TextTable};

@@ -14,9 +14,14 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 /// One pending simulation.
+///
+/// The job owns its configuration: the runner may derive it from the
+/// requested one (e.g. enabling pipeline-trace recording when a JSONL
+/// trace is attached) without perturbing the cache key, which is always
+/// computed from the configuration the experiment asked for.
 pub(super) struct Job<'a> {
     /// The configuration to simulate under.
-    pub config: &'a CoreConfig,
+    pub config: CoreConfig,
     /// The trace to replay.
     pub trace: &'a Trace,
 }

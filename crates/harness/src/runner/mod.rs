@@ -11,15 +11,19 @@ mod cache;
 mod exec;
 mod key;
 mod suite;
+mod trace;
 
 pub use cache::{RunnerStats, SimCache};
 pub use key::ConfigKey;
 pub use suite::Suite;
+pub use trace::TraceSink;
 
 use exec::Job;
 use mds_core::{CoreConfig, SimResult};
 use mds_workloads::Benchmark;
+use serde::Value;
 use std::collections::HashSet;
+use std::io;
 
 /// Drives simulations over a [`Suite`]: memoizes per-(benchmark,
 /// config) results across experiments and runs pending simulations in
@@ -46,6 +50,7 @@ pub struct Runner {
     suite: Suite,
     jobs: usize,
     cache: SimCache,
+    trace: Option<TraceSink>,
 }
 
 impl Runner {
@@ -57,6 +62,7 @@ impl Runner {
             suite,
             jobs,
             cache: SimCache::default(),
+            trace: None,
         }
     }
 
@@ -70,6 +76,37 @@ impl Runner {
             jobs
         };
         self
+    }
+
+    /// Attaches a JSONL [`TraceSink`]: every simulation and cache hit
+    /// is logged, and (with a non-zero sampling stride) simulations
+    /// record pipeline traces whose sampled events are appended too.
+    ///
+    /// Tracing never changes what is simulated or cached — pipeline
+    /// traces are stripped before results enter the [`SimCache`] — so a
+    /// traced run's results are identical to an untraced run's.
+    #[must_use]
+    pub fn with_trace(mut self, sink: TraceSink) -> Runner {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Emits one event to the attached trace sink (no-op when tracing
+    /// is off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's write error.
+    pub fn trace_event(&self, event: &str, fields: &[(&str, Value)]) -> io::Result<()> {
+        match &self.trace {
+            Some(sink) => sink.event(event, fields),
+            None => Ok(()),
+        }
     }
 
     /// The wrapped suite.
@@ -100,7 +137,10 @@ impl Runner {
         let keys: Vec<ConfigKey> = configs.iter().map(ConfigKey::of).collect();
 
         // Collect the pending (benchmark, config) set: not yet cached
-        // and not already scheduled earlier in this batch.
+        // and not already scheduled earlier in this batch. When a trace
+        // sink with a sampling stride is attached, the jobs (but not
+        // the cache keys) get pipeline-trace recording switched on.
+        let record_pipe = self.trace.as_ref().is_some_and(|t| t.every() > 0);
         let mut scheduled: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
         let mut pending: Vec<Job<'_>> = Vec::new();
         let mut pending_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
@@ -108,7 +148,22 @@ impl Runner {
             for (benchmark, trace) in self.suite.iter() {
                 if self.cache.contains(benchmark, key) || !scheduled.insert((benchmark, key)) {
                     self.cache.count_hit();
+                    if let Some(sink) = &self.trace {
+                        sink.event(
+                            "cache_hit",
+                            &[
+                                ("benchmark", Value::Str(benchmark.name().to_string())),
+                                ("policy", Value::Str(config.policy.paper_name().to_string())),
+                            ],
+                        )
+                        .expect("writing JSONL trace");
+                    }
                 } else {
+                    let config = if record_pipe {
+                        config.clone().with_pipetrace(true)
+                    } else {
+                        config.clone()
+                    };
                     pending.push(Job { config, trace });
                     pending_keys.push((benchmark, key.clone()));
                 }
@@ -116,7 +171,39 @@ impl Runner {
         }
 
         let done = exec::run_jobs(&pending, self.jobs);
-        for ((benchmark, key), (result, nanos)) in pending_keys.into_iter().zip(done) {
+        for ((benchmark, key), (mut result, nanos)) in pending_keys.into_iter().zip(done) {
+            if let Some(sink) = &self.trace {
+                sink.event(
+                    "sim",
+                    &[
+                        ("benchmark", Value::Str(benchmark.name().to_string())),
+                        ("policy", Value::Str(result.policy_name.clone())),
+                        ("wall_ns", Value::UInt(nanos)),
+                        ("cycles", Value::UInt(result.stats.cycles)),
+                        ("committed", Value::UInt(result.stats.committed)),
+                        ("ipc", Value::Float(result.ipc())),
+                    ],
+                )
+                .expect("writing JSONL trace");
+                if let Some(pipe) = &result.pipetrace {
+                    for e in pipe.sampled(sink.every()) {
+                        sink.event(
+                            "pipe",
+                            &[
+                                ("benchmark", Value::Str(benchmark.name().to_string())),
+                                ("seq", Value::UInt(e.seq)),
+                                ("stage", Value::Str(e.stage.to_string())),
+                                ("cycle", Value::UInt(e.cycle)),
+                            ],
+                        )
+                        .expect("writing JSONL trace");
+                    }
+                }
+                // Strip the pipeline trace so cached results — and
+                // therefore every rendered table — are bit-for-bit the
+                // same as in an untraced run.
+                result.pipetrace = None;
+            }
             self.cache.insert(benchmark, key, result, nanos);
         }
 
@@ -267,6 +354,68 @@ mod tests {
         assert_eq!(after_second.simulations, 2, "repeat must not simulate");
         assert_eq!(after_second.cache_hits, 2);
         assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_exactly() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mk = || {
+            Runner::new(
+                Suite::generate(
+                    &[Benchmark::Compress, Benchmark::Swim],
+                    &SuiteParams::tiny(),
+                )
+                .unwrap(),
+            )
+        };
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let plain = mk().with_jobs(2);
+        let traced = mk()
+            .with_jobs(2)
+            .with_trace(TraceSink::new(Box::new(Shared(buf.clone())), 16));
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+
+        let a = plain.run(&cfg);
+        let b = traced.run(&cfg);
+        let _ = traced.run(&cfg); // repeat: served from cache, logged as hits
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "tracing must not perturb results"
+        );
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let sims = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"sim\""))
+            .count();
+        let pipes = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"pipe\""))
+            .count();
+        let hits = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"cache_hit\""))
+            .count();
+        assert_eq!(sims, 2, "one sim event per simulated benchmark");
+        assert!(pipes > 0, "sampled pipeline events present");
+        assert_eq!(hits, 2, "the repeat run is two cache hits");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

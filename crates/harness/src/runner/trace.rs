@@ -1,0 +1,153 @@
+//! Structured JSONL tracing of runner activity.
+//!
+//! A [`TraceSink`] wraps an [`mds_obs::JsonlWriter`] behind a mutex so
+//! the runner's worker-result loop and the harness binaries can append
+//! lifecycle events (`run_start`, `sim`, `cache_hit`, sampled `pipe`
+//! events, `experiment_start`/`experiment_finish`, `run_finish`) to one
+//! line-delimited JSON file without interleaving partial lines.
+//!
+//! Tracing is observability only: it never changes which simulations
+//! run or what they compute, so a traced `reproduce` run renders tables
+//! byte-identical to an untraced one.
+
+use mds_obs::JsonlWriter;
+use serde::Value;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A shared, thread-safe JSONL event sink with a pipeline-event
+/// sampling stride.
+pub struct TraceSink {
+    writer: Mutex<JsonlWriter<Box<dyn Write + Send>>>,
+    every: u64,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("lines", &self.lines())
+            .field("every", &self.every)
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// Creates (truncating) a JSONL trace file at `path`.
+    ///
+    /// `every` is the pipeline-event sampling stride: events of every
+    /// `every`-th dynamic instruction are recorded (`0` disables
+    /// per-instruction events, keeping only lifecycle records).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create<P: AsRef<Path>>(path: P, every: u64) -> io::Result<TraceSink> {
+        let file: Box<dyn Write + Send> = Box::new(BufWriter::new(File::create(path)?));
+        Ok(TraceSink::new(file, every))
+    }
+
+    /// Wraps an arbitrary sink (tests use a `Vec<u8>`).
+    pub fn new(out: Box<dyn Write + Send>, every: u64) -> TraceSink {
+        TraceSink {
+            writer: Mutex::new(JsonlWriter::new(out)),
+            every,
+        }
+    }
+
+    /// The pipeline-event sampling stride (`0` = lifecycle only).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Emits one event line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn event(&self, event: &str, fields: &[(&str, Value)]) -> io::Result<()> {
+        self.writer
+            .lock()
+            .expect("trace sink poisoned")
+            .emit(event, fields)
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.writer.lock().expect("trace sink poisoned").lines()
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flush error.
+    pub fn flush(&self) -> io::Result<()> {
+        self.writer.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` impl that appends into a shared buffer so the test can
+    /// inspect what the sink wrote.
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_whole_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = TraceSink::new(Box::new(Shared(buf.clone())), 8);
+        sink.event("run_start", &[("jobs", Value::UInt(2))])
+            .unwrap();
+        sink.event("run_finish", &[]).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.every(), 8);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"event\":\"run_start\",\"jobs\":2}");
+        assert_eq!(lines[1], "{\"event\":\"run_finish\"}");
+    }
+
+    #[test]
+    fn concurrent_emission_never_tears_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::new(TraceSink::new(Box::new(Shared(buf.clone())), 0));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.event("tick", &[("t", Value::UInt(t)), ("i", Value::UInt(i))])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        sink.flush().unwrap();
+        assert_eq!(sink.lines(), 200);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 200);
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"event\":\"tick\"") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+    }
+}

@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use mds_obs::{Metric, MetricSource};
+
 /// Counters accumulated by one cache level.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -36,6 +38,31 @@ impl CacheStats {
             1.0 - self.miss_rate()
         }
     }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.writes += other.writes;
+        self.secondary_merges += other.secondary_merges;
+        self.bank_conflict_cycles += other.bank_conflict_cycles;
+        self.mshr_stall_cycles += other.mshr_stall_cycles;
+    }
+}
+
+impl MetricSource for CacheStats {
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
+        out("accesses", Metric::Counter(self.accesses));
+        out("misses", Metric::Counter(self.misses));
+        out("writes", Metric::Counter(self.writes));
+        out("secondary_merges", Metric::Counter(self.secondary_merges));
+        out(
+            "bank_conflict_cycles",
+            Metric::Counter(self.bank_conflict_cycles),
+        );
+        out("mshr_stall_cycles", Metric::Counter(self.mshr_stall_cycles));
+        out("miss_rate", Metric::Gauge(self.miss_rate()));
+    }
 }
 
 /// Statistics for the composed hierarchy.
@@ -51,6 +78,27 @@ pub struct MemStats {
     pub main_accesses: u64,
     /// Next-line prefetches issued into the L1 data cache.
     pub prefetches: u64,
+}
+
+impl MemStats {
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.l1i.merge(&other.l1i);
+        self.l1d.merge(&other.l1d);
+        self.l2.merge(&other.l2);
+        self.main_accesses += other.main_accesses;
+        self.prefetches += other.prefetches;
+    }
+}
+
+impl MetricSource for MemStats {
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
+        for (prefix, level) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            level.visit(&mut |name, metric| out(&format!("{prefix}.{name}"), metric));
+        }
+        out("main_accesses", Metric::Counter(self.main_accesses));
+        out("prefetches", Metric::Counter(self.prefetches));
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +120,41 @@ mod tests {
             ..CacheStats::default()
         };
         assert!((s.miss_rate() + s.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_level() {
+        let mut a = MemStats::default();
+        a.l1d.accesses = 10;
+        a.main_accesses = 1;
+        let mut b = MemStats::default();
+        b.l1d.accesses = 5;
+        b.l1d.misses = 2;
+        b.prefetches = 3;
+        a.merge(&b);
+        assert_eq!(a.l1d.accesses, 15);
+        assert_eq!(a.l1d.misses, 2);
+        assert_eq!(a.main_accesses, 1);
+        assert_eq!(a.prefetches, 3);
+    }
+
+    #[test]
+    fn visit_namespaces_cache_levels() {
+        let mut s = MemStats::default();
+        s.l2.misses = 4;
+        let mut names = Vec::new();
+        s.visit(&mut |name, _| names.push(name.to_string()));
+        assert!(names.contains(&"l1i.accesses".to_string()));
+        assert!(names.contains(&"l2.misses".to_string()));
+        assert!(names.contains(&"main_accesses".to_string()));
+        let mut got = 0;
+        s.visit(&mut |name, m| {
+            if name == "l2.misses" {
+                if let Metric::Counter(n) = m {
+                    got = n;
+                }
+            }
+        });
+        assert_eq!(got, 4);
     }
 }

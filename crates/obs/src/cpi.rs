@@ -1,0 +1,242 @@
+//! CPI-stack stall attribution: every non-committing cycle is charged
+//! to exactly one cause, so the stack partitions total cycles.
+
+use serde::{Serialize, Value};
+
+/// Why the machine failed to commit anything on a given cycle, judged
+/// at the head of the instruction window (the standard CPI-stack
+/// methodology: the head is what commit is actually waiting on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// The window held no instructions (front-end starvation: branch
+    /// mispredict redirects, I-cache misses, fetch bandwidth).
+    EmptyWindow,
+    /// The head load was blocked by a memory dependence that the oracle
+    /// confirms is real (a preceding un-executed store feeds it).
+    TrueDependence,
+    /// The head load was blocked by a memory dependence that does not
+    /// exist (Table 3's false dependences).
+    FalseDependence,
+    /// The head load was delayed by an explicit dependence prediction
+    /// (`NAS/SYNC`, `NAS/SEL`, `NAS/STORE`, store sets).
+    SyncDelay,
+    /// The head memory op was waiting on the address-based scheduler's
+    /// posting latency (`AS` modes, Figure 3's latency knob).
+    SchedulerLatency,
+    /// The window was empty because a mis-speculation squash is being
+    /// recovered (re-fetch has not refilled the window yet).
+    SquashRecovery,
+    /// The head load had issued and was waiting on a data-cache miss.
+    CacheMiss,
+    /// Anything else: register dependences, functional-unit or port
+    /// contention, writeback-to-commit bubbles.
+    Other,
+}
+
+impl StallCause {
+    /// Every cause, in presentation order.
+    pub const ALL: [StallCause; 8] = [
+        StallCause::EmptyWindow,
+        StallCause::TrueDependence,
+        StallCause::FalseDependence,
+        StallCause::SyncDelay,
+        StallCause::SchedulerLatency,
+        StallCause::SquashRecovery,
+        StallCause::CacheMiss,
+        StallCause::Other,
+    ];
+
+    /// A stable machine-readable key (used in metric names and JSON).
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::EmptyWindow => "empty_window",
+            StallCause::TrueDependence => "true_dependence",
+            StallCause::FalseDependence => "false_dependence",
+            StallCause::SyncDelay => "sync_delay",
+            StallCause::SchedulerLatency => "scheduler_latency",
+            StallCause::SquashRecovery => "squash_recovery",
+            StallCause::CacheMiss => "cache_miss",
+            StallCause::Other => "other",
+        }
+    }
+
+    /// A short column label for text tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::EmptyWindow => "empty",
+            StallCause::TrueDependence => "truedep",
+            StallCause::FalseDependence => "falsedep",
+            StallCause::SyncDelay => "sync",
+            StallCause::SchedulerLatency => "sched",
+            StallCause::SquashRecovery => "squash",
+            StallCause::CacheMiss => "dmiss",
+            StallCause::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::EmptyWindow => 0,
+            StallCause::TrueDependence => 1,
+            StallCause::FalseDependence => 2,
+            StallCause::SyncDelay => 3,
+            StallCause::SchedulerLatency => 4,
+            StallCause::SquashRecovery => 5,
+            StallCause::CacheMiss => 6,
+            StallCause::Other => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Per-cause cycle attribution for one simulation.
+///
+/// Exactly one of [`CpiStack::commit`] or [`CpiStack::record`] is
+/// called per simulated cycle, so `commit_cycles + total_stalls()`
+/// always equals the cycle count — the partition invariant the
+/// property tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// Cycles in which at least one instruction committed.
+    pub commit_cycles: u64,
+    stalls: [u64; 8],
+}
+
+impl CpiStack {
+    /// Charges one cycle to `cause`.
+    pub fn record(&mut self, cause: StallCause) {
+        self.stalls[cause.index()] += 1;
+    }
+
+    /// Counts one cycle that committed at least one instruction.
+    pub fn commit(&mut self) {
+        self.commit_cycles += 1;
+    }
+
+    /// Cycles charged to `cause`.
+    pub fn stall(&self, cause: StallCause) -> u64 {
+        self.stalls[cause.index()]
+    }
+
+    /// Total stalled (non-committing) cycles.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Total attributed cycles: commit cycles plus every stall.
+    pub fn total_cycles(&self) -> u64 {
+        self.commit_cycles + self.total_stalls()
+    }
+
+    /// Fraction of attributed cycles charged to `cause` (0 when empty).
+    pub fn fraction(&self, cause: StallCause) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall(cause) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of attributed cycles that committed (0 when empty).
+    pub fn commit_fraction(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.commit_cycles as f64 / total as f64
+        }
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &CpiStack) {
+        self.commit_cycles += other.commit_cycles;
+        for (s, o) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *s += o;
+        }
+    }
+
+    /// Visits every counter as `(key, cycles)`, commit first.
+    pub fn visit(&self, out: &mut dyn FnMut(&str, u64)) {
+        out("commit", self.commit_cycles);
+        for cause in StallCause::ALL {
+            out(cause.key(), self.stall(cause));
+        }
+    }
+}
+
+impl Serialize for CpiStack {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::with_capacity(9);
+        self.visit(&mut |key, cycles| fields.push((key.to_string(), Value::UInt(cycles))));
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_by_construction() {
+        let mut c = CpiStack::default();
+        c.commit();
+        c.commit();
+        c.record(StallCause::FalseDependence);
+        c.record(StallCause::EmptyWindow);
+        c.record(StallCause::FalseDependence);
+        assert_eq!(c.commit_cycles, 2);
+        assert_eq!(c.total_stalls(), 3);
+        assert_eq!(c.total_cycles(), 5);
+        assert_eq!(c.stall(StallCause::FalseDependence), 2);
+        assert!((c.fraction(StallCause::FalseDependence) - 0.4).abs() < 1e-12);
+        assert!((c.commit_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keys_and_labels_are_unique() {
+        let mut keys: Vec<&str> = StallCause::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), StallCause::ALL.len());
+        let mut labels: Vec<&str> = StallCause::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), StallCause::ALL.len());
+    }
+
+    #[test]
+    fn merge_and_serialize() {
+        let mut a = CpiStack::default();
+        a.commit();
+        a.record(StallCause::CacheMiss);
+        let mut b = CpiStack::default();
+        b.record(StallCause::CacheMiss);
+        a.merge(&b);
+        assert_eq!(a.stall(StallCause::CacheMiss), 2);
+        let json = a.to_value().to_json();
+        assert!(json.contains("\"commit\":1"), "{json}");
+        assert!(json.contains("\"cache_miss\":2"), "{json}");
+    }
+
+    #[test]
+    fn empty_stack_fractions_are_zero() {
+        let c = CpiStack::default();
+        assert_eq!(c.commit_fraction(), 0.0);
+        assert_eq!(c.fraction(StallCause::Other), 0.0);
+    }
+
+    #[test]
+    fn visit_covers_every_cause() {
+        let c = CpiStack::default();
+        let mut names = Vec::new();
+        c.visit(&mut |k, _| names.push(k.to_string()));
+        assert_eq!(names.len(), 1 + StallCause::ALL.len());
+        assert_eq!(names[0], "commit");
+    }
+}

@@ -1,0 +1,262 @@
+//! A fixed-size, log2-bucketed histogram of `u64` samples.
+
+use serde::{Serialize, Value};
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds the range
+/// `[2^(i-1), 2^i - 1]`. Count, sum, min, and max are exact; only the
+/// per-bucket resolution is approximate, which is all the paper's
+/// distribution arguments ("often tens of cycles") need.
+///
+/// The storage is a fixed array so the type stays `Copy` and can be
+/// embedded in plain-old-data statistics structs that are memoized and
+/// compared for determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= HIST_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Histogram::bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `p`-th percentile (`p` in `[0, 1]`): the
+    /// high edge of the bucket containing that rank, clamped to the
+    /// exact maximum. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Histogram::bucket_bounds(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates over the non-empty buckets as `(lo, hi, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                (lo, hi, n)
+            })
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .nonzero_buckets()
+            .map(|(lo, _, n)| Value::Array(vec![Value::UInt(lo), Value::UInt(n)]))
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("sum".to_string(), Value::UInt(self.sum)),
+            ("mean".to_string(), Value::Float(self.mean())),
+            ("min".to_string(), self.min().to_value()),
+            ("max".to_string(), self.max().to_value()),
+            ("p50".to_string(), self.percentile(0.50).to_value()),
+            ("p90".to_string(), self.percentile(0.90).to_value()),
+            ("p99".to_string(), self.percentile(0.99).to_value()),
+            ("buckets".to_string(), Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn exact_moments() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record_n(10, 3);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 37);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(10));
+        assert!((h.mean() - 7.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+        assert_eq!(h, Histogram::default());
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 falls in bucket [32, 63]; p99 in [64, 127] clamped to max.
+        assert_eq!(h.percentile(0.5), Some(63));
+        assert_eq!(h.percentile(0.99), Some(100));
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(1.0), Some(100));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(300);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 303);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(300));
+    }
+
+    #[test]
+    fn serializes_to_object() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let v = h.to_value();
+        let fields = v.as_object().unwrap();
+        assert!(fields.iter().any(|(k, _)| k == "p90"));
+        let json = v.to_json();
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"buckets\":[[4,1]]"), "{json}");
+    }
+}

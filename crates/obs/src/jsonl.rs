@@ -1,0 +1,112 @@
+//! Structured line-delimited JSON (JSONL) event emission.
+
+use serde::{Serialize, Value};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one JSON object per line to an underlying [`Write`] sink.
+///
+/// Every record carries an `"event"` discriminator field followed by
+/// the caller's fields, in the order given, so traces are both easy to
+/// grep and trivially machine-parseable (`jq`, `python -c`, pandas).
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl JsonlWriter<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a buffered writer on it.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlWriter<BufWriter<File>>> {
+        Ok(JsonlWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps an existing sink.
+    pub fn new(out: W) -> JsonlWriter<W> {
+        JsonlWriter { out, lines: 0 }
+    }
+
+    /// Emits one event line: `{"event":"<event>", <fields...>}`.
+    pub fn emit(&mut self, event: &str, fields: &[(&str, Value)]) -> io::Result<()> {
+        let mut obj = Vec::with_capacity(fields.len() + 1);
+        obj.push(("event".to_string(), Value::Str(event.to_string())));
+        for (k, v) in fields {
+            obj.push((k.to_string(), v.clone()));
+        }
+        self.emit_value(&Value::Object(obj))
+    }
+
+    /// Emits an arbitrary serializable record as one line.
+    pub fn emit_record<T: Serialize>(&mut self, record: &T) -> io::Result<()> {
+        self.emit_value(&record.to_value())
+    }
+
+    fn emit_value(&mut self, value: &Value) -> io::Result<()> {
+        self.out.write_all(value.to_json().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Flushes and returns the underlying sink (useful in tests that
+    /// write to a `Vec<u8>`).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_one_object_per_line() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.emit(
+            "job_start",
+            &[
+                ("benchmark", Value::Str("go".to_string())),
+                ("jobs", Value::UInt(4)),
+            ],
+        )
+        .unwrap();
+        w.emit("job_finish", &[("ok", Value::Bool(true))]).unwrap();
+        assert_eq!(w.lines(), 2);
+        let buf = w.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"job_start\",\"benchmark\":\"go\",\"jobs\":4}"
+        );
+        assert_eq!(lines[1], "{\"event\":\"job_finish\",\"ok\":true}");
+    }
+
+    #[test]
+    fn every_line_is_standalone_json() {
+        let mut w = JsonlWriter::new(Vec::new());
+        for i in 0..5u64 {
+            w.emit("tick", &[("i", Value::UInt(i))]).unwrap();
+        }
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+}

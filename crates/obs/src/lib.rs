@@ -1,0 +1,53 @@
+//! # mds-obs — observability primitives for the simulator stack
+//!
+//! The paper's analysis lives in *distributions*, not just means:
+//! Table 3 reports how long false dependences delay loads, Table 4
+//! reports mis-speculation rates whose cost depends on the
+//! squash-penalty distribution. This crate provides the building blocks
+//! that let every layer of the reproduction expose those shapes:
+//!
+//! * [`Histogram`] — a fixed-size, log2-bucketed histogram of `u64`
+//!   samples (exact count/sum/min/max, bucketed percentiles). `Copy`,
+//!   so it can live inside plain-old-data statistics structs.
+//! * [`CpiStack`] + [`StallCause`] — per-cycle stall attribution: every
+//!   simulated cycle is either a commit cycle or charged to exactly one
+//!   [`StallCause`], so the stack always partitions total cycles.
+//! * [`Metric`] / [`MetricSource`] / [`snapshot`] — a generic visitor
+//!   over named metrics, so reports can dump every statistic a
+//!   component exposes without hand-listing fields.
+//! * [`Registry`] — a dynamic bag of named counters and histograms for
+//!   layers (like the experiment runner) whose metrics are not known
+//!   statically.
+//! * [`JsonlWriter`] — structured line-delimited JSON event emission
+//!   for the `--trace-out` machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_obs::{Histogram, CpiStack, StallCause};
+//!
+//! let mut h = Histogram::new();
+//! for delay in [0, 1, 3, 17, 40] {
+//!     h.record(delay);
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert_eq!(h.sum(), 61);
+//!
+//! let mut cpi = CpiStack::default();
+//! cpi.commit();
+//! cpi.record(StallCause::FalseDependence);
+//! assert_eq!(cpi.total_cycles(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cpi;
+mod hist;
+mod jsonl;
+mod registry;
+
+pub use cpi::{CpiStack, StallCause};
+pub use hist::{Histogram, HIST_BUCKETS};
+pub use jsonl::JsonlWriter;
+pub use registry::{snapshot, Metric, MetricSource, Registry};

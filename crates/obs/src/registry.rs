@@ -1,0 +1,168 @@
+//! A generic visitor over named metrics, plus a dynamic registry for
+//! layers whose metrics are not known statically.
+
+use crate::hist::Histogram;
+use serde::{Serialize, Value};
+
+/// A borrowed view of one metric.
+#[derive(Debug, Clone, Copy)]
+pub enum Metric<'a> {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A point-in-time or derived value.
+    Gauge(f64),
+    /// A distribution of samples.
+    Histogram(&'a Histogram),
+}
+
+impl Metric<'_> {
+    /// Serializes the metric's current value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Metric::Counter(n) => Value::UInt(*n),
+            Metric::Gauge(g) => Value::Float(*g),
+            Metric::Histogram(h) => h.to_value(),
+        }
+    }
+}
+
+/// Types that expose their statistics as named metrics.
+///
+/// Implementors call `out(name, metric)` once per metric, using
+/// dot-separated names (`mem.l1d.misses`) to namespace sub-components.
+/// Reports can then dump *every* stat a simulation produced without
+/// hand-listing struct fields — the whole point of the registry layer.
+pub trait MetricSource {
+    /// Visits every metric in a stable, deterministic order.
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>));
+}
+
+/// Snapshots every metric of `source` into a JSON object (one field
+/// per metric, in visit order).
+pub fn snapshot(source: &dyn MetricSource) -> Value {
+    let mut fields = Vec::new();
+    source.visit(&mut |name, metric| fields.push((name.to_string(), metric.to_value())));
+    Value::Object(fields)
+}
+
+/// A dynamic bag of named counters and histograms.
+///
+/// Static statistics structs implement [`MetricSource`] directly; the
+/// registry serves layers like the experiment runner whose metric set
+/// depends on what actually ran (per-benchmark timings, per-event
+/// counts). Names are kept in first-use order so snapshots are
+/// deterministic for a deterministic workload.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name.to_string(), n)),
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Records a sample into the named histogram, creating it if absent.
+    pub fn record(&mut self, name: &str, value: u64) {
+        match self.histograms.iter_mut().find(|(k, _)| k == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// The named histogram, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl MetricSource for Registry {
+    fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
+        for (name, v) in &self.counters {
+            out(name, Metric::Counter(*v));
+        }
+        for (name, h) in &self.histograms {
+            out(name, Metric::Histogram(h));
+        }
+    }
+}
+
+impl Serialize for Registry {
+    fn to_value(&self) -> Value {
+        snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.incr("jobs");
+        r.add("jobs", 2);
+        r.incr("hits");
+        assert_eq!(r.counter("jobs"), 3);
+        assert_eq!(r.counter("hits"), 1);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let mut r = Registry::new();
+        r.record("latency", 5);
+        r.record("latency", 9);
+        let h = r.histogram("latency").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 14);
+        assert!(r.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn snapshot_preserves_first_use_order() {
+        let mut r = Registry::new();
+        r.incr("b");
+        r.incr("a");
+        r.record("h", 1);
+        let v = snapshot(&r);
+        let names: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(names, vec!["b", "a", "h"]);
+        assert!(v.to_json().starts_with("{\"b\":1,\"a\":1,"));
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`harness`] — experiment runners regenerating every table and figure.
 //! * [`analysis`] — trace analysis: dependence profiles, footprints,
 //!   stride statistics.
+//! * [`obs`] — observability: metrics registry, log2 histograms,
+//!   CPI-stack attribution, JSONL event tracing.
 //!
 //! # Examples
 //!
@@ -45,5 +47,6 @@ pub use mds_frontend as frontend;
 pub use mds_harness as harness;
 pub use mds_isa as isa;
 pub use mds_mem as mem;
+pub use mds_obs as obs;
 pub use mds_predict as predict;
 pub use mds_workloads as workloads;

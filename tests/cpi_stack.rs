@@ -1,0 +1,130 @@
+//! Property-based tests of the CPI-stack attribution: for arbitrary
+//! small programs under every policy, the stack partitions the cycle
+//! count exactly, and the distribution histograms agree with the flat
+//! counters they refine.
+
+use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use mds::obs::StallCause;
+use proptest::prelude::*;
+
+/// A random but well-formed loop: loads, stores, ALU ops, and a
+/// loop-carried memory recurrence, parameterized by proptest.
+fn random_loop_trace(iters: u64, body: &[(u8, u8)]) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4096 + 64, 64);
+    let cell = a.alloc_data(8, 8);
+    let (cnt, base, cbase) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    a.li(cnt, iters as i64);
+    a.li(base, arr as i64);
+    a.li(cbase, cell as i64);
+    let top = a.label();
+    a.bind(top);
+    for &(kind, operand) in body {
+        let r = Reg::int(4 + (operand % 6));
+        let off = (operand as i64 % 64) * 4;
+        match kind % 5 {
+            0 => a.lw(r, base, off),
+            1 => a.sw(r, base, off),
+            2 => a.addi(r, r, operand as i64),
+            3 => {
+                a.lw(r, cbase, 0);
+                a.addi(r, r, 1);
+                a.sw(r, cbase, 0);
+            }
+            _ => {
+                let r2 = Reg::int(4 + ((operand / 7) % 6));
+                a.add(r, r, r2);
+            }
+        }
+    }
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap())
+        .run(2_000_000)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every cycle is attributed exactly once: commit cycles plus every
+    /// stall cause always equals the simulated cycle count, whatever
+    /// the program or policy.
+    #[test]
+    fn cpi_stack_partitions_cycles_under_every_policy(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..20),
+        iters in 1u64..32,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let policies = Policy::ALL.into_iter().chain([Policy::NasStoreSets]);
+        for policy in policies {
+            let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
+            prop_assert_eq!(
+                r.stats.cpi.total_cycles(),
+                r.stats.cycles,
+                "partition broken under {}: commit {} + stalls {} != {}",
+                policy,
+                r.stats.cpi.commit_cycles,
+                r.stats.cpi.total_stalls(),
+                r.stats.cycles
+            );
+        }
+    }
+
+    /// The partition also holds for the distributed split window.
+    #[test]
+    fn cpi_stack_partitions_cycles_in_the_split_window(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..24,
+        units in 2u32..5,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let r = Simulator::new(
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_window_model(WindowModel::Split { units, task_size: 16 }),
+        )
+        .run(&trace);
+        prop_assert_eq!(r.stats.cpi.total_cycles(), r.stats.cycles);
+    }
+
+    /// The histograms refine existing flat counters and must agree with
+    /// them exactly: same event counts, same cycle sums.
+    #[test]
+    fn histograms_agree_with_flat_counters(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..20),
+        iters in 1u64..32,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in [Policy::NasNo, Policy::NasNaive, Policy::NasSync, Policy::AsNaive] {
+            let r = Simulator::new(CoreConfig::paper_128().with_policy(policy)).run(&trace);
+            let s = &r.stats;
+            prop_assert_eq!(s.false_dep_delay.count(), s.false_dep_loads, "{}", policy);
+            prop_assert_eq!(s.false_dep_delay.sum(), s.false_dep_cycles, "{}", policy);
+            prop_assert_eq!(s.forward_distance.count(), s.forwarded_loads, "{}", policy);
+            prop_assert_eq!(s.window_occupancy.count(), s.cycles, "{}", policy);
+            prop_assert_eq!(s.squash_penalty.count(), s.misspeculations, "{}", policy);
+            prop_assert_eq!(s.squash_penalty.sum(), s.squashed, "{}", policy);
+        }
+    }
+
+    /// A no-speculation policy never charges cycles to squash recovery,
+    /// and a policy without an address scheduler never charges
+    /// scheduler latency.
+    #[test]
+    fn causes_respect_policy_capabilities(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..24,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let no = Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasNo)).run(&trace);
+        prop_assert_eq!(no.stats.cpi.stall(StallCause::SquashRecovery), 0);
+        prop_assert_eq!(no.stats.cpi.stall(StallCause::SchedulerLatency), 0);
+        let oracle =
+            Simulator::new(CoreConfig::paper_128().with_policy(Policy::NasOracle)).run(&trace);
+        prop_assert_eq!(oracle.stats.cpi.stall(StallCause::SquashRecovery), 0);
+        prop_assert_eq!(oracle.stats.cpi.stall(StallCause::FalseDependence), 0);
+    }
+}
