@@ -1,6 +1,13 @@
 //! The issue stage: program-order-priority selection, functional-unit
 //! and memory-port arbitration, and the load scheduling gates that
 //! implement the paper's `A/B` policy space.
+//!
+//! The gates answer from the incrementally-maintained
+//! [`SchedState`](crate::sched) instead of re-scanning the window per
+//! candidate per cycle; the original scan-based implementations are kept
+//! behind `cfg(any(test, feature = "paranoid-sched"))` and cross-checked
+//! against the incremental answers on every evaluation when
+//! [`Simulator::run_paranoid`](crate::Simulator::run_paranoid) is used.
 
 use crate::config::Policy;
 use crate::pipetrace::PipeStage;
@@ -56,11 +63,39 @@ enum Gate {
 impl Machine<'_> {
     /// One cycle of the issue stage.
     pub(crate) fn issue_stage(&mut self) {
+        self.sched.refresh(self.now, &self.window);
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            self.sched.assert_consistent(
+                self.now,
+                &self.window,
+                self.cfg.policy.uses_address_scheduler(),
+            );
+        }
+
         let mut issue_left = self.cfg.issue_width;
         let mut ports_left = self.cfg.mem_ports;
         let mut fu = [self.cfg.fu_copies; N_FU];
 
-        for seq in self.issue_order() {
+        // Reuse the scheduler's scratch buffers: the issue order is
+        // rebuilt every cycle but never reallocated.
+        let mut order = std::mem::take(&mut self.sched.order_buf);
+        let mut unit_bufs = std::mem::take(&mut self.sched.unit_bufs);
+        order.clear();
+        self.fill_issue_order(&mut order, &mut unit_bufs);
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            let mut scan = Vec::new();
+            let mut scan_units = vec![Vec::new(); unit_bufs.len()];
+            self.scan_fill_issue_order(&mut scan, &mut scan_units);
+            assert_eq!(
+                order, scan,
+                "issue order diverged from the window scan at cycle {}",
+                self.now
+            );
+        }
+
+        for &seq in &order {
             if issue_left == 0 {
                 break;
             }
@@ -88,19 +123,54 @@ impl Machine<'_> {
                     if let Some(i) = fu_index(class) {
                         fu[i] -= 1;
                     }
-                    self.apply_alu(seq, class);
+                    self.apply_alu(seq);
                 }
             }
+            if !matches!(decision, Decision::None | Decision::Blocked { .. }) {
+                self.retire_issue_candidate(seq);
+            }
         }
+
+        self.sched.order_buf = order;
+        self.sched.unit_bufs = unit_bufs;
     }
 
-    /// Candidate sequence numbers in issue-priority order.
+    /// Fills `order` with candidate sequence numbers in issue-priority
+    /// order, straight from the scheduler's `pending_issue` list — work
+    /// is proportional to the not-yet-issued ops, not the window size.
     ///
     /// Continuous window: strict program order (oldest first) — the
     /// defining property of Section 2.2. Split window: units take turns
     /// (round-robin) with intra-unit age order, modeling schedulers that
     /// do not enforce program-order priority across units.
-    fn issue_order(&self) -> Vec<u64> {
+    fn fill_issue_order(&self, order: &mut Vec<u64>, unit_bufs: &mut [Vec<u64>]) {
+        let pending = self.sched.pending_issue();
+        if self.units.len() == 1 {
+            order.extend_from_slice(pending);
+            return;
+        }
+        for buf in unit_bufs.iter_mut() {
+            buf.clear();
+        }
+        for &seq in pending {
+            let unit = self.window.get(seq).expect("pending op in window").unit;
+            unit_bufs[unit as usize].push(seq);
+        }
+        let longest = unit_bufs.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for unit in unit_bufs.iter() {
+                if let Some(&seq) = unit.get(i) {
+                    order.push(seq);
+                }
+            }
+        }
+    }
+
+    /// The retired window-filtering order construction, kept for the
+    /// differential harness: `issue_stage` asserts the incremental order
+    /// matches this scan's output on every paranoid cycle.
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_fill_issue_order(&self, order: &mut Vec<u64>, unit_bufs: &mut [Vec<u64>]) {
         let pending = |s: &Slot| {
             !s.issued
                 || (self.cfg.policy.uses_address_scheduler()
@@ -108,29 +178,41 @@ impl Machine<'_> {
                     && !s.addr_issued)
         };
         if self.units.len() == 1 {
-            return self
-                .window
-                .iter()
-                .filter(|s| pending(s))
-                .map(|s| s.seq)
-                .collect();
+            order.extend(self.window.iter().filter(|s| pending(s)).map(|s| s.seq));
+            return;
         }
-        let mut per_unit: Vec<Vec<u64>> = vec![Vec::new(); self.units.len()];
+        for buf in unit_bufs.iter_mut() {
+            buf.clear();
+        }
         for s in self.window.iter() {
             if pending(s) {
-                per_unit[s.unit as usize].push(s.seq);
+                unit_bufs[s.unit as usize].push(s.seq);
             }
         }
-        let longest = per_unit.iter().map(Vec::len).max().unwrap_or(0);
-        let mut order = Vec::with_capacity(per_unit.iter().map(Vec::len).sum());
+        let longest = unit_bufs.iter().map(Vec::len).max().unwrap_or(0);
         for i in 0..longest {
-            for unit in &per_unit {
+            for unit in unit_bufs.iter() {
                 if let Some(&seq) = unit.get(i) {
                     order.push(seq);
                 }
             }
         }
-        order
+    }
+
+    /// Drops `seq` from the issue candidate list once the slot's flags
+    /// say it has nothing left to issue (AS-mode memory ops stay until
+    /// both the address micro-op and the main op have issued).
+    fn retire_issue_candidate(&mut self, seq: u64) {
+        let Some(s) = self.window.get(seq) else {
+            return;
+        };
+        let fully = s.issued
+            && !(self.cfg.policy.uses_address_scheduler()
+                && (s.is_load || s.is_store)
+                && !s.addr_issued);
+        if fully {
+            self.sched.on_fully_issued(seq);
+        }
     }
 
     fn decide(&self, seq: u64, ports_left: usize, fu: &[usize; N_FU]) -> Decision {
@@ -223,55 +305,98 @@ impl Machine<'_> {
     }
 
     /// `NAS/NO` (and the waiting half of `NAS/SEL`): wait until every
-    /// older store in the window has executed.
+    /// older store in the window has executed. O(1): a head peek at the
+    /// pending-store list.
     fn gate_all_older_stores(&self, slot: &Slot, synced: bool) -> Gate {
-        for s in self.window.iter() {
-            if s.seq >= slot.seq {
-                break;
-            }
-            if s.is_store && !(s.executed && s.exec_at <= self.now) {
-                return Gate::Blocked { synced };
-            }
+        let gate = if self.sched.has_pending_store_before(slot.seq) {
+            Gate::Blocked { synced }
+        } else {
+            Gate::Ready
+        };
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            assert_eq!(
+                gate,
+                self.scan_gate_all_older_stores(slot, synced),
+                "gate_all_older_stores diverged: cycle {} load {}",
+                self.now,
+                slot.seq
+            );
         }
-        Gate::Ready
+        gate
     }
 
     /// `NAS/STORE`: wait only for older *predicted-barrier* stores.
+    /// O(1): a head peek at the pending-barrier list.
     fn gate_barrier(&self, slot: &Slot) -> Gate {
-        for s in self.window.iter() {
-            if s.seq >= slot.seq {
-                break;
-            }
-            if s.is_store && s.barrier && !(s.executed && s.exec_at <= self.now) {
-                return Gate::Blocked { synced: true };
-            }
+        let gate = if self.sched.has_pending_barrier_before(slot.seq) {
+            Gate::Blocked { synced: true }
+        } else {
+            Gate::Ready
+        };
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            assert_eq!(
+                gate,
+                self.scan_gate_barrier(slot),
+                "gate_barrier diverged: cycle {} load {}",
+                self.now,
+                slot.seq
+            );
         }
-        Gate::Ready
+        gate
     }
 
     /// `NAS/SYNC`: wait for the closest older store marked with the same
     /// synonym; the load may issue one cycle after that store issues.
+    /// Resolved through the synonym wait lists: a hash lookup plus a
+    /// binary search instead of a window scan.
     fn gate_synonym(&self, slot: &Slot) -> Gate {
-        let Some(syn) = slot.synonym else {
-            return Gate::Ready;
+        let producer = slot
+            .synonym
+            .and_then(|syn| self.sched.synonyms.closest_older(syn, slot.seq));
+        let gate = match producer {
+            Some(pseq) => {
+                let st = self
+                    .window
+                    .get(pseq)
+                    .expect("synonym wait lists track in-window stores");
+                // `issued && now > issue_at` looks different from the
+                // `executed && exec_at <= now` the other gates use, but
+                // for an in-window store the two are identical: stores
+                // set `exec_at = issue_at + 1` at issue, and selective
+                // reissue resets `issued`/`executed` together. The
+                // issued-based phrasing mirrors Section 3.5's
+                // synchronization rule — the load is released one cycle
+                // after the store it synchronizes with *issues* — and is
+                // pinned by `sync_released_one_cycle_after_store_issue`
+                // in tests/policy_orderings.rs.
+                if st.issued && self.now > st.issue_at {
+                    Gate::Ready
+                } else {
+                    Gate::Blocked { synced: true }
+                }
+            }
+            None => Gate::Ready,
         };
-        let mut producer: Option<&Slot> = None;
-        for s in self.window.iter() {
-            if s.seq >= slot.seq {
-                break;
-            }
-            if s.is_store && s.synonym == Some(syn) {
-                producer = Some(s); // keep the closest (youngest older)
-            }
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            assert_eq!(
+                gate,
+                self.scan_gate_synonym(slot),
+                "gate_synonym diverged: cycle {} load {}",
+                self.now,
+                slot.seq
+            );
         }
-        match producer {
-            Some(st) if !(st.issued && self.now > st.issue_at) => Gate::Blocked { synced: true },
-            _ => Gate::Ready,
-        }
+        gate
     }
 
     /// Store-set synchronization: wait for the specific store instance
-    /// the LFST named at dispatch.
+    /// the LFST named at dispatch. Already scan-free: `sset_wait` *is*
+    /// the store-set-indexed wait entry, resolved with one window
+    /// binary search. The issued-based predicate matches `gate_synonym`
+    /// (see the comment there).
     fn gate_store_set(&self, slot: &Slot) -> Gate {
         let Some(wseq) = slot.sset_wait else {
             return Gate::Ready;
@@ -283,7 +408,8 @@ impl Machine<'_> {
     }
 
     /// `NAS/ORACLE`: wait exactly for the stores that truly feed this
-    /// load (perfect a-priori dependence knowledge).
+    /// load (perfect a-priori dependence knowledge). The producer lists
+    /// are tiny and precomputed; no window scan to replace.
     fn gate_oracle(&self, slot: &Slot) -> Gate {
         for &p in self.oracle.producers(slot.seq as usize) {
             let p = p as u64;
@@ -302,8 +428,119 @@ impl Machine<'_> {
 
     /// `AS/NO`: every older store must have *posted* its address, no
     /// older instruction may still be outside the window, and posted
-    /// overlapping stores must have executed.
+    /// overlapping stores must have executed. Iterates only the older
+    /// *un-executed* stores (once the unposted check passes, every one
+    /// of them is posted), not the whole window.
     fn gate_addr_no_spec(&self, slot: &Slot) -> Gate {
+        let gate = self.addr_no_spec_incremental(slot);
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            assert_eq!(
+                gate,
+                self.scan_gate_addr_no_spec(slot),
+                "gate_addr_no_spec diverged: cycle {} load {}",
+                self.now,
+                slot.seq
+            );
+        }
+        gate
+    }
+
+    fn addr_no_spec_incremental(&self, slot: &Slot) -> Gate {
+        if self.min_undispatched() < slot.seq || self.sched.has_unposted_store_before(slot.seq) {
+            return Gate::Blocked { synced: false };
+        }
+        for &sseq in self.sched.pending_stores_before(slot.seq) {
+            let s = self.window.get(sseq).expect("pending store in window");
+            if s.overlaps(slot) {
+                return Gate::Blocked { synced: false }; // known true dependence
+            }
+        }
+        Gate::Ready
+    }
+
+    /// `AS/NAV`: ignore unposted store addresses; always respect posted
+    /// overlapping stores ("if a true dependence is found, a load always
+    /// waits", Section 3.4). Iterates only the older un-executed stores.
+    fn gate_addr_naive(&self, slot: &Slot) -> Gate {
+        let gate = self.addr_naive_incremental(slot);
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            assert_eq!(
+                gate,
+                self.scan_gate_addr_naive(slot),
+                "gate_addr_naive diverged: cycle {} load {}",
+                self.now,
+                slot.seq
+            );
+        }
+        gate
+    }
+
+    fn addr_naive_incremental(&self, slot: &Slot) -> Gate {
+        for &sseq in self.sched.pending_stores_before(slot.seq) {
+            let s = self.window.get(sseq).expect("pending store in window");
+            if s.addr_issued && s.addr_posted_at <= self.now && s.overlaps(slot) {
+                return Gate::Blocked { synced: false };
+            }
+        }
+        Gate::Ready
+    }
+
+    // ---- the retired scan-based gates (differential-equivalence only) -----
+    //
+    // These are the original O(window) implementations, kept verbatim so
+    // `run_paranoid` can assert, on every evaluation, that the
+    // incremental answers are identical.
+
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_gate_all_older_stores(&self, slot: &Slot, synced: bool) -> Gate {
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && !(s.executed && s.exec_at <= self.now) {
+                return Gate::Blocked { synced };
+            }
+        }
+        Gate::Ready
+    }
+
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_gate_barrier(&self, slot: &Slot) -> Gate {
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && s.barrier && !(s.executed && s.exec_at <= self.now) {
+                return Gate::Blocked { synced: true };
+            }
+        }
+        Gate::Ready
+    }
+
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_gate_synonym(&self, slot: &Slot) -> Gate {
+        let Some(syn) = slot.synonym else {
+            return Gate::Ready;
+        };
+        let mut producer: Option<&Slot> = None;
+        for s in self.window.iter() {
+            if s.seq >= slot.seq {
+                break;
+            }
+            if s.is_store && s.synonym == Some(syn) {
+                producer = Some(s); // keep the closest (youngest older)
+            }
+        }
+        match producer {
+            Some(st) if !(st.issued && self.now > st.issue_at) => Gate::Blocked { synced: true },
+            _ => Gate::Ready,
+        }
+    }
+
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_gate_addr_no_spec(&self, slot: &Slot) -> Gate {
         if self.min_undispatched() < slot.seq {
             return Gate::Blocked { synced: false };
         }
@@ -324,10 +561,8 @@ impl Machine<'_> {
         Gate::Ready
     }
 
-    /// `AS/NAV`: ignore unposted store addresses; always respect posted
-    /// overlapping stores ("if a true dependence is found, a load always
-    /// waits", Section 3.4).
-    fn gate_addr_naive(&self, slot: &Slot) -> Gate {
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    fn scan_gate_addr_naive(&self, slot: &Slot) -> Gate {
         for s in self.window.iter() {
             if s.seq >= slot.seq {
                 break;
@@ -384,13 +619,19 @@ impl Machine<'_> {
         let now = self.now;
         let lat = self.cfg.addr_sched_latency;
         let i = seq as usize;
-        let addr_producers = self.regdeps.addr[i].clone();
+        let mut store_posted_at = None;
         if let Some(slot) = self.window.get_mut(seq) {
             slot.addr_issued = true;
             slot.addr_posted_at = now + 1 + lat;
+            if slot.is_store {
+                store_posted_at = Some(slot.addr_posted_at);
+            }
+        }
+        if let Some(at) = store_posted_at {
+            self.sched.on_store_addr_posted(seq, at);
         }
         self.trace_event(seq, PipeStage::AddrIssue, now);
-        self.mark_propagated(&addr_producers);
+        self.window.mark_propagated(&self.regdeps.addr[i]);
     }
 
     fn apply_store(&mut self, seq: u64) {
@@ -408,16 +649,16 @@ impl Machine<'_> {
             slot.exec_at = now + 1;
             slot.complete_at = now + 1;
         }
+        // The execution becomes visible to the gates at `exec_at`.
+        self.sched.on_store_executed(seq, now + 1);
         self.pending_checks.push((seq, now + 1));
         self.trace_event(seq, PipeStage::Issue, now);
         self.trace_event(seq, PipeStage::Execute, now + 1);
         if self.cfg.policy == Policy::NasStoreSets {
             self.store_sets.issue_store(pc, seq);
         }
-        let addr_p = self.regdeps.addr[i].clone();
-        let data_p = self.regdeps.data[i].clone();
-        self.mark_propagated(&addr_p);
-        self.mark_propagated(&data_p);
+        self.window.mark_propagated(&self.regdeps.addr[i]);
+        self.window.mark_propagated(&self.regdeps.data[i]);
     }
 
     fn apply_load(&mut self, seq: u64) {
@@ -435,11 +676,20 @@ impl Machine<'_> {
         };
         let dmiss =
             forwarded_from.is_none() && complete_at > access_at + self.cfg.mem.l1d.hit_latency;
-        // Speculative if any older store in the window has not executed.
-        let speculative = self
-            .window
-            .iter()
-            .any(|s| s.seq < seq && s.is_store && !(s.executed && s.exec_at <= now));
+        // Speculative if any older store in the window has not executed:
+        // an O(1) peek at the pending-store list.
+        let speculative = self.sched.has_pending_store_before(seq);
+        #[cfg(any(test, feature = "paranoid-sched"))]
+        if self.paranoid {
+            let scan = self
+                .window
+                .iter()
+                .any(|s| s.seq < seq && s.is_store && !(s.executed && s.exec_at <= now));
+            assert_eq!(
+                speculative, scan,
+                "speculative bit diverged: cycle {now} load {seq}"
+            );
+        }
         if let Some(slot) = self.window.get_mut(seq) {
             slot.issued = true;
             slot.issue_at = now;
@@ -450,14 +700,13 @@ impl Machine<'_> {
             slot.speculative = speculative;
             slot.dmiss = dmiss;
         }
-        let addr_p = self.regdeps.addr[i].clone();
-        self.mark_propagated(&addr_p);
+        self.window.mark_propagated(&self.regdeps.addr[i]);
         self.trace_event(seq, PipeStage::Issue, now);
         self.trace_event(seq, PipeStage::Execute, access_at);
         self.trace_event(seq, PipeStage::Complete, complete_at);
     }
 
-    fn apply_alu(&mut self, seq: u64, class: FuClass) {
+    fn apply_alu(&mut self, seq: u64) {
         let now = self.now;
         let i = seq as usize;
         let latency = self.trace.inst(i).op.latency();
@@ -468,10 +717,68 @@ impl Machine<'_> {
             slot.executed = true; // non-memory ops have no memory action
             slot.exec_at = now + latency;
         }
-        let _ = class;
-        let srcs = self.regdeps.srcs[i].clone();
-        self.mark_propagated(&srcs);
+        self.window.mark_propagated(&self.regdeps.srcs[i]);
         self.trace_event(seq, PipeStage::Issue, now);
         self.trace_event(seq, PipeStage::Complete, now + latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::CoreConfig;
+    use crate::pipetrace::PipeStage;
+    use crate::sim::Simulator;
+    use mds_isa::{Asm, FuClass, Interpreter, Reg, Trace};
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    /// One producer feeding two independent multiplies: both become
+    /// ready the same cycle, so a single-copy IntMul pool must defer
+    /// the younger one.
+    fn twin_mult_trace() -> Trace {
+        let mut a = Asm::new();
+        a.li(r(1), 6);
+        a.mult(r(1), r(1));
+        a.mult(r(1), r(1));
+        a.halt();
+        Interpreter::new(a.assemble().unwrap()).run(100).unwrap()
+    }
+
+    fn issue_cycles_of_mults(cfg: CoreConfig, trace: &Trace) -> Vec<u64> {
+        let res = Simulator::new(cfg.with_pipetrace(true)).run(trace);
+        let pt = res.pipetrace.expect("pipetrace requested");
+        (0..trace.len() as u64)
+            .filter(|&seq| trace.inst(seq as usize).op.fu_class() == FuClass::IntMul)
+            .map(|seq| {
+                pt.of(seq)
+                    .iter()
+                    .find(|e| e.stage == PipeStage::Issue)
+                    .expect("mult issued")
+                    .cycle
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fu_pool_exhaustion_defers_the_younger_op_by_one_cycle() {
+        let t = twin_mult_trace();
+        let mut cfg = CoreConfig::paper_128();
+        cfg.fu_copies = 1;
+        let starved = issue_cycles_of_mults(cfg, &t);
+        assert_eq!(starved.len(), 2);
+        assert_eq!(
+            starved[1],
+            starved[0] + 1,
+            "one IntMul copy: the younger mult must wait exactly one cycle"
+        );
+
+        let wide = issue_cycles_of_mults(CoreConfig::paper_128(), &t);
+        assert_eq!(
+            wide[0], wide[1],
+            "eight IntMul copies: both mults issue together"
+        );
+        assert_eq!(wide[0], starved[0], "the older mult is never delayed");
     }
 }

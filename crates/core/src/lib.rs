@@ -70,6 +70,7 @@ mod fetch_stage;
 mod issue;
 mod oracle;
 mod pipetrace;
+mod sched;
 mod sim;
 mod stats;
 mod window;

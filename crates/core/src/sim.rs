@@ -11,6 +11,7 @@
 use crate::config::{BranchPredictorConfig, CoreConfig, Policy, Recovery, WindowModel};
 use crate::oracle::OracleDeps;
 use crate::pipetrace::{PipeStage, PipeTrace};
+use crate::sched::SchedState;
 use crate::stats::{SimResult, SimStats};
 use crate::window::{RegDeps, Slot, Window, NOT_YET};
 use mds_frontend::{Bimodal, DirectionKind, FrontEnd, Gshare, LocalHistory, StaticNotTaken};
@@ -83,6 +84,34 @@ impl Simulator {
             pipetrace: m.pipetrace,
         }
     }
+
+    /// Runs the timing simulation in differential-equivalence mode:
+    /// every issue-stage gate evaluation also runs the retired
+    /// scan-based implementation, and the incremental scheduler state is
+    /// recounted from the window each cycle.
+    ///
+    /// Only available with the `paranoid-sched` feature (or in the
+    /// crate's own tests). Dramatically slower; for the equivalence
+    /// harness, not for experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first cycle where an incremental gate disagrees
+    /// with its scan-based twin or the scheduler state diverges from a
+    /// window recount — in addition to the panics [`Simulator::run`]
+    /// can raise.
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    pub fn run_paranoid(&self, trace: &Trace) -> SimResult {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        let mut m = Machine::new(&self.config, trace);
+        m.paranoid = true;
+        m.run_to_completion();
+        SimResult {
+            stats: m.stats,
+            policy_name: self.config.policy.paper_name().to_owned(),
+            pipetrace: m.pipetrace,
+        }
+    }
 }
 
 /// Builds the configured front end.
@@ -130,6 +159,13 @@ pub(crate) struct Machine<'t> {
     pub now: u64,
     pub stats: SimStats,
     pub pipetrace: Option<PipeTrace>,
+    /// Incrementally-maintained issue-stage state (pending-store lists,
+    /// synonym wait lists, issue-order scratch buffers).
+    pub sched: SchedState,
+    /// Differential-equivalence mode: every gate evaluation also runs
+    /// the retired scan-based implementation and asserts agreement.
+    #[cfg(any(test, feature = "paranoid-sched"))]
+    pub paranoid: bool,
     /// An empty window is a squash's fault until re-fetch refills it
     /// (distinguishes `SquashRecovery` from plain `EmptyWindow` cycles).
     pub squash_shadow: bool,
@@ -176,6 +212,9 @@ impl<'t> Machine<'t> {
             now: 0,
             stats: SimStats::default(),
             pipetrace: cfg.record_pipeline_trace.then(PipeTrace::default),
+            sched: SchedState::new(units as usize),
+            #[cfg(any(test, feature = "paranoid-sched"))]
+            paranoid: false,
             squash_shadow: false,
             mem_in_flight: 0,
         }
@@ -307,6 +346,7 @@ impl<'t> Machine<'t> {
                 // not combine writes, Table 2).
                 self.mem.access(AccessKind::Write, s.addr, self.now);
                 self.sb.retire(s.seq);
+                self.sched.on_commit_store(s.seq, s.synonym);
             }
             if s.is_load {
                 self.stats.committed_loads += 1;
@@ -434,9 +474,7 @@ impl<'t> Machine<'t> {
             if slot.exec_at > s_exec {
                 continue; // read after the store's data was visible
             }
-            let overlap = slot.size != 0
-                && slot.addr < s_addr + s_size as u64
-                && s_addr < slot.addr + slot.size as u64;
+            let overlap = mds_mem::ranges_overlap(slot.addr, slot.size, s_addr, s_size);
             if !overlap {
                 continue;
             }
@@ -536,6 +574,7 @@ impl<'t> Machine<'t> {
                 continue;
             };
             let was_store = slot.is_store && slot.issued;
+            let barrier = slot.barrier;
             slot.issued = false;
             slot.executed = false;
             slot.issue_at = crate::window::NOT_YET;
@@ -547,7 +586,14 @@ impl<'t> Machine<'t> {
             slot.dmiss = false;
             if was_store {
                 self.sb.retire(seq);
+                // The store is un-executed again: put it back on the
+                // pending lists (idempotent — its old execution event may
+                // still be queued and is re-validated against the window
+                // when it drains).
+                self.sched.on_store_reset(seq, barrier);
             }
+            // `issued` was cleared: the op is an issue candidate again.
+            self.sched.on_op_reset(seq);
             self.stats.reissued += 1;
         }
         self.pending_checks
@@ -580,6 +626,7 @@ impl<'t> Machine<'t> {
             }
         }
         self.sb.squash_from(load_seq);
+        self.sched.squash_from(load_seq);
         self.pending_checks.retain(|&(seq, _)| seq < load_seq);
 
         let mut discarded = removed.len() as u64;
@@ -699,7 +746,16 @@ impl<'t> Machine<'t> {
                 if is_store {
                     self.store_sets.dispatch_store(pc, seq);
                 } else if is_load {
-                    slot.sset_wait = self.store_sets.dispatch_load(pc);
+                    // The LFST names the set's last *dispatched* store,
+                    // which is necessarily older than this load. A
+                    // non-older entry is stale: a squash invalidates LFST
+                    // entries under the SSID the store's PC maps to *now*,
+                    // so a set merge between dispatch and squash leaves the
+                    // old entry behind, and re-fetch recycles its sequence
+                    // number for a younger instruction — waiting on that
+                    // can deadlock the window (the "store" may depend on
+                    // this very load).
+                    slot.sset_wait = self.store_sets.dispatch_load(pc).filter(|&w| w < seq);
                 }
             }
             _ => {}
@@ -708,6 +764,15 @@ impl<'t> Machine<'t> {
         if is_load || is_store {
             self.mem_in_flight += 1;
         }
+        if is_store {
+            self.sched.on_dispatch_store(
+                seq,
+                slot.barrier,
+                self.cfg.policy.uses_address_scheduler(),
+                slot.synonym,
+            );
+        }
+        self.sched.on_dispatch_op(seq);
         self.window.insert(slot);
         self.squash_shadow = false;
         self.trace_event(seq, PipeStage::Dispatch, self.now);
@@ -718,18 +783,6 @@ impl<'t> Machine<'t> {
     pub fn trace_event(&mut self, seq: u64, stage: PipeStage, cycle: u64) {
         if let Some(t) = &mut self.pipetrace {
             t.record(seq, stage, cycle);
-        }
-    }
-
-    /// Marks loads that produced any of `producers` as value-propagated
-    /// (a consumer has issued with their value).
-    pub fn mark_propagated(&mut self, producers: &[u32]) {
-        for &p in producers {
-            if let Some(s) = self.window.get_mut(p as u64) {
-                if s.is_load {
-                    s.value_propagated = true;
-                }
-            }
         }
     }
 }

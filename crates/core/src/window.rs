@@ -73,13 +73,12 @@ pub(crate) struct Slot {
 pub(crate) const NOT_YET: u64 = u64::MAX;
 
 impl Slot {
-    /// Byte-range overlap between two memory slots.
+    /// Byte-range overlap between two memory slots (overflow-safe: the
+    /// naive `addr + size` comparison wraps near the top of the address
+    /// space).
     #[inline]
     pub fn overlaps(&self, other: &Slot) -> bool {
-        self.size != 0
-            && other.size != 0
-            && self.addr < other.addr + other.size as u64
-            && other.addr < self.addr + self.size as u64
+        mds_mem::ranges_overlap(self.addr, self.size, other.addr, other.size)
     }
 }
 
@@ -143,6 +142,18 @@ impl Window {
 
     pub fn iter(&self) -> std::slice::Iter<'_, Slot> {
         self.slots.iter()
+    }
+
+    /// Marks in-window loads among `producers` as value-propagated (a
+    /// consumer has issued with their value).
+    pub fn mark_propagated(&mut self, producers: &[u32]) {
+        for &p in producers {
+            if let Some(s) = self.get_mut(p as u64) {
+                if s.is_load {
+                    s.value_propagated = true;
+                }
+            }
+        }
     }
 
     pub fn front(&self) -> Option<&Slot> {
@@ -316,6 +327,12 @@ mod tests {
         assert!(a.overlaps(&b));
         b.addr = 104;
         assert!(!a.overlaps(&b));
+        // No wrap-around at the top of the address space.
+        a.addr = u64::MAX - 1;
+        b.addr = 0;
+        assert!(!a.overlaps(&b));
+        b.addr = u64::MAX;
+        assert!(a.overlaps(&b));
     }
 
     #[test]

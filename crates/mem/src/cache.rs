@@ -97,6 +97,10 @@ impl Cache {
         &self.stats
     }
 
+    // Address decomposition is pure division/modulus on the block number
+    // (audited alongside the store-buffer overflow fix): unlike the
+    // `addr + size` range math, it cannot overflow anywhere in the u64
+    // address space, so accesses at the very top of memory index safely.
     #[inline]
     fn block_of(&self, addr: u64) -> u64 {
         addr / self.params.block_bytes

@@ -29,11 +29,13 @@
 mod cache;
 mod config;
 mod hierarchy;
+mod range;
 mod stats;
 mod store_buffer;
 
 pub use cache::{Access, Cache};
 pub use config::{CacheParams, MainMemoryParams, MemConfig, Replacement};
 pub use hierarchy::{AccessKind, MemSystem};
+pub use range::{range_covers, ranges_overlap};
 pub use stats::{CacheStats, MemStats};
 pub use store_buffer::{Forward, StoreBuffer};

@@ -1,0 +1,110 @@
+//! Overflow-safe byte-range arithmetic, shared by the store buffer, the
+//! core's instruction window, and violation detection.
+//!
+//! Memory operations cover the half-open byte range `[addr, addr + size)`
+//! with `size <= 8`. Computing `addr + size` directly wraps for addresses
+//! within 8 bytes of `u64::MAX`, silently mis-classifying overlap: a
+//! store at `u64::MAX - 1` would appear to overlap a load at address 0.
+//! These helpers phrase the comparisons as subtractions that cannot
+//! overflow, so they are exact over the full address space.
+
+/// Whether `[a, a + a_size)` and `[b, b + b_size)` share at least one
+/// byte. Zero-sized ranges never overlap anything.
+///
+/// # Examples
+///
+/// ```
+/// use mds_mem::ranges_overlap;
+///
+/// assert!(ranges_overlap(100, 4, 102, 4));
+/// assert!(!ranges_overlap(100, 4, 104, 4)); // adjacent, not overlapping
+/// assert!(ranges_overlap(u64::MAX - 1, 2, u64::MAX, 1));
+/// assert!(!ranges_overlap(u64::MAX - 1, 2, 0, 8)); // no wrap-around
+/// ```
+#[inline]
+pub fn ranges_overlap(a: u64, a_size: u8, b: u64, b_size: u8) -> bool {
+    if a_size == 0 || b_size == 0 {
+        return false;
+    }
+    if a <= b {
+        b - a < a_size as u64
+    } else {
+        a - b < b_size as u64
+    }
+}
+
+/// Whether `[outer, outer + outer_size)` fully contains
+/// `[inner, inner + inner_size)`. An empty inner range is never covered
+/// (matching the forwarding semantics: a zero-byte load cannot hit).
+///
+/// # Examples
+///
+/// ```
+/// use mds_mem::range_covers;
+///
+/// assert!(range_covers(0x100, 8, 0x104, 4));
+/// assert!(!range_covers(0x100, 4, 0x102, 4)); // straddles the end
+/// assert!(range_covers(u64::MAX - 7, 8, u64::MAX, 1));
+/// ```
+#[inline]
+pub fn range_covers(outer: u64, outer_size: u8, inner: u64, inner_size: u8) -> bool {
+    if inner_size == 0 || inner < outer {
+        return false;
+    }
+    let off = inner - outer;
+    off < outer_size as u64 && inner_size as u64 <= outer_size as u64 - off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_naive_math_away_from_the_boundary() {
+        // Exhaustive cross-check against the naive `addr + size` formulas
+        // in a region where they cannot wrap.
+        let sizes = [0u8, 1, 2, 4, 8];
+        for a in 0u64..24 {
+            for b in 0u64..24 {
+                for &s in &sizes {
+                    for &t in &sizes {
+                        let naive_overlap =
+                            s != 0 && t != 0 && a < b + t as u64 && b < a + s as u64;
+                        assert_eq!(ranges_overlap(a, s, b, t), naive_overlap, "{a} {s} {b} {t}");
+                        let naive_cover = t != 0 && a <= b && b + t as u64 <= a + s as u64;
+                        assert_eq!(range_covers(a, s, b, t), naive_cover, "{a} {s} {b} {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_wrap_at_the_top_of_the_address_space() {
+        // The naive formula claims a store at MAX-1 overlaps address 0.
+        assert!(!ranges_overlap(u64::MAX - 1, 8, 0, 8));
+        assert!(!ranges_overlap(0, 8, u64::MAX - 1, 8));
+        assert!(ranges_overlap(u64::MAX - 1, 8, u64::MAX, 1));
+        assert!(!range_covers(u64::MAX - 1, 8, 0, 1));
+        assert!(range_covers(u64::MAX - 7, 8, u64::MAX - 3, 4));
+        assert!(range_covers(u64::MAX - 3, 8, u64::MAX - 3, 8)); // identical ranges
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        for (a, s, b, t) in [
+            (0u64, 4u8, 3u64, 4u8),
+            (u64::MAX - 2, 4, u64::MAX - 5, 4),
+            (100, 1, 100, 8),
+        ] {
+            assert_eq!(ranges_overlap(a, s, b, t), ranges_overlap(b, t, a, s));
+        }
+    }
+
+    #[test]
+    fn zero_sizes_never_match() {
+        assert!(!ranges_overlap(5, 0, 5, 4));
+        assert!(!ranges_overlap(5, 4, 5, 0));
+        assert!(!range_covers(5, 8, 6, 0));
+    }
+}

@@ -31,12 +31,15 @@ struct Entry {
 }
 
 impl Entry {
+    // Both predicates go through the overflow-safe helpers: the naive
+    // `addr + size` comparisons wrap for addresses within 8 bytes of
+    // `u64::MAX` and mis-classify forwarding there.
     fn overlaps(&self, addr: u64, size: u8) -> bool {
-        self.addr < addr + size as u64 && addr < self.addr + self.size as u64
+        crate::range::ranges_overlap(self.addr, self.size, addr, size)
     }
 
     fn covers(&self, addr: u64, size: u8) -> bool {
-        self.addr <= addr && addr + size as u64 <= self.addr + self.size as u64
+        crate::range::range_covers(self.addr, self.size, addr, size)
     }
 }
 
@@ -303,6 +306,37 @@ mod tests {
         let mut sb = StoreBuffer::new(4);
         sb.push(5, 0, 4, 0);
         sb.push(5, 8, 4, 0);
+    }
+
+    #[test]
+    fn no_false_forwarding_near_address_space_top() {
+        // Regression: `addr + size` used to wrap, so a store at the top
+        // of the address space appeared to overlap (or cover) low
+        // addresses, corrupting the Hit/Partial/Miss classification.
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, u64::MAX - 1, 2, 0xbeef);
+        assert_eq!(sb.forward(2, 0, 4), Forward::Miss);
+        assert_eq!(sb.forward(2, 4, 8), Forward::Miss);
+        assert_eq!(
+            sb.forward(2, u64::MAX - 1, 2),
+            Forward::Hit {
+                value: 0xbeef,
+                store_seq: 1
+            }
+        );
+        assert_eq!(
+            sb.forward(2, u64::MAX, 1),
+            Forward::Hit {
+                value: 0xbe,
+                store_seq: 1
+            }
+        );
+        // A load straddling the stored bytes is still Partial, not Miss.
+        assert_eq!(sb.forward(2, u64::MAX - 3, 4), Forward::Partial);
+        // And a low store must not block loads at the top.
+        let mut sb = StoreBuffer::new(8);
+        sb.push(1, 0, 8, 77);
+        assert_eq!(sb.forward(2, u64::MAX - 7, 8), Forward::Miss);
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod store_barrier;
 mod store_set;
 mod table;
 
-pub use mdpt::{Mdpt, MdptParams, Synonym};
+pub use mdpt::{Mdpt, MdptParams, Synonym, SynonymWaitLists};
 pub use selective::{ConfidenceParams, SelectivePredictor};
 pub use store_barrier::StoreBarrierPredictor;
 pub use store_set::{StoreSetParams, StoreSets};

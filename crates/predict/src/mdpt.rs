@@ -138,6 +138,94 @@ impl Mdpt {
     }
 }
 
+/// Per-synonym, sequence-ordered lists of in-flight stores: the
+/// scheduler-side index for `NAS/SYNC` synchronization.
+///
+/// Instead of scanning the instruction window for the closest preceding
+/// store carrying a load's synonym, the core registers every dispatched
+/// synonym-tagged store here (and removes it at commit, or truncates on
+/// squash) and answers the gate with one hash lookup plus a binary
+/// search.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::SynonymWaitLists;
+///
+/// let mut w = SynonymWaitLists::new();
+/// w.insert(7, 10);
+/// w.insert(7, 30);
+/// assert_eq!(w.closest_older(7, 25), Some(10));
+/// assert_eq!(w.closest_older(7, 31), Some(30));
+/// w.squash_from(30);
+/// assert_eq!(w.closest_older(7, 31), Some(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SynonymWaitLists {
+    lists: std::collections::HashMap<Synonym, Vec<u64>>,
+}
+
+impl SynonymWaitLists {
+    /// Creates an empty index.
+    pub fn new() -> SynonymWaitLists {
+        SynonymWaitLists::default()
+    }
+
+    /// Registers an in-flight store carrying `synonym`. Idempotent, and
+    /// O(1) for in-order dispatch (ascending `seq`).
+    pub fn insert(&mut self, synonym: Synonym, seq: u64) {
+        let list = self.lists.entry(synonym).or_default();
+        match list.last() {
+            Some(&last) if last < seq => list.push(seq),
+            Some(&last) if last == seq => {}
+            _ => {
+                if let Err(pos) = list.binary_search(&seq) {
+                    list.insert(pos, seq);
+                }
+            }
+        }
+    }
+
+    /// Removes a store (it left the window by committing). No-op when
+    /// the store was never registered.
+    pub fn remove(&mut self, synonym: Synonym, seq: u64) {
+        if let Some(list) = self.lists.get_mut(&synonym) {
+            if let Ok(pos) = list.binary_search(&seq) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                self.lists.remove(&synonym);
+            }
+        }
+    }
+
+    /// Drops every store with `seq >= from` (squash recovery).
+    pub fn squash_from(&mut self, from: u64) {
+        self.lists.retain(|_, list| {
+            list.truncate(list.partition_point(|&s| s < from));
+            !list.is_empty()
+        });
+    }
+
+    /// The youngest registered store older than `seq` carrying
+    /// `synonym` — the store a `NAS/SYNC` load must synchronize with.
+    pub fn closest_older(&self, synonym: Synonym, seq: u64) -> Option<u64> {
+        let list = self.lists.get(&synonym)?;
+        let pos = list.partition_point(|&s| s < seq);
+        pos.checked_sub(1).map(|i| list[i])
+    }
+
+    /// Total registered stores across all synonyms.
+    pub fn len(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+
+    /// Whether no store is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +288,49 @@ mod tests {
         t.maybe_flush(100);
         assert_eq!(t.load_synonym(0x100), None);
         assert_eq!(t.store_synonym(0x200), None);
+    }
+
+    #[test]
+    fn wait_lists_track_closest_older_store() {
+        let mut w = SynonymWaitLists::new();
+        assert!(w.is_empty());
+        assert_eq!(w.closest_older(1, 100), None);
+        w.insert(1, 5);
+        w.insert(1, 9);
+        w.insert(2, 7);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.closest_older(1, 9), Some(5));
+        assert_eq!(w.closest_older(1, 10), Some(9));
+        assert_eq!(w.closest_older(1, 5), None);
+        assert_eq!(w.closest_older(2, 100), Some(7));
+        assert_eq!(w.closest_older(3, 100), None);
+    }
+
+    #[test]
+    fn wait_list_insert_is_idempotent_and_handles_out_of_order() {
+        let mut w = SynonymWaitLists::new();
+        w.insert(1, 9); // split window: younger store dispatches first
+        w.insert(1, 5);
+        w.insert(1, 5);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.closest_older(1, 9), Some(5));
+    }
+
+    #[test]
+    fn wait_list_commit_and_squash_remove_entries() {
+        let mut w = SynonymWaitLists::new();
+        for seq in [2, 4, 6, 8] {
+            w.insert(3, seq);
+        }
+        w.remove(3, 2); // committed
+        assert_eq!(w.closest_older(3, 5), Some(4));
+        w.remove(3, 99); // absent: no-op
+        w.squash_from(6);
+        assert_eq!(w.closest_older(3, 100), Some(4));
+        assert_eq!(w.len(), 1);
+        // Sequence numbers are reused after a squash: re-insertion works.
+        w.insert(3, 6);
+        assert_eq!(w.closest_older(3, 100), Some(6));
     }
 
     #[test]

@@ -79,6 +79,72 @@ fn table1_fractions_hold_at_bench_scale() {
     }
 }
 
+fn ipc_at(b: Benchmark, policy: Policy, lat: u64) -> f64 {
+    let trace = b.trace(&SuiteParams::test()).expect("trace");
+    Simulator::new(
+        CoreConfig::paper_128()
+            .with_policy(policy)
+            .with_addr_sched_latency(lat),
+    )
+    .run(&trace)
+    .ipc()
+}
+
+#[test]
+fn scheduler_latency_erodes_as_modes_monotonically() {
+    // Figures 3 and 4: every extra cycle between address posting and
+    // scheduler reaction costs performance, under both AS policies.
+    for b in [Benchmark::Compress, Benchmark::Vortex, Benchmark::Su2cor] {
+        for policy in [Policy::AsNo, Policy::AsNaive] {
+            let (l0, l1, l2) = (
+                ipc_at(b, policy, 0),
+                ipc_at(b, policy, 1),
+                ipc_at(b, policy, 2),
+            );
+            assert!(
+                l0 >= l1 * 0.999 && l1 >= l2 * 0.999,
+                "{b} {policy}: latency must cost monotonically: {l0:.3} / {l1:.3} / {l2:.3}"
+            );
+            assert!(
+                l0 > l2 * 1.005,
+                "{b} {policy}: two latency cycles must cost measurably: {l0:.3} vs {l2:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_erases_as_no_advantage_over_naive_speculation() {
+    // Figure 3's punchline: with an ideal (0-cycle) scheduler, AS/NO
+    // edges out plain naive speculation on 129.compress — but one to two
+    // cycles of scheduler latency erase the advantage entirely.
+    let nas_nav = ipc_at(Benchmark::Compress, Policy::NasNaive, 0);
+    let ideal = ipc_at(Benchmark::Compress, Policy::AsNo, 0);
+    let slow = ipc_at(Benchmark::Compress, Policy::AsNo, 2);
+    assert!(
+        ideal > nas_nav * 1.01,
+        "ideal AS/NO should beat NAS/NAV on compress: {ideal:.3} vs {nas_nav:.3}"
+    );
+    assert!(
+        slow < nas_nav,
+        "2-cycle AS/NO must fall behind NAS/NAV on compress: {slow:.3} vs {nas_nav:.3}"
+    );
+}
+
+#[test]
+fn as_nav_stays_ahead_of_nas_nav_even_with_latency() {
+    // Figure 4: AS/NAV keeps naive speculation on top of the address
+    // scheduler, so latency erodes but does not erase its advantage.
+    let nas_nav = ipc_at(Benchmark::Compress, Policy::NasNaive, 0);
+    for lat in 0..=2 {
+        let asn = ipc_at(Benchmark::Compress, Policy::AsNaive, lat);
+        assert!(
+            asn > nas_nav * 1.02,
+            "AS/NAV at latency {lat} should stay ahead of NAS/NAV: {asn:.3} vs {nas_nav:.3}"
+        );
+    }
+}
+
 #[test]
 fn as_nav_stays_clean_on_the_continuous_window() {
     for b in [Benchmark::Hydro2d, Benchmark::Perl] {

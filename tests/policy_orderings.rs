@@ -1,7 +1,8 @@
 //! Cross-crate integration tests: the paper's qualitative orderings
 //! must hold end-to-end on the synthetic suite.
 
-use mds::core::{CoreConfig, Policy, Simulator, WindowModel};
+use mds::core::{CoreConfig, PipeStage, Policy, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg};
 use mds::workloads::{Benchmark, SuiteParams};
 
 fn run(b: Benchmark, policy: Policy) -> mds::core::SimResult {
@@ -150,6 +151,66 @@ fn scheduler_latency_costs_performance() {
     assert!(
         l0 >= l2 * 0.99,
         "0-cycle {l0:.3} should not lose to 2-cycle {l2:.3}"
+    );
+}
+
+/// Pins the `NAS/SYNC` release rule of Section 3.5: a synchronized load
+/// issues exactly one cycle after the store it waits on *issues* (the
+/// store's execution becomes visible at `issue_at + 1`). The gate states
+/// this as `issued && now > issue_at`, which for stores is identical to
+/// the `executed && exec_at <= now` predicate the other gates use — this
+/// test keeps either phrasing from drifting to a different cycle.
+#[test]
+fn sync_released_one_cycle_after_store_issue() {
+    let r = |n: u8| Reg::int(n);
+    let mut a = Asm::new();
+    let cell = a.alloc_data(8, 8);
+    a.init_u32(cell, 5);
+    a.li(r(1), cell as i64);
+    a.li(r(3), 1);
+    a.li(r(9), 40);
+    let top = a.label();
+    a.bind(top);
+    a.lw(r(2), r(1), 0);
+    a.mult(r(2), r(3));
+    a.mflo(r(2)); // slow data chain feeding the store
+    a.sw(r(2), r(1), 0);
+    a.lw(r(4), r(1), 0); // same PC every iteration: MDPT trains on it
+    a.addi(r(9), r(9), -1);
+    a.bgtz(r(9), top);
+    a.halt();
+    let trace = Interpreter::new(a.assemble().unwrap())
+        .run(100_000)
+        .unwrap();
+    let res = Simulator::new(
+        CoreConfig::paper_128()
+            .with_policy(Policy::NasSync)
+            .with_pipetrace(true),
+    )
+    .run(&trace);
+    assert!(
+        res.stats.misspeculations > 0,
+        "the recurrence must violate at least once to train the MDPT"
+    );
+    let pt = res.pipetrace.expect("pipetrace requested");
+    let issue_of = |seq: u64| {
+        pt.of(seq)
+            .iter()
+            .find(|e| e.stage == PipeStage::Issue)
+            .map(|e| e.cycle)
+    };
+    // Gap between each store's issue and the following (dependent,
+    // same-address) load's issue. Early iterations speculate and squash;
+    // once trained, every load is released exactly one cycle after its
+    // store issues.
+    let gaps: Vec<i64> = (0..trace.len() as u64)
+        .filter(|&seq| trace.inst(seq as usize).op.is_store())
+        .filter_map(|seq| Some(issue_of(seq + 1)? as i64 - issue_of(seq)? as i64))
+        .collect();
+    let trained = &gaps[gaps.len() - 20..];
+    assert!(
+        trained.iter().all(|&g| g == 1),
+        "trained SYNC loads must issue exactly one cycle after their store: {trained:?}"
     );
 }
 

@@ -118,6 +118,40 @@ proptest! {
         prop_assert_eq!(run()?, run()?);
     }
 
+    /// The overflow-safe range helpers agree with unbounded (u128)
+    /// interval arithmetic everywhere — including at the very top of the
+    /// address space, where the old `addr + size` formulas wrapped and
+    /// produced false overlaps/covers (the store-buffer forwarding bug).
+    #[test]
+    fn range_math_matches_wide_arithmetic_at_the_boundary(
+        raw_a in any::<u64>(),
+        raw_b in any::<u64>(),
+        near_top in any::<bool>(),
+        sa in size_strategy(),
+        sb in size_strategy(),
+    ) {
+        // Half the cases pin both ranges against u64::MAX, where the
+        // wrap hazard lives; the rest roam the full space.
+        let (a, b) = if near_top {
+            (u64::MAX - (raw_a % 24), u64::MAX - (raw_b % 24))
+        } else {
+            (raw_a, raw_b)
+        };
+        let (a128, b128) = (a as u128, b as u128);
+        let wide_overlap = a128 < b128 + sb as u128 && b128 < a128 + sa as u128;
+        prop_assert_eq!(
+            mds::mem::ranges_overlap(a, sa, b, sb),
+            wide_overlap,
+            "overlap([{a}; {sa}], [{b}; {sb}])"
+        );
+        let wide_covers = a128 <= b128 && b128 + sb as u128 <= a128 + sa as u128;
+        prop_assert_eq!(
+            mds::mem::range_covers(a, sa, b, sb),
+            wide_covers,
+            "covers([{a}; {sa}], [{b}; {sb}])"
+        );
+    }
+
     /// A block brought into the cache hits (with exactly the hit
     /// latency) once its fill and the bank port are free.
     #[test]

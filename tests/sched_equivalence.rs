@@ -1,0 +1,172 @@
+//! Differential equivalence of the incremental issue-stage scheduler.
+//!
+//! The issue stage answers its scheduling gates from incrementally
+//! maintained state (`mds_core::sched`) instead of per-cycle window
+//! scans. This harness proves the refactor changed nothing observable:
+//! [`Simulator::run_paranoid`] (compiled via the `paranoid-sched`
+//! feature, enabled for this test build in the root `Cargo.toml`) runs
+//! the retired scan-based gates *alongside* the incremental ones and
+//! asserts agreement at every single gate evaluation, cycle-locked; on
+//! top of that, the tests assert the paranoid run's `SimStats` are
+//! bit-identical to the plain run's.
+//!
+//! Coverage: all nine policies, continuous and split windows, address
+//! scheduler latencies 0–2, nonzero squash latency (the default is 1),
+//! and both recovery models.
+
+use mds::core::{CoreConfig, Policy, Recovery, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use mds::workloads::{Benchmark, SuiteParams};
+use proptest::prelude::*;
+
+const ALL_NINE: [Policy; 9] = [
+    Policy::NasNo,
+    Policy::NasNaive,
+    Policy::NasSelective,
+    Policy::NasStoreBarrier,
+    Policy::NasSync,
+    Policy::NasStoreSets,
+    Policy::NasOracle,
+    Policy::AsNo,
+    Policy::AsNaive,
+];
+
+/// Runs the config twice — plain and paranoid — and checks the stats
+/// match. The paranoid run aborts on the first gate divergence, so a
+/// pass here is a per-evaluation equivalence proof, not a summary check.
+fn assert_equivalent(cfg: CoreConfig, trace: &Trace, what: &str) {
+    let plain = Simulator::new(cfg.clone()).run(trace);
+    let paranoid = Simulator::new(cfg).run_paranoid(trace);
+    assert_eq!(
+        plain.stats, paranoid.stats,
+        "{what}: paranoid run diverged from plain run"
+    );
+}
+
+/// The same random-loop generator the simulator proptests use: loads,
+/// stores, ALU ops, and a loop-carried memory recurrence.
+fn random_loop_trace(iters: u64, body: &[(u8, u8)]) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4096 + 64, 64);
+    let cell = a.alloc_data(8, 8);
+    let (cnt, base, cbase) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    a.li(cnt, iters as i64);
+    a.li(base, arr as i64);
+    a.li(cbase, cell as i64);
+    let top = a.label();
+    a.bind(top);
+    for &(kind, operand) in body {
+        let r = Reg::int(4 + (operand % 6));
+        let off = (operand as i64 % 64) * 4;
+        match kind % 5 {
+            0 => a.lw(r, base, off),
+            1 => a.sw(r, base, off),
+            2 => a.addi(r, r, operand as i64),
+            3 => {
+                a.lw(r, cbase, 0);
+                a.addi(r, r, 1);
+                a.sw(r, cbase, 0);
+            }
+            _ => {
+                let r2 = Reg::int(4 + ((operand / 7) % 6));
+                a.add(r, r, r2);
+            }
+        }
+    }
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap())
+        .run(2_000_000)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random programs, every policy, continuous window.
+    #[test]
+    fn incremental_gates_match_scans_on_random_programs(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..20,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in ALL_NINE {
+            assert_equivalent(
+                CoreConfig::paper_128().with_policy(policy),
+                &trace,
+                &format!("{policy} continuous"),
+            );
+        }
+    }
+
+    /// Random programs, split window (round-robin issue priority) and
+    /// nonzero address-scheduler latency.
+    #[test]
+    fn incremental_gates_match_scans_on_split_window(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        iters in 1u64..16,
+        units in 2u32..5,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in [Policy::NasNaive, Policy::NasSync, Policy::AsNo, Policy::AsNaive] {
+            assert_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_window_model(WindowModel::Split { units, task_size: 16 })
+                    .with_addr_sched_latency(1),
+                &trace,
+                &format!("{policy} split"),
+            );
+        }
+    }
+
+    /// Selective reissue exercises the store-reset path
+    /// (`SchedState::on_store_reset`), where a store can re-enter the
+    /// pending lists while its old execution event is still queued.
+    #[test]
+    fn incremental_gates_match_scans_under_selective_reissue(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        iters in 1u64..16,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in [Policy::NasNaive, Policy::NasSelective, Policy::AsNaive] {
+            assert_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_recovery(Recovery::SelectiveReissue),
+                &trace,
+                &format!("{policy} selective-reissue"),
+            );
+        }
+    }
+}
+
+/// Deterministic sweep on a real workload: all nine policies, both
+/// window models, address-scheduler latencies 0–2.
+#[test]
+fn equivalence_sweep_on_workload_trace() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).expect("trace");
+    for policy in ALL_NINE {
+        for lat in 0..=2 {
+            assert_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_addr_sched_latency(lat),
+                &trace,
+                &format!("{policy} continuous lat={lat}"),
+            );
+        }
+        assert_equivalent(
+            CoreConfig::paper_128()
+                .with_policy(policy)
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 16,
+                })
+                .with_addr_sched_latency(2),
+            &trace,
+            &format!("{policy} split lat=2"),
+        );
+    }
+}
