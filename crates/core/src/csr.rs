@@ -1,0 +1,74 @@
+//! A compressed-sparse-row container for per-instruction index lists.
+//!
+//! The dependence structures ([`OracleDeps`](crate::OracleDeps),
+//! [`RegDeps`](crate::window::RegDeps)) map every dynamic instruction to
+//! a small, usually empty list of producer indices. Storing those lists
+//! as one `Vec` per row costs an allocation per dynamic instruction and
+//! scatters the hot squash-recheck scans across the heap; the CSR layout
+//! packs all rows into a single flat `data` array indexed by an
+//! `offsets` array, so building is two allocations total and row reads
+//! are contiguous.
+
+/// Flat row storage: row `i` is `data[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl Csr {
+    /// An empty container with capacity reserved for `rows` rows.
+    pub fn with_row_capacity(rows: usize) -> Csr {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        Csr {
+            offsets,
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one row (the values of row `self.rows()`).
+    pub fn push_row(&mut self, values: &[u32]) {
+        self.data.extend_from_slice(values);
+        debug_assert!(self.data.len() <= u32::MAX as usize, "CSR data overflow");
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    /// The values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total number of values across all rows.
+    pub fn value_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let mut c = Csr::with_row_capacity(4);
+        c.push_row(&[1, 2]);
+        c.push_row(&[]);
+        c.push_row(&[7]);
+        assert_eq!(c.row(0), &[1, 2]);
+        assert!(c.row(1).is_empty());
+        assert_eq!(c.row(2), &[7]);
+        assert_eq!(c.value_count(), 3);
+    }
+
+    #[test]
+    fn empty_container() {
+        let c = Csr::with_row_capacity(0);
+        assert_eq!(c.value_count(), 0);
+    }
+}

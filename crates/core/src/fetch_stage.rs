@@ -100,8 +100,8 @@ impl Machine<'_> {
             self.task_pos[task as usize] = pos + 1;
             budget -= 1;
 
-            let inst = self.trace.inst(i);
-            if inst.op.is_ctrl() {
+            if self.ops[i].is_ctrl {
+                let inst = self.trace.inst(i);
                 let rec = self.trace.record(i);
                 let target = if i + 1 < self.trace.len() {
                     self.trace.pc(i + 1)

@@ -222,7 +222,7 @@ impl Machine<'_> {
         let as_mode = self.cfg.policy.uses_address_scheduler();
 
         if (slot.is_load || slot.is_store) && as_mode && !slot.addr_issued {
-            if self.operands_ready(&self.regdeps.addr[i], now)
+            if self.operands_ready(self.regdeps.addr(i), now)
                 && fu[fu_index(FuClass::IntAlu).expect("IntAlu pool")] > 0
             {
                 return Decision::AddrUop;
@@ -234,10 +234,10 @@ impl Machine<'_> {
             let addr_ok = if as_mode {
                 slot.addr_issued && now >= slot.addr_posted_at
             } else {
-                self.operands_ready(&self.regdeps.addr[i], now)
+                self.operands_ready(self.regdeps.addr(i), now)
             };
             if addr_ok
-                && self.operands_ready(&self.regdeps.data[i], now)
+                && self.operands_ready(self.regdeps.data(i), now)
                 && ports_left > 0
                 && !self.sb.is_full()
             {
@@ -250,7 +250,7 @@ impl Machine<'_> {
             let addr_ok = if as_mode {
                 slot.addr_issued && now >= slot.addr_posted_at
             } else {
-                self.operands_ready(&self.regdeps.addr[i], now)
+                self.operands_ready(self.regdeps.addr(i), now)
             };
             if !addr_ok {
                 return Decision::None;
@@ -267,9 +267,9 @@ impl Machine<'_> {
         }
 
         if !slot.issued && !slot.is_load && !slot.is_store {
-            let class = self.trace.inst(i).op.fu_class();
+            let class = self.ops[i].fu_class;
             let fu_ok = fu_index(class).is_none_or(|fi| fu[fi] > 0);
-            if fu_ok && self.operands_ready(&self.regdeps.srcs[i], now) {
+            if fu_ok && self.operands_ready(self.regdeps.srcs(i), now) {
                 return Decision::Alu(class);
             }
         }
@@ -631,7 +631,7 @@ impl Machine<'_> {
             self.sched.on_store_addr_posted(seq, at);
         }
         self.trace_event(seq, PipeStage::AddrIssue, now);
-        self.window.mark_propagated(&self.regdeps.addr[i]);
+        self.window.mark_propagated(self.regdeps.addr(i));
     }
 
     fn apply_store(&mut self, seq: u64) {
@@ -657,8 +657,8 @@ impl Machine<'_> {
         if self.cfg.policy == Policy::NasStoreSets {
             self.store_sets.issue_store(pc, seq);
         }
-        self.window.mark_propagated(&self.regdeps.addr[i]);
-        self.window.mark_propagated(&self.regdeps.data[i]);
+        self.window.mark_propagated(self.regdeps.addr(i));
+        self.window.mark_propagated(self.regdeps.data(i));
     }
 
     fn apply_load(&mut self, seq: u64) {
@@ -700,7 +700,7 @@ impl Machine<'_> {
             slot.speculative = speculative;
             slot.dmiss = dmiss;
         }
-        self.window.mark_propagated(&self.regdeps.addr[i]);
+        self.window.mark_propagated(self.regdeps.addr(i));
         self.trace_event(seq, PipeStage::Issue, now);
         self.trace_event(seq, PipeStage::Execute, access_at);
         self.trace_event(seq, PipeStage::Complete, complete_at);
@@ -709,7 +709,7 @@ impl Machine<'_> {
     fn apply_alu(&mut self, seq: u64) {
         let now = self.now;
         let i = seq as usize;
-        let latency = self.trace.inst(i).op.latency();
+        let latency = self.ops[i].latency;
         if let Some(slot) = self.window.get_mut(seq) {
             slot.issued = true;
             slot.issue_at = now;
@@ -717,7 +717,7 @@ impl Machine<'_> {
             slot.executed = true; // non-memory ops have no memory action
             slot.exec_at = now + latency;
         }
-        self.window.mark_propagated(&self.regdeps.srcs[i]);
+        self.window.mark_propagated(self.regdeps.srcs(i));
         self.trace_event(seq, PipeStage::Issue, now);
         self.trace_event(seq, PipeStage::Complete, now + latency);
     }

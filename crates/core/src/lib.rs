@@ -65,7 +65,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod artifacts;
 mod config;
+mod csr;
 mod fetch_stage;
 mod issue;
 mod oracle;
@@ -75,6 +77,7 @@ mod sim;
 mod stats;
 mod window;
 
+pub use artifacts::TraceArtifacts;
 pub use config::{BranchPredictorConfig, CoreConfig, Policy, Recovery, WindowModel};
 pub use mds_obs::{CpiStack, Histogram, StallCause};
 pub use oracle::OracleDeps;

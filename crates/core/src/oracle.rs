@@ -7,64 +7,120 @@
 //! producers have executed, and the false-dependence accounting of
 //! Table 3 uses the same information.
 
+use crate::csr::Csr;
 use mds_isa::Trace;
 use std::collections::HashMap;
 
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const NO_WRITER: u32 = u32::MAX;
+
+/// Last-writer tracking backed by 4 KiB pages instead of a per-byte
+/// hash map: one hash lookup covers a whole page, and a memory access
+/// (at most 8 bytes) touches at most two pages.
+#[derive(Default)]
+struct LastWriterTable {
+    pages: HashMap<u64, Box<[u32; PAGE_SIZE]>>,
+}
+
+/// Calls `f(page_offset, run_len)` for each page-contiguous segment of
+/// the byte range `[addr, addr + size)`, clamped at the top of the
+/// address space: bytes past `u64::MAX` do not exist and are dropped
+/// rather than wrapped to address zero (the same non-wrapping semantics
+/// as `mds_mem::ranges_overlap`).
+fn for_page_segments(addr: u64, size: u8, mut f: impl FnMut(u64, usize, usize)) {
+    let mut b = addr;
+    let mut left = size as u64;
+    while left > 0 {
+        let off = (b & (PAGE_SIZE as u64 - 1)) as usize;
+        let run = ((PAGE_SIZE - off) as u64).min(left) as usize;
+        f(b >> PAGE_SHIFT, off, run);
+        left -= run as u64;
+        match b.checked_add(run as u64) {
+            Some(next) => b = next,
+            None => break, // the range reached u64::MAX: clamp
+        }
+    }
+}
+
+impl LastWriterTable {
+    fn record_store(&mut self, addr: u64, size: u8, idx: u32) {
+        for_page_segments(addr, size, |page, off, run| {
+            let bytes = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([NO_WRITER; PAGE_SIZE]));
+            bytes[off..off + run].fill(idx);
+        });
+    }
+
+    /// Appends the distinct writers of `[addr, addr + size)` to `out`.
+    fn collect_writers(&self, addr: u64, size: u8, out: &mut Vec<u32>) {
+        for_page_segments(addr, size, |page, off, run| {
+            if let Some(bytes) = self.pages.get(&page) {
+                for &w in &bytes[off..off + run] {
+                    if w != NO_WRITER && !out.contains(&w) {
+                        out.push(w);
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// Perfect, a-priori memory dependence information for one trace.
+///
+/// Stored in CSR form: all producer lists live in one flat array, so
+/// the structure costs two allocations however long the trace is.
 #[derive(Debug, Clone)]
 pub struct OracleDeps {
-    /// `producers[i]` lists the dynamic indices of the stores that feed
-    /// the load at dynamic index `i` (empty for non-loads and for loads
-    /// fed by initial memory).
-    producers: Vec<Vec<u32>>,
+    /// `producers.row(i)` lists the dynamic indices of the stores that
+    /// feed the load at dynamic index `i`, sorted ascending (empty for
+    /// non-loads and for loads fed by initial memory).
+    producers: Csr,
 }
 
 impl OracleDeps {
-    /// Builds the oracle for `trace` with a per-byte last-writer scan.
+    /// Builds the oracle for `trace` with a paged last-writer scan.
     pub fn build(trace: &Trace) -> OracleDeps {
-        let mut last_writer: HashMap<u64, u32> = HashMap::new();
-        let mut producers: Vec<Vec<u32>> = vec![Vec::new(); trace.len()];
+        debug_assert!(trace.len() < u32::MAX as usize, "trace too long for u32");
+        let mut table = LastWriterTable::default();
+        let mut producers = Csr::with_row_capacity(trace.len());
+        let mut row: Vec<u32> = Vec::new();
         for (i, rec) in trace.records().iter().enumerate() {
-            if rec.size == 0 {
-                continue;
-            }
-            let inst = trace.inst(i);
-            if inst.op.is_store() {
-                for b in rec.effaddr..rec.effaddr + rec.size as u64 {
-                    last_writer.insert(b, i as u32);
+            row.clear();
+            if rec.size != 0 {
+                let inst = trace.inst(i);
+                if inst.op.is_store() {
+                    table.record_store(rec.effaddr, rec.size, i as u32);
+                } else if inst.op.is_load() {
+                    table.collect_writers(rec.effaddr, rec.size, &mut row);
+                    row.sort_unstable();
                 }
-            } else if inst.op.is_load() {
-                let deps = &mut producers[i];
-                for b in rec.effaddr..rec.effaddr + rec.size as u64 {
-                    if let Some(&w) = last_writer.get(&b) {
-                        if !deps.contains(&w) {
-                            deps.push(w);
-                        }
-                    }
-                }
-                deps.sort_unstable();
             }
+            producers.push_row(&row);
         }
         OracleDeps { producers }
     }
 
-    /// The producing stores of the load at dynamic index `i` (empty for
-    /// non-loads).
+    /// The producing stores of the load at dynamic index `i`, sorted
+    /// ascending (empty for non-loads).
     #[inline]
     pub fn producers(&self, i: usize) -> &[u32] {
-        &self.producers[i]
+        self.producers.row(i)
     }
 
     /// Whether the load at dynamic index `i` has any producing store at
     /// or after dynamic index `from` (i.e. a true dependence within a
     /// window whose oldest un-executed store is `from`).
     pub fn has_producer_at_or_after(&self, i: usize, from: u32) -> bool {
-        self.producers[i].iter().any(|&p| p >= from)
+        // Rows are sorted ascending: the last producer is the youngest.
+        self.producers.row(i).last().is_some_and(|&p| p >= from)
     }
 
     /// Total number of load→store dependence edges (diagnostic).
     pub fn edge_count(&self) -> usize {
-        self.producers.iter().map(|p| p.len()).sum()
+        self.producers.value_count()
     }
 }
 
@@ -171,5 +227,47 @@ mod tests {
             }
         }
         assert_eq!(linked, 6, "iterations 2..8 load the previous store");
+    }
+
+    #[test]
+    fn page_straddling_access_links_across_pages() {
+        // A store whose 4 bytes straddle a 4 KiB page boundary must feed
+        // a load of each half (the two-segment path of the paged table).
+        let boundary = 8 * PAGE_SIZE as i64; // page-aligned, arbitrary page
+        let mut a = Asm::new();
+        a.li(r(1), boundary - 2);
+        a.li(r(2), 0x0102_0304);
+        a.sw(r(2), r(1), 0); // dyn 2: bytes [boundary-2, boundary+2)
+        a.lh(r(3), r(1), 0); // dyn 3: last 2 bytes of the lower page
+        a.lh(r(4), r(1), 2); // dyn 4: first 2 bytes of the upper page
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let o = OracleDeps::build(&t);
+        assert_eq!(o.producers(3), &[2]);
+        assert_eq!(o.producers(4), &[2]);
+    }
+
+    #[test]
+    fn top_of_address_space_does_not_wrap() {
+        // A 4-byte access ending exactly at u64::MAX: the naive
+        // `effaddr..effaddr + size` end bound overflows here. The range
+        // must be clamped, never wrapped onto address zero.
+        let top = -4i64; // u64::MAX - 3
+        let mut a = Asm::new();
+        a.li(r(1), top);
+        a.li(r(2), 0); // address zero, where a wrap would land
+        a.li(r(3), 0x7777);
+        a.sw(r(3), r(1), 0); // dyn 3: bytes [MAX-3, MAX]
+        a.lw(r(4), r(1), 0); // dyn 4: same bytes <- store 3
+        a.lw(r(5), r(2), 0); // dyn 5: address 0 <- nothing
+        a.halt();
+        let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
+        let o = OracleDeps::build(&t);
+        assert_eq!(t.record(3).effaddr, u64::MAX - 3);
+        assert_eq!(o.producers(4), &[3]);
+        assert!(
+            o.producers(5).is_empty(),
+            "a top-of-memory store must not alias address zero"
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! dependence mis-speculations squash the window suffix and re-inject the
 //! trace from the violating load, so lost work is genuinely re-simulated.
 
+use crate::artifacts::{OpMeta, TraceArtifacts};
 use crate::config::{BranchPredictorConfig, CoreConfig, Policy, Recovery, WindowModel};
 use crate::oracle::OracleDeps;
 use crate::pipetrace::{PipeStage, PipeTrace};
@@ -68,15 +69,38 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs the timing simulation over `trace` to completion.
+    /// Runs the timing simulation over `trace` to completion, building
+    /// the trace's [`TraceArtifacts`] on the fly.
+    ///
+    /// When the same trace is replayed under several configurations,
+    /// build the artifacts once and use
+    /// [`run_with_artifacts`](Simulator::run_with_artifacts) instead —
+    /// the results are identical.
     ///
     /// # Panics
     ///
     /// Panics if the machine deadlocks (an internal invariant violation)
     /// or if the trace is empty.
     pub fn run(&self, trace: &Trace) -> SimResult {
+        let artifacts = TraceArtifacts::build(trace);
+        self.run_with_artifacts(trace, &artifacts)
+    }
+
+    /// Runs the timing simulation over `trace` using precomputed,
+    /// possibly shared [`TraceArtifacts`].
+    ///
+    /// The artifacts are read-only for the whole simulation, so one
+    /// bundle (behind an [`Arc`](std::sync::Arc)) can serve any number
+    /// of concurrent simulations of the same trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `artifacts` was built from a different trace, in
+    /// addition to the panics [`Simulator::run`] can raise.
+    pub fn run_with_artifacts(&self, trace: &Trace, artifacts: &TraceArtifacts) -> SimResult {
         assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        let mut m = Machine::new(&self.config, trace);
+        artifacts.assert_matches(trace);
+        let mut m = Machine::new(&self.config, trace, artifacts);
         m.run_to_completion();
         SimResult {
             stats: m.stats,
@@ -103,7 +127,8 @@ impl Simulator {
     #[cfg(any(test, feature = "paranoid-sched"))]
     pub fn run_paranoid(&self, trace: &Trace) -> SimResult {
         assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        let mut m = Machine::new(&self.config, trace);
+        let artifacts = TraceArtifacts::build(trace);
+        let mut m = Machine::new(&self.config, trace, &artifacts);
         m.paranoid = true;
         m.run_to_completion();
         SimResult {
@@ -136,8 +161,13 @@ fn build_frontend(cfg: BranchPredictorConfig) -> FrontEnd {
 pub(crate) struct Machine<'t> {
     pub cfg: &'t CoreConfig,
     pub trace: &'t Trace,
-    pub regdeps: RegDeps,
-    pub oracle: OracleDeps,
+    /// Trace-derived register dependences, borrowed from the (possibly
+    /// shared) [`TraceArtifacts`]; never mutated by simulation.
+    pub regdeps: &'t RegDeps,
+    /// Trace-derived oracle memory dependences (shared, read-only).
+    pub oracle: &'t OracleDeps,
+    /// Per-op classification (shared, read-only).
+    pub ops: &'t [OpMeta],
     pub mem: MemSystem,
     pub frontend: FrontEnd,
     pub sb: StoreBuffer,
@@ -175,7 +205,7 @@ pub(crate) struct Machine<'t> {
 }
 
 impl<'t> Machine<'t> {
-    pub fn new(cfg: &'t CoreConfig, trace: &'t Trace) -> Machine<'t> {
+    pub fn new(cfg: &'t CoreConfig, trace: &'t Trace, arts: &'t TraceArtifacts) -> Machine<'t> {
         let units = cfg.units();
         let task_size = match cfg.window_model {
             WindowModel::Continuous => trace.len() as u64,
@@ -186,8 +216,9 @@ impl<'t> Machine<'t> {
         Machine {
             cfg,
             trace,
-            regdeps: RegDeps::build(trace),
-            oracle: OracleDeps::build(trace),
+            regdeps: &arts.regdeps,
+            oracle: &arts.oracle,
+            ops: &arts.ops,
             mem: MemSystem::new(cfg.mem.clone()),
             frontend: build_frontend(cfg.branch_predictor),
             sb: StoreBuffer::new(cfg.store_buffer),
@@ -544,23 +575,31 @@ impl<'t> Machine<'t> {
         self.stats.misspeculations += 1;
         self.train_predictors(load_seq, store_seq);
 
-        // Transitive dependence closure over the in-flight window.
+        // Transitive dependence closure over the in-flight window. The
+        // set is kept sorted so membership tests are binary searches
+        // instead of linear scans (closure order does not matter: only
+        // membership does, and the per-seq reset below is idempotent).
         let mut affected: Vec<u64> = vec![load_seq];
-        let in_affected =
-            |set: &[u64], deps: &[u32]| deps.iter().any(|&p| set.contains(&(p as u64)));
+        let in_affected = |set: &[u64], deps: &[u32]| {
+            deps.iter().any(|&p| set.binary_search(&(p as u64)).is_ok())
+        };
         loop {
             let mut grew = false;
             for slot in self.window.iter() {
-                if slot.seq <= load_seq || affected.contains(&slot.seq) || !slot.issued {
+                if slot.seq <= load_seq || !slot.issued || affected.binary_search(&slot.seq).is_ok()
+                {
                     continue;
                 }
                 let i = slot.seq as usize;
-                let dep = in_affected(&affected, &self.regdeps.srcs[i])
-                    || in_affected(&affected, &self.regdeps.addr[i])
-                    || in_affected(&affected, &self.regdeps.data[i])
-                    || slot.forwarded_from.is_some_and(|f| affected.contains(&f));
+                let dep = in_affected(&affected, self.regdeps.srcs(i))
+                    || in_affected(&affected, self.regdeps.addr(i))
+                    || in_affected(&affected, self.regdeps.data(i))
+                    || slot
+                        .forwarded_from
+                        .is_some_and(|f| affected.binary_search(&f).is_ok());
                 if dep {
-                    affected.push(slot.seq);
+                    let pos = affected.partition_point(|&s| s < slot.seq);
+                    affected.insert(pos, slot.seq);
                     grew = true;
                 }
             }
@@ -597,7 +636,7 @@ impl<'t> Machine<'t> {
             self.stats.reissued += 1;
         }
         self.pending_checks
-            .retain(|&(seq, _)| !affected.contains(&seq));
+            .retain(|&(seq, _)| affected.binary_search(&seq).is_err());
         // Fetch state and younger unrelated instructions are untouched:
         // that is the whole point of selective invalidation.
     }
@@ -679,8 +718,7 @@ impl<'t> Machine<'t> {
                 {
                     continue;
                 }
-                let inst = self.trace.inst(seq as usize);
-                if inst.op.is_mem() && self.mem_in_flight >= self.cfg.lsq_size {
+                if self.ops[seq as usize].is_mem && self.mem_in_flight >= self.cfg.lsq_size {
                     continue; // load/store queue full
                 }
                 self.units[u].queue.pop_front();
@@ -694,10 +732,9 @@ impl<'t> Machine<'t> {
     fn dispatch_one(&mut self, seq: u64, unit: u32) {
         let i = seq as usize;
         let rec = self.trace.record(i);
-        let inst = self.trace.inst(i);
         let pc = self.trace.pc(i);
-        let is_load = inst.op.is_load();
-        let is_store = inst.op.is_store();
+        let is_load = self.ops[i].is_load;
+        let is_store = self.ops[i].is_store;
 
         let mut slot = Slot {
             seq,

@@ -1,5 +1,6 @@
 //! The instruction window (RUU/reorder buffer) and per-instruction state.
 
+use crate::csr::Csr;
 use mds_isa::Trace;
 
 /// Per-dynamic-instruction state while in flight.
@@ -189,14 +190,17 @@ impl Window {
 /// program order) makes register scheduling independent of dispatch
 /// order, which the split window needs: a load may dispatch before the
 /// older producer of its base register is even fetched.
+///
+/// Each list family is stored in CSR form — one flat array for all
+/// dynamic instructions instead of one boxed slice each.
 #[derive(Debug, Clone)]
 pub(crate) struct RegDeps {
     /// All source-operand producers (for non-memory ops and branches).
-    pub srcs: Vec<Box<[u32]>>,
+    srcs: Csr,
     /// Producers of the address (base register) operand of memory ops.
-    pub addr: Vec<Box<[u32]>>,
+    addr: Csr,
     /// Producers of the data operand of stores.
-    pub data: Vec<Box<[u32]>>,
+    data: Csr,
 }
 
 impl RegDeps {
@@ -204,42 +208,67 @@ impl RegDeps {
         use mds_isa::NUM_REGS;
         let n = trace.len();
         let mut last_writer: [Option<u32>; NUM_REGS] = [None; NUM_REGS];
-        let mut srcs = Vec::with_capacity(n);
-        let mut addr = Vec::with_capacity(n);
-        let mut data = Vec::with_capacity(n);
+        let mut srcs = Csr::with_row_capacity(n);
+        let mut addr = Csr::with_row_capacity(n);
+        let mut data = Csr::with_row_capacity(n);
+        let mut row: Vec<u32> = Vec::new();
         for i in 0..n {
             let inst = trace.inst(i);
-            let mut s: Vec<u32> = Vec::new();
-            let mut a: Vec<u32> = Vec::new();
-            let mut d: Vec<u32> = Vec::new();
             if inst.op.is_mem() {
+                srcs.push_row(&[]);
+                row.clear();
                 if let Some(base) = inst.base_reg() {
                     if let Some(p) = last_writer[base.index()] {
-                        a.push(p);
+                        row.push(p);
                     }
                 }
+                addr.push_row(&row);
+                row.clear();
                 if let Some(dr) = inst.store_data_reg() {
                     if let Some(p) = last_writer[dr.index()] {
-                        d.push(p);
+                        row.push(p);
                     }
                 }
+                data.push_row(&row);
             } else {
+                row.clear();
                 for r in inst.src_regs() {
                     if let Some(p) = last_writer[r.index()] {
-                        if !s.contains(&p) {
-                            s.push(p);
+                        if !row.contains(&p) {
+                            row.push(p);
                         }
                     }
                 }
+                srcs.push_row(&row);
+                addr.push_row(&[]);
+                data.push_row(&[]);
             }
-            srcs.push(s.into_boxed_slice());
-            addr.push(a.into_boxed_slice());
-            data.push(d.into_boxed_slice());
             for r in inst.dst_regs() {
                 last_writer[r.index()] = Some(i as u32);
             }
         }
         RegDeps { srcs, addr, data }
+    }
+
+    /// Source-operand producers of the instruction at dynamic index `i`
+    /// (empty for memory ops).
+    #[inline]
+    pub fn srcs(&self, i: usize) -> &[u32] {
+        self.srcs.row(i)
+    }
+
+    /// Address (base register) producers of the memory op at dynamic
+    /// index `i` (empty for non-memory ops).
+    #[inline]
+    pub fn addr(&self, i: usize) -> &[u32] {
+        self.addr.row(i)
+    }
+
+    /// Data-operand producers of the store at dynamic index `i` (empty
+    /// for everything else).
+    #[inline]
+    pub fn data(&self, i: usize) -> &[u32] {
+        self.data.row(i)
     }
 }
 
@@ -348,11 +377,11 @@ mod tests {
         a.halt();
         let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
         let d = RegDeps::build(&t);
-        assert_eq!(&*d.srcs[2], &[0, 1]);
-        assert_eq!(&*d.addr[3], &[1]);
-        assert_eq!(&*d.data[3], &[2]);
-        assert_eq!(&*d.addr[4], &[1]);
-        assert!(d.data[4].is_empty());
+        assert_eq!(d.srcs(2), &[0, 1]);
+        assert_eq!(d.addr(3), &[1]);
+        assert_eq!(d.data(3), &[2]);
+        assert_eq!(d.addr(4), &[1]);
+        assert!(d.data(4).is_empty());
     }
 
     #[test]
@@ -363,6 +392,6 @@ mod tests {
         a.halt();
         let t = Interpreter::new(a.assemble().unwrap()).run(100).unwrap();
         let d = RegDeps::build(&t);
-        assert!(d.srcs[0].is_empty());
+        assert!(d.srcs(0).is_empty());
     }
 }

@@ -178,12 +178,15 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
     let total_seconds = total_start.elapsed().as_secs_f64();
     eprintln!(
         "done: {} simulations run, {} requests served from cache ({:.0}% hit rate); \
-         {:.2}s simulating across {} thread(s), {:.2}s total",
+         {:.2}s simulating across {} thread(s), {:.2}s preparing {} artifact bundle(s), \
+         {:.2}s total",
         stats.simulations,
         stats.cache_hits,
         100.0 * stats.hit_rate(),
         stats.sim_seconds(),
         r.runner.jobs(),
+        stats.prep_seconds(),
+        stats.artifact_builds,
         total_seconds,
     );
     r.runner
@@ -193,6 +196,8 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
                 ("simulations", Value::UInt(stats.simulations)),
                 ("cache_hits", Value::UInt(stats.cache_hits)),
                 ("simulation_seconds", Value::Float(stats.sim_seconds())),
+                ("prep_seconds", Value::Float(stats.prep_seconds())),
+                ("artifact_builds", Value::UInt(stats.artifact_builds)),
                 ("total_seconds", Value::Float(total_seconds)),
             ],
         )
@@ -374,6 +379,14 @@ impl Reproduce {
             (
                 "simulation_seconds".to_string(),
                 Value::Float(stats.sim_seconds()),
+            ),
+            (
+                "prep_seconds".to_string(),
+                Value::Float(stats.prep_seconds()),
+            ),
+            (
+                "artifact_builds".to_string(),
+                Value::UInt(stats.artifact_builds),
             ),
             ("experiments".to_string(), Value::Array(experiments)),
         ]);

@@ -1,0 +1,53 @@
+//! Per-benchmark memoization of trace-derived simulation artifacts.
+//!
+//! Every configuration in a sweep replays the same benchmark traces, so
+//! the trace-derived structure ([`TraceArtifacts`]: oracle producers,
+//! register dependence edges, per-op classification) is built exactly
+//! once per benchmark and shared — via `Arc` — across all configs and
+//! all worker threads. The build time is tracked separately from
+//! simulation time so experiment reports can attribute preparation cost
+//! (`prep_seconds`) apart from simulation cost (`simulation_seconds`).
+
+use mds_core::TraceArtifacts;
+use mds_isa::Trace;
+use mds_workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Memoizes one [`TraceArtifacts`] bundle per suite benchmark.
+#[derive(Debug, Default)]
+pub(super) struct ArtifactCache {
+    map: Mutex<HashMap<Benchmark, Arc<TraceArtifacts>>>,
+    builds: AtomicU64,
+    prep_nanos: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// The memoized artifacts for `benchmark`, building (and timing)
+    /// them from `trace` on first use.
+    pub fn get_or_build(&self, benchmark: Benchmark, trace: &Trace) -> Arc<TraceArtifacts> {
+        let mut map = self.map.lock().expect("artifact cache poisoned");
+        if let Some(arts) = map.get(&benchmark) {
+            return Arc::clone(arts);
+        }
+        let start = Instant::now();
+        let arts = TraceArtifacts::shared(trace);
+        self.prep_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        map.insert(benchmark, Arc::clone(&arts));
+        arts
+    }
+
+    /// Number of artifact bundles built (one per distinct benchmark).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent building artifact bundles.
+    pub fn prep_nanos(&self) -> u64 {
+        self.prep_nanos.load(Ordering::Relaxed)
+    }
+}

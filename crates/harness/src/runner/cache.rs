@@ -72,12 +72,15 @@ impl SimCache {
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters (artifact counters are filled in by
+    /// the [`Runner`](crate::Runner), which owns the artifact cache).
     pub fn stats(&self) -> RunnerStats {
         RunnerStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             simulations: self.simulations.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            artifact_builds: 0,
+            prep_nanos: 0,
         }
     }
 }
@@ -92,6 +95,12 @@ pub struct RunnerStats {
     /// Total wall-clock nanoseconds spent inside simulations, summed
     /// over jobs (exceeds elapsed time when jobs run in parallel).
     pub sim_nanos: u64,
+    /// Trace-artifact bundles built (one per distinct benchmark; every
+    /// config after the first shares the memoized bundle).
+    pub artifact_builds: u64,
+    /// Nanoseconds spent building trace artifacts (oracle and register
+    /// dependences), counted apart from simulation time.
+    pub prep_nanos: u64,
 }
 
 impl RunnerStats {
@@ -108,5 +117,10 @@ impl RunnerStats {
     /// Total simulation time in seconds.
     pub fn sim_seconds(&self) -> f64 {
         self.sim_nanos as f64 / 1e9
+    }
+
+    /// Total artifact-preparation time in seconds.
+    pub fn prep_seconds(&self) -> f64 {
+        self.prep_nanos as f64 / 1e9
     }
 }

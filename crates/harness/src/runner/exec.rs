@@ -7,10 +7,11 @@
 //! back tagged with their job index, so callers always observe them in
 //! submission order regardless of completion order.
 
-use mds_core::{CoreConfig, SimResult, Simulator};
+use mds_core::{CoreConfig, SimResult, Simulator, TraceArtifacts};
 use mds_isa::Trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One pending simulation.
@@ -24,12 +25,15 @@ pub(super) struct Job<'a> {
     pub config: CoreConfig,
     /// The trace to replay.
     pub trace: &'a Trace,
+    /// The trace's precomputed artifacts, shared (read-only) by every
+    /// job replaying the same trace, on any worker thread.
+    pub artifacts: Arc<TraceArtifacts>,
 }
 
 /// Runs one job, returning the result and its wall-clock nanoseconds.
 fn run_one(job: &Job<'_>) -> (SimResult, u64) {
     let start = Instant::now();
-    let result = Simulator::new(job.config.clone()).run(job.trace);
+    let result = Simulator::new(job.config.clone()).run_with_artifacts(job.trace, &job.artifacts);
     (result, start.elapsed().as_nanos() as u64)
 }
 

@@ -7,6 +7,7 @@
 //! so every rendered table and figure is byte-identical to a
 //! sequential (`--jobs 1`) run.
 
+mod artifacts;
 mod cache;
 mod exec;
 mod key;
@@ -18,6 +19,7 @@ pub use key::ConfigKey;
 pub use suite::Suite;
 pub use trace::TraceSink;
 
+use artifacts::ArtifactCache;
 use exec::Job;
 use mds_core::{CoreConfig, SimResult};
 use mds_workloads::Benchmark;
@@ -50,6 +52,7 @@ pub struct Runner {
     suite: Suite,
     jobs: usize,
     cache: SimCache,
+    artifacts: ArtifactCache,
     trace: Option<TraceSink>,
 }
 
@@ -62,6 +65,7 @@ impl Runner {
             suite,
             jobs,
             cache: SimCache::default(),
+            artifacts: ArtifactCache::default(),
             trace: None,
         }
     }
@@ -164,7 +168,12 @@ impl Runner {
                     } else {
                         config.clone()
                     };
-                    pending.push(Job { config, trace });
+                    let artifacts = self.artifacts.get_or_build(benchmark, trace);
+                    pending.push(Job {
+                        config,
+                        trace,
+                        artifacts,
+                    });
                     pending_keys.push((benchmark, key.clone()));
                 }
             }
@@ -226,9 +235,12 @@ impl Runner {
             .collect()
     }
 
-    /// A snapshot of the cache-hit and simulation counters.
+    /// A snapshot of the cache-hit, simulation, and artifact counters.
     pub fn stats(&self) -> RunnerStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        stats.artifact_builds = self.artifacts.builds();
+        stats.prep_nanos = self.artifacts.prep_nanos();
+        stats
     }
 
     /// Drops every memoized result (counters are preserved) so the next
@@ -416,6 +428,32 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn artifacts_are_built_once_per_benchmark_across_configs() {
+        let runner = Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        let configs: Vec<CoreConfig> = [Policy::NasNo, Policy::NasNaive, Policy::NasOracle]
+            .iter()
+            .map(|&p| CoreConfig::paper_128().with_policy(p))
+            .collect();
+        runner.run_batch(&configs);
+        let stats = runner.stats();
+        assert_eq!(stats.simulations, 6, "3 configs x 2 benchmarks");
+        assert_eq!(
+            stats.artifact_builds, 2,
+            "one artifact bundle per benchmark, shared by every config"
+        );
+        // A fourth config still reuses the memoized bundles.
+        runner.run(&CoreConfig::paper_128().with_policy(Policy::NasSync));
+        assert_eq!(runner.stats().artifact_builds, 2);
+        assert!(runner.stats().prep_nanos > 0, "prep time is attributed");
     }
 
     #[test]

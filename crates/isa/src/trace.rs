@@ -87,6 +87,24 @@ pub struct Trace {
     records: Vec<TraceRecord>,
     counts: TraceCounts,
     completed: bool,
+    fingerprint: u64,
+}
+
+/// FNV-1a over every record field: a stable identity for the dynamic
+/// instruction stream, independent of where the trace lives in memory.
+fn fingerprint_of(records: &[TraceRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mix = |h: u64, v: u64| (h ^ v).wrapping_mul(PRIME);
+    for r in records {
+        h = mix(h, r.sidx as u64);
+        h = mix(h, r.effaddr);
+        h = mix(h, r.value);
+        h = mix(h, r.old_value);
+        h = mix(h, ((r.size as u64) << 1) | r.taken as u64);
+    }
+    h
 }
 
 impl Trace {
@@ -111,11 +129,13 @@ impl Trace {
                 counts.fp_ops += 1;
             }
         }
+        let fingerprint = fingerprint_of(&records);
         Trace {
             program,
             records,
             counts,
             completed,
+            fingerprint,
         }
     }
 
@@ -178,6 +198,15 @@ impl Trace {
     pub fn completed(&self) -> bool {
         self.completed
     }
+
+    /// A stable hash of the dynamic record stream, computed once at
+    /// construction. Two traces with the same records share the same
+    /// fingerprint; consumers that precompute per-trace structure (e.g.
+    /// dependence artifacts) use it to assert they are paired with the
+    /// trace they were built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +238,19 @@ mod tests {
     fn non_memory_records_never_overlap() {
         assert!(!rec(100, 0).overlaps(&rec(100, 4)));
         assert!(!rec(100, 4).overlaps(&rec(100, 0)));
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let a = [rec(100, 4), rec(200, 4)];
+        let b = [rec(200, 4), rec(100, 4)];
+        assert_eq!(fingerprint_of(&a), fingerprint_of(&a));
+        assert_ne!(fingerprint_of(&a), fingerprint_of(&b), "order matters");
+        assert_ne!(
+            fingerprint_of(&a),
+            fingerprint_of(&a[..1]),
+            "length matters"
+        );
     }
 
     #[test]
