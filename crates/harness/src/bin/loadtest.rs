@@ -1,0 +1,274 @@
+//! `mds-load` — a deterministic load-test client for `mds-serve`.
+//!
+//! ```text
+//! mds-load --socket PATH [--clients N] [--policies NAS/NO,NAS/NAV,...]
+//!          [--window-sizes 64,128] [--repeats N]
+//!          [--expect-simulations-delta N]
+//! ```
+//!
+//! Spawns `N` concurrent clients against a running server. Every
+//! client sweeps the *same* (policy, window-size) cross product — each
+//! in a different rotated order, and `--repeats` times over — so the
+//! requests overlap heavily in flight: the server must simulate each
+//! distinct (benchmark, config) pair exactly once and serve everything
+//! else from its cache or in-flight claims table.
+//!
+//! The client then verifies, against the server's own counters, that
+//! no duplicate work happened:
+//!
+//! - all clients received byte-identical rows for identical requests;
+//! - with `--expect-simulations-delta N` (pass the distinct pair count
+//!   for a cold server, `0` for a warm one), the server's `simulations`
+//!   counter moved by exactly `N` across the whole barrage.
+//!
+//! Prints a one-line JSON summary on success; exits non-zero on any
+//! violation.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mds-load --socket PATH [--clients N] \
+     [--policies NAS/NO,...] [--window-sizes 64,128] [--repeats N]\n\
+     [--expect-simulations-delta N]";
+
+struct Args {
+    socket: PathBuf,
+    clients: usize,
+    policies: Vec<String>,
+    window_sizes: Vec<u64>,
+    repeats: usize,
+    expect_delta: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
+    let mut socket = None;
+    let mut clients = 3;
+    let mut policies: Vec<String> = ["NAS/NO", "NAS/NAV", "NAS/ORACLE"]
+        .map(String::from)
+        .to_vec();
+    let mut window_sizes = vec![128u64];
+    let mut repeats = 2;
+    let mut expect_delta = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients value: {e}"))?;
+            }
+            "--policies" => {
+                policies = value("--policies")?.split(',').map(String::from).collect();
+            }
+            "--window-sizes" => {
+                window_sizes = value("--window-sizes")?
+                    .split(',')
+                    .map(|v| v.parse().map_err(|e| format!("bad window size {v}: {e}")))
+                    .collect::<Result<_, String>>()?;
+            }
+            "--repeats" => {
+                repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeats value: {e}"))?;
+            }
+            "--expect-simulations-delta" => {
+                expect_delta = Some(
+                    value("--expect-simulations-delta")?
+                        .parse()
+                        .map_err(|e| format!("bad --expect-simulations-delta value: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let socket = socket.ok_or_else(|| format!("--socket is required\n{USAGE}"))?;
+    Ok(Some(Args {
+        socket,
+        clients,
+        policies,
+        window_sizes,
+        repeats,
+        expect_delta,
+    }))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("mds-load: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One connection speaking the line protocol.
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(socket: &Path) -> Result<Client, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {}: {e}", socket.display()))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn request(&mut self, line: &str) -> Result<Value, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("write failed: {e}"))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read failed: {e}"))?;
+        let parsed = Value::parse_json(response.trim_end())
+            .map_err(|e| format!("bad response JSON: {e} in {response:?}"))?;
+        if parsed.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("server rejected {line:?}: {response}"));
+        }
+        Ok(parsed)
+    }
+}
+
+fn stat(client: &mut Client, counter: &str) -> Result<u64, String> {
+    client
+        .request("{\"op\":\"stats\"}")?
+        .get("stats")
+        .and_then(|s| s.get(counter))
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("stats response has no {counter}"))
+}
+
+/// The sweep request for one client: the shared cross product, rotated
+/// by the client index so concurrent claims interleave.
+fn sweep_request(args: &Args, client_index: usize) -> String {
+    let n = args.policies.len();
+    let configs: Vec<String> = (0..n)
+        .map(|i| &args.policies[(client_index + i) % n])
+        .flat_map(|policy| {
+            args.window_sizes
+                .iter()
+                .map(move |w| format!("{{\"policy\":\"{policy}\",\"window_size\":{w}}}"))
+        })
+        .collect();
+    format!("{{\"op\":\"sweep\",\"configs\":[{}]}}", configs.join(","))
+}
+
+/// Canonical form of a sweep response: its rows, sorted, so responses
+/// to differently-ordered requests over the same pairs compare equal.
+fn canonical_rows(response: &Value) -> Result<Vec<String>, String> {
+    let rows = response
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("sweep response has no rows")?;
+    let mut lines: Vec<String> = rows.iter().map(Value::to_json).collect();
+    lines.sort();
+    Ok(lines)
+}
+
+fn run(args: &Args) -> Result<String, String> {
+    let mut control = Client::connect(&args.socket)?;
+    control.request("{\"op\":\"ping\"}")?;
+    let sims_before = stat(&mut control, "simulations")?;
+
+    // The concurrent barrage: every client sweeps the same pair set.
+    let transcripts: Vec<Result<Vec<Vec<String>>, String>> = std::thread::scope(|scope| {
+        (0..args.clients)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(&args.socket)?;
+                    let request = sweep_request(args, i);
+                    let mut seen = Vec::new();
+                    for _ in 0..args.repeats.max(1) {
+                        let response = client.request(&request)?;
+                        seen.push(canonical_rows(&response)?);
+                    }
+                    Ok(seen)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for transcript in transcripts {
+        all_rows.extend(transcript?);
+    }
+    let mut distinct_responses = all_rows.clone();
+    distinct_responses.dedup();
+    distinct_responses.sort();
+    distinct_responses.dedup();
+    if distinct_responses.len() != 1 {
+        return Err(format!(
+            "clients disagree: {} distinct row sets for identical pair sets",
+            distinct_responses.len()
+        ));
+    }
+
+    let sims_after = stat(&mut control, "simulations")?;
+    let delta = sims_after - sims_before;
+    let benchmarks = distinct_responses[0].len() / (args.policies.len() * args.window_sizes.len());
+    let distinct_pairs = distinct_responses[0].len() as u64;
+    if let Some(expected) = args.expect_delta {
+        if delta != expected {
+            return Err(format!(
+                "server simulated {delta} pair(s), expected exactly {expected} \
+                 (distinct pairs requested: {distinct_pairs})"
+            ));
+        }
+    } else if delta > distinct_pairs {
+        return Err(format!(
+            "server simulated {delta} pair(s) for only {distinct_pairs} distinct request(s): \
+             concurrent duplicates were not deduplicated"
+        ));
+    }
+
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("clients".to_string(), Value::UInt(args.clients as u64)),
+        (
+            "requests".to_string(),
+            Value::UInt((args.clients * args.repeats.max(1)) as u64),
+        ),
+        ("benchmarks".to_string(), Value::UInt(benchmarks as u64)),
+        ("distinct_pairs".to_string(), Value::UInt(distinct_pairs)),
+        ("simulations_delta".to_string(), Value::UInt(delta)),
+        ("agreement".to_string(), Value::Bool(true)),
+    ])
+    .to_json())
+}

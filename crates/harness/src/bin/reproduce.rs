@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [--scale tiny|test|bench] [--benchmarks a,b,c]
-//!           [--only exp1,exp2] [--out DIR] [--jobs N]
+//!           [--only exp1,exp2] [--out DIR] [--jobs N] [--cache-dir DIR]
 //!           [--trace-out FILE.jsonl] [--trace-every N] [--list]
 //! ```
 //!
@@ -13,7 +13,10 @@
 //! Simulations run on a work-stealing thread pool (`--jobs`, default
 //! [`std::thread::available_parallelism`]) and are memoized across
 //! experiments, so configurations shared between figures are simulated
-//! once. With `--out DIR`, every report is written as rendered text
+//! once. With `--cache-dir DIR`, results also persist to a
+//! content-addressed on-disk store keyed by (trace fingerprint, config,
+//! schema version): a rerun with the same suite parameters replays
+//! entirely from disk, simulating nothing. With `--out DIR`, every report is written as rendered text
 //! (`.txt`), serialized JSON (`.json`), and tabular CSV (`.csv`), and a
 //! `BENCH_reproduce.json` records per-experiment wall-clock timings and
 //! the cache counters (written atomically: temp file + rename).
@@ -89,6 +92,10 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
     let trace_seconds = trace_start.elapsed().as_secs_f64();
 
     let mut runner = Runner::new(suite).with_jobs(args.jobs);
+    if let Some(dir) = &args.cache_dir {
+        eprintln!("persistent result cache at {}...", dir.display());
+        runner = runner.with_cache_dir(dir);
+    }
     if let Some(path) = &args.trace_out {
         let sink = TraceSink::create(path, args.trace_every)
             .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
@@ -177,11 +184,12 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
     let stats = r.runner.stats();
     let total_seconds = total_start.elapsed().as_secs_f64();
     eprintln!(
-        "done: {} simulations run, {} requests served from cache ({:.0}% hit rate); \
-         {:.2}s simulating across {} thread(s), {:.2}s preparing {} artifact bundle(s), \
-         {:.2}s total",
+        "done: {} simulations run, {} requests served from cache ({} from disk, \
+         {:.0}% hit rate); {:.2}s simulating across {} thread(s), {:.2}s preparing \
+         {} artifact bundle(s), {:.2}s total",
         stats.simulations,
         stats.cache_hits,
+        stats.disk_hits,
         100.0 * stats.hit_rate(),
         stats.sim_seconds(),
         r.runner.jobs(),
@@ -195,6 +203,8 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
             &[
                 ("simulations", Value::UInt(stats.simulations)),
                 ("cache_hits", Value::UInt(stats.cache_hits)),
+                ("disk_hits", Value::UInt(stats.disk_hits)),
+                ("disk_writes", Value::UInt(stats.disk_writes)),
                 ("simulation_seconds", Value::Float(stats.sim_seconds())),
                 ("prep_seconds", Value::Float(stats.prep_seconds())),
                 ("artifact_builds", Value::UInt(stats.artifact_builds)),
@@ -336,6 +346,7 @@ impl Reproduce {
             &self.args.params,
             &[self.args.params.seed, 0x1234, 0xDEAD_BEEF],
             self.args.jobs,
+            self.args.cache_dir.as_deref(),
         )
         .map_err(|e| format!("stability experiment failed: {e}"))?;
         let seconds = start.elapsed().as_secs_f64();
@@ -376,6 +387,8 @@ impl Reproduce {
             ("simulations".to_string(), Value::UInt(stats.simulations)),
             ("cache_hits".to_string(), Value::UInt(stats.cache_hits)),
             ("cache_hit_rate".to_string(), Value::Float(stats.hit_rate())),
+            ("disk_hits".to_string(), Value::UInt(stats.disk_hits)),
+            ("disk_writes".to_string(), Value::UInt(stats.disk_writes)),
             (
                 "simulation_seconds".to_string(),
                 Value::Float(stats.sim_seconds()),

@@ -1,0 +1,166 @@
+//! `mds-serve` — a long-running simulation service over a Unix socket.
+//!
+//! ```text
+//! mds-serve --socket PATH [--scale tiny|test|bench] [--benchmarks a,b]
+//!           [--jobs N] [--cache-dir DIR]
+//!           [--trace-out FILE.jsonl] [--trace-every N]
+//! ```
+//!
+//! The server generates the benchmark suite once, then accepts any
+//! number of concurrent clients. The protocol is line-oriented JSON —
+//! one request per line, one response per line (see
+//! [`SweepService::handle_line`] for the ops) — so `nc -U` works as a
+//! client. All clients share one [`SweepService`]: completed results
+//! are memoized (in memory, and on disk with `--cache-dir`), and
+//! identical requests *in flight* at the same time are simulated once,
+//! with the latecomers waiting for the winner's result. With
+//! `--trace-out`, request lifecycle events stream to the JSONL trace
+//! as the server works.
+//!
+//! A `{"op":"shutdown"}` request stops the server after acknowledging;
+//! the socket file is removed on the way out.
+
+use mds_harness::cli::{parse_serve_args, ServeArgs, ServeCommand, SERVE_USAGE};
+use mds_harness::{Runner, Suite, SweepService, TraceSink};
+use serde::Value;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_serve_args(&argv) {
+        Ok(ServeCommand::Run(args)) => args,
+        Ok(ServeCommand::Help) => {
+            println!("{SERVE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    eprintln!(
+        "mds-serve: generating {} benchmark traces (~{} dynamic instructions each)...",
+        args.benchmarks.len(),
+        args.params.dyn_target
+    );
+    let suite = Suite::generate(&args.benchmarks, &args.params)
+        .map_err(|e| format!("workload generation failed: {e}"))?;
+    let mut runner = Runner::new(suite).with_jobs(args.jobs);
+    if let Some(dir) = &args.cache_dir {
+        eprintln!("mds-serve: persistent cache at {}", dir.display());
+        runner = runner.with_cache_dir(dir);
+    }
+    if let Some(path) = &args.trace_out {
+        let sink = TraceSink::create(path, args.trace_every)
+            .map_err(|e| format!("cannot create trace {}: {e}", path.display()))?;
+        runner = runner.with_trace(sink);
+    }
+    let service = Arc::new(SweepService::new(runner));
+
+    // A stale socket file from a dead server would make bind fail;
+    // replacing it is the standard daemon idiom.
+    let _ = std::fs::remove_file(&args.socket);
+    let listener = UnixListener::bind(&args.socket)
+        .map_err(|e| format!("cannot bind {}: {e}", args.socket.display()))?;
+    eprintln!(
+        "mds-serve: listening on {} ({} worker thread(s))",
+        args.socket.display(),
+        service.runner().jobs()
+    );
+    service
+        .runner()
+        .trace_event(
+            "serve_start",
+            &[("benchmarks", Value::UInt(args.benchmarks.len() as u64))],
+        )
+        .map_err(|e| format!("cannot write trace: {e}"))?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                let socket = args.socket.clone();
+                std::thread::spawn(move || {
+                    if let Err(e) = client_loop(&service, stream, &shutdown, &socket) {
+                        eprintln!("mds-serve: client error: {e}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("mds-serve: accept failed: {e}"),
+        }
+    }
+
+    let _ = std::fs::remove_file(&args.socket);
+    let stats = service.runner().stats();
+    eprintln!(
+        "mds-serve: shutting down: {} simulations, {} cache hits ({} from disk), \
+         {} disk writes",
+        stats.simulations, stats.cache_hits, stats.disk_hits, stats.disk_writes
+    );
+    service
+        .runner()
+        .trace_event(
+            "serve_finish",
+            &[
+                ("simulations", Value::UInt(stats.simulations)),
+                ("cache_hits", Value::UInt(stats.cache_hits)),
+                ("disk_hits", Value::UInt(stats.disk_hits)),
+                ("disk_writes", Value::UInt(stats.disk_writes)),
+            ],
+        )
+        .map_err(|e| format!("cannot write trace: {e}"))?;
+    if let Some(sink) = service.runner().trace() {
+        sink.flush()
+            .map_err(|e| format!("cannot flush trace: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Serves one client connection: reads request lines, writes response
+/// lines. On a shutdown request, flips the flag and pokes the listener
+/// with a throwaway connection so the blocking accept wakes up and
+/// observes it.
+fn client_loop(
+    service: &SweepService,
+    stream: UnixStream,
+    shutdown: &AtomicBool,
+    socket: &Path,
+) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = service.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = UnixStream::connect(socket);
+            break;
+        }
+    }
+    Ok(())
+}

@@ -34,9 +34,16 @@ pub const EXPERIMENTS: [&str; 15] = [
 /// Usage string for `reproduce`.
 pub const REPRODUCE_USAGE: &str = "usage: reproduce [--scale tiny|test|bench] \
      [--benchmarks name,...] [--only table1,fig2,...] [--out DIR] [--jobs N]\n\
-     [--trace-out FILE.jsonl] [--trace-every N] [--list]\n\
+     [--cache-dir DIR] [--trace-out FILE.jsonl] [--trace-every N] [--list]\n\
      experiments: table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 \
      fig7 summary cpistack ablations stability";
+
+/// Usage string for `mds-serve`.
+pub const SERVE_USAGE: &str = "usage: mds-serve --socket PATH [--scale tiny|test|bench] \
+     [--benchmarks name,...] [--jobs N]\n\
+     [--cache-dir DIR] [--trace-out FILE.jsonl] [--trace-every N]\n\
+     Serves simulation sweeps over a Unix socket, one JSON request per \
+     line, one JSON response per line.";
 
 /// Parsed `reproduce` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +58,9 @@ pub struct ReproduceArgs {
     pub out: Option<PathBuf>,
     /// Worker threads (`0` = automatic).
     pub jobs: usize,
+    /// Persistent result-cache directory (`--cache-dir`); `None` keeps
+    /// the cache purely in memory.
+    pub cache_dir: Option<PathBuf>,
     /// JSONL trace file (`--trace-out`); `None` disables tracing.
     pub trace_out: Option<PathBuf>,
     /// Pipeline-event sampling stride (`--trace-every`): events of
@@ -67,6 +77,7 @@ impl Default for ReproduceArgs {
             only: None,
             out: None,
             jobs: 0,
+            cache_dir: None,
             trace_out: None,
             trace_every: 64,
         }
@@ -111,6 +122,7 @@ pub fn parse_reproduce_args(args: &[String]) -> Result<ReproduceCommand, String>
             }
             "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
             "--jobs" => parsed.jobs = parse_jobs(value("--jobs")?)?,
+            "--cache-dir" => parsed.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--trace-out" => parsed.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--trace-every" => parsed.trace_every = parse_trace_every(value("--trace-every")?)?,
             "--list" => return Ok(ReproduceCommand::List),
@@ -119,6 +131,80 @@ pub fn parse_reproduce_args(args: &[String]) -> Result<ReproduceCommand, String>
         }
     }
     Ok(ReproduceCommand::Run(parsed))
+}
+
+/// Parsed `mds-serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Unix-socket path to listen on.
+    pub socket: PathBuf,
+    /// Suite sizing.
+    pub params: SuiteParams,
+    /// Benchmarks to generate and serve.
+    pub benchmarks: Vec<Benchmark>,
+    /// Worker threads (`0` = automatic).
+    pub jobs: usize,
+    /// Persistent result-cache directory; `None` keeps the cache
+    /// purely in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL trace file; `None` disables tracing.
+    pub trace_out: Option<PathBuf>,
+    /// Pipeline-event sampling stride (`0` keeps lifecycle events only).
+    pub trace_every: u64,
+}
+
+/// What an `mds-serve` invocation asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeCommand {
+    /// Serve with the parsed arguments.
+    Run(ServeArgs),
+    /// Print usage and exit successfully (`--help`).
+    Help,
+}
+
+/// Parses `mds-serve` arguments (the part after the program name).
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag or value; a missing
+/// `--socket` is an error, since there is nothing to serve on.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeCommand, String> {
+    let mut socket = None;
+    let mut params = SuiteParams::bench();
+    let mut benchmarks = Benchmark::ALL.to_vec();
+    let mut jobs = 0;
+    let mut cache_dir = None;
+    let mut trace_out = None;
+    let mut trace_every = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--scale" => params = parse_scale(value("--scale")?)?,
+            "--benchmarks" => benchmarks = parse_benchmarks(value("--benchmarks")?)?,
+            "--jobs" => jobs = parse_jobs(value("--jobs")?)?,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-every" => trace_every = parse_trace_every(value("--trace-every")?)?,
+            "--help" | "-h" => return Ok(ServeCommand::Help),
+            other => return Err(format!("unknown argument {other}\n{SERVE_USAGE}")),
+        }
+    }
+    let socket = socket.ok_or_else(|| format!("--socket is required\n{SERVE_USAGE}"))?;
+    Ok(ServeCommand::Run(ServeArgs {
+        socket,
+        params,
+        benchmarks,
+        jobs,
+        cache_dir,
+        trace_out,
+        trace_every,
+    }))
 }
 
 /// Parses a `--scale` value.
@@ -236,6 +322,7 @@ mod tests {
         assert_eq!(args.only, None);
         assert_eq!(args.jobs, 0);
         assert_eq!(args.out, None);
+        assert_eq!(args.cache_dir, None);
         assert_eq!(args.trace_out, None);
         assert_eq!(args.trace_every, 64);
     }
@@ -278,6 +365,8 @@ mod tests {
             "/tmp/x",
             "--jobs",
             "3",
+            "--cache-dir",
+            "/tmp/x/cache",
             "--trace-out",
             "/tmp/x/trace.jsonl",
             "--trace-every",
@@ -295,8 +384,41 @@ mod tests {
         );
         assert_eq!(args.out, Some(PathBuf::from("/tmp/x")));
         assert_eq!(args.jobs, 3);
+        assert_eq!(args.cache_dir, Some(PathBuf::from("/tmp/x/cache")));
         assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/x/trace.jsonl")));
         assert_eq!(args.trace_every, 128);
+    }
+
+    #[test]
+    fn serve_args_parse_and_require_a_socket() {
+        let cmd = parse_serve_args(&strs(&[
+            "--socket",
+            "/tmp/mds.sock",
+            "--scale",
+            "tiny",
+            "--benchmarks",
+            "compress,swim",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            "/tmp/cache",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(args.socket, PathBuf::from("/tmp/mds.sock"));
+        assert_eq!(args.params, SuiteParams::tiny());
+        assert_eq!(args.benchmarks, vec![Benchmark::Compress, Benchmark::Swim]);
+        assert_eq!(args.jobs, 2);
+        assert_eq!(args.cache_dir, Some(PathBuf::from("/tmp/cache")));
+        assert_eq!(args.trace_out, None);
+        assert_eq!(args.trace_every, 0);
+
+        let err = parse_serve_args(&strs(&["--scale", "tiny"])).unwrap_err();
+        assert!(err.contains("--socket is required"), "{err}");
+        assert_eq!(parse_serve_args(&strs(&["--help"])), Ok(ServeCommand::Help));
+        assert!(parse_serve_args(&strs(&["--frobnicate"])).is_err());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use serde::Value;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Renders a serialized report as CSV.
 ///
@@ -23,14 +24,35 @@ pub fn to_csv(value: &Value) -> Option<String> {
         _ => return None,
     };
     let mut out = String::new();
+    let mut header: Option<Vec<&str>> = None;
     if let Some(Value::Object(first)) = rows.first() {
-        let header: Vec<String> = first.iter().map(|(k, _)| quote(k)).collect();
-        out.push_str(&header.join(","));
+        let names: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+        let quoted: Vec<String> = names.iter().map(|k| quote(k)).collect();
+        out.push_str(&quoted.join(","));
         out.push('\n');
+        header = Some(names);
     }
     for row in rows {
         let cells: Vec<String> = match row {
-            Value::Object(fields) => fields.iter().map(|(_, v)| cell(v)).collect(),
+            // Align object rows by header key, not position: a row
+            // whose fields are missing, reordered, or extra relative
+            // to the first row must not shift values into the wrong
+            // columns. Missing fields render as empty cells; fields
+            // absent from the header are dropped.
+            Value::Object(fields) => match header.as_deref() {
+                Some(names) => names
+                    .iter()
+                    .map(|name| {
+                        fields
+                            .iter()
+                            .find_map(|(k, v)| (k == name).then(|| cell(v)))
+                            .unwrap_or_default()
+                    })
+                    .collect(),
+                // No header means the first row was not an object;
+                // positional emission is all that is left.
+                None => fields.iter().map(|(_, v)| cell(v)).collect(),
+            },
             Value::Array(items) => items.iter().map(cell).collect(),
             other => vec![cell(other)],
         };
@@ -59,21 +81,45 @@ fn quote(s: &str) -> String {
     }
 }
 
-/// Writes `content` to `path` atomically: the bytes go to a `.tmp`
-/// sibling first and are renamed into place, so a crash mid-write (or
-/// a concurrent reader such as a CI artifact collector) never observes
-/// a truncated file.
+/// Writes `content` to `path` atomically: the bytes go to a uniquely
+/// named temporary sibling first and are renamed into place, so a
+/// crash mid-write (or a concurrent reader such as a CI artifact
+/// collector) never observes a truncated file.
+///
+/// The temporary name embeds the process id and a process-wide
+/// counter, so concurrent writers to the same path — the cache daemon
+/// and a CI collector, or two worker threads persisting the same cache
+/// entry — each stage into their own file and the destination only
+/// ever flips between complete contents. (A fixed `.tmp` sibling would
+/// let one writer rename the other's half-written bytes into place.)
+/// On any error the temporary file is removed rather than leaked.
 ///
 /// # Errors
 ///
 /// Propagates the write or rename error.
 pub fn write_atomic<P: AsRef<Path>>(path: P, content: &str) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let path = path.as_ref();
-    let mut tmp_name = path.as_os_str().to_owned();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} has no file name", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_owned();
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = path.with_file_name(tmp_name);
+    if let Err(e) = std::fs::write(&tmp, content) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -212,6 +258,34 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_object_rows_align_by_header_key() {
+        // Rows after the first may have missing, reordered, or extra
+        // fields; cells must still land under the right header.
+        let v = Value::Object(vec![(
+            "rows".into(),
+            Value::Array(vec![
+                Value::Object(vec![
+                    ("a".into(), Value::UInt(1)),
+                    ("b".into(), Value::UInt(2)),
+                    ("c".into(), Value::UInt(3)),
+                ]),
+                // Reordered, and missing "b".
+                Value::Object(vec![
+                    ("c".into(), Value::UInt(30)),
+                    ("a".into(), Value::UInt(10)),
+                ]),
+                // An extra field not in the header is dropped.
+                Value::Object(vec![
+                    ("b".into(), Value::UInt(200)),
+                    ("d".into(), Value::UInt(999)),
+                ]),
+            ]),
+        )]);
+        let csv = to_csv(&v).unwrap();
+        assert_eq!(csv, "a,b,c\n1,2,3\n10,,30\n,200,\n");
+    }
+
+    #[test]
     fn write_atomic_replaces_and_leaves_no_temp() {
         let dir = std::env::temp_dir().join(format!("mds-emit-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -219,10 +293,64 @@ mod tests {
         write_atomic(&path, "{\"v\":1}").unwrap();
         write_atomic(&path, "{\"v\":2}").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
-        assert!(
-            !dir.join("artifact.json.tmp").exists(),
-            "temp file must be renamed away"
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "temp files must be renamed away"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_concurrent_writers_never_tear() {
+        let dir = std::env::temp_dir().join(format!("mds-emit-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.json");
+        let contents: Vec<String> = (0..8)
+            .map(|i| format!("{{\"writer\":{i},\"pad\":\"{}\"}}", "x".repeat(4096)))
+            .collect();
+        std::thread::scope(|scope| {
+            for content in &contents {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        write_atomic(path, content).unwrap();
+                        // Every observable state is some writer's
+                        // complete content, never a mixture.
+                        let seen = std::fs::read_to_string(path).unwrap();
+                        assert!(contents_matches(&seen), "torn read: {} bytes", seen.len());
+                    }
+                });
+            }
+        });
+        fn contents_matches(seen: &str) -> bool {
+            seen.starts_with("{\"writer\":")
+                && seen.ends_with("\"}")
+                && seen.len() == 4096 + "{\"writer\":0,\"pad\":\"\"}".len()
+        }
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "no temp files may leak under contention"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_error_removes_temp_and_rejects_bare_root() {
+        let dir = std::env::temp_dir().join(format!("mds-emit-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Renaming onto a path whose parent is a *file* fails after the
+        // temp write; the temp must be cleaned up, not leaked.
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, "file").unwrap();
+        assert!(write_atomic(blocker.join("x.json"), "{}").is_err());
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "only the blocker file may remain"
+        );
+        assert!(write_atomic("/", "{}").is_err(), "no file name to stage");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -36,7 +36,9 @@ pub struct Report {
 /// simulating with `jobs` worker threads (`0` = automatic).
 ///
 /// Each seed generates a distinct trace set, so each gets its own
-/// [`Runner`] — results never alias across seeds.
+/// [`Runner`] — results never alias across seeds. A shared `cache_dir`
+/// is safe for the same reason: the trace fingerprint inside every
+/// disk entry keeps the seeds' results apart.
 ///
 /// # Errors
 ///
@@ -46,11 +48,15 @@ pub fn run(
     base: &SuiteParams,
     seeds: &[u64],
     jobs: usize,
+    cache_dir: Option<&std::path::Path>,
 ) -> Result<Report, mds_isa::IsaError> {
     let mut points = Vec::new();
     for &seed in seeds {
         let params = SuiteParams { seed, ..*base };
-        let runner = Runner::new(Suite::generate(benchmarks, &params)?).with_jobs(jobs);
+        let mut runner = Runner::new(Suite::generate(benchmarks, &params)?).with_jobs(jobs);
+        if let Some(dir) = cache_dir {
+            runner = runner.with_cache_dir(dir);
+        }
         let mut sets = ipcs_batch(
             &runner,
             &[
@@ -115,6 +121,7 @@ mod tests {
             &SuiteParams::tiny(),
             &[0xB5, 0x1234, 0xDEAD],
             0,
+            None,
         )
         .unwrap();
         assert_eq!(rep.points.len(), 3);

@@ -39,6 +39,7 @@ mod table;
 
 pub use barchart::{BarChart, Group};
 pub use runner::{
-    geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite, TraceSink,
+    geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite, SweepService,
+    TraceSink, CACHE_SCHEMA_VERSION, PROTOCOL_VERSION,
 };
 pub use table::{ipc, pct, pct4, speedup_pct, Align, TextTable};

@@ -60,6 +60,14 @@ impl SimCache {
         map.entry(key).or_default().insert(benchmark, result);
     }
 
+    /// Memoizes a result loaded from the persistent tier — counted as
+    /// neither a simulation nor (here) a hit; the runner counts the
+    /// disk hit itself.
+    pub fn insert_loaded(&self, benchmark: Benchmark, key: ConfigKey, result: SimResult) {
+        let mut map = self.map.lock().expect("cache poisoned");
+        map.entry(key).or_default().insert(benchmark, result);
+    }
+
     /// Drops every memoized result (the counters are preserved),
     /// forcing subsequent requests to re-simulate — used by benchmarks
     /// that must time fresh simulations on every iteration.
@@ -81,6 +89,8 @@ impl SimCache {
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
             artifact_builds: 0,
             prep_nanos: 0,
+            disk_hits: 0,
+            disk_writes: 0,
         }
     }
 }
@@ -101,6 +111,12 @@ pub struct RunnerStats {
     /// Nanoseconds spent building trace artifacts (oracle and register
     /// dependences), counted apart from simulation time.
     pub prep_nanos: u64,
+    /// Requests served from the persistent on-disk tier (also counted
+    /// in `cache_hits`, so `hit_rate` reflects every avoided
+    /// simulation).
+    pub disk_hits: u64,
+    /// Results written back to the persistent on-disk tier.
+    pub disk_writes: u64,
 }
 
 impl RunnerStats {

@@ -9,23 +9,28 @@
 
 mod artifacts;
 mod cache;
+mod disk;
 mod exec;
 mod key;
+mod service;
 mod suite;
 mod trace;
 
 pub use cache::{RunnerStats, SimCache};
-pub use key::ConfigKey;
+pub use key::{ConfigKey, CACHE_SCHEMA_VERSION};
+pub use service::{SweepService, PROTOCOL_VERSION};
 pub use suite::Suite;
 pub use trace::TraceSink;
 
 use artifacts::ArtifactCache;
+use disk::DiskCache;
 use exec::Job;
 use mds_core::{CoreConfig, SimResult};
 use mds_workloads::Benchmark;
 use serde::Value;
 use std::collections::HashSet;
 use std::io;
+use std::path::Path;
 
 /// Drives simulations over a [`Suite`]: memoizes per-(benchmark,
 /// config) results across experiments and runs pending simulations in
@@ -52,6 +57,7 @@ pub struct Runner {
     suite: Suite,
     jobs: usize,
     cache: SimCache,
+    disk: Option<DiskCache>,
     artifacts: ArtifactCache,
     trace: Option<TraceSink>,
 }
@@ -65,9 +71,24 @@ impl Runner {
             suite,
             jobs,
             cache: SimCache::default(),
+            disk: None,
             artifacts: ArtifactCache::default(),
             trace: None,
         }
+    }
+
+    /// Attaches a persistent on-disk cache tier rooted at `dir`,
+    /// promoting the in-memory [`SimCache`] to a two-tier cache: every
+    /// request misses memory, then disk — keyed by (trace fingerprint,
+    /// [`ConfigKey`], [`CACHE_SCHEMA_VERSION`]) — before simulating,
+    /// and every fresh result is written back, so results survive
+    /// across processes and builds. Entries verify their own identity
+    /// and integrity on load; anything corrupt or mismatched is a miss
+    /// that re-simulates.
+    #[must_use]
+    pub fn with_cache_dir<P: AsRef<Path>>(mut self, dir: P) -> Runner {
+        self.disk = Some(DiskCache::open(dir));
+        self
     }
 
     /// Overrides the worker-thread count; `0` restores the automatic
@@ -136,25 +157,103 @@ impl Runner {
     /// suite order.
     ///
     /// Requests already memoized (or repeated within the batch) are
-    /// served from the [`SimCache`]; only the remainder is simulated.
+    /// served from the [`SimCache`]; with a cache directory attached,
+    /// the rest is looked up on disk; only the remainder is simulated.
     pub fn run_batch(&self, configs: &[CoreConfig]) -> Vec<Vec<(Benchmark, SimResult)>> {
         let keys: Vec<ConfigKey> = configs.iter().map(ConfigKey::of).collect();
+        self.resolve(
+            configs
+                .iter()
+                .zip(&keys)
+                .flat_map(|(config, key)| self.suite.iter().map(move |(b, _)| (b, config, key))),
+        );
 
-        // Collect the pending (benchmark, config) set: not yet cached
-        // and not already scheduled earlier in this batch. When a trace
-        // sink with a sampling stride is attached, the jobs (but not
-        // the cache keys) get pipeline-trace recording switched on.
+        // Assemble each config's results in suite order from the cache
+        // (without re-counting hits), so output ordering never depends
+        // on execution interleaving.
+        keys.iter()
+            .map(|key| {
+                self.suite
+                    .iter()
+                    .map(|(b, _)| {
+                        let result = self
+                            .cache
+                            .peek(b, key)
+                            .expect("every requested (benchmark, config) is cached");
+                        (b, result)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs explicit `(benchmark, configuration)` pairs — the sweep
+    /// service's entry point, where concurrent requests may cover
+    /// different benchmark subsets — returning one result per pair, in
+    /// request order. Memoization and the disk tier behave exactly as
+    /// in [`Runner::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested benchmark is not part of the suite.
+    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+        let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
+        self.resolve(pairs.iter().zip(&keys).map(|((b, c), key)| (*b, c, key)));
+        pairs
+            .iter()
+            .zip(&keys)
+            .map(|((b, _), key)| {
+                self.cache
+                    .peek(*b, key)
+                    .expect("every requested (benchmark, config) is cached")
+            })
+            .collect()
+    }
+
+    /// Brings every requested (benchmark, config) into the in-memory
+    /// cache: memory hits are counted, misses fall through to the disk
+    /// tier (when attached), and the remainder is simulated in one
+    /// parallel wave and written back to disk.
+    fn resolve<'a>(
+        &'a self,
+        requests: impl Iterator<Item = (Benchmark, &'a CoreConfig, &'a ConfigKey)>,
+    ) {
+        // When a trace sink with a sampling stride is attached, the
+        // jobs (but not the cache keys) get pipeline-trace recording
+        // switched on — and the disk tier is bypassed on reads, since a
+        // disk hit cannot replay the pipeline events the caller asked
+        // for.
         let record_pipe = self.trace.as_ref().is_some_and(|t| t.every() > 0);
         let mut scheduled: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
         let mut pending: Vec<Job<'_>> = Vec::new();
         let mut pending_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
-        for (config, key) in configs.iter().zip(&keys) {
-            for (benchmark, trace) in self.suite.iter() {
-                if self.cache.contains(benchmark, key) || !scheduled.insert((benchmark, key)) {
+        for (benchmark, config, key) in requests {
+            if self.cache.contains(benchmark, key) || !scheduled.insert((benchmark, key)) {
+                self.cache.count_hit();
+                if let Some(sink) = &self.trace {
+                    sink.event(
+                        "cache_hit",
+                        &[
+                            ("benchmark", Value::Str(benchmark.name().to_string())),
+                            ("policy", Value::Str(config.policy.paper_name().to_string())),
+                        ],
+                    )
+                    .expect("writing JSONL trace");
+                }
+                continue;
+            }
+            let trace = self.suite.trace(benchmark);
+            if !record_pipe {
+                if let Some(result) = self
+                    .disk
+                    .as_ref()
+                    .and_then(|disk| disk.load(benchmark, trace.fingerprint(), key))
+                {
                     self.cache.count_hit();
+                    self.cache.insert_loaded(benchmark, key.clone(), result);
                     if let Some(sink) = &self.trace {
                         sink.event(
-                            "cache_hit",
+                            "disk_hit",
                             &[
                                 ("benchmark", Value::Str(benchmark.name().to_string())),
                                 ("policy", Value::Str(config.policy.paper_name().to_string())),
@@ -162,21 +261,21 @@ impl Runner {
                         )
                         .expect("writing JSONL trace");
                     }
-                } else {
-                    let config = if record_pipe {
-                        config.clone().with_pipetrace(true)
-                    } else {
-                        config.clone()
-                    };
-                    let artifacts = self.artifacts.get_or_build(benchmark, trace);
-                    pending.push(Job {
-                        config,
-                        trace,
-                        artifacts,
-                    });
-                    pending_keys.push((benchmark, key.clone()));
+                    continue;
                 }
             }
+            let config = if record_pipe {
+                config.clone().with_pipetrace(true)
+            } else {
+                config.clone()
+            };
+            let artifacts = self.artifacts.get_or_build(benchmark, trace);
+            pending.push(Job {
+                config,
+                trace,
+                artifacts,
+            });
+            pending_keys.push((benchmark, key.clone()));
         }
 
         let done = exec::run_jobs(&pending, self.jobs);
@@ -213,33 +312,26 @@ impl Runner {
                 // same as in an untraced run.
                 result.pipetrace = None;
             }
+            if let Some(disk) = &self.disk {
+                let fp = self.suite.trace(benchmark).fingerprint();
+                if let Err(e) = disk.store(benchmark, fp, &key, &result) {
+                    eprintln!("warning: disk-cache write-back failed: {e}");
+                }
+            }
             self.cache.insert(benchmark, key, result, nanos);
         }
-
-        // Assemble each config's results in suite order from the cache
-        // (without re-counting hits), so output ordering never depends
-        // on execution interleaving.
-        keys.iter()
-            .map(|key| {
-                self.suite
-                    .iter()
-                    .map(|(b, _)| {
-                        let result = self
-                            .cache
-                            .peek(b, key)
-                            .expect("every requested (benchmark, config) is cached");
-                        (b, result)
-                    })
-                    .collect()
-            })
-            .collect()
     }
 
-    /// A snapshot of the cache-hit, simulation, and artifact counters.
+    /// A snapshot of the cache-hit, simulation, disk-tier, and
+    /// artifact counters.
     pub fn stats(&self) -> RunnerStats {
         let mut stats = self.cache.stats();
         stats.artifact_builds = self.artifacts.builds();
         stats.prep_nanos = self.artifacts.prep_nanos();
+        if let Some(disk) = &self.disk {
+            stats.disk_hits = disk.hits();
+            stats.disk_writes = disk.writes();
+        }
         stats
     }
 
@@ -454,6 +546,104 @@ mod tests {
         runner.run(&CoreConfig::paper_128().with_policy(Policy::NasSync));
         assert_eq!(runner.stats().artifact_builds, 2);
         assert!(runner.stats().prep_nanos > 0, "prep time is attributed");
+    }
+
+    #[test]
+    fn run_pairs_matches_run_and_honors_request_order() {
+        let runner = Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        );
+        let a = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        let b = CoreConfig::paper_128().with_policy(Policy::NasOracle);
+        let pairs = [
+            (Benchmark::Swim, a.clone()),
+            (Benchmark::Compress, b.clone()),
+            (Benchmark::Swim, a.clone()), // in-batch repeat
+        ];
+        let results = runner.run_pairs(&pairs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(format!("{:?}", results[0]), format!("{:?}", results[2]));
+        assert_eq!(runner.stats().simulations, 2);
+        assert_eq!(runner.stats().cache_hits, 1);
+        // Full-suite runs agree with the pairwise results.
+        let via_run = runner.run(&a);
+        let swim = via_run.iter().find(|(b, _)| *b == Benchmark::Swim).unwrap();
+        assert_eq!(format!("{:?}", swim.1), format!("{:?}", results[0]));
+    }
+
+    #[test]
+    fn warm_disk_cache_serves_everything_without_simulating() {
+        let dir = std::env::temp_dir().join(format!("mds-runner-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = || {
+            Runner::new(
+                Suite::generate(
+                    &[Benchmark::Compress, Benchmark::Swim],
+                    &SuiteParams::tiny(),
+                )
+                .unwrap(),
+            )
+            .with_cache_dir(&dir)
+        };
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNaive);
+
+        let cold = mk();
+        let first = cold.run(&cfg);
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.simulations, 2);
+        assert_eq!(cold_stats.disk_hits, 0);
+        assert_eq!(cold_stats.disk_writes, 2, "every fresh result persists");
+
+        // A brand-new runner (fresh process, in effect) with the same
+        // cache directory simulates nothing.
+        let warm = mk();
+        let second = warm.run(&cfg);
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.simulations, 0, "warm run must not simulate");
+        assert_eq!(warm_stats.disk_hits, 2);
+        assert_eq!(warm_stats.cache_hits, 2, "disk hits count as hits");
+        assert_eq!(warm_stats.disk_writes, 0);
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+
+        // A repeat within the warm runner is a memory hit, not a
+        // second disk read.
+        let third = warm.run(&cfg);
+        assert_eq!(warm.stats().disk_hits, 2);
+        assert_eq!(warm.stats().cache_hits, 4);
+        assert_eq!(format!("{second:?}"), format!("{third:?}"));
+
+        // A config the disk has never seen still simulates.
+        let other = mk();
+        other.run(&cfg.clone().with_window_size(64));
+        assert_eq!(other.stats().simulations, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn different_suite_params_do_not_share_disk_entries() {
+        let dir = std::env::temp_dir().join(format!("mds-runner-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        let tiny =
+            Runner::new(Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap())
+                .with_cache_dir(&dir);
+        tiny.run(&cfg);
+        assert_eq!(tiny.stats().disk_writes, 1);
+
+        // Same benchmark and config, differently sized trace: the
+        // trace fingerprint keeps the entries apart.
+        let mut params = SuiteParams::tiny();
+        params.dyn_target /= 2;
+        let smaller = Runner::new(Suite::generate(&[Benchmark::Compress], &params).unwrap())
+            .with_cache_dir(&dir);
+        smaller.run(&cfg);
+        assert_eq!(smaller.stats().disk_hits, 0, "fingerprints must differ");
+        assert_eq!(smaller.stats().simulations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,486 @@
+//! A shared simulation service: concurrent sweep requests over one
+//! [`Runner`], with identical in-flight work deduplicated.
+//!
+//! The [`SweepService`] is the long-running core behind `mds-serve`:
+//! many clients submit (benchmark, configuration) sweeps concurrently;
+//! each distinct pair is simulated exactly once — repeats are served
+//! from the two-tier cache, and a request arriving while an identical
+//! pair is *already being simulated* by another client waits for that
+//! simulation instead of starting a duplicate.
+//!
+//! The module also owns the wire protocol (`handle_line`): one JSON
+//! request per line, one JSON response per line, so the server binary
+//! is a thin socket loop and every protocol rule is unit-testable
+//! without a socket.
+
+use crate::cli;
+use crate::runner::key::ConfigKey;
+use crate::runner::Runner;
+use mds_core::{CoreConfig, Policy, SimResult};
+use mds_workloads::Benchmark;
+use serde::{Serialize, Value};
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// Version of the line protocol spoken by [`SweepService::handle_line`]
+/// (reported by `ping` so clients can detect mismatched servers).
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A [`Runner`] shared by concurrent clients, deduplicating identical
+/// in-flight requests.
+///
+/// The runner's own cache already collapses *completed* repeats; the
+/// service additionally collapses *concurrent* ones: a claims table
+/// records every (benchmark, config) currently being simulated, and a
+/// request that overlaps a foreign claim blocks on a condition
+/// variable until the owner finishes and publishes the result to the
+/// cache — so three clients sweeping the same configurations cost one
+/// sweep of simulations.
+#[derive(Debug)]
+pub struct SweepService {
+    runner: Runner,
+    inflight: Mutex<HashSet<(Benchmark, ConfigKey)>>,
+    finished: Condvar,
+}
+
+impl SweepService {
+    /// Wraps a runner for shared use.
+    pub fn new(runner: Runner) -> SweepService {
+        SweepService {
+            runner,
+            inflight: Mutex::new(HashSet::new()),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// The shared runner (for stats snapshots and trace events).
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Runs explicit (benchmark, configuration) pairs on the shared
+    /// runner, returning one result per pair in request order.
+    ///
+    /// Unlike calling [`Runner::run_pairs`] directly, concurrent calls
+    /// never simulate the same pair twice: each caller claims the
+    /// pairs nobody else is working on, simulates only those, and
+    /// waits for foreign claims to land in the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested benchmark is not part of the suite.
+    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+        let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
+
+        // Claim what nobody else is simulating; remember what they are.
+        let mut mine: Vec<(Benchmark, CoreConfig)> = Vec::new();
+        let mut mine_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
+        let mut foreign: Vec<(Benchmark, ConfigKey)> = Vec::new();
+        {
+            let mut inflight = self.inflight.lock().expect("claims table poisoned");
+            let mut seen: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
+            for ((benchmark, config), key) in pairs.iter().zip(&keys) {
+                if !seen.insert((*benchmark, key)) || self.runner.cache.contains(*benchmark, key) {
+                    continue; // in-request repeat or already memoized
+                }
+                let claim = (*benchmark, key.clone());
+                if inflight.contains(&claim) {
+                    foreign.push(claim);
+                } else {
+                    inflight.insert(claim);
+                    mine.push((*benchmark, config.clone()));
+                    mine_keys.push((*benchmark, key.clone()));
+                }
+            }
+        }
+
+        // Simulate the claimed pairs, then release the claims — even
+        // if a simulation panicked, so foreign waiters are never
+        // stranded on a claim whose owner is gone.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.runner.run_pairs(&mine);
+        }));
+        {
+            let mut inflight = self.inflight.lock().expect("claims table poisoned");
+            for claim in &mine_keys {
+                inflight.remove(claim);
+            }
+            self.finished.notify_all();
+        }
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+
+        // Wait for the pairs other clients were simulating.
+        {
+            let mut inflight = self.inflight.lock().expect("claims table poisoned");
+            while foreign.iter().any(|claim| inflight.contains(claim)) {
+                inflight = self.finished.wait(inflight).expect("claims table poisoned");
+            }
+        }
+
+        // Everything is memoized now; assemble in request order. Each
+        // request beyond the ones this caller simulated was served from
+        // the cache (possibly filled by a foreign claim) and counts as
+        // a hit.
+        for _ in 0..pairs.len().saturating_sub(mine.len()) {
+            self.runner.cache.count_hit();
+        }
+        pairs
+            .iter()
+            .zip(&keys)
+            .map(|((benchmark, _), key)| {
+                self.runner
+                    .cache
+                    .peek(*benchmark, key)
+                    .expect("every requested (benchmark, config) is memoized")
+            })
+            .collect()
+    }
+
+    /// Handles one protocol line, returning the JSON response line and
+    /// whether the server should shut down afterwards.
+    ///
+    /// Requests are JSON objects with an `op` field:
+    ///
+    /// - `{"op":"ping"}` — liveness and protocol version.
+    /// - `{"op":"stats"}` — the shared runner's counters.
+    /// - `{"op":"sweep","configs":[{"policy":"NAS/NAV",...},...],
+    ///   "benchmarks":["compress",...]}` — simulate every benchmark ×
+    ///   config pair; `benchmarks` defaults to the whole suite. Config
+    ///   knobs: `policy` (paper name, required), `window_size`, and
+    ///   `addr_sched_latency` (both optional, paper defaults).
+    /// - `{"op":"shutdown"}` — acknowledge and stop the server.
+    ///
+    /// Malformed requests produce `{"ok":false,"error":...}` and never
+    /// kill the connection.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match self.dispatch(line) {
+            Ok((response, shutdown)) => (response.to_json(), shutdown),
+            Err(error) => (
+                Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(false)),
+                    ("error".to_string(), Value::Str(error)),
+                ])
+                .to_json(),
+                false,
+            ),
+        }
+    }
+
+    fn dispatch(&self, line: &str) -> Result<(Value, bool), String> {
+        let request = Value::parse_json(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let op = request
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("request has no \"op\" field")?;
+        match op {
+            "ping" => Ok((
+                Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(true)),
+                    ("op".to_string(), Value::Str("ping".to_string())),
+                    (
+                        "protocol".to_string(),
+                        Value::UInt(u64::from(PROTOCOL_VERSION)),
+                    ),
+                ]),
+                false,
+            )),
+            "stats" => Ok((
+                Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(true)),
+                    ("op".to_string(), Value::Str("stats".to_string())),
+                    ("stats".to_string(), self.runner.stats().to_value()),
+                ]),
+                false,
+            )),
+            "shutdown" => Ok((
+                Value::Object(vec![
+                    ("ok".to_string(), Value::Bool(true)),
+                    ("op".to_string(), Value::Str("shutdown".to_string())),
+                ]),
+                true,
+            )),
+            "sweep" => self.sweep(&request).map(|response| (response, false)),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    fn sweep(&self, request: &Value) -> Result<Value, String> {
+        let benchmarks = match request.get("benchmarks") {
+            None | Some(Value::Null) => self.runner.suite().benchmarks(),
+            Some(list) => {
+                let names = list.as_array().ok_or("\"benchmarks\" must be an array")?;
+                let mut resolved = Vec::with_capacity(names.len());
+                for name in names {
+                    let name = name.as_str().ok_or("benchmark names must be strings")?;
+                    let benchmark = cli::resolve_benchmark(name)?;
+                    if !self.runner.suite().benchmarks().contains(&benchmark) {
+                        return Err(format!("{benchmark} is not in the served suite"));
+                    }
+                    resolved.push(benchmark);
+                }
+                resolved
+            }
+        };
+        let specs = request
+            .get("configs")
+            .ok_or("sweep has no \"configs\" field")?
+            .as_array()
+            .ok_or("\"configs\" must be an array")?;
+        let configs: Vec<CoreConfig> = specs.iter().map(parse_config).collect::<Result<_, _>>()?;
+
+        let pairs: Vec<(Benchmark, CoreConfig)> = configs
+            .iter()
+            .flat_map(|config| benchmarks.iter().map(|&b| (b, config.clone())))
+            .collect();
+        self.runner
+            .trace_event("sweep_start", &[("pairs", Value::UInt(pairs.len() as u64))])
+            .map_err(|e| format!("trace sink failed: {e}"))?;
+        let results = self.run_pairs(&pairs);
+        self.runner
+            .trace_event(
+                "sweep_finish",
+                &[("pairs", Value::UInt(pairs.len() as u64))],
+            )
+            .map_err(|e| format!("trace sink failed: {e}"))?;
+
+        let rows: Vec<Value> = pairs
+            .iter()
+            .zip(&results)
+            .map(|((benchmark, config), result)| {
+                Value::Object(vec![
+                    (
+                        "benchmark".to_string(),
+                        Value::Str(benchmark.name().to_string()),
+                    ),
+                    ("policy".to_string(), Value::Str(result.policy_name.clone())),
+                    (
+                        "window_size".to_string(),
+                        Value::UInt(config.window_size as u64),
+                    ),
+                    (
+                        "addr_sched_latency".to_string(),
+                        Value::UInt(config.addr_sched_latency),
+                    ),
+                    ("ipc".to_string(), Value::Float(result.ipc())),
+                    ("cycles".to_string(), Value::UInt(result.stats.cycles)),
+                    ("committed".to_string(), Value::UInt(result.stats.committed)),
+                    (
+                        "misspeculations".to_string(),
+                        Value::UInt(result.stats.misspeculations),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("op".to_string(), Value::Str("sweep".to_string())),
+            ("rows".to_string(), Value::Array(rows)),
+        ]))
+    }
+}
+
+/// Parses one sweep config spec: `policy` is required; `window_size`
+/// and `addr_sched_latency` override the paper's 128-entry defaults.
+/// Unknown knobs are rejected so a typo cannot silently sweep the
+/// default.
+fn parse_config(spec: &Value) -> Result<CoreConfig, String> {
+    let fields = spec.as_object().ok_or("each config must be an object")?;
+    let mut config = CoreConfig::paper_128();
+    let mut policy = None;
+    for (knob, value) in fields {
+        match knob.as_str() {
+            "policy" => {
+                let name = value.as_str().ok_or("\"policy\" must be a string")?;
+                policy = Some(parse_policy(name)?);
+            }
+            "window_size" => {
+                let n = value.as_u64().ok_or("\"window_size\" must be an integer")?;
+                let n = usize::try_from(n).map_err(|_| "\"window_size\" too large")?;
+                config = config.with_window_size(n);
+            }
+            "addr_sched_latency" => {
+                let n = value
+                    .as_u64()
+                    .ok_or("\"addr_sched_latency\" must be an integer")?;
+                config = config.with_addr_sched_latency(n);
+            }
+            other => return Err(format!("unknown config knob {other:?}")),
+        }
+    }
+    let policy = policy.ok_or("config has no \"policy\" field")?;
+    Ok(config.with_policy(policy))
+}
+
+/// Resolves a paper-style policy name (`NAS/SYNC`, `AS/NO`, …).
+fn parse_policy(name: &str) -> Result<Policy, String> {
+    Policy::ALL
+        .into_iter()
+        .chain([Policy::NasStoreSets])
+        .find(|p| p.paper_name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = Policy::ALL
+                .into_iter()
+                .chain([Policy::NasStoreSets])
+                .map(Policy::paper_name)
+                .collect();
+            format!(
+                "unknown policy {name:?} (expected one of: {})",
+                known.join(", ")
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Suite;
+    use mds_workloads::SuiteParams;
+    use std::sync::Arc;
+
+    fn service() -> SweepService {
+        SweepService::new(Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn concurrent_overlapping_sweeps_simulate_each_pair_once() {
+        let svc = Arc::new(service());
+        let policies = ["NAS/NO", "NAS/NAV", "NAS/ORACLE"];
+        let mut handles = Vec::new();
+        for start in 0..3 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                // Each client sweeps the same pair set in a different
+                // order, so claims genuinely interleave.
+                let pairs: Vec<(Benchmark, CoreConfig)> = (0..policies.len())
+                    .map(|i| policies[(start + i) % policies.len()])
+                    .flat_map(|name| {
+                        [Benchmark::Compress, Benchmark::Swim].map(|b| {
+                            (
+                                b,
+                                CoreConfig::paper_128().with_policy(parse_policy(name).unwrap()),
+                            )
+                        })
+                    })
+                    .collect();
+                let results = svc.run_pairs(&pairs);
+                results
+                    .iter()
+                    .zip(&pairs)
+                    .map(|(r, (b, _))| format!("{b}/{}/{:?}", r.policy_name, r.stats))
+                    .collect::<Vec<String>>()
+            }));
+        }
+        let mut transcripts: Vec<Vec<String>> = handles
+            .into_iter()
+            .map(|h| {
+                let mut t = h.join().unwrap();
+                t.sort();
+                t
+            })
+            .collect();
+        // All clients saw identical results for identical pairs.
+        transcripts.dedup();
+        assert_eq!(transcripts.len(), 1, "clients must agree");
+        let stats = svc.runner().stats();
+        assert_eq!(
+            stats.simulations, 6,
+            "3 policies x 2 benchmarks, each simulated exactly once"
+        );
+        assert_eq!(
+            stats.cache_hits, 12,
+            "the other two clients' requests are hits"
+        );
+    }
+
+    #[test]
+    fn protocol_round_trip() {
+        let svc = service();
+        let (pong, stop) = svc.handle_line("{\"op\":\"ping\"}");
+        assert!(!stop);
+        assert!(pong.contains("\"protocol\":1"), "{pong}");
+
+        let (resp, stop) = svc.handle_line(
+            "{\"op\":\"sweep\",\"benchmarks\":[\"compress\"],\
+             \"configs\":[{\"policy\":\"NAS/NAV\",\"window_size\":64}]}",
+        );
+        assert!(!stop);
+        let parsed = Value::parse_json(&resp).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        let rows = parsed.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("benchmark").unwrap().as_str(),
+            Some("129.compress")
+        );
+        assert_eq!(rows[0].get("policy").unwrap().as_str(), Some("NAS/NAV"));
+        assert_eq!(rows[0].get("window_size").unwrap().as_u64(), Some(64));
+        assert!(rows[0].get("ipc").unwrap().as_f64().unwrap() > 0.0);
+
+        // A repeated sweep is all cache hits.
+        let before = svc.runner().stats();
+        let (again, _) = svc.handle_line(
+            "{\"op\":\"sweep\",\"benchmarks\":[\"compress\"],\
+             \"configs\":[{\"policy\":\"NAS/NAV\",\"window_size\":64}]}",
+        );
+        assert_eq!(resp, again, "identical requests get identical responses");
+        let after = svc.runner().stats();
+        assert_eq!(after.simulations, before.simulations);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+
+        let (stats_resp, _) = svc.handle_line("{\"op\":\"stats\"}");
+        let stats = Value::parse_json(&stats_resp).unwrap();
+        assert_eq!(
+            stats
+                .get("stats")
+                .unwrap()
+                .get("simulations")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+
+        let (bye, stop) = svc.handle_line("{\"op\":\"shutdown\"}");
+        assert!(stop, "shutdown must stop the server");
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+    }
+
+    #[test]
+    fn protocol_rejects_malformed_requests_without_stopping() {
+        let svc = service();
+        for bad in [
+            "not json",
+            "{\"no\":\"op\"}",
+            "{\"op\":\"frobnicate\"}",
+            "{\"op\":\"sweep\"}",
+            "{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/BOGUS\"}]}",
+            "{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NO\",\"frequency\":3}]}",
+            "{\"op\":\"sweep\",\"configs\":[{\"window_size\":64}]}",
+            "{\"op\":\"sweep\",\"benchmarks\":[\"gcc\"],\
+             \"configs\":[{\"policy\":\"NAS/NO\"}]}", // gcc not in suite
+        ] {
+            let (resp, stop) = svc.handle_line(bad);
+            assert!(!stop, "{bad}");
+            assert!(resp.contains("\"ok\":false"), "{bad} -> {resp}");
+            assert!(resp.contains("\"error\""), "{bad} -> {resp}");
+        }
+        assert_eq!(svc.runner().stats().simulations, 0);
+    }
+
+    #[test]
+    fn sweep_defaults_to_the_whole_suite() {
+        let svc = service();
+        let (resp, _) =
+            svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/ORACLE\"}]}");
+        let parsed = Value::parse_json(&resp).unwrap();
+        let rows = parsed.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2, "one row per suite benchmark");
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end tests of the `mds-serve` daemon and `mds-load` client:
+//! real binaries, a real Unix socket, genuinely concurrent clients.
+
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running `mds-serve` bound to a short-lived socket path.
+struct Server {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Server {
+    fn spawn(tag: &str, extra: &[&str]) -> Server {
+        // Unix socket paths are limited to ~108 bytes; stay short.
+        let socket = std::env::temp_dir().join(format!("mds-{tag}-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_mds-serve"))
+            .arg("--socket")
+            .arg(&socket)
+            .args([
+                "--scale",
+                "tiny",
+                "--benchmarks",
+                "compress,swim",
+                "--jobs",
+                "2",
+            ])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning mds-serve");
+        let server = Server { child, socket };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while UnixStream::connect(&server.socket).is_err() {
+            assert!(
+                Instant::now() < deadline,
+                "server did not come up on {}",
+                server.socket.display()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        server
+    }
+
+    fn shutdown_and_wait(mut self) {
+        let response = request(&self.socket, "{\"op\":\"shutdown\"}");
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+        let status = self.child.wait().expect("waiting for mds-serve");
+        assert!(status.success(), "server exited with {status}");
+        assert!(
+            !self.socket.exists(),
+            "socket file must be removed on shutdown"
+        );
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// One request over a fresh connection.
+fn request(socket: &Path, line: &str) -> Value {
+    let stream = UnixStream::connect(socket).expect("connecting");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    writeln!(writer, "{line}").expect("writing request");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("reading response");
+    Value::parse_json(response.trim_end()).expect("parsing response JSON")
+}
+
+#[test]
+fn concurrent_clients_share_one_sweep_of_simulations() {
+    let server = Server::spawn("proto", &[]);
+    let socket = &server.socket;
+
+    let pong = request(socket, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(pong.get("protocol").unwrap().as_u64(), Some(1));
+
+    // Three clients, same pair set in three rotations, racing over the
+    // socket. Each client keeps one connection and sweeps twice (the
+    // second pass must be pure cache).
+    let policies = ["NAS/NO", "NAS/NAV", "NAS/ORACLE"];
+    let row_sets: Vec<Vec<String>> = std::thread::scope(|scope| {
+        (0..3)
+            .map(|start| {
+                scope.spawn(move || {
+                    let configs: Vec<String> = (0..policies.len())
+                        .map(|i| {
+                            format!(
+                                "{{\"policy\":\"{}\"}}",
+                                policies[(start + i) % policies.len()]
+                            )
+                        })
+                        .collect();
+                    let sweep = format!("{{\"op\":\"sweep\",\"configs\":[{}]}}", configs.join(","));
+                    let stream = UnixStream::connect(socket).expect("connecting");
+                    let mut writer = stream.try_clone().expect("cloning stream");
+                    let mut reader = BufReader::new(stream);
+                    let mut rows_of = |line: &str| {
+                        writeln!(writer, "{line}").expect("writing sweep");
+                        let mut response = String::new();
+                        reader.read_line(&mut response).expect("reading sweep");
+                        let parsed = Value::parse_json(response.trim_end()).unwrap();
+                        assert_eq!(
+                            parsed.get("ok").unwrap().as_bool(),
+                            Some(true),
+                            "{response}"
+                        );
+                        let mut rows: Vec<String> = parsed
+                            .get("rows")
+                            .unwrap()
+                            .as_array()
+                            .unwrap()
+                            .iter()
+                            .map(Value::to_json)
+                            .collect();
+                        rows.sort();
+                        rows
+                    };
+                    let first = rows_of(&sweep);
+                    let second = rows_of(&sweep);
+                    assert_eq!(first, second, "repeat sweep must be identical");
+                    first
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(row_sets[0].len(), 6, "3 policies x 2 benchmarks");
+    assert_eq!(row_sets[0], row_sets[1]);
+    assert_eq!(row_sets[1], row_sets[2]);
+
+    // The server's own counters prove each distinct pair ran once.
+    let stats = request(socket, "{\"op\":\"stats\"}");
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(stats.get("simulations").unwrap().as_u64(), Some(6));
+    assert_eq!(
+        stats.get("cache_hits").unwrap().as_u64(),
+        Some(30),
+        "6 requests x 6 pairs = 36 total, 6 simulated, 30 served"
+    );
+
+    // Malformed requests do not wedge the server.
+    let bad = request(
+        socket,
+        "{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NOPE\"}]}",
+    );
+    assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+    assert!(bad.get("error").unwrap().as_str().is_some());
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn load_client_verifies_cold_and_warm_counters() {
+    let cache = std::env::temp_dir().join(format!("mds-load-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let cache_arg = cache.to_str().unwrap().to_string();
+    let server = Server::spawn("load", &["--cache-dir", &cache_arg]);
+
+    let load = |socket: &Path, expected_delta: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_mds-load"))
+            .arg("--socket")
+            .arg(socket)
+            .args([
+                "--clients",
+                "3",
+                "--policies",
+                "NAS/NO,NAS/NAV",
+                "--window-sizes",
+                "64,128",
+                "--repeats",
+                "2",
+                "--expect-simulations-delta",
+                expected_delta,
+            ])
+            .output()
+            .expect("running mds-load");
+        assert!(
+            output.status.success(),
+            "mds-load failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        Value::parse_json(String::from_utf8_lossy(&output.stdout).trim()).unwrap()
+    };
+
+    // Cold server: the 2x2 config grid over 2 benchmarks is 8 distinct
+    // pairs; three overlapping clients must cost exactly 8 simulations.
+    let summary = load(&server.socket, "8");
+    assert_eq!(summary.get("distinct_pairs").unwrap().as_u64(), Some(8));
+    assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(8));
+    assert_eq!(summary.get("agreement").unwrap().as_bool(), Some(true));
+
+    // Same barrage again: everything is memoized, nothing simulates.
+    let summary = load(&server.socket, "0");
+    assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(0));
+
+    // The disk tier saw the results; the counters agree.
+    let stats = request(&server.socket, "{\"op\":\"stats\"}");
+    assert_eq!(
+        stats
+            .get("stats")
+            .unwrap()
+            .get("disk_writes")
+            .unwrap()
+            .as_u64(),
+        Some(8)
+    );
+    server.shutdown_and_wait();
+
+    // A fresh server on the same cache directory serves the identical
+    // barrage entirely from disk.
+    let server = Server::spawn("load2", &["--cache-dir", &cache_arg]);
+    let summary = load(&server.socket, "0");
+    assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(0));
+    let stats = request(&server.socket, "{\"op\":\"stats\"}");
+    assert_eq!(
+        stats
+            .get("stats")
+            .unwrap()
+            .get("disk_hits")
+            .unwrap()
+            .as_u64(),
+        Some(8),
+        "every distinct pair loaded from the persistent tier"
+    );
+    server.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&cache);
+}

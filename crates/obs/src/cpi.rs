@@ -113,9 +113,20 @@ impl CpiStack {
         self.stalls[cause.index()] += 1;
     }
 
+    /// Charges `n` cycles to `cause` at once — for bulk attribution
+    /// (fast-forwarded spans, persisted-stack reconstruction).
+    pub fn record_n(&mut self, cause: StallCause, n: u64) {
+        self.stalls[cause.index()] += n;
+    }
+
     /// Counts one cycle that committed at least one instruction.
     pub fn commit(&mut self) {
         self.commit_cycles += 1;
+    }
+
+    /// Counts `n` committing cycles at once.
+    pub fn commit_n(&mut self, n: u64) {
+        self.commit_cycles += n;
     }
 
     /// Cycles charged to `cause`.
@@ -196,6 +207,22 @@ mod tests {
         assert_eq!(c.stall(StallCause::FalseDependence), 2);
         assert!((c.fraction(StallCause::FalseDependence) - 0.4).abs() < 1e-12);
         assert!((c.commit_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_attribution_matches_repeated_singles() {
+        let mut singles = CpiStack::default();
+        for _ in 0..5 {
+            singles.commit();
+        }
+        for _ in 0..3 {
+            singles.record(StallCause::CacheMiss);
+        }
+        let mut bulk = CpiStack::default();
+        bulk.commit_n(5);
+        bulk.record_n(StallCause::CacheMiss, 3);
+        assert_eq!(bulk, singles);
+        assert_eq!(bulk.total_cycles(), 8);
     }
 
     #[test]

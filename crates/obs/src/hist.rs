@@ -141,6 +141,51 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Reassembles a histogram from its exact moments and non-empty
+    /// bucket counts (keyed by bucket lower bound), i.e. the data
+    /// [`Histogram::nonzero_buckets`] and the moment accessors expose —
+    /// the shape a persisted histogram is stored in.
+    ///
+    /// Returns `None` when the parts are inconsistent: a `lo` that is
+    /// not a bucket lower bound, a duplicate bucket, bucket counts that
+    /// do not sum to `count`, min/max outside their buckets, or moments
+    /// on an empty histogram — so corrupted persisted data is rejected
+    /// rather than resurrected into an impossible histogram.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+        bucket_counts: &[(u64, u64)],
+    ) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        for &(lo, n) in bucket_counts {
+            let i = Histogram::bucket_index(lo);
+            if Histogram::bucket_bounds(i).0 != lo || n == 0 || h.buckets[i] != 0 {
+                return None;
+            }
+            h.buckets[i] = n;
+        }
+        if h.buckets.iter().sum::<u64>() != count {
+            return None;
+        }
+        if count == 0 {
+            return (sum == 0 && min.is_none() && max.is_none()).then_some(h);
+        }
+        let (min, max) = (min?, max?);
+        if min > max
+            || h.buckets[Histogram::bucket_index(min)] == 0
+            || h.buckets[Histogram::bucket_index(max)] == 0
+        {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Some(h)
+    }
+
     /// Iterates over the non-empty buckets as `(lo, hi, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -232,6 +277,37 @@ mod tests {
         assert_eq!(h.percentile(0.99), Some(100));
         assert_eq!(h.percentile(0.0), Some(1));
         assert_eq!(h.percentile(1.0), Some(100));
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record_n(1000, 4);
+        let parts: Vec<(u64, u64)> = h.nonzero_buckets().map(|(lo, _, n)| (lo, n)).collect();
+        let back = Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &parts).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(
+            Histogram::from_parts(0, 0, None, None, &[]),
+            Some(Histogram::new())
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        // lo that is not a bucket lower bound.
+        assert!(Histogram::from_parts(1, 3, Some(3), Some(3), &[(3, 1)]).is_none());
+        // Counts that do not sum to count.
+        assert!(Histogram::from_parts(5, 3, Some(2), Some(2), &[(2, 1)]).is_none());
+        // min/max in empty buckets.
+        assert!(Histogram::from_parts(1, 2, Some(200), Some(200), &[(2, 1)]).is_none());
+        // Moments on an empty histogram.
+        assert!(Histogram::from_parts(0, 7, None, None, &[]).is_none());
+        // min > max.
+        assert!(Histogram::from_parts(2, 6, Some(4), Some(2), &[(2, 2)]).is_none());
+        // Duplicate bucket.
+        assert!(Histogram::from_parts(2, 4, Some(2), Some(2), &[(2, 1), (2, 1)]).is_none());
     }
 
     #[test]
