@@ -4,6 +4,7 @@
 //! mds-load --socket PATH [--clients N] [--policies NAS/NO,NAS/NAV,...]
 //!          [--window-sizes 64,128] [--repeats N]
 //!          [--expect-simulations-delta N]
+//! mds-load --socket PATH --metrics [--samples N] [--interval-ms MS]
 //! ```
 //!
 //! Spawns `N` concurrent clients against a running server. Every
@@ -23,7 +24,15 @@
 //!
 //! Prints a one-line JSON summary on success; exits non-zero on any
 //! violation.
+//!
+//! With `--metrics`, the barrage is skipped entirely: the client polls
+//! the server's `metrics` op `--samples` times (`--interval-ms` apart),
+//! decoding the `phase.*` latency histograms and printing a
+//! p50/p95/p99 table per sample alongside the counters and gauges — a
+//! poor man's live dashboard for a long-running server.
 
+use mds_harness::TextTable;
+use mds_obs::Histogram;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -32,7 +41,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: mds-load --socket PATH [--clients N] \
      [--policies NAS/NO,...] [--window-sizes 64,128] [--repeats N]\n\
-     [--expect-simulations-delta N]";
+     [--expect-simulations-delta N]\n\
+     mds-load --socket PATH --metrics [--samples N] [--interval-ms MS]";
 
 struct Args {
     socket: PathBuf,
@@ -41,6 +51,9 @@ struct Args {
     window_sizes: Vec<u64>,
     repeats: usize,
     expect_delta: Option<u64>,
+    metrics: bool,
+    samples: usize,
+    interval_ms: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
@@ -52,6 +65,9 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
     let mut window_sizes = vec![128u64];
     let mut repeats = 2;
     let mut expect_delta = None;
+    let mut metrics = false;
+    let mut samples = 1;
+    let mut interval_ms = 1000;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -87,6 +103,17 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
                         .map_err(|e| format!("bad --expect-simulations-delta value: {e}"))?,
                 );
             }
+            "--metrics" => metrics = true,
+            "--samples" => {
+                samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples value: {e}"))?;
+            }
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms value: {e}"))?;
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
@@ -99,6 +126,9 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
         window_sizes,
         repeats,
         expect_delta,
+        metrics,
+        samples,
+        interval_ms,
     }))
 }
 
@@ -115,7 +145,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    let outcome = if args.metrics {
+        watch_metrics(&args)
+    } else {
+        run(&args)
+    };
+    match outcome {
         Ok(summary) => {
             println!("{summary}");
             ExitCode::SUCCESS
@@ -198,6 +233,63 @@ fn canonical_rows(response: &Value) -> Result<Vec<String>, String> {
     let mut lines: Vec<String> = rows.iter().map(Value::to_json).collect();
     lines.sort();
     Ok(lines)
+}
+
+/// Formats a microsecond quantity with a unit, `-` when absent.
+fn us(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| format!("{n}us"))
+}
+
+/// Polls the server's `metrics` op, printing a per-phase latency table
+/// (p50/p95/p99 from the log2 histograms) plus counters and gauges for
+/// every sample. Returns a one-line JSON summary.
+fn watch_metrics(args: &Args) -> Result<String, String> {
+    let mut client = Client::connect(&args.socket)?;
+    let samples = args.samples.max(1);
+    let mut phases_seen = 0u64;
+    for sample in 0..samples {
+        if sample > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+        }
+        let response = client.request("{\"op\":\"metrics\"}")?;
+        let metrics = response
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or("metrics response has no metrics object")?;
+        let mut t = TextTable::new(&["phase", "count", "mean", "p50", "p95", "p99", "max"]);
+        let mut scalars = Vec::new();
+        for (name, value) in metrics {
+            if let Some(h) = Histogram::from_value(value) {
+                if let Some(phase) = name.strip_prefix("phase.") {
+                    phases_seen += 1;
+                    t.row_owned(vec![
+                        phase.to_string(),
+                        h.count().to_string(),
+                        format!("{:.0}us", h.mean()),
+                        us(h.percentile(0.50)),
+                        us(h.percentile(0.95)),
+                        us(h.percentile(0.99)),
+                        us(h.max()),
+                    ]);
+                }
+            } else if let Some(v) = value.as_u64() {
+                scalars.push(format!("{name}={v}"));
+            } else if let Some(v) = value.as_f64() {
+                scalars.push(format!("{name}={v:.1}"));
+            }
+        }
+        println!("--- metrics sample {}/{samples} ---", sample + 1);
+        println!("{}", scalars.join("  "));
+        if !t.is_empty() {
+            print!("{}", t.render());
+        }
+    }
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("samples".to_string(), Value::UInt(samples as u64)),
+        ("phase_histograms".to_string(), Value::UInt(phases_seen)),
+    ])
+    .to_json())
 }
 
 fn run(args: &Args) -> Result<String, String> {

@@ -101,9 +101,11 @@ fn serve(args: ServeArgs) -> Result<(), String> {
                 let shutdown = Arc::clone(&shutdown);
                 let socket = args.socket.clone();
                 std::thread::spawn(move || {
+                    service.connection_opened();
                     if let Err(e) = client_loop(&service, stream, &shutdown, &socket) {
                         eprintln!("mds-serve: client error: {e}");
                     }
+                    service.connection_closed();
                 });
             }
             Err(e) => eprintln!("mds-serve: accept failed: {e}"),
@@ -140,22 +142,36 @@ fn serve(args: ServeArgs) -> Result<(), String> {
 /// lines. On a shutdown request, flips the flag and pokes the listener
 /// with a throwaway connection so the blocking accept wakes up and
 /// observes it.
+///
+/// With tracing attached, every request is wrapped in a `recv` span —
+/// from reading the line through flushing the response — that parents
+/// the service's `claim`/`dedup_join` spans and the runner's per-config
+/// span trees, so one request is one connected tree in the trace.
 fn client_loop(
     service: &SweepService,
     stream: UnixStream,
     shutdown: &AtomicBool,
     socket: &Path,
 ) -> std::io::Result<()> {
+    let traced = service.runner().trace().is_some();
     let mut writer = BufWriter::new(stream.try_clone()?);
     for line in BufReader::new(stream).lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = service.handle_line(&line);
+        let recv = traced.then(|| service.runner().spans().enter("recv", None));
+        let (response, stop) = service.handle_line_under(&line, recv.as_ref().map(|s| s.id()));
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+        if let Some(mut span) = recv {
+            span.add_field("bytes_in", Value::UInt(line.len() as u64));
+            span.add_field("bytes_out", Value::UInt(response.len() as u64));
+            if let Err(e) = service.runner().emit_span(&span.finish()) {
+                eprintln!("mds-serve: trace write failed: {e}");
+            }
+        }
         if stop {
             shutdown.store(true, Ordering::SeqCst);
             let _ = UnixStream::connect(socket);

@@ -34,6 +34,7 @@ mod barchart;
 pub mod cli;
 pub mod emit;
 pub mod experiments;
+pub mod report;
 mod runner;
 mod table;
 

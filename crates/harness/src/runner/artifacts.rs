@@ -16,29 +16,51 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Memoizes one [`TraceArtifacts`] bundle per suite benchmark.
+/// Memoizes one [`TraceArtifacts`] bundle per suite benchmark, keeping
+/// each bundle's build time so observability layers can attribute the
+/// `artifact_build` phase to the request that actually paid for it.
 #[derive(Debug, Default)]
 pub(super) struct ArtifactCache {
-    map: Mutex<HashMap<Benchmark, Arc<TraceArtifacts>>>,
+    map: Mutex<HashMap<Benchmark, (Arc<TraceArtifacts>, u64)>>,
     builds: AtomicU64,
     prep_nanos: AtomicU64,
+}
+
+/// One artifact lookup's outcome: the shared bundle, whether this call
+/// built it, and the nanoseconds the build took (whenever it happened).
+pub(super) struct ArtifactLookup {
+    /// The shared bundle.
+    pub artifacts: Arc<TraceArtifacts>,
+    /// Whether this call performed the build (false: memoized).
+    pub built: bool,
+    /// Build wall time in nanoseconds (of the original build when
+    /// served memoized).
+    pub build_nanos: u64,
 }
 
 impl ArtifactCache {
     /// The memoized artifacts for `benchmark`, building (and timing)
     /// them from `trace` on first use.
-    pub fn get_or_build(&self, benchmark: Benchmark, trace: &Trace) -> Arc<TraceArtifacts> {
+    pub fn get_or_build(&self, benchmark: Benchmark, trace: &Trace) -> ArtifactLookup {
         let mut map = self.map.lock().expect("artifact cache poisoned");
-        if let Some(arts) = map.get(&benchmark) {
-            return Arc::clone(arts);
+        if let Some((arts, nanos)) = map.get(&benchmark) {
+            return ArtifactLookup {
+                artifacts: Arc::clone(arts),
+                built: false,
+                build_nanos: *nanos,
+            };
         }
         let start = Instant::now();
         let arts = TraceArtifacts::shared(trace);
-        self.prep_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.prep_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.builds.fetch_add(1, Ordering::Relaxed);
-        map.insert(benchmark, Arc::clone(&arts));
-        arts
+        map.insert(benchmark, (Arc::clone(&arts), nanos));
+        ArtifactLookup {
+            artifacts: arts,
+            built: true,
+            build_nanos: nanos,
+        }
     }
 
     /// Number of artifact bundles built (one per distinct benchmark).

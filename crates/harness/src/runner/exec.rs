@@ -30,26 +30,45 @@ pub(super) struct Job<'a> {
     pub artifacts: Arc<TraceArtifacts>,
 }
 
-/// Runs one job, returning the result and its wall-clock nanoseconds.
-fn run_one(job: &Job<'_>) -> (SimResult, u64) {
+/// One finished job: the result, when the job actually started
+/// (nanoseconds after [`run_jobs`] was entered — its time on the queue
+/// behind other jobs), and its simulation wall time.
+pub(super) struct JobDone {
+    /// The simulation result.
+    pub result: SimResult,
+    /// Nanoseconds between `run_jobs` entry and a worker claiming this
+    /// job — the queue-wait observability layers attribute per config.
+    pub start_offset_ns: u64,
+    /// Simulation wall-clock nanoseconds.
+    pub nanos: u64,
+}
+
+/// Runs one job, returning the result, its start offset relative to
+/// `wave_start`, and its wall-clock nanoseconds.
+fn run_one(job: &Job<'_>, wave_start: Instant) -> JobDone {
     let start = Instant::now();
     let result = Simulator::new(job.config.clone()).run_with_artifacts(job.trace, &job.artifacts);
-    (result, start.elapsed().as_nanos() as u64)
+    JobDone {
+        result,
+        start_offset_ns: start.duration_since(wave_start).as_nanos() as u64,
+        nanos: start.elapsed().as_nanos() as u64,
+    }
 }
 
 /// Executes `jobs` on up to `threads` scoped worker threads, returning
-/// `(result, nanos)` per job **in job order**.
+/// one [`JobDone`] per job **in job order**.
 ///
 /// `Simulator` is deterministic and stateless across runs, so the
 /// output is identical whatever thread count or completion order —
 /// `threads == 1` simply runs inline on the caller's thread.
-pub(super) fn run_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<(SimResult, u64)> {
+pub(super) fn run_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<JobDone> {
     let threads = threads.max(1).min(jobs.len().max(1));
+    let wave_start = Instant::now();
     if threads == 1 {
-        return jobs.iter().map(run_one).collect();
+        return jobs.iter().map(|j| run_one(j, wave_start)).collect();
     }
 
-    let mut slots: Vec<Option<(SimResult, u64)>> = Vec::new();
+    let mut slots: Vec<Option<JobDone>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel();
@@ -60,7 +79,7 @@ pub(super) fn run_jobs(jobs: &[Job<'_>], threads: usize) -> Vec<(SimResult, u64)
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                if tx.send((i, run_one(job))).is_err() {
+                if tx.send((i, run_one(job, wave_start))).is_err() {
                     break;
                 }
             });

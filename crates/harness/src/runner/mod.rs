@@ -26,11 +26,13 @@ use artifacts::ArtifactCache;
 use disk::DiskCache;
 use exec::Job;
 use mds_core::{CoreConfig, SimResult};
+use mds_obs::{Registry, SpanId, SpanRecord, Spans};
 use mds_workloads::Benchmark;
 use serde::Value;
 use std::collections::HashSet;
 use std::io;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// Drives simulations over a [`Suite`]: memoizes per-(benchmark,
 /// config) results across experiments and runs pending simulations in
@@ -60,6 +62,8 @@ pub struct Runner {
     disk: Option<DiskCache>,
     artifacts: ArtifactCache,
     trace: Option<TraceSink>,
+    spans: Spans,
+    obs: Mutex<Registry>,
 }
 
 impl Runner {
@@ -67,6 +71,14 @@ impl Runner {
     /// [`std::thread::available_parallelism`].
     pub fn new(suite: Suite) -> Runner {
         let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+        // Trace generation already happened inside the suite; seed the
+        // registry with its per-benchmark cost so the `trace_gen` phase
+        // is attributed exactly once, not once per config that replays
+        // the trace.
+        let mut obs = Registry::new();
+        for b in suite.benchmarks() {
+            obs.record("phase.trace_gen_us", suite.gen_nanos(b) / 1_000);
+        }
         Runner {
             suite,
             jobs,
@@ -74,6 +86,8 @@ impl Runner {
             disk: None,
             artifacts: ArtifactCache::default(),
             trace: None,
+            spans: Spans::new(),
+            obs: Mutex::new(obs),
         }
     }
 
@@ -134,6 +148,39 @@ impl Runner {
         }
     }
 
+    /// The span tracker every runner-path span is allocated from: one
+    /// monotonic epoch per runner, so service layers can parent their
+    /// request spans onto the same id space and timeline.
+    pub fn spans(&self) -> &Spans {
+        &self.spans
+    }
+
+    /// Runs `f` against the runner's operational metric registry —
+    /// phase latency histograms, cache-tier counters, gauges. Service
+    /// layers use this to fold their own request metrics into the same
+    /// registry the `metrics` protocol verb snapshots.
+    pub fn observe<F: FnOnce(&mut Registry)>(&self, f: F) {
+        f(&mut self.obs.lock().expect("metric registry poisoned"));
+    }
+
+    /// A point-in-time clone of the operational metric registry.
+    pub fn obs_snapshot(&self) -> Registry {
+        self.obs.lock().expect("metric registry poisoned").clone()
+    }
+
+    /// Emits one finished span to the attached trace sink (no-op when
+    /// tracing is off).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's write error.
+    pub fn emit_span(&self, record: &SpanRecord) -> io::Result<()> {
+        match &self.trace {
+            Some(sink) => sink.emit_span(record),
+            None => Ok(()),
+        }
+    }
+
     /// The wrapped suite.
     pub fn suite(&self) -> &Suite {
         &self.suite
@@ -166,6 +213,7 @@ impl Runner {
                 .iter()
                 .zip(&keys)
                 .flat_map(|(config, key)| self.suite.iter().map(move |(b, _)| (b, config, key))),
+            None,
         );
 
         // Assemble each config's results in suite order from the cache
@@ -197,8 +245,27 @@ impl Runner {
     ///
     /// Panics if a requested benchmark is not part of the suite.
     pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+        self.run_pairs_under(pairs, None)
+    }
+
+    /// [`Runner::run_pairs`] with an explicit parent span: the resolve
+    /// span (and every per-config span under it) is parented onto the
+    /// caller's request span, so a service request's trace forms one
+    /// connected tree from `recv` down to `disk_write`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested benchmark is not part of the suite.
+    pub fn run_pairs_under(
+        &self,
+        pairs: &[(Benchmark, CoreConfig)],
+        parent: Option<SpanId>,
+    ) -> Vec<SimResult> {
         let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
-        self.resolve(pairs.iter().zip(&keys).map(|((b, c), key)| (*b, c, key)));
+        self.resolve(
+            pairs.iter().zip(&keys).map(|((b, c), key)| (*b, c, key)),
+            parent,
+        );
         pairs
             .iter()
             .zip(&keys)
@@ -214,9 +281,18 @@ impl Runner {
     /// cache: memory hits are counted, misses fall through to the disk
     /// tier (when attached), and the remainder is simulated in one
     /// parallel wave and written back to disk.
+    ///
+    /// With a trace sink attached the whole call is wrapped in a
+    /// `resolve` span (parented on `parent` when the caller — e.g. a
+    /// service request — supplies one) and every executed job emits a
+    /// `config_run` span tree covering the `trace_gen`,
+    /// `artifact_build`, `queue_wait`, `simulate`, and (with a disk
+    /// tier) `disk_write` phases. The metric registry accumulates the
+    /// same phases as latency histograms regardless of tracing.
     fn resolve<'a>(
         &'a self,
         requests: impl Iterator<Item = (Benchmark, &'a CoreConfig, &'a ConfigKey)>,
+        parent: Option<SpanId>,
     ) {
         // When a trace sink with a sampling stride is attached, the
         // jobs (but not the cache keys) get pipeline-trace recording
@@ -224,12 +300,20 @@ impl Runner {
         // disk hit cannot replay the pipeline events the caller asked
         // for.
         let record_pipe = self.trace.as_ref().is_some_and(|t| t.every() > 0);
+        let resolve_span = self
+            .trace
+            .as_ref()
+            .map(|_| self.spans.enter("resolve", parent));
+        let resolve_id = resolve_span.as_ref().map(|s| s.id());
         let mut scheduled: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
         let mut pending: Vec<Job<'_>> = Vec::new();
-        let mut pending_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
+        // Per pending job: (benchmark, key, enqueue offset, whether this
+        // request built the artifact bundle, its build nanos).
+        let mut pending_meta: Vec<(Benchmark, ConfigKey, u64, bool, u64)> = Vec::new();
         for (benchmark, config, key) in requests {
             if self.cache.contains(benchmark, key) || !scheduled.insert((benchmark, key)) {
                 self.cache.count_hit();
+                self.observe(|r| r.incr("cache.memory_hits"));
                 if let Some(sink) = &self.trace {
                     sink.event(
                         "cache_hit",
@@ -243,14 +327,20 @@ impl Runner {
                 continue;
             }
             let trace = self.suite.trace(benchmark);
-            if !record_pipe {
+            if !record_pipe && self.disk.is_some() {
+                let read_start = self.spans.now_ns();
                 if let Some(result) = self
                     .disk
                     .as_ref()
                     .and_then(|disk| disk.load(benchmark, trace.fingerprint(), key))
                 {
+                    let read_ns = self.spans.now_ns().saturating_sub(read_start);
                     self.cache.count_hit();
                     self.cache.insert_loaded(benchmark, key.clone(), result);
+                    self.observe(|r| {
+                        r.incr("cache.disk_hits");
+                        r.record("phase.disk_read_us", read_ns / 1_000);
+                    });
                     if let Some(sink) = &self.trace {
                         sink.event(
                             "disk_hit",
@@ -260,6 +350,17 @@ impl Runner {
                             ],
                         )
                         .expect("writing JSONL trace");
+                        let span = self.spans.record(
+                            "disk_read",
+                            resolve_id,
+                            read_start,
+                            read_ns,
+                            vec![(
+                                "benchmark".to_string(),
+                                Value::Str(benchmark.name().to_string()),
+                            )],
+                        );
+                        sink.emit_span(&span).expect("writing JSONL trace");
                     }
                     continue;
                 }
@@ -269,17 +370,97 @@ impl Runner {
             } else {
                 config.clone()
             };
-            let artifacts = self.artifacts.get_or_build(benchmark, trace);
+            let lookup = self.artifacts.get_or_build(benchmark, trace);
+            if lookup.built {
+                self.observe(|r| r.record("phase.artifact_build_us", lookup.build_nanos / 1_000));
+            }
             pending.push(Job {
                 config,
                 trace,
-                artifacts,
+                artifacts: lookup.artifacts,
             });
-            pending_keys.push((benchmark, key.clone()));
+            pending_meta.push((
+                benchmark,
+                key.clone(),
+                self.spans.now_ns(),
+                lookup.built,
+                lookup.build_nanos,
+            ));
         }
 
+        self.observe(|r| r.set_gauge("runner.queue_depth", pending.len() as f64));
+        let wave_start_ns = self.spans.now_ns();
         let done = exec::run_jobs(&pending, self.jobs);
-        for ((benchmark, key), (mut result, nanos)) in pending_keys.into_iter().zip(done) {
+        self.observe(|r| r.set_gauge("runner.queue_depth", 0.0));
+        for ((benchmark, key, enqueue_ns, built, build_nanos), job_done) in
+            pending_meta.into_iter().zip(done)
+        {
+            let exec::JobDone {
+                mut result,
+                start_offset_ns,
+                nanos,
+            } = job_done;
+            let sim_start_ns = wave_start_ns + start_offset_ns;
+            let queue_wait_ns = sim_start_ns.saturating_sub(enqueue_ns);
+            self.observe(|r| {
+                r.incr("runner.simulations");
+                r.record("phase.queue_wait_us", queue_wait_ns / 1_000);
+                r.record("phase.simulate_us", nanos / 1_000);
+            });
+            // One config_run span tree per executed job. The tree is
+            // assembled on this (single) collector thread, so children
+            // are emitted before their parent, whose duration extends
+            // through the disk write below.
+            let config_run = self.trace.as_ref().map(|sink| {
+                let cr = self.spans.record(
+                    "config_run",
+                    resolve_id,
+                    enqueue_ns,
+                    0, // patched once the disk write completes
+                    vec![
+                        (
+                            "benchmark".to_string(),
+                            Value::Str(benchmark.name().to_string()),
+                        ),
+                        ("policy".to_string(), Value::Str(result.policy_name.clone())),
+                    ],
+                );
+                let cr_id = Some(cr.id);
+                // Trace generation ran once, before this runner existed;
+                // the span attributes that amortized cost to each config
+                // that replays the trace, flagged so aggregation can
+                // avoid double-counting it as fresh work.
+                let trace_gen = self.spans.record(
+                    "trace_gen",
+                    cr_id,
+                    enqueue_ns,
+                    self.suite.gen_nanos(benchmark),
+                    vec![("amortized".to_string(), Value::Bool(true))],
+                );
+                sink.emit_span(&trace_gen).expect("writing JSONL trace");
+                let artifact_build = self.spans.record(
+                    "artifact_build",
+                    cr_id,
+                    enqueue_ns,
+                    build_nanos,
+                    vec![("cached".to_string(), Value::Bool(!built))],
+                );
+                sink.emit_span(&artifact_build)
+                    .expect("writing JSONL trace");
+                let queue_wait =
+                    self.spans
+                        .record("queue_wait", cr_id, enqueue_ns, queue_wait_ns, vec![]);
+                sink.emit_span(&queue_wait).expect("writing JSONL trace");
+                let simulate = self.spans.record(
+                    "simulate",
+                    cr_id,
+                    sim_start_ns,
+                    nanos,
+                    vec![("wall_ns".to_string(), Value::UInt(nanos))],
+                );
+                sink.emit_span(&simulate).expect("writing JSONL trace");
+                cr
+            });
             if let Some(sink) = &self.trace {
                 sink.event(
                     "sim",
@@ -313,12 +494,31 @@ impl Runner {
                 result.pipetrace = None;
             }
             if let Some(disk) = &self.disk {
+                let write_start = self.spans.now_ns();
                 let fp = self.suite.trace(benchmark).fingerprint();
                 if let Err(e) = disk.store(benchmark, fp, &key, &result) {
                     eprintln!("warning: disk-cache write-back failed: {e}");
                 }
+                let write_ns = self.spans.now_ns().saturating_sub(write_start);
+                self.observe(|r| {
+                    r.incr("cache.disk_writes");
+                    r.record("phase.disk_write_us", write_ns / 1_000);
+                });
+                if let (Some(sink), Some(cr)) = (&self.trace, &config_run) {
+                    let disk_write =
+                        self.spans
+                            .record("disk_write", Some(cr.id), write_start, write_ns, vec![]);
+                    sink.emit_span(&disk_write).expect("writing JSONL trace");
+                }
+            }
+            if let (Some(sink), Some(mut cr)) = (&self.trace, config_run) {
+                cr.duration_ns = self.spans.now_ns().saturating_sub(cr.start_ns);
+                sink.emit_span(&cr).expect("writing JSONL trace");
             }
             self.cache.insert(benchmark, key, result, nanos);
+        }
+        if let (Some(sink), Some(span)) = (&self.trace, resolve_span) {
+            sink.emit_span(&span.finish()).expect("writing JSONL trace");
         }
     }
 
@@ -520,6 +720,101 @@ mod tests {
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn traced_run_emits_complete_span_trees_and_phase_metrics() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("mds-span-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let runner = Runner::new(
+            Suite::generate(
+                &[Benchmark::Compress, Benchmark::Swim],
+                &SuiteParams::tiny(),
+            )
+            .unwrap(),
+        )
+        .with_jobs(2)
+        .with_cache_dir(&dir)
+        .with_trace(TraceSink::new(Box::new(Shared(buf.clone())), 0));
+        runner.run(&CoreConfig::paper_128().with_policy(Policy::NasNaive));
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let spans: Vec<Value> = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"span\""))
+            .map(|l| Value::parse_json(l).unwrap())
+            .collect();
+        let by_name = |n: &str| -> Vec<&Value> {
+            spans
+                .iter()
+                .filter(|s| s.get("name").unwrap().as_str() == Some(n))
+                .collect()
+        };
+        let resolves = by_name("resolve");
+        assert_eq!(resolves.len(), 1);
+        assert_eq!(
+            resolves[0].get("parent"),
+            Some(&Value::Null),
+            "a bare run's resolve span is a root"
+        );
+        let config_runs = by_name("config_run");
+        assert_eq!(config_runs.len(), 2, "one tree per executed config");
+        for cr in &config_runs {
+            let id = cr.get("span").unwrap().as_u64().unwrap();
+            assert_eq!(
+                cr.get("parent").unwrap().as_u64(),
+                resolves[0].get("span").unwrap().as_u64()
+            );
+            for phase in [
+                "trace_gen",
+                "artifact_build",
+                "queue_wait",
+                "simulate",
+                "disk_write",
+            ] {
+                let child = by_name(phase)
+                    .into_iter()
+                    .find(|s| s.get("parent").unwrap().as_u64() == Some(id));
+                assert!(child.is_some(), "config_run {id} missing {phase} child");
+            }
+        }
+
+        // The same phases accumulate in the registry, tracing or not.
+        let obs = runner.obs_snapshot();
+        assert_eq!(obs.counter("runner.simulations"), 2);
+        assert_eq!(obs.counter("cache.disk_writes"), 2);
+        assert_eq!(obs.histogram("phase.simulate_us").unwrap().count(), 2);
+        assert_eq!(obs.histogram("phase.queue_wait_us").unwrap().count(), 2);
+        assert_eq!(obs.histogram("phase.trace_gen_us").unwrap().count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_accumulates_without_tracing() {
+        let runner =
+            Runner::new(Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap());
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        runner.run(&cfg);
+        runner.run(&cfg);
+        let obs = runner.obs_snapshot();
+        assert_eq!(obs.counter("runner.simulations"), 1);
+        assert_eq!(obs.counter("cache.memory_hits"), 1);
+        assert_eq!(obs.histogram("phase.artifact_build_us").unwrap().count(), 1);
     }
 
     #[test]

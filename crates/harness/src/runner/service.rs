@@ -17,10 +17,13 @@ use crate::cli;
 use crate::runner::key::ConfigKey;
 use crate::runner::Runner;
 use mds_core::{CoreConfig, Policy, SimResult};
+use mds_obs::{snapshot, to_prometheus, SpanId};
 use mds_workloads::Benchmark;
 use serde::{Serialize, Value};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Version of the line protocol spoken by [`SweepService::handle_line`]
 /// (reported by `ping` so clients can detect mismatched servers).
@@ -41,6 +44,8 @@ pub struct SweepService {
     runner: Runner,
     inflight: Mutex<HashSet<(Benchmark, ConfigKey)>>,
     finished: Condvar,
+    started: Instant,
+    connections: AtomicU64,
 }
 
 impl SweepService {
@@ -50,12 +55,41 @@ impl SweepService {
             runner,
             inflight: Mutex::new(HashSet::new()),
             finished: Condvar::new(),
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
         }
     }
 
     /// The shared runner (for stats snapshots and trace events).
     pub fn runner(&self) -> &Runner {
         &self.runner
+    }
+
+    /// Seconds since the service was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Registers one newly accepted client connection (called by the
+    /// socket loop).
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.runner.observe(|r| r.incr("service.connections_total"));
+    }
+
+    /// Unregisters a closed client connection.
+    pub fn connection_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of currently active client connections.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Number of (benchmark, config) pairs currently being simulated.
+    pub fn inflight_pairs(&self) -> u64 {
+        self.inflight.lock().expect("claims table poisoned").len() as u64
     }
 
     /// Runs explicit (benchmark, configuration) pairs on the shared
@@ -70,12 +104,30 @@ impl SweepService {
     ///
     /// Panics if a requested benchmark is not part of the suite.
     pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+        self.run_pairs_under(pairs, None)
+    }
+
+    /// [`SweepService::run_pairs`] with an explicit parent span, so a
+    /// service request's `claim`, `dedup_join`, and runner phase spans
+    /// all hang off the request's `recv` span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested benchmark is not part of the suite.
+    pub fn run_pairs_under(
+        &self,
+        pairs: &[(Benchmark, CoreConfig)],
+        parent: Option<SpanId>,
+    ) -> Vec<SimResult> {
+        let traced = self.runner.trace().is_some();
         let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
 
         // Claim what nobody else is simulating; remember what they are.
+        let claim_span = traced.then(|| self.runner.spans().enter("claim", parent));
         let mut mine: Vec<(Benchmark, CoreConfig)> = Vec::new();
         let mut mine_keys: Vec<(Benchmark, ConfigKey)> = Vec::new();
         let mut foreign: Vec<(Benchmark, ConfigKey)> = Vec::new();
+        let inflight_depth;
         {
             let mut inflight = self.inflight.lock().expect("claims table poisoned");
             let mut seen: HashSet<(Benchmark, &ConfigKey)> = HashSet::new();
@@ -92,19 +144,42 @@ impl SweepService {
                     mine_keys.push((*benchmark, key.clone()));
                 }
             }
+            inflight_depth = inflight.len() as u64;
+        }
+        // The dedup ledger: every requested pair is either claimed by
+        // this caller, joined onto a foreign in-flight claim, or served
+        // straight from the cache (memoized earlier or an in-request
+        // repeat) — the three counters always sum to pairs_requested.
+        let served = (pairs.len() - mine.len() - foreign.len()) as u64;
+        self.runner.observe(|r| {
+            r.add("service.pairs_requested", pairs.len() as u64);
+            r.add("dedup.claimed", mine.len() as u64);
+            r.add("dedup.joined", foreign.len() as u64);
+            r.add("dedup.served_from_cache", served);
+            r.set_gauge("service.inflight", inflight_depth as f64);
+        });
+        if let Some(mut span) = claim_span {
+            span.add_field("claimed", Value::UInt(mine.len() as u64));
+            span.add_field("joined", Value::UInt(foreign.len() as u64));
+            span.add_field("served_from_cache", Value::UInt(served));
+            self.runner
+                .emit_span(&span.finish())
+                .expect("writing JSONL trace");
         }
 
         // Simulate the claimed pairs, then release the claims — even
         // if a simulation panicked, so foreign waiters are never
         // stranded on a claim whose owner is gone.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.runner.run_pairs(&mine);
+            self.runner.run_pairs_under(&mine, parent);
         }));
         {
             let mut inflight = self.inflight.lock().expect("claims table poisoned");
             for claim in &mine_keys {
                 inflight.remove(claim);
             }
+            self.runner
+                .observe(|r| r.set_gauge("service.inflight", inflight.len() as f64));
             self.finished.notify_all();
         }
         if let Err(panic) = outcome {
@@ -112,20 +187,30 @@ impl SweepService {
         }
 
         // Wait for the pairs other clients were simulating.
+        let join_span = traced.then(|| self.runner.spans().enter("dedup_join", parent));
         {
             let mut inflight = self.inflight.lock().expect("claims table poisoned");
             while foreign.iter().any(|claim| inflight.contains(claim)) {
                 inflight = self.finished.wait(inflight).expect("claims table poisoned");
             }
         }
+        if let Some(mut span) = join_span {
+            span.add_field("joined", Value::UInt(foreign.len() as u64));
+            self.runner
+                .emit_span(&span.finish())
+                .expect("writing JSONL trace");
+        }
 
         // Everything is memoized now; assemble in request order. Each
         // request beyond the ones this caller simulated was served from
         // the cache (possibly filled by a foreign claim) and counts as
-        // a hit.
-        for _ in 0..pairs.len().saturating_sub(mine.len()) {
+        // a hit — in the stats counter and in the metric registry, so
+        // the two views of the memory tier always agree.
+        let hits = pairs.len().saturating_sub(mine.len()) as u64;
+        for _ in 0..hits {
             self.runner.cache.count_hit();
         }
+        self.runner.observe(|r| r.add("cache.memory_hits", hits));
         pairs
             .iter()
             .zip(&keys)
@@ -144,7 +229,14 @@ impl SweepService {
     /// Requests are JSON objects with an `op` field:
     ///
     /// - `{"op":"ping"}` — liveness and protocol version.
-    /// - `{"op":"stats"}` — the shared runner's counters.
+    /// - `{"op":"stats"}` — the shared runner's counters plus service
+    ///   health: uptime, active connections, in-flight pairs, and
+    ///   per-tier cache counters.
+    /// - `{"op":"metrics"}` — a full snapshot of the operational metric
+    ///   registry (request counters by outcome, dedup/cache-tier
+    ///   counters, per-phase latency histograms, gauges); with
+    ///   `"format":"prometheus"` the snapshot is rendered in Prometheus
+    ///   text exposition instead of JSON.
     /// - `{"op":"sweep","configs":[{"policy":"NAS/NAV",...},...],
     ///   "benchmarks":["compress",...]}` — simulate every benchmark ×
     ///   config pair; `benchmarks` defaults to the whole suite. Config
@@ -155,26 +247,56 @@ impl SweepService {
     /// Malformed requests produce `{"ok":false,"error":...}` and never
     /// kill the connection.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        match self.dispatch(line) {
-            Ok((response, shutdown)) => (response.to_json(), shutdown),
-            Err(error) => (
+        self.handle_line_under(line, None)
+    }
+
+    /// [`SweepService::handle_line`] with an explicit parent span (the
+    /// socket loop's per-request `recv` span), and per-request metric
+    /// accounting: every request counts by op and outcome and samples
+    /// its handling latency.
+    pub fn handle_line_under(&self, line: &str, parent: Option<SpanId>) -> (String, bool) {
+        let start_ns = self.runner.spans().now_ns();
+        let (response, shutdown, ok, op) = match self.dispatch(line, parent) {
+            Ok((response, shutdown, op)) => (response.to_json(), shutdown, true, op),
+            Err((error, op)) => (
                 Value::Object(vec![
                     ("ok".to_string(), Value::Bool(false)),
                     ("error".to_string(), Value::Str(error)),
                 ])
                 .to_json(),
                 false,
+                false,
+                op,
             ),
-        }
+        };
+        let handle_ns = self.runner.spans().now_ns().saturating_sub(start_ns);
+        self.runner.observe(|r| {
+            r.incr("requests.total");
+            r.incr(if ok { "requests.ok" } else { "requests.error" });
+            r.incr(&format!("requests.op.{op}"));
+            r.record("phase.handle_us", handle_ns / 1_000);
+            r.record(&format!("phase.handle.{op}_us"), handle_ns / 1_000);
+        });
+        (response, shutdown)
     }
 
-    fn dispatch(&self, line: &str) -> Result<(Value, bool), String> {
-        let request = Value::parse_json(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    /// Dispatches one request, tagging both outcomes with the op name
+    /// (`"invalid"` when the request has none) for per-op accounting.
+    fn dispatch(
+        &self,
+        line: &str,
+        parent: Option<SpanId>,
+    ) -> Result<(Value, bool, String), (String, String)> {
+        let invalid = |e: String| (e, "invalid".to_string());
+        let request =
+            Value::parse_json(line).map_err(|e| invalid(format!("bad request JSON: {e}")))?;
         let op = request
             .get("op")
             .and_then(Value::as_str)
-            .ok_or("request has no \"op\" field")?;
-        match op {
+            .ok_or_else(|| invalid("request has no \"op\" field".to_string()))?
+            .to_string();
+        let tag = |e: String| (e, op.clone());
+        match op.as_str() {
             "ping" => Ok((
                 Value::Object(vec![
                     ("ok".to_string(), Value::Bool(true)),
@@ -185,28 +307,90 @@ impl SweepService {
                     ),
                 ]),
                 false,
+                op,
             )),
-            "stats" => Ok((
-                Value::Object(vec![
-                    ("ok".to_string(), Value::Bool(true)),
-                    ("op".to_string(), Value::Str("stats".to_string())),
-                    ("stats".to_string(), self.runner.stats().to_value()),
-                ]),
-                false,
-            )),
+            "stats" => Ok((self.stats_response(), false, op)),
+            "metrics" => self
+                .metrics_response(&request)
+                .map(|response| (response, false, op.clone()))
+                .map_err(tag),
             "shutdown" => Ok((
                 Value::Object(vec![
                     ("ok".to_string(), Value::Bool(true)),
                     ("op".to_string(), Value::Str("shutdown".to_string())),
                 ]),
                 true,
+                op,
             )),
-            "sweep" => self.sweep(&request).map(|response| (response, false)),
-            other => Err(format!("unknown op {other:?}")),
+            "sweep" => self
+                .sweep(&request, parent)
+                .map(|response| (response, false, op.clone()))
+                .map_err(tag),
+            other => Err(invalid(format!("unknown op {other:?}"))),
         }
     }
 
-    fn sweep(&self, request: &Value) -> Result<Value, String> {
+    /// The `stats` response: raw runner counters plus service health
+    /// and per-tier cache counters.
+    fn stats_response(&self) -> Value {
+        let obs = self.runner.obs_snapshot();
+        let tiers = Value::Object(vec![
+            (
+                "memory_hits".to_string(),
+                Value::UInt(obs.counter("cache.memory_hits")),
+            ),
+            (
+                "disk_hits".to_string(),
+                Value::UInt(obs.counter("cache.disk_hits")),
+            ),
+            (
+                "disk_writes".to_string(),
+                Value::UInt(obs.counter("cache.disk_writes")),
+            ),
+        ]);
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("op".to_string(), Value::Str("stats".to_string())),
+            ("stats".to_string(), self.runner.stats().to_value()),
+            (
+                "uptime_seconds".to_string(),
+                Value::Float(self.uptime_seconds()),
+            ),
+            ("connections".to_string(), Value::UInt(self.connections())),
+            ("inflight".to_string(), Value::UInt(self.inflight_pairs())),
+            ("tiers".to_string(), tiers),
+        ])
+    }
+
+    /// The `metrics` response: the registry snapshot with live service
+    /// gauges folded in, as JSON or Prometheus text exposition.
+    fn metrics_response(&self, request: &Value) -> Result<Value, String> {
+        let mut registry = self.runner.obs_snapshot();
+        registry.set_gauge("service.uptime_seconds", self.uptime_seconds());
+        registry.set_gauge("service.connections", self.connections() as f64);
+        registry.set_gauge("service.inflight", self.inflight_pairs() as f64);
+        match request.get("format").and_then(Value::as_str) {
+            None | Some("json") => Ok(Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("op".to_string(), Value::Str("metrics".to_string())),
+                ("metrics".to_string(), snapshot(&registry)),
+            ])),
+            Some("prometheus") => Ok(Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("op".to_string(), Value::Str("metrics".to_string())),
+                ("format".to_string(), Value::Str("prometheus".to_string())),
+                (
+                    "text".to_string(),
+                    Value::Str(to_prometheus(&registry, "mds")),
+                ),
+            ])),
+            Some(other) => Err(format!(
+                "unknown metrics format {other:?} (expected \"json\" or \"prometheus\")"
+            )),
+        }
+    }
+
+    fn sweep(&self, request: &Value, parent: Option<SpanId>) -> Result<Value, String> {
         let benchmarks = match request.get("benchmarks") {
             None | Some(Value::Null) => self.runner.suite().benchmarks(),
             Some(list) => {
@@ -237,7 +421,7 @@ impl SweepService {
         self.runner
             .trace_event("sweep_start", &[("pairs", Value::UInt(pairs.len() as u64))])
             .map_err(|e| format!("trace sink failed: {e}"))?;
-        let results = self.run_pairs(&pairs);
+        let results = self.run_pairs_under(&pairs, parent);
         self.runner
             .trace_event(
                 "sweep_finish",
@@ -472,6 +656,98 @@ mod tests {
             assert!(resp.contains("\"error\""), "{bad} -> {resp}");
         }
         assert_eq!(svc.runner().stats().simulations, 0);
+    }
+
+    #[test]
+    fn stats_reports_service_health_and_cache_tiers() {
+        let svc = service();
+        svc.connection_opened();
+        svc.connection_opened();
+        svc.connection_closed();
+        svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NO\"}]}");
+        svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NO\"}]}");
+        let (resp, _) = svc.handle_line("{\"op\":\"stats\"}");
+        let parsed = Value::parse_json(&resp).unwrap();
+        assert!(parsed.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(parsed.get("connections").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("inflight").unwrap().as_u64(), Some(0));
+        let tiers = parsed.get("tiers").unwrap();
+        // The repeat sweep's two pairs were served from the memory
+        // tier (at the service layer, mirrored into the registry, so
+        // this view agrees with `stats.cache_hits`); nothing touched a
+        // (non-attached) disk tier.
+        assert_eq!(tiers.get("memory_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(tiers.get("disk_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(tiers.get("disk_writes").unwrap().as_u64(), Some(0));
+        // The raw runner counters are still present and untouched.
+        assert_eq!(
+            parsed
+                .get("stats")
+                .unwrap()
+                .get("simulations")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn metrics_verb_snapshots_the_registry() {
+        let svc = service();
+        svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NAV\"}]}");
+        svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NAV\"}]}");
+        svc.handle_line("{\"op\":\"bogus\"}");
+
+        let (resp, stop) = svc.handle_line("{\"op\":\"metrics\"}");
+        assert!(!stop);
+        let parsed = Value::parse_json(&resp).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        let metrics = parsed.get("metrics").unwrap();
+        // Dedup ledger: 2 sweeps x 2 pairs; the first claimed both, the
+        // second was served from cache. The ledger always sums to the
+        // requested total.
+        assert_eq!(
+            metrics.get("service.pairs_requested").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(metrics.get("dedup.claimed").unwrap().as_u64(), Some(2));
+        assert_eq!(metrics.get("dedup.joined").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            metrics.get("dedup.served_from_cache").unwrap().as_u64(),
+            Some(2)
+        );
+        // Request accounting by outcome and op.
+        assert_eq!(metrics.get("requests.total").unwrap().as_u64(), Some(3));
+        assert_eq!(metrics.get("requests.ok").unwrap().as_u64(), Some(2));
+        assert_eq!(metrics.get("requests.error").unwrap().as_u64(), Some(1));
+        assert_eq!(metrics.get("requests.op.sweep").unwrap().as_u64(), Some(2));
+        // Phase histograms decode and carry the simulations.
+        let sim = mds_obs::Histogram::from_value(metrics.get("phase.simulate_us").unwrap())
+            .expect("valid histogram snapshot");
+        assert_eq!(sim.count(), 2);
+        assert!(mds_obs::Histogram::from_value(metrics.get("phase.handle_us").unwrap()).is_some());
+        // Live gauges are folded in at snapshot time.
+        assert!(
+            metrics
+                .get("service.uptime_seconds")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                >= 0.0
+        );
+        assert_eq!(metrics.get("service.inflight").unwrap().as_f64(), Some(0.0));
+
+        // The Prometheus rendering carries the same counters as text.
+        let (resp, _) = svc.handle_line("{\"op\":\"metrics\",\"format\":\"prometheus\"}");
+        let parsed = Value::parse_json(&resp).unwrap();
+        let text = parsed.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE mds_dedup_claimed counter"), "{text}");
+        assert!(text.contains("mds_dedup_claimed 2"), "{text}");
+        assert!(text.contains("mds_phase_simulate_us_count 2"), "{text}");
+
+        // An unknown format is an error, not a crash.
+        let (resp, _) = svc.handle_line("{\"op\":\"metrics\",\"format\":\"xml\"}");
+        assert!(resp.contains("\"ok\":false"), "{resp}");
     }
 
     #[test]

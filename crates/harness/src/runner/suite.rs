@@ -13,11 +13,13 @@ use mds_workloads::{Benchmark, SuiteParams};
 #[derive(Debug)]
 pub struct Suite {
     params: SuiteParams,
-    entries: Vec<(Benchmark, Trace)>,
+    entries: Vec<(Benchmark, Trace, u64)>,
 }
 
 impl Suite {
-    /// Generates traces for the given benchmarks.
+    /// Generates traces for the given benchmarks, timing each one so
+    /// observability layers can attribute trace-generation cost
+    /// per benchmark.
     ///
     /// # Errors
     ///
@@ -25,7 +27,9 @@ impl Suite {
     pub fn generate(benchmarks: &[Benchmark], params: &SuiteParams) -> Result<Suite, IsaError> {
         let mut entries = Vec::with_capacity(benchmarks.len());
         for &b in benchmarks {
-            entries.push((b, b.trace(params)?));
+            let start = std::time::Instant::now();
+            let trace = b.trace(params)?;
+            entries.push((b, trace, start.elapsed().as_nanos() as u64));
         }
         Ok(Suite {
             params: *params,
@@ -49,7 +53,7 @@ impl Suite {
 
     /// The benchmarks in this suite, in order.
     pub fn benchmarks(&self) -> Vec<Benchmark> {
-        self.entries.iter().map(|(b, _)| *b).collect()
+        self.entries.iter().map(|(b, _, _)| *b).collect()
     }
 
     /// The trace of one benchmark.
@@ -61,14 +65,24 @@ impl Suite {
         &self
             .entries
             .iter()
-            .find(|(b, _)| *b == benchmark)
+            .find(|(b, _, _)| *b == benchmark)
             .unwrap_or_else(|| panic!("{benchmark} not in suite"))
             .1
     }
 
+    /// Nanoseconds spent generating one benchmark's trace (0 for a
+    /// benchmark not in the suite) — the amortized cost observability
+    /// layers attribute to the `trace_gen` phase.
+    pub fn gen_nanos(&self, benchmark: Benchmark) -> u64 {
+        self.entries
+            .iter()
+            .find(|(b, _, _)| *b == benchmark)
+            .map_or(0, |(_, _, ns)| *ns)
+    }
+
     /// Iterates over `(benchmark, trace)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Benchmark, &Trace)> {
-        self.entries.iter().map(|(b, t)| (*b, t))
+        self.entries.iter().map(|(b, t, _)| (*b, t))
     }
 
     /// The number of benchmarks in the suite.

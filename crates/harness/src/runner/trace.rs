@@ -10,7 +10,7 @@
 //! run or what they compute, so a traced `reproduce` run renders tables
 //! byte-identical to an untraced one.
 
-use mds_obs::JsonlWriter;
+use mds_obs::{JsonlWriter, SpanRecord};
 use serde::Value;
 use std::fmt;
 use std::fs::File;
@@ -72,6 +72,21 @@ impl TraceSink {
             .lock()
             .expect("trace sink poisoned")
             .emit(event, fields)
+    }
+
+    /// Emits one finished span as a `"span"` event line carrying the
+    /// record's id/parent/timing fields plus its key=value fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn emit_span(&self, record: &SpanRecord) -> io::Result<()> {
+        let fields = record.jsonl_fields();
+        let borrowed: Vec<(&str, Value)> = fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        self.event("span", &borrowed)
     }
 
     /// Number of lines written so far.

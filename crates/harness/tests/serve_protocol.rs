@@ -80,6 +80,18 @@ fn request(socket: &Path, line: &str) -> Value {
     Value::parse_json(response.trim_end()).expect("parsing response JSON")
 }
 
+/// One named counter out of a `metrics` snapshot (0 when absent —
+/// registry counters only exist once first touched).
+fn metric(socket: &Path, name: &str) -> u64 {
+    let response = request(socket, "{\"op\":\"metrics\"}");
+    assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+    response
+        .get("metrics")
+        .expect("metrics response carries a snapshot")
+        .get(name)
+        .map_or(0, |v| v.as_u64().expect("counter is an integer"))
+}
+
 #[test]
 fn concurrent_clients_share_one_sweep_of_simulations() {
     let server = Server::spawn("proto", &[]);
@@ -155,6 +167,35 @@ fn concurrent_clients_share_one_sweep_of_simulations() {
         "6 requests x 6 pairs = 36 total, 6 simulated, 30 served"
     );
 
+    // The metrics verb agrees with the dedup ledger: every one of the
+    // 36 requested pairs was claimed once (6 distinct, matching the
+    // simulations counter) or satisfied without work.
+    assert_eq!(metric(socket, "dedup.claimed"), 6);
+    assert_eq!(metric(socket, "service.pairs_requested"), 36);
+    assert_eq!(
+        metric(socket, "dedup.claimed")
+            + metric(socket, "dedup.joined")
+            + metric(socket, "dedup.served_from_cache"),
+        36,
+        "every requested pair is accounted to exactly one dedup outcome"
+    );
+    assert_eq!(metric(socket, "requests.op.sweep"), 6);
+
+    // Prometheus exposition of the same snapshot.
+    let prom = request(socket, "{\"op\":\"metrics\",\"format\":\"prometheus\"}");
+    assert_eq!(prom.get("ok").unwrap().as_bool(), Some(true));
+    let text = prom.get("text").unwrap().as_str().unwrap();
+    assert!(text.contains("mds_dedup_claimed 6"), "{text}");
+    assert!(
+        text.contains("# TYPE mds_phase_simulate_us histogram"),
+        "{text}"
+    );
+    assert!(text.contains("mds_phase_simulate_us_count 6"), "{text}");
+
+    // An unknown format is a per-request error, not a dead connection.
+    let bad_format = request(socket, "{\"op\":\"metrics\",\"format\":\"xml\"}");
+    assert_eq!(bad_format.get("ok").unwrap().as_bool(), Some(false));
+
     // Malformed requests do not wedge the server.
     let bad = request(
         socket,
@@ -162,6 +203,23 @@ fn concurrent_clients_share_one_sweep_of_simulations() {
     );
     assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
     assert!(bad.get("error").unwrap().as_str().is_some());
+
+    // The extended stats response reports service health next to the
+    // runner counters.
+    let stats = request(socket, "{\"op\":\"stats\"}");
+    assert!(stats.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(
+        stats.get("connections").unwrap().as_u64().unwrap() >= 1,
+        "the stats request's own connection is active"
+    );
+    assert_eq!(stats.get("inflight").unwrap().as_u64(), Some(0));
+    let tiers = stats.get("tiers").unwrap();
+    assert_eq!(tiers.get("disk_writes").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        tiers.get("memory_hits").unwrap().as_u64(),
+        Some(30),
+        "registry memory-tier counter mirrors the stats cache_hits"
+    );
 
     server.shutdown_and_wait();
 }
@@ -206,9 +264,41 @@ fn load_client_verifies_cold_and_warm_counters() {
     assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(8));
     assert_eq!(summary.get("agreement").unwrap().as_bool(), Some(true));
 
-    // Same barrage again: everything is memoized, nothing simulates.
+    // The metrics snapshot's dedup ledger matches the cold delta: the 8
+    // simulated pairs are exactly the 8 claimed ones, written back to
+    // the disk tier once each.
+    assert_eq!(metric(&server.socket, "dedup.claimed"), 8);
+    assert_eq!(metric(&server.socket, "runner.simulations"), 8);
+    assert_eq!(metric(&server.socket, "cache.disk_writes"), 8);
+    assert_eq!(metric(&server.socket, "cache.disk_hits"), 0);
+
+    // Same barrage again: everything is memoized, nothing simulates —
+    // and no new claims appear in the ledger.
     let summary = load(&server.socket, "0");
     assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        metric(&server.socket, "dedup.claimed"),
+        8,
+        "warm: no new claims"
+    );
+    assert_eq!(metric(&server.socket, "runner.simulations"), 8);
+
+    // The live-metrics client mode renders the same snapshot.
+    let output = Command::new(env!("CARGO_BIN_EXE_mds-load"))
+        .arg("--socket")
+        .arg(&server.socket)
+        .arg("--metrics")
+        .output()
+        .expect("running mds-load --metrics");
+    assert!(
+        output.status.success(),
+        "mds-load --metrics failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("simulate"), "{text}");
+    assert!(text.contains("dedup.claimed=8"), "{text}");
+    assert!(text.contains("\"phase_histograms\""), "{text}");
 
     // The disk tier saw the results; the counters agree.
     let stats = request(&server.socket, "{\"op\":\"stats\"}");
@@ -238,6 +328,19 @@ fn load_client_verifies_cold_and_warm_counters() {
             .as_u64(),
         Some(8),
         "every distinct pair loaded from the persistent tier"
+    );
+    // The registry's disk-tier counter sees the same 8 loads, and the
+    // tiers block of the extended stats response agrees.
+    assert_eq!(metric(&server.socket, "cache.disk_hits"), 8);
+    assert_eq!(metric(&server.socket, "runner.simulations"), 0);
+    assert_eq!(
+        stats
+            .get("tiers")
+            .unwrap()
+            .get("disk_hits")
+            .unwrap()
+            .as_u64(),
+        Some(8)
     );
     server.shutdown_and_wait();
     let _ = std::fs::remove_dir_all(&cache);

@@ -186,6 +186,33 @@ impl Histogram {
         Some(h)
     }
 
+    /// Decodes a histogram from the object [`Serialize::to_value`]
+    /// produces (`count`/`sum`/`min`/`max` moments plus `buckets` as
+    /// `[[lo, n], ...]`), validating through [`Histogram::from_parts`].
+    ///
+    /// Returns `None` for any structural or consistency violation, so
+    /// a remote metrics snapshot (the `mds-serve` `metrics` verb) is
+    /// verified rather than trusted by clients like `mds-load`.
+    pub fn from_value(value: &Value) -> Option<Histogram> {
+        let count = value.get("count")?.as_u64()?;
+        let sum = value.get("sum")?.as_u64()?;
+        let opt = |v: Option<&Value>| match v {
+            None | Some(Value::Null) => Some(None),
+            Some(other) => other.as_u64().map(Some),
+        };
+        let min = opt(value.get("min"))?;
+        let max = opt(value.get("max"))?;
+        let mut parts = Vec::new();
+        for bucket in value.get("buckets")?.as_array()? {
+            let pair = bucket.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            parts.push((pair[0].as_u64()?, pair[1].as_u64()?));
+        }
+        Histogram::from_parts(count, sum, min, max, &parts)
+    }
+
     /// Iterates over the non-empty buckets as `(lo, hi, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.buckets
@@ -322,6 +349,81 @@ mod tests {
         assert_eq!(a.sum(), 303);
         assert_eq!(a.min(), Some(0));
         assert_eq!(a.max(), Some(300));
+    }
+
+    #[test]
+    fn from_value_roundtrips_serialization() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(7);
+        h.record_n(1000, 4);
+        assert_eq!(Histogram::from_value(&h.to_value()), Some(h));
+        let empty = Histogram::new();
+        assert_eq!(Histogram::from_value(&empty.to_value()), Some(empty));
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_snapshots() {
+        // Not an object at all.
+        assert!(Histogram::from_value(&Value::UInt(3)).is_none());
+        // Tampered count no longer matches the buckets.
+        let mut h = Histogram::new();
+        h.record(5);
+        let mut fields = h.to_value().as_object().unwrap().to_vec();
+        for (k, v) in &mut fields {
+            if k == "count" {
+                *v = Value::UInt(9);
+            }
+        }
+        assert!(Histogram::from_value(&Value::Object(fields)).is_none());
+        // A bucket entry that is not a [lo, n] pair.
+        let bad = Value::Object(vec![
+            ("count".into(), Value::UInt(1)),
+            ("sum".into(), Value::UInt(5)),
+            ("min".into(), Value::UInt(5)),
+            ("max".into(), Value::UInt(5)),
+            ("buckets".into(), Value::Array(vec![Value::UInt(4)])),
+        ]);
+        assert!(Histogram::from_value(&bad).is_none());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        // Load-bearing for deterministic multi-threaded aggregation:
+        // per-worker histograms may be absorbed in any grouping, and the
+        // final moments/buckets must not depend on it.
+        let sample = |seed: u64| {
+            let mut h = Histogram::new();
+            let mut x = seed;
+            for _ in 0..50 {
+                // LCG: deterministic, spread across many buckets.
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(x >> (x % 50));
+            }
+            h
+        };
+        let (a, b, c) = (sample(1), sample(2), sample(3));
+        // (a + b) + c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // c + b + a
+        let mut rev = c;
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(left, rev, "merge must be commutative");
+        // Identity: merging an empty histogram changes nothing.
+        let mut with_empty = left;
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty, left);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   statically.
 //! * [`JsonlWriter`] — structured line-delimited JSON event emission
 //!   for the `--trace-out` machinery.
+//! * [`Spans`] / [`SpanRecord`] — lightweight hierarchical spans
+//!   (monotonic start/duration, parent id, key=value fields) for
+//!   tracing the runtime's own request path, phase by phase.
+//! * [`to_prometheus`] — Prometheus text exposition of any
+//!   [`MetricSource`], for live scraping of a running service.
 //!
 //! # Examples
 //!
@@ -45,9 +50,13 @@
 mod cpi;
 mod hist;
 mod jsonl;
+mod prom;
 mod registry;
+mod span;
 
 pub use cpi::{CpiStack, StallCause};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use jsonl::JsonlWriter;
+pub use prom::to_prometheus;
 pub use registry::{snapshot, Metric, MetricSource, Registry};
+pub use span::{ActiveSpan, SpanId, SpanRecord, Spans};

@@ -1,0 +1,114 @@
+//! Prometheus text exposition of a [`MetricSource`].
+//!
+//! Renders every metric a source visits in the Prometheus text format
+//! (version 0.0.4): counters and gauges as single samples, histograms
+//! as the conventional cumulative `_bucket{le="..."}` series plus
+//! `_sum` and `_count`. Metric names are prefixed and sanitized so the
+//! registry's dot-separated names (`phase.simulate_us`) become legal
+//! Prometheus identifiers (`mds_phase_simulate_us`).
+
+use crate::registry::{Metric, MetricSource};
+use std::fmt::Write as _;
+
+/// Sanitizes one metric name: every character outside `[a-zA-Z0-9_:]`
+/// becomes `_`, and a leading digit is guarded with `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `source` in Prometheus text exposition format.
+///
+/// `prefix` namespaces every metric (pass `"mds"` to get `mds_...`);
+/// an empty prefix leaves names bare. Histograms emit cumulative
+/// buckets at each non-empty log2 bucket's upper bound plus the
+/// mandatory `le="+Inf"` terminal bucket.
+pub fn to_prometheus(source: &dyn MetricSource, prefix: &str) -> String {
+    let mut out = String::new();
+    source.visit(&mut |name, metric| {
+        let full = if prefix.is_empty() {
+            sanitize(name)
+        } else {
+            format!("{}_{}", sanitize(prefix), sanitize(name))
+        };
+        match metric {
+            Metric::Counter(n) => {
+                let _ = writeln!(out, "# TYPE {full} counter");
+                let _ = writeln!(out, "{full} {n}");
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {full} gauge");
+                let _ = writeln!(out, "{full} {g}");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {full} histogram");
+                let mut cumulative = 0;
+                for (_, hi, n) in h.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(out, "{full}_bucket{{le=\"{hi}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{full}_bucket{{le=\"+Inf\"}} {}", h.count());
+                let _ = writeln!(out, "{full}_sum {}", h.sum());
+                let _ = writeln!(out, "{full}_count {}", h.count());
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("phase.simulate_us"), "phase_simulate_us");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_render() {
+        let mut r = Registry::new();
+        r.add("requests.total", 3);
+        r.set_gauge("queue.depth", 2.0);
+        r.record("latency_us", 1);
+        r.record("latency_us", 1);
+        r.record("latency_us", 100);
+        let text = to_prometheus(&r, "mds");
+        assert!(text.contains("# TYPE mds_requests_total counter\nmds_requests_total 3\n"));
+        assert!(text.contains("# TYPE mds_queue_depth gauge\nmds_queue_depth 2\n"));
+        // Buckets are cumulative: two samples at 1 (bucket hi=1), then
+        // the sample at 100 lands in [64,127] for a running total of 3.
+        assert!(
+            text.contains("mds_latency_us_bucket{le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mds_latency_us_bucket{le=\"127\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("mds_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("mds_latency_us_sum 102\n"));
+        assert!(text.contains("mds_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn empty_prefix_leaves_names_bare() {
+        let mut r = Registry::new();
+        r.incr("hits");
+        let text = to_prometheus(&r, "");
+        assert!(text.starts_with("# TYPE hits counter\nhits 1\n"));
+    }
+}

@@ -55,6 +55,7 @@ pub fn snapshot(source: &dyn MetricSource) -> Value {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
     histograms: Vec<(String, Histogram)>,
 }
 
@@ -104,12 +105,50 @@ impl Registry {
             .find(|(k, _)| k == name)
             .map(|(_, h)| h)
     }
+
+    /// Sets the named gauge to a point-in-time value, creating it if
+    /// absent. Unlike counters, a gauge overwrites.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// The named gauge's last set value, if any.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Merges every metric of `other` into `self`: counters add,
+    /// histograms merge sample-by-sample, gauges take `other`'s value
+    /// (the more recent observation). Names already present keep their
+    /// position; new names append in `other`'s order, so absorbing
+    /// per-worker registries in any grouping yields the same snapshot —
+    /// the associativity the byte-identical-output invariant leans on.
+    pub fn absorb(&mut self, other: &Registry) {
+        for (name, n) in &other.counters {
+            self.add(name, *n);
+        }
+        for (name, value) in &other.gauges {
+            self.set_gauge(name, *value);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), *h)),
+            }
+        }
+    }
 }
 
 impl MetricSource for Registry {
     fn visit(&self, out: &mut dyn FnMut(&str, Metric<'_>)) {
         for (name, v) in &self.counters {
             out(name, Metric::Counter(*v));
+        }
+        for (name, v) in &self.gauges {
+            out(name, Metric::Gauge(*v));
         }
         for (name, h) in &self.histograms {
             out(name, Metric::Histogram(h));
@@ -164,5 +203,89 @@ mod tests {
             .collect();
         assert_eq!(names, vec!["b", "a", "h"]);
         assert!(v.to_json().starts_with("{\"b\":1,\"a\":1,"));
+    }
+
+    #[test]
+    fn gauges_overwrite_and_snapshot() {
+        let mut r = Registry::new();
+        r.set_gauge("depth", 3.0);
+        r.set_gauge("depth", 1.5);
+        assert_eq!(r.gauge("depth"), Some(1.5));
+        assert_eq!(r.gauge("absent"), None);
+        let json = snapshot(&r).to_json();
+        assert_eq!(json, "{\"depth\":1.5}");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_across_repeated_visits() {
+        // The metrics verb may snapshot the same registry many times
+        // concurrently with pollers; every visit must produce the same
+        // key ordering and the same serialized bytes.
+        let mut r = Registry::new();
+        for i in 0..10u64 {
+            r.add(&format!("c{}", (i * 7) % 10), i);
+            r.record(&format!("h{}", (i * 3) % 5), i * i);
+        }
+        r.set_gauge("g", 2.0);
+        let first = snapshot(&r).to_json();
+        for _ in 0..5 {
+            assert_eq!(snapshot(&r).to_json(), first);
+        }
+        // A clone (what a lock-holding snapshotter hands out) agrees too.
+        assert_eq!(snapshot(&r.clone()).to_json(), first);
+    }
+
+    #[test]
+    fn absorb_is_associative() {
+        // Per-worker registries can be folded in any grouping; the
+        // final counters, histogram moments, and key ordering relative
+        // to a fixed fold base must agree.
+        let part = |seed: u64| {
+            let mut r = Registry::new();
+            let mut x = seed;
+            for _ in 0..20 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                r.add(&format!("c{}", x % 4), x % 100);
+                r.record(&format!("h{}", x % 3), x % 1000);
+            }
+            r
+        };
+        let (a, b, c) = (part(1), part(2), part(3));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+        assert_eq!(snapshot(&left).to_json(), snapshot(&right).to_json());
+        // Absorbing an empty registry is the identity.
+        let mut with_empty = left.clone();
+        with_empty.absorb(&Registry::new());
+        assert_eq!(snapshot(&with_empty).to_json(), snapshot(&left).to_json());
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut a = Registry::new();
+        a.add("hits", 2);
+        a.record("lat", 4);
+        a.set_gauge("depth", 1.0);
+        let mut b = Registry::new();
+        b.add("hits", 3);
+        b.add("misses", 1);
+        b.record("lat", 8);
+        b.set_gauge("depth", 5.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("hits"), 5);
+        assert_eq!(a.counter("misses"), 1);
+        assert_eq!(a.gauge("depth"), Some(5.0), "gauges take the newer value");
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
     }
 }

@@ -1,0 +1,275 @@
+//! Lightweight hierarchical spans for operational tracing.
+//!
+//! A span is one timed phase of work — "simulate", "disk_write",
+//! "dedup_join" — with a process-unique id, an optional parent id, and
+//! arbitrary key=value fields. Spans carry *monotonic* timing: a start
+//! offset in nanoseconds since the owning [`Spans`] tracker's epoch and
+//! a duration, so post-hoc tools can reconstruct the full tree and the
+//! concurrency structure of a run without trusting the wall clock.
+//!
+//! The module produces plain [`SpanRecord`] data; emission is the
+//! caller's concern (the harness streams records through its JSONL
+//! `TraceSink` as `"span"` events). Recording a span never perturbs the
+//! work being measured — spans are observability only, and the
+//! simulation layers uphold the repo-wide invariant that traced runs
+//! render byte-identical tables.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A process-unique span identifier (ids start at 1; 0 never occurs,
+/// so `Option<SpanId>` round-trips through JSON as id-or-null).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The raw id value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Allocates span ids and anchors every span's start offset to one
+/// monotonic epoch (the tracker's creation instant).
+///
+/// One tracker per process (or per trace stream) keeps ids unique and
+/// start offsets mutually comparable across threads.
+#[derive(Debug)]
+pub struct Spans {
+    epoch: Instant,
+    next: AtomicU64,
+}
+
+impl Default for Spans {
+    fn default() -> Spans {
+        Spans::new()
+    }
+}
+
+impl Spans {
+    /// A fresh tracker; its creation instant becomes the epoch that
+    /// every span's `start_ns` is measured from.
+    pub fn new() -> Spans {
+        Spans {
+            epoch: Instant::now(),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Monotonic nanoseconds elapsed since the tracker's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn next_id(&self) -> SpanId {
+        SpanId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Starts a span now. Finish it with [`ActiveSpan::finish`] to get
+    /// the [`SpanRecord`] carrying its measured duration.
+    pub fn enter(&self, name: &str, parent: Option<SpanId>) -> ActiveSpan {
+        ActiveSpan {
+            id: self.next_id(),
+            parent,
+            name: name.to_string(),
+            start_ns: self.now_ns(),
+            begun: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builds a record for a phase whose timing was measured out of
+    /// band (e.g. inside a worker thread, or amortized work done once
+    /// and attributed to each consumer): the id is allocated now, the
+    /// `start_ns`/`duration_ns` are the caller's.
+    pub fn record(
+        &self,
+        name: &str,
+        parent: Option<SpanId>,
+        start_ns: u64,
+        duration_ns: u64,
+        fields: Vec<(String, Value)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            id: self.next_id(),
+            parent,
+            name: name.to_string(),
+            start_ns,
+            duration_ns,
+            fields,
+        }
+    }
+}
+
+/// A span that has started and not yet finished.
+#[derive(Debug)]
+pub struct ActiveSpan {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    start_ns: u64,
+    begun: Instant,
+    fields: Vec<(String, Value)>,
+}
+
+impl ActiveSpan {
+    /// This span's id — hand it to children as their parent.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The start offset (nanoseconds since the tracker epoch).
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Attaches one key=value field (kept in attachment order).
+    pub fn add_field(&mut self, key: &str, value: Value) {
+        self.fields.push((key.to_string(), value));
+    }
+
+    /// Ends the span, measuring its duration on the monotonic clock.
+    pub fn finish(self) -> SpanRecord {
+        SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            duration_ns: self.begun.elapsed().as_nanos() as u64,
+            fields: self.fields,
+        }
+    }
+}
+
+/// A finished span: the unit a trace sink serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique id.
+    pub id: SpanId,
+    /// The enclosing span, if any (`None` marks a tree root).
+    pub parent: Option<SpanId>,
+    /// Phase name (`simulate`, `queue_wait`, …).
+    pub name: String,
+    /// Monotonic start offset in nanoseconds since the tracker epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Caller fields, in attachment order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl SpanRecord {
+    /// The record as ordered JSONL fields: `name`, `span`, `parent`,
+    /// `start_ns`, `dur_ns`, then the caller's fields — the shape the
+    /// harness emits as `{"event":"span",...}` lines.
+    pub fn jsonl_fields(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::with_capacity(5 + self.fields.len());
+        out.push(("name".to_string(), Value::Str(self.name.clone())));
+        out.push(("span".to_string(), Value::UInt(self.id.get())));
+        out.push((
+            "parent".to_string(),
+            match self.parent {
+                Some(p) => Value::UInt(p.get()),
+                None => Value::Null,
+            },
+        ));
+        out.push(("start_ns".to_string(), Value::UInt(self.start_ns)));
+        out.push(("dur_ns".to_string(), Value::UInt(self.duration_ns)));
+        out.extend(self.fields.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_start_at_one() {
+        let spans = Spans::new();
+        let a = spans.enter("a", None);
+        let b = spans.enter("b", Some(a.id()));
+        assert_eq!(a.id(), SpanId(1));
+        assert_eq!(b.id(), SpanId(2));
+        let rec = b.finish();
+        assert_eq!(rec.parent, Some(SpanId(1)));
+        assert_eq!(rec.name, "b");
+    }
+
+    #[test]
+    fn timing_is_monotonic() {
+        let spans = Spans::new();
+        let t0 = spans.now_ns();
+        let span = spans.enter("work", None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let rec = span.finish();
+        assert!(rec.start_ns >= t0);
+        assert!(rec.duration_ns >= 2_000_000, "{}", rec.duration_ns);
+        assert!(spans.now_ns() >= rec.start_ns + rec.duration_ns);
+    }
+
+    #[test]
+    fn fields_keep_attachment_order() {
+        let spans = Spans::new();
+        let mut span = spans.enter("s", None);
+        span.add_field("benchmark", Value::Str("go".to_string()));
+        span.add_field("cycles", Value::UInt(42));
+        let fields = span.finish().jsonl_fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "name",
+                "span",
+                "parent",
+                "start_ns",
+                "dur_ns",
+                "benchmark",
+                "cycles"
+            ]
+        );
+        assert_eq!(fields[2].1, Value::Null, "root parent serializes as null");
+    }
+
+    #[test]
+    fn out_of_band_records_allocate_fresh_ids() {
+        let spans = Spans::new();
+        let live = spans.enter("live", None);
+        let rec = spans.record(
+            "offline",
+            Some(live.id()),
+            7,
+            1000,
+            vec![("amortized".to_string(), Value::Bool(true))],
+        );
+        assert_eq!(rec.id, SpanId(2));
+        assert_eq!(rec.start_ns, 7);
+        assert_eq!(rec.duration_ns, 1000);
+        assert_eq!(rec.parent, Some(SpanId(1)));
+        assert_eq!(rec.fields.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_allocation_never_duplicates_ids() {
+        let spans = Spans::new();
+        let ids: Vec<u64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..100)
+                            .map(|_| spans.enter("t", None).id().get())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "all 400 ids distinct");
+    }
+}
