@@ -55,25 +55,29 @@ impl Machine<'_> {
         }
     }
 
-    /// One cycle of fetch across all units.
-    pub(crate) fn fetch_stage(&mut self) {
+    /// One cycle of fetch across all units. Returns whether any unit
+    /// fetched at least one instruction (fast-forward activity).
+    pub(crate) fn fetch_stage(&mut self) -> bool {
         let head = self.head_task();
         let units = self.units.len() as u64;
         let last = (head + units).min(self.n_tasks());
+        let mut fetched = false;
         for t in head..last {
             let u = (t % units) as usize;
-            self.fetch_unit(u, t);
+            fetched |= self.fetch_unit(u, t);
         }
+        fetched
     }
 
-    fn fetch_unit(&mut self, u: usize, task: u64) {
+    fn fetch_unit(&mut self, u: usize, task: u64) -> bool {
         if self.now < self.units[u].next_fetch_at || self.units[u].stalled_on.is_some() {
-            return;
+            return false;
         }
         let len = self.trace.len() as u64;
         let task_end = ((task + 1) * self.task_size).min(len);
-        let queue_cap = self.unit_fetch_width * 3;
-        let mut budget = self.unit_fetch_width;
+        let queue_cap = self.unit_fetch_widths[u] * 3;
+        let mut budget = self.unit_fetch_widths[u];
+        let full_budget = budget;
         let mut blocks_left = self.cfg.fetch_blocks;
         let mut cur_block: Option<u64> = None;
         let mut delivery = self.now;
@@ -128,5 +132,6 @@ impl Machine<'_> {
                 }
             }
         }
+        budget < full_budget
     }
 }

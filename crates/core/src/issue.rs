@@ -61,8 +61,10 @@ enum Gate {
 }
 
 impl Machine<'_> {
-    /// One cycle of the issue stage.
-    pub(crate) fn issue_stage(&mut self) {
+    /// One cycle of the issue stage. Returns whether anything issued or
+    /// any slot's blocked-state flags changed (fast-forward activity).
+    pub(crate) fn issue_stage(&mut self) -> bool {
+        let mut active = false;
         self.sched.refresh(self.now, &self.window);
         #[cfg(any(test, feature = "paranoid-sched"))]
         if self.paranoid {
@@ -102,21 +104,24 @@ impl Machine<'_> {
             let decision = self.decide(seq, ports_left, &fu);
             match decision {
                 Decision::None => {}
-                Decision::Blocked { synced } => self.note_blocked(seq, synced),
+                Decision::Blocked { synced } => active |= self.note_blocked(seq, synced),
                 Decision::AddrUop => {
                     issue_left -= 1;
                     fu[fu_index(FuClass::IntAlu).expect("IntAlu pool")] -= 1;
                     self.apply_addr_uop(seq);
+                    active = true;
                 }
                 Decision::Store => {
                     issue_left -= 1;
                     ports_left -= 1;
                     self.apply_store(seq);
+                    active = true;
                 }
                 Decision::Load => {
                     issue_left -= 1;
                     ports_left -= 1;
                     self.apply_load(seq);
+                    active = true;
                 }
                 Decision::Alu(class) => {
                     issue_left -= 1;
@@ -124,6 +129,7 @@ impl Machine<'_> {
                         fu[i] -= 1;
                     }
                     self.apply_alu(seq);
+                    active = true;
                 }
             }
             if !matches!(decision, Decision::None | Decision::Blocked { .. }) {
@@ -133,6 +139,63 @@ impl Machine<'_> {
 
         self.sched.order_buf = order;
         self.sched.unit_bufs = unit_bufs;
+        active
+    }
+
+    /// The earliest future cycle the not-fully-issued candidate `seq`
+    /// could possibly issue (its next step's operands become readable),
+    /// for the fast-forward event horizon. Returns a cycle `<= now` when
+    /// the candidate is operand-ready but held by something event-driven
+    /// elsewhere (a scheduling gate, a port, a full store buffer): those
+    /// holds are released only by other activity, which has its own
+    /// horizon source, so the candidate contributes nothing then.
+    /// `u64::MAX` means a producer has not even issued — the producer's
+    /// own issue is an activity that re-opens skipping.
+    pub(crate) fn candidate_ready_at(&self, seq: u64) -> u64 {
+        let Some(slot) = self.window.get(seq) else {
+            return u64::MAX;
+        };
+        let i = seq as usize;
+        let as_mode = self.cfg.policy.uses_address_scheduler();
+
+        if (slot.is_load || slot.is_store) && as_mode && !slot.addr_issued {
+            // Next step: the address micro-op.
+            return self.producers_ready_at(self.regdeps.addr(i));
+        }
+        if slot.is_store {
+            let addr_at = if as_mode {
+                slot.addr_posted_at
+            } else {
+                self.producers_ready_at(self.regdeps.addr(i))
+            };
+            return addr_at.max(self.producers_ready_at(self.regdeps.data(i)));
+        }
+        if slot.is_load {
+            return if as_mode {
+                slot.addr_posted_at
+            } else {
+                self.producers_ready_at(self.regdeps.addr(i))
+            };
+        }
+        self.producers_ready_at(self.regdeps.srcs(i))
+    }
+
+    /// The first cycle every producer in `producers` has its value
+    /// available (`operands_ready(producers, at)` first turns true):
+    /// committed producers are ready, issued in-window producers at
+    /// `complete_at`, and unissued (or, split window, undispatched)
+    /// producers never — their issue is itself an activity.
+    fn producers_ready_at(&self, producers: &[u32]) -> u64 {
+        producers.iter().fold(0, |at, &p| {
+            let p = p as u64;
+            if p < self.next_commit {
+                return at;
+            }
+            at.max(match self.window.get(p) {
+                Some(s) if s.issued => s.complete_at,
+                _ => u64::MAX,
+            })
+        })
     }
 
     /// Fills `order` with candidate sequence numbers in issue-priority
@@ -584,20 +647,25 @@ impl Machine<'_> {
     /// Records the first cycle a load was address-ready but gate-blocked,
     /// classifying the blockage as a true or false dependence using the
     /// oracle ("we check to see if a true dependence with a preceding yet
-    /// un-executed store exists", Section 3.2).
-    fn note_blocked(&mut self, seq: u64, synced: bool) {
+    /// un-executed store exists", Section 3.2). Returns whether any flag
+    /// changed (re-noting an already-noted load is not activity).
+    fn note_blocked(&mut self, seq: u64, synced: bool) -> bool {
         let has_true_dep = self.load_has_unexecuted_producer(seq);
         let now = self.now;
         let Some(slot) = self.window.get_mut(seq) else {
-            return;
+            return false;
         };
-        if synced {
+        let mut changed = false;
+        if synced && !slot.sync_delayed {
             slot.sync_delayed = true;
+            changed = true;
         }
         if slot.fd_blocked_at.is_none() {
             slot.fd_blocked_at = Some(now);
             slot.fd_false = !has_true_dep;
+            changed = true;
         }
+        changed
     }
 
     fn load_has_unexecuted_producer(&self, seq: u64) -> bool {

@@ -144,6 +144,20 @@ impl SchedState {
         &self.pending_issue
     }
 
+    /// The earliest cycle any queued visibility event (store execution
+    /// or address posting) becomes due, or `u64::MAX` when none are
+    /// queued. After a [`refresh`](SchedState::refresh) at cycle `now`,
+    /// every remaining event is strictly in the future — the
+    /// fast-forward horizon uses this to stop at the cycle a pending
+    /// store becomes visibly executed or visibly posted, which is when
+    /// the gates (and the head's `SchedulerLatency` classification) can
+    /// change answer.
+    pub fn next_event_at(&self) -> u64 {
+        let exec = self.exec_events.iter().map(|&(at, _)| at).min();
+        let addr = self.addr_events.iter().map(|&(at, _)| at).min();
+        exec.unwrap_or(u64::MAX).min(addr.unwrap_or(u64::MAX))
+    }
+
     // ---- updates ----------------------------------------------------------
 
     /// Any op entered the window.

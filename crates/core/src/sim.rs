@@ -98,14 +98,40 @@ impl Simulator {
     /// Panics if `artifacts` was built from a different trace, in
     /// addition to the panics [`Simulator::run`] can raise.
     pub fn run_with_artifacts(&self, trace: &Trace, artifacts: &TraceArtifacts) -> SimResult {
+        self.run_inner(trace, artifacts, true)
+    }
+
+    /// Runs the timing simulation with event-driven fast-forward
+    /// disabled: every cycle is executed individually.
+    ///
+    /// Produces stats identical to [`Simulator::run`] (which skips
+    /// provably-quiet cycle spans); exists as the differential reference
+    /// for the equivalence suites and as an escape hatch.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_per_cycle(&self, trace: &Trace) -> SimResult {
+        let artifacts = TraceArtifacts::build(trace);
+        self.run_inner(trace, &artifacts, false)
+    }
+
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        artifacts: &TraceArtifacts,
+        fast_forward: bool,
+    ) -> SimResult {
         assert!(!trace.is_empty(), "cannot simulate an empty trace");
         artifacts.assert_matches(trace);
         let mut m = Machine::new(&self.config, trace, artifacts);
+        m.fast_forward = fast_forward;
         m.run_to_completion();
         SimResult {
             stats: m.stats,
             policy_name: self.config.policy.paper_name().to_owned(),
             pipetrace: m.pipetrace,
+            skipped_cycles: m.skipped_cycles,
         }
     }
 
@@ -130,11 +156,16 @@ impl Simulator {
         let artifacts = TraceArtifacts::build(trace);
         let mut m = Machine::new(&self.config, trace, &artifacts);
         m.paranoid = true;
+        // Paranoid mode cross-checks every cycle; running it per-cycle
+        // makes `run()` vs `run_paranoid()` a fast-forward differential
+        // on top of the gate differential.
+        m.fast_forward = false;
         m.run_to_completion();
         SimResult {
             stats: m.stats,
             policy_name: self.config.policy.paper_name().to_owned(),
             pipetrace: m.pipetrace,
+            skipped_cycles: m.skipped_cycles,
         }
     }
 }
@@ -156,6 +187,37 @@ fn build_frontend(cfg: BranchPredictorConfig) -> FrontEnd {
             FrontEnd::with_direction(DirectionKind::StaticNotTaken(StaticNotTaken))
         }
     }
+}
+
+/// Upper bound on cycles between consecutive commits for a live machine
+/// under `cfg`, used by the deadlock watchdog.
+///
+/// When the window head is ready to make progress, its register
+/// producers are all committed, so the longest legal inter-commit gap is
+/// bounded by one full refetch (squash resume + I-side miss to main
+/// memory + decode), address scheduling, and a D-side miss to main
+/// memory — once per slot that may sit between the head and the
+/// resource freeing it (window, LSQ, plus slack for fetch queues). The
+/// bound is deliberately generous (an order of magnitude over any legal
+/// schedule): it exists to catch genuine deadlocks with a useful
+/// message, not to police performance.
+fn stall_limit(cfg: &CoreConfig) -> u64 {
+    let mem = &cfg.mem;
+    let block = mem
+        .l1i
+        .block_bytes
+        .max(mem.l1d.block_bytes)
+        .max(mem.l2.block_bytes);
+    let words = block.div_ceil(4);
+    let miss_worst = mem.l1i.hit_latency
+        + mem.l1d.hit_latency
+        + mem.l2.hit_latency
+        + mem.main.latency(block)
+        + words.div_ceil(4) * mem.l2_transfer_per_four_words;
+    let per_slot =
+        miss_worst + cfg.addr_sched_latency + cfg.squash_latency + cfg.decode_latency + 8;
+    let slots = (cfg.window_size + cfg.lsq_size + 64) as u64;
+    2_000 + per_slot * slots
 }
 
 pub(crate) struct Machine<'t> {
@@ -181,7 +243,12 @@ pub(crate) struct Machine<'t> {
     /// Next dynamic index to fetch, per task.
     pub task_pos: Vec<u64>,
     pub unit_window_cap: usize,
-    pub unit_fetch_width: usize,
+    /// Per-unit fetch bandwidth: `fetch_width / units` with the
+    /// remainder spread over the leading units, so the total equals
+    /// `fetch_width` instead of silently truncating on non-divisible
+    /// unit counts (each unit still fetches at least one instruction
+    /// per cycle, matching the old floor).
+    pub unit_fetch_widths: Vec<usize>,
     pub next_commit: u64,
     /// Stores whose execution completes at a future cycle, awaiting the
     /// violation check: `(seq, exec_at)`.
@@ -202,6 +269,25 @@ pub(crate) struct Machine<'t> {
     /// In-flight (dispatched, uncommitted) memory operations, bounded by
     /// the load/store queue size.
     pub mem_in_flight: usize,
+    /// Event-driven fast-forward: when a cycle provably changes nothing,
+    /// jump `now` to just before the next event instead of ticking.
+    /// Disabled by [`Simulator::run_per_cycle`] and
+    /// [`Simulator::run_paranoid`] so the per-cycle core stays available
+    /// as the differential reference.
+    pub fast_forward: bool,
+    /// Cycles skipped by fast-forward (0 in per-cycle mode). Surfaced on
+    /// [`SimResult`], not [`SimStats`]: both modes must produce
+    /// identical stats, and this counter is the one value that differs
+    /// by construction.
+    pub skipped_cycles: u64,
+    /// The cycle `next_commit` last advanced — the deadlock watchdog
+    /// asserts on lack of commit progress, not raw cycle count, so it
+    /// neither false-trips on legitimately long-latency configurations
+    /// nor loses meaning when fast-forward makes `now` jump.
+    pub last_commit_at: u64,
+    /// Upper bound on cycles between consecutive commits, scaled by the
+    /// configuration's worst-case latencies.
+    pub stall_limit: u64,
 }
 
 impl<'t> Machine<'t> {
@@ -237,7 +323,13 @@ impl<'t> Machine<'t> {
             task_size,
             task_pos: (0..n_tasks).map(|t| t * task_size).collect(),
             unit_window_cap: (cfg.window_size / units as usize).max(1),
-            unit_fetch_width: (cfg.fetch_width / units as usize).max(1),
+            unit_fetch_widths: (0..units as usize)
+                .map(|u| {
+                    (cfg.fetch_width / units as usize
+                        + usize::from(u < cfg.fetch_width % units as usize))
+                    .max(1)
+                })
+                .collect(),
             next_commit: 0,
             pending_checks: Vec::new(),
             now: 0,
@@ -248,32 +340,161 @@ impl<'t> Machine<'t> {
             paranoid: false,
             squash_shadow: false,
             mem_in_flight: 0,
+            fast_forward: true,
+            skipped_cycles: 0,
+            last_commit_at: 0,
+            stall_limit: stall_limit(cfg),
         }
     }
 
     pub fn run_to_completion(&mut self) {
-        let limit = 2_000 + self.trace.len() as u64 * 400;
-        while self.next_commit < self.trace.len() as u64 {
+        let total = self.trace.len() as u64;
+        while self.next_commit < total {
             self.now += 1;
             assert!(
-                self.now <= limit,
-                "simulator deadlock: cycle {} with {} of {} committed (policy {})",
+                self.now.saturating_sub(self.last_commit_at) <= self.stall_limit,
+                "simulator deadlock: no commit progress for {} cycles at cycle {} \
+                 with {} of {} committed (policy {})",
+                self.now - self.last_commit_at,
                 self.now,
                 self.next_commit,
-                self.trace.len(),
+                total,
                 self.cfg.policy.paper_name()
             );
-            self.maintain_predictors();
-            self.process_pending_checks();
-            self.resume_stalled_units();
-            self.commit_stage();
-            self.issue_stage();
-            self.dispatch_stage();
-            self.fetch_stage();
+            let active = self.step_cycle();
+            if self.fast_forward && !active && self.next_commit < total {
+                self.fast_forward_quiet_span();
+            }
         }
         self.stats.cycles = self.now;
         self.stats.frontend = *self.frontend.stats();
         self.stats.mem = self.mem.stats();
+    }
+
+    /// Executes one full pipeline cycle at `self.now`, returning whether
+    /// any architectural state changed (a commit, an issue, a dispatch, a
+    /// fetch, a stall resolution, a violation recovery or fix-up, or a
+    /// load newly noting itself gate-blocked). A `false` return means
+    /// the cycle only re-sampled unchanged state — repeating it until
+    /// the next event would record the same occupancy and the same stall
+    /// cause every time, which is exactly what fast-forward exploits.
+    fn step_cycle(&mut self) -> bool {
+        self.maintain_predictors();
+        let mut active = self.process_pending_checks();
+        active |= self.resume_stalled_units();
+        active |= self.commit_stage();
+        active |= self.issue_stage();
+        active |= self.dispatch_stage();
+        active |= self.fetch_stage();
+        active
+    }
+
+    /// After a quiet cycle: computes the earliest future cycle at which
+    /// any state change is possible and jumps `now` to just before it,
+    /// bulk-charging the skipped span to the stall cause the quiet cycle
+    /// established (the CPI-stack partition `cpi.total_cycles() ==
+    /// cycles` holds by construction) and bulk-sampling the unchanged
+    /// window occupancy. The horizon cycle itself is then executed
+    /// normally, so events fire at exactly the per-cycle cycles.
+    fn fast_forward_quiet_span(&mut self) {
+        let horizon = self.next_event_horizon();
+        if horizon == u64::MAX {
+            // No future event at all: keep ticking per-cycle so the
+            // commit-progress watchdog can report the deadlock.
+            return;
+        }
+        let skip = horizon.saturating_sub(1).saturating_sub(self.now);
+        if skip == 0 {
+            return;
+        }
+        let cause = self.classify_stall_cause();
+        self.stats.cpi.record_n(cause, skip);
+        self.stats
+            .window_occupancy
+            .record_n(self.window.len() as u64, skip);
+        self.skipped_cycles += skip;
+        self.now += skip;
+    }
+
+    /// The earliest future cycle at which the machine's state can next
+    /// change, computed from state the incremental scheduler and the
+    /// stages already keep (`u64::MAX` when no event is queued — a
+    /// deadlock). Sound only immediately after a quiet cycle: every
+    /// possible state change is then driven by one of
+    ///
+    /// * a pending store-violation check coming due,
+    /// * a stalled fetch unit's mispredicted branch completing,
+    /// * a fetch unit's `next_fetch_at` arriving,
+    /// * a fetched instruction's decode (`ready_at`) arriving,
+    /// * an issue candidate's operands (or posted address) becoming
+    ///   visible,
+    /// * a queued scheduler visibility event (store execution or address
+    ///   posting) draining,
+    /// * the window head completing and becoming committable, or
+    /// * a periodic predictor reset firing,
+    ///
+    /// and everything else (gate unblocking, dispatch, task advance,
+    /// store-buffer drain) is a consequence of one of those happening
+    /// first on an executed cycle.
+    fn next_event_horizon(&self) -> u64 {
+        let mut h = u64::MAX;
+        for &(_, at) in &self.pending_checks {
+            h = h.min(at);
+        }
+        for u in &self.units {
+            if let Some(&(_, ready_at)) = u.queue.front() {
+                if ready_at > self.now {
+                    h = h.min(ready_at);
+                }
+            }
+            match u.stalled_on {
+                Some(bseq) => {
+                    if let Some(s) = self.window.get(bseq) {
+                        if s.issued {
+                            h = h.min(s.complete_at);
+                        }
+                        // Not issued: the branch is an issue candidate;
+                        // its own operand horizon (below) bounds it.
+                    }
+                }
+                None => {
+                    if u.next_fetch_at > self.now {
+                        h = h.min(u.next_fetch_at);
+                    }
+                }
+            }
+        }
+        for &seq in self.sched.pending_issue() {
+            let at = self.candidate_ready_at(seq);
+            if at > self.now {
+                h = h.min(at);
+            }
+        }
+        h = h.min(self.sched.next_event_at());
+        if let Some(front) = self.window.front() {
+            if front.seq == self.next_commit && front.issued {
+                // Commit requires `complete_at < now`.
+                h = h.min(front.complete_at.saturating_add(1));
+            }
+        }
+        if let Some(at) = self.next_predictor_event() {
+            h = h.min(at);
+        }
+        h
+    }
+
+    /// The next cycle the active policy's periodic predictor maintenance
+    /// fires, if any: fast-forward must execute that exact cycle so
+    /// resets land at the same `now` (and thus re-arm the same next
+    /// reset) as in per-cycle mode.
+    fn next_predictor_event(&self) -> Option<u64> {
+        match self.cfg.policy {
+            Policy::NasSelective => self.selective.next_reset_at(),
+            Policy::NasStoreBarrier => self.store_barrier.next_reset_at(),
+            Policy::NasSync => self.mdpt.next_flush_at(),
+            Policy::NasStoreSets => self.store_sets.next_clear_at(),
+            _ => None,
+        }
     }
 
     fn maintain_predictors(&mut self) {
@@ -323,7 +544,8 @@ impl<'t> Machine<'t> {
         self.trace.pc(seq as usize)
     }
 
-    fn resume_stalled_units(&mut self) {
+    fn resume_stalled_units(&mut self) -> bool {
+        let mut resumed = false;
         for u in 0..self.units.len() {
             if let Some(bseq) = self.units[u].stalled_on {
                 let resolved = if bseq < self.next_commit {
@@ -341,12 +563,14 @@ impl<'t> Machine<'t> {
                     self.units[u].stalled_on = None;
                     let unit = &mut self.units[u];
                     unit.next_fetch_at = unit.next_fetch_at.max(at + 1);
+                    resumed = true;
                 }
             }
         }
+        resumed
     }
 
-    fn commit_stage(&mut self) {
+    fn commit_stage(&mut self) -> bool {
         self.stats.window_occupancy.record(self.window.len() as u64);
         let mut budget = self.cfg.commit_width;
         let committed_before = self.stats.committed;
@@ -407,9 +631,12 @@ impl<'t> Machine<'t> {
         }
         if self.stats.committed > committed_before {
             self.stats.cpi.commit();
+            self.last_commit_at = self.now;
+            true
         } else {
             let cause = self.classify_stall_cause();
             self.stats.cpi.record(cause);
+            false
         }
     }
 
@@ -462,8 +689,12 @@ impl<'t> Machine<'t> {
     }
 
     /// Runs the store-triggered violation checks whose stores executed by
-    /// this cycle; squashes on the oldest violated load.
-    fn process_pending_checks(&mut self) {
+    /// this cycle; squashes on the oldest violated load. Returns whether
+    /// any check changed machine state (a recovery ran, or a silent
+    /// fix-up extended a load's completion).
+    fn process_pending_checks(&mut self) -> bool {
+        let mut acted = false;
+        let fixups_before = self.stats.silent_fixups;
         loop {
             // Take one due check at a time: a squash can invalidate others.
             let due = self
@@ -482,7 +713,9 @@ impl<'t> Machine<'t> {
                 Recovery::Squash => self.squash(violator, store_seq),
                 Recovery::SelectiveReissue => self.selective_recover(violator, store_seq),
             }
+            acted = true;
         }
+        acted || self.stats.silent_fixups > fixups_before
     }
 
     /// Finds the oldest load younger than `store_seq` that read memory
@@ -697,9 +930,10 @@ impl<'t> Machine<'t> {
         self.reset_fetch_to(load_seq);
     }
 
-    fn dispatch_stage(&mut self) {
+    fn dispatch_stage(&mut self) -> bool {
         let mut budget = self.cfg.issue_width;
         let units = self.units.len();
+        let mut dispatched = false;
         let mut progressed = true;
         while budget > 0 && progressed {
             progressed = false;
@@ -725,8 +959,10 @@ impl<'t> Machine<'t> {
                 self.dispatch_one(seq, u as u32);
                 budget -= 1;
                 progressed = true;
+                dispatched = true;
             }
         }
+        dispatched
     }
 
     fn dispatch_one(&mut self, seq: u64, unit: u32) {
@@ -1451,6 +1687,97 @@ mod tests {
         let a = Simulator::new(cfg.clone()).run(&t);
         let b = Simulator::new(cfg).run(&t);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn fetch_width_distributes_remainder_across_units() {
+        let t = chain_loop_trace(2, 4);
+        let arts = TraceArtifacts::build(&t);
+        let widths = |fetch_width: usize, units: u32| {
+            let mut cfg = CoreConfig::paper_128().with_window_model(WindowModel::Split {
+                units,
+                task_size: 8,
+            });
+            cfg.fetch_width = fetch_width;
+            Machine::new(&cfg, &t, &arts).unit_fetch_widths
+        };
+        // 8 wide over 3 units: the old truncating split fetched 2+2+2=6
+        // per cycle; the remainder spread restores the full 8.
+        assert_eq!(widths(8, 3), vec![3, 3, 2]);
+        assert_eq!(widths(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(widths(7, 2), vec![4, 3]);
+        // Fewer slots than units: every unit keeps the ≥1 floor (a
+        // zero-width unit could never fetch its task and the split
+        // window would deadlock at that task's boundary).
+        assert_eq!(widths(2, 4), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn non_divisible_fetch_width_uses_full_bandwidth() {
+        // Fetch-bound straight-line code: with the truncating split an
+        // 8-wide/3-unit machine lost a quarter of its fetch bandwidth.
+        let t = chain_loop_trace(60, 24);
+        let run_units = |units| {
+            Simulator::new(
+                CoreConfig::paper_128()
+                    .with_policy(Policy::NasOracle)
+                    .with_window_model(WindowModel::Split {
+                        units,
+                        task_size: 32,
+                    }),
+            )
+            .run(&t)
+        };
+        let three = run_units(3);
+        assert_eq!(three.stats.committed, t.len() as u64);
+        let four = run_units(4);
+        // 3 units now fetch 8/cycle just like 4 units do; the residual
+        // difference is window partitioning, not a 6-vs-8 fetch cliff.
+        assert!(
+            three.ipc() > four.ipc() * 0.85,
+            "3-unit split must not be fetch-starved: {:.2} vs {:.2}",
+            three.ipc(),
+            four.ipc()
+        );
+    }
+
+    #[test]
+    fn watchdog_tolerates_long_latency_configs() {
+        // A high-latency memory system must not trip the progress
+        // watchdog as long as commits keep happening.
+        let t = recurrence_trace(50);
+        let mut cfg = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        cfg.mem.main.base_latency = 2_000;
+        cfg.mem.l2.hit_latency = 400;
+        let res = Simulator::new(cfg).run(&t);
+        assert_eq!(res.stats.committed, t.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulator deadlock")]
+    fn watchdog_reports_genuine_deadlock() {
+        // No memory ports: the first load can never issue, commit never
+        // advances, and the progress watchdog must fire (in bounded
+        // time, even though fast-forward finds no event horizon).
+        let t = recurrence_trace(5);
+        let mut cfg = CoreConfig::paper_128();
+        cfg.mem_ports = 0;
+        Simulator::new(cfg).run(&t);
+    }
+
+    #[test]
+    fn fast_forward_skips_are_reported_and_stats_identical() {
+        let t = recurrence_trace(200);
+        let cfg = CoreConfig::paper_128().with_policy(Policy::NasNo);
+        let fast = Simulator::new(cfg.clone()).run(&t);
+        let slow = Simulator::new(cfg).run_per_cycle(&t);
+        assert_eq!(fast.stats, slow.stats);
+        assert_eq!(slow.skipped_cycles, 0);
+        assert!(
+            fast.skipped_cycles > 0,
+            "a serial memory recurrence has quiet spans to skip"
+        );
+        assert!(fast.skipped_cycles < fast.stats.cycles);
     }
 
     #[test]

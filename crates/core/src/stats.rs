@@ -181,6 +181,11 @@ pub struct SimResult {
     /// Cycle-by-cycle pipeline events, when
     /// [`CoreConfig::record_pipeline_trace`](crate::CoreConfig) is set.
     pub pipetrace: Option<crate::PipeTrace>,
+    /// Cycles the event-driven core skipped instead of executing (0 when
+    /// fast-forward is disabled). Deliberately outside [`SimStats`]: the
+    /// per-cycle and event-driven cores must produce identical stats,
+    /// and this counter is the one value that legitimately differs.
+    pub skipped_cycles: u64,
 }
 
 impl SimResult {
@@ -233,6 +238,7 @@ mod tests {
             },
             policy_name: "A".into(),
             pipetrace: None,
+            skipped_cycles: 0,
         };
         let b = SimResult {
             stats: SimStats {
@@ -242,6 +248,7 @@ mod tests {
             },
             policy_name: "B".into(),
             pipetrace: None,
+            skipped_cycles: 0,
         };
         assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
     }

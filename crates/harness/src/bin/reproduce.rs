@@ -205,6 +205,7 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
                 ("cache_hits", Value::UInt(stats.cache_hits)),
                 ("disk_hits", Value::UInt(stats.disk_hits)),
                 ("disk_writes", Value::UInt(stats.disk_writes)),
+                ("skipped_cycles", Value::UInt(stats.skipped_cycles)),
                 ("simulation_seconds", Value::Float(stats.sim_seconds())),
                 ("prep_seconds", Value::Float(stats.prep_seconds())),
                 ("artifact_builds", Value::UInt(stats.artifact_builds)),
@@ -389,6 +390,10 @@ impl Reproduce {
             ("cache_hit_rate".to_string(), Value::Float(stats.hit_rate())),
             ("disk_hits".to_string(), Value::UInt(stats.disk_hits)),
             ("disk_writes".to_string(), Value::UInt(stats.disk_writes)),
+            (
+                "skipped_cycles".to_string(),
+                Value::UInt(stats.skipped_cycles),
+            ),
             (
                 "simulation_seconds".to_string(),
                 Value::Float(stats.sim_seconds()),

@@ -21,7 +21,7 @@
 //! the socket file is removed on the way out.
 
 use mds_harness::cli::{parse_serve_args, ServeArgs, ServeCommand, SERVE_USAGE};
-use mds_harness::{Runner, Suite, SweepService, TraceSink};
+use mds_harness::{Runner, Suite, SweepService, TraceSink, MAX_REQUEST_LINE};
 use serde::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -155,8 +155,19 @@ fn client_loop(
 ) -> std::io::Result<()> {
     let traced = service.runner().trace().is_some();
     let mut writer = BufWriter::new(stream.try_clone()?);
-    for line in BufReader::new(stream).lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader, MAX_REQUEST_LINE)? {
+            LineRead::Eof => break,
+            LineRead::Oversized(seen) => {
+                let response = service.reject_oversized_line(seen);
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -179,4 +190,133 @@ fn client_loop(
         }
     }
     Ok(())
+}
+
+/// One bounded line read.
+enum LineRead {
+    /// A complete line (without its newline), at most `max` bytes.
+    Line(String),
+    /// The line exceeded `max` bytes; it was discarded through its
+    /// terminating newline (so the next read starts on a fresh line)
+    /// and this carries how many bytes it held.
+    Oversized(usize),
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max`
+/// bytes of it. This replaces `BufRead::lines`, whose internal
+/// `read_until` grows its buffer without limit — a client writing an
+/// endless line would run the server out of memory before the protocol
+/// layer ever saw a byte. An over-long line is drained chunk by chunk
+/// (bounded memory) through its newline, keeping the connection usable.
+fn read_bounded_line<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. A non-empty remainder is a final unterminated line,
+            // matching `lines()`.
+            return if line.is_empty() {
+                Ok(LineRead::Eof)
+            } else {
+                utf8_line(line)
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) if line.len() + newline <= max => {
+                line.extend_from_slice(&chunk[..newline]);
+                reader.consume(newline + 1);
+                return utf8_line(line);
+            }
+            Some(newline) => {
+                let seen = line.len() + newline;
+                reader.consume(newline + 1);
+                return Ok(LineRead::Oversized(seen));
+            }
+            None if line.len() + chunk.len() <= max => {
+                let taken = chunk.len();
+                line.extend_from_slice(chunk);
+                reader.consume(taken);
+            }
+            None => {
+                // Already too long: stop accumulating and discard
+                // through the newline.
+                let mut seen = line.len();
+                line.clear();
+                loop {
+                    let chunk = reader.fill_buf()?;
+                    if chunk.is_empty() {
+                        return Ok(LineRead::Oversized(seen));
+                    }
+                    match chunk.iter().position(|&b| b == b'\n') {
+                        Some(newline) => {
+                            seen += newline;
+                            reader.consume(newline + 1);
+                            return Ok(LineRead::Oversized(seen));
+                        }
+                        None => {
+                            seen += chunk.len();
+                            let taken = chunk.len();
+                            reader.consume(taken);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn utf8_line(bytes: Vec<u8>) -> std::io::Result<LineRead> {
+    String::from_utf8(bytes).map(LineRead::Line).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<String> {
+        // A tiny buffer capacity forces the chunk-spanning paths.
+        let mut reader = BufReader::with_capacity(8, Cursor::new(input.to_vec()));
+        let mut out = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, max).expect("read") {
+                LineRead::Line(l) => out.push(format!("line:{l}")),
+                LineRead::Oversized(seen) => out.push(format!("oversized:{seen}")),
+                LineRead::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn reads_lines_within_the_cap() {
+        assert_eq!(
+            read_all(b"ab\nlonger line\n\ntail", 64),
+            ["line:ab", "line:longer line", "line:", "line:tail"]
+        );
+    }
+
+    #[test]
+    fn oversized_line_is_drained_and_reported() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        assert_eq!(read_all(&input, 10), ["oversized:100", "line:ok"]);
+        // A line of exactly `max` bytes still goes through.
+        assert_eq!(
+            read_all(&input, 100),
+            [format!("line:{}", "x".repeat(100)), "line:ok".into()]
+        );
+    }
+
+    #[test]
+    fn oversized_line_at_eof_is_still_reported() {
+        assert_eq!(read_all(&[b'y'; 50], 10), ["oversized:50"]);
+    }
 }

@@ -520,7 +520,7 @@ pub fn bench_diff(
             regressed,
         });
     }
-    for key in ["cache_hits", "disk_hits", "disk_writes"] {
+    for key in ["cache_hits", "disk_hits", "disk_writes", "skipped_cycles"] {
         if let (Some(b), Some(c)) = (number(baseline, key), number(current, key)) {
             rows.push(DiffRow {
                 metric: key.to_string(),

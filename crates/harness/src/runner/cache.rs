@@ -19,6 +19,7 @@ pub struct SimCache {
     hits: AtomicU64,
     simulations: AtomicU64,
     sim_nanos: AtomicU64,
+    skipped_cycles: AtomicU64,
 }
 
 impl SimCache {
@@ -56,6 +57,8 @@ impl SimCache {
     pub fn insert(&self, benchmark: Benchmark, key: ConfigKey, result: SimResult, nanos: u64) {
         self.simulations.fetch_add(1, Ordering::Relaxed);
         self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.skipped_cycles
+            .fetch_add(result.skipped_cycles, Ordering::Relaxed);
         let mut map = self.map.lock().expect("cache poisoned");
         map.entry(key).or_default().insert(benchmark, result);
     }
@@ -87,6 +90,7 @@ impl SimCache {
             cache_hits: self.hits.load(Ordering::Relaxed),
             simulations: self.simulations.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            skipped_cycles: self.skipped_cycles.load(Ordering::Relaxed),
             artifact_builds: 0,
             prep_nanos: 0,
             disk_hits: 0,
@@ -105,6 +109,10 @@ pub struct RunnerStats {
     /// Total wall-clock nanoseconds spent inside simulations, summed
     /// over jobs (exceeds elapsed time when jobs run in parallel).
     pub sim_nanos: u64,
+    /// Cycles the event-driven core fast-forwarded over instead of
+    /// executing, summed across executed simulations (cache hits
+    /// contribute nothing: their simulations already ran).
+    pub skipped_cycles: u64,
     /// Trace-artifact bundles built (one per distinct benchmark; every
     /// config after the first shares the memoized bundle).
     pub artifact_builds: u64,

@@ -138,9 +138,11 @@ fn encode_result(result: &SimResult) -> Value {
         stats,
         policy_name,
         pipetrace: _,
+        skipped_cycles,
     } = result;
     Value::Object(vec![
         ("policy_name".to_string(), Value::Str(policy_name.clone())),
+        ("skipped_cycles".to_string(), Value::UInt(*skipped_cycles)),
         ("stats".to_string(), encode_stats(stats)),
     ])
 }
@@ -150,6 +152,7 @@ fn decode_result(v: &Value) -> Option<SimResult> {
         policy_name: v.get("policy_name")?.as_str()?.to_string(),
         stats: decode_stats(v.get("stats")?)?,
         pipetrace: None,
+        skipped_cycles: u(v, "skipped_cycles")?,
     })
 }
 

@@ -13,7 +13,12 @@ use std::fmt::Write;
 /// added, removed, or re-interpreted, or a statistic changes semantics
 /// — so persisted results from older builds are invalidated instead of
 /// being silently served as current.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: result entries carry `skipped_cycles` (event-driven core), and
+/// the per-unit fetch-width split changed timing for configurations
+/// whose `fetch_width` does not divide evenly across split-window
+/// units.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// A stable fingerprint of a [`CoreConfig`], used to key memoized
 /// simulation results by (benchmark, configuration) — including
@@ -287,7 +292,7 @@ mod tests {
     /// and re-pin this string.
     #[test]
     fn golden_key_is_pinned() {
-        let expected = "cfg-v1{window_size=128,fetch_width=8,fetch_blocks=4,\
+        let expected = "cfg-v2{window_size=128,fetch_width=8,fetch_blocks=4,\
             issue_width=8,commit_width=8,decode_latency=2,fu_copies=8,mem_ports=4,\
             store_buffer=128,lsq_size=128,policy=NAS/NO,addr_sched_latency=0,\
             squash_latency=1,recovery=squash,pipetrace=false,\
@@ -306,7 +311,7 @@ mod tests {
     #[test]
     fn key_is_versioned_and_hashable() {
         let key = ConfigKey::of(&CoreConfig::paper_64());
-        assert!(key.as_str().starts_with("cfg-v1{"), "{}", key.as_str());
+        assert!(key.as_str().starts_with("cfg-v2{"), "{}", key.as_str());
         // FNV-1a of a known string ("" hashes to the offset basis).
         assert_ne!(key.fnv1a(), 0xcbf2_9ce4_8422_2325);
     }

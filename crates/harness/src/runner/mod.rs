@@ -18,7 +18,7 @@ mod trace;
 
 pub use cache::{RunnerStats, SimCache};
 pub use key::{ConfigKey, CACHE_SCHEMA_VERSION};
-pub use service::{SweepService, PROTOCOL_VERSION};
+pub use service::{SweepService, MAX_REQUEST_LINE, PROTOCOL_VERSION};
 pub use suite::Suite;
 pub use trace::TraceSink;
 
@@ -456,7 +456,13 @@ impl Runner {
                     cr_id,
                     sim_start_ns,
                     nanos,
-                    vec![("wall_ns".to_string(), Value::UInt(nanos))],
+                    vec![
+                        ("wall_ns".to_string(), Value::UInt(nanos)),
+                        (
+                            "skipped_cycles".to_string(),
+                            Value::UInt(result.skipped_cycles),
+                        ),
+                    ],
                 );
                 sink.emit_span(&simulate).expect("writing JSONL trace");
                 cr
@@ -469,6 +475,7 @@ impl Runner {
                         ("policy", Value::Str(result.policy_name.clone())),
                         ("wall_ns", Value::UInt(nanos)),
                         ("cycles", Value::UInt(result.stats.cycles)),
+                        ("skipped_cycles", Value::UInt(result.skipped_cycles)),
                         ("committed", Value::UInt(result.stats.committed)),
                         ("ipc", Value::Float(result.ipc())),
                     ],

@@ -29,6 +29,16 @@ use std::time::Instant;
 /// (reported by `ping` so clients can detect mismatched servers).
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Upper bound, in bytes, on one request line. A legitimate sweep over
+/// every policy and benchmark is a few kilobytes; a line that reaches a
+/// mebibyte is a runaway or hostile client, and without a cap the
+/// socket loop would buffer it in full before parsing — an unbounded
+/// allocation driven entirely by the peer. Longer lines are rejected
+/// with the standard `{"ok":false,"error":...}` response (see
+/// [`SweepService::reject_oversized_line`]) and the connection
+/// survives.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
 /// A [`Runner`] shared by concurrent clients, deduplicating identical
 /// in-flight requests.
 ///
@@ -278,6 +288,29 @@ impl SweepService {
             r.record(&format!("phase.handle.{op}_us"), handle_ns / 1_000);
         });
         (response, shutdown)
+    }
+
+    /// The response for a request line that exceeded
+    /// [`MAX_REQUEST_LINE`]: the same `{"ok":false,"error":...}` shape
+    /// every malformed request gets, accounted under the `invalid` op
+    /// like requests whose op cannot be determined (an oversized line
+    /// is never parsed, so its op is unknowable by construction).
+    pub fn reject_oversized_line(&self, seen_bytes: usize) -> String {
+        self.runner.observe(|r| {
+            r.incr("requests.total");
+            r.incr("requests.error");
+            r.incr("requests.op.invalid");
+        });
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(false)),
+            (
+                "error".to_string(),
+                Value::Str(format!(
+                    "request line exceeds {MAX_REQUEST_LINE} bytes (got {seen_bytes}+)"
+                )),
+            ),
+        ])
+        .to_json()
     }
 
     /// Dispatches one request, tagging both outcomes with the op name

@@ -225,6 +225,39 @@ fn concurrent_clients_share_one_sweep_of_simulations() {
 }
 
 #[test]
+fn oversized_request_line_is_rejected_without_killing_the_connection() {
+    let server = Server::spawn("cap", &[]);
+
+    let stream = UnixStream::connect(&server.socket).expect("connecting");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    let mut exchange = |line: &str| -> Value {
+        writeln!(writer, "{line}").expect("writing request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("reading response");
+        Value::parse_json(response.trim_end()).expect("parsing response JSON")
+    };
+
+    // Well over the 1 MiB line cap — still valid JSON, but the server
+    // must refuse it unparsed rather than buffer it.
+    let huge = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "a".repeat(2 << 20));
+    let rejected = exchange(&huge);
+    assert_eq!(rejected.get("ok").unwrap().as_bool(), Some(false));
+    let error = rejected.get("error").unwrap().as_str().unwrap();
+    assert!(error.contains("exceeds"), "{error}");
+
+    // The same connection keeps working afterwards.
+    let pong = exchange("{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+
+    // The rejection is accounted like any other malformed request.
+    assert!(metric(&server.socket, "requests.error") >= 1);
+    assert!(metric(&server.socket, "requests.op.invalid") >= 1);
+
+    server.shutdown_and_wait();
+}
+
+#[test]
 fn load_client_verifies_cold_and_warm_counters() {
     let cache = std::env::temp_dir().join(format!("mds-load-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache);

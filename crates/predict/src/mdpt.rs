@@ -136,6 +136,14 @@ impl Mdpt {
             }
         }
     }
+
+    /// The cycle the next periodic flush fires (`None` when flushing is
+    /// disabled): `maybe_flush(at)` is a no-op for every `at` before it.
+    pub fn next_flush_at(&self) -> Option<u64> {
+        self.params
+            .flush_interval
+            .map(|i| self.last_flush.saturating_add(i))
+    }
 }
 
 /// Per-synonym, sequence-ordered lists of in-flight stores: the

@@ -65,6 +65,14 @@ impl StoreBarrierPredictor {
             }
         }
     }
+
+    /// The cycle the next periodic reset fires (`None` when resets are
+    /// disabled): `maybe_reset(at)` is a no-op for every `at` before it.
+    pub fn next_reset_at(&self) -> Option<u64> {
+        self.params
+            .reset_interval
+            .map(|i| self.last_reset.saturating_add(i))
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,14 @@ impl StoreSets {
             }
         }
     }
+
+    /// The cycle the next periodic clear fires (`None` when clearing is
+    /// disabled): `maybe_clear(at)` is a no-op for every `at` before it.
+    pub fn next_clear_at(&self) -> Option<u64> {
+        self.params
+            .clear_interval
+            .map(|i| self.last_clear.saturating_add(i))
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,44 @@ proptest! {
         }
     }
 
+    /// Fast-forward bulk attribution must charge the exact same stacks
+    /// as per-cycle attribution: the partition invariant holds in both
+    /// modes and the CPI stacks are byte-identical, across randomized
+    /// machine shapes (window size, width, policy, window model).
+    #[test]
+    fn fast_forward_cpi_stacks_match_per_cycle(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..24,
+        window in 0usize..3,
+        width in 0usize..2,
+        split in any::<bool>(),
+        policy_ix in 0usize..9,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let policies = [
+            Policy::NasNo, Policy::NasNaive, Policy::NasSelective,
+            Policy::NasStoreBarrier, Policy::NasSync, Policy::NasStoreSets,
+            Policy::NasOracle, Policy::AsNo, Policy::AsNaive,
+        ];
+        let mut cfg = CoreConfig::paper_128()
+            .with_policy(policies[policy_ix])
+            .with_window_size([16, 64, 128][window]);
+        cfg.issue_width = [4, 8][width];
+        cfg.commit_width = cfg.issue_width;
+        if split {
+            cfg = cfg.with_window_model(WindowModel::Split { units: 3, task_size: 16 });
+        }
+        let fast = Simulator::new(cfg.clone()).run(&trace);
+        let slow = Simulator::new(cfg).run_per_cycle(&trace);
+        prop_assert_eq!(fast.stats.cpi.total_cycles(), fast.stats.cycles);
+        prop_assert_eq!(
+            format!("{:?}", fast.stats.cpi),
+            format!("{:?}", slow.stats.cpi),
+            "CPI stacks diverged between event-driven and per-cycle cores"
+        );
+        prop_assert_eq!(fast.stats, slow.stats);
+    }
+
     /// A no-speculation policy never charges cycles to squash recovery,
     /// and a policy without an address scheduler never charges
     /// scheduler latency.

@@ -1,0 +1,262 @@
+//! Differential equivalence of the event-driven fast-forward core.
+//!
+//! [`Simulator::run`] skips provably-quiet cycle spans in one step
+//! (bulk-attributing the skipped cycles to the head's stall cause and
+//! bulk-sampling window occupancy); [`Simulator::run_per_cycle`]
+//! executes every cycle individually. The two must produce *identical*
+//! [`SimStats`] — same cycle count, same CPI-stack partition, same
+//! histograms, same memory and front-end counters — because
+//! fast-forward only elides cycles on which nothing could have
+//! happened. These tests compare the full `Debug` rendering so any new
+//! statistic is automatically covered.
+//!
+//! Coverage mirrors `sched_equivalence.rs`: all nine policies,
+//! continuous and split windows, address-scheduler latencies 0–2, and
+//! both recovery models — plus a sanity check that fast-forward
+//! actually skips cycles on latency-bound traces (an accidental
+//! always-active bug would pass equivalence trivially).
+
+use mds::core::{CoreConfig, Policy, Recovery, Simulator, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use mds::workloads::{Benchmark, SuiteParams};
+use proptest::prelude::*;
+
+const ALL_NINE: [Policy; 9] = [
+    Policy::NasNo,
+    Policy::NasNaive,
+    Policy::NasSelective,
+    Policy::NasStoreBarrier,
+    Policy::NasSync,
+    Policy::NasStoreSets,
+    Policy::NasOracle,
+    Policy::AsNo,
+    Policy::AsNaive,
+];
+
+/// Runs the config twice — event-driven and per-cycle — and checks the
+/// stats are identical in every field.
+fn assert_ff_equivalent(cfg: CoreConfig, trace: &Trace, what: &str) -> u64 {
+    let fast = Simulator::new(cfg.clone()).run(trace);
+    let slow = Simulator::new(cfg).run_per_cycle(trace);
+    assert_eq!(
+        format!("{:?}", fast.stats),
+        format!("{:?}", slow.stats),
+        "{what}: event-driven stats diverged from per-cycle stats"
+    );
+    assert_eq!(
+        slow.skipped_cycles, 0,
+        "{what}: per-cycle mode must not skip"
+    );
+    fast.skipped_cycles
+}
+
+/// A pointer-chase through memory with a long-latency multiply feeding
+/// every address: the window drains and the machine sits quiet for many
+/// cycles at a time — maximal fast-forward opportunity.
+fn latency_bound_trace(iters: u64) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(8 * 130, 8);
+    let (i, n, base, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(5));
+    a.li(i, 1);
+    a.li(n, iters as i64 + 1);
+    a.li(base, arr as i64);
+    let top = a.label();
+    a.bind(top);
+    a.mult(i, i);
+    a.mflo(t); // long-latency producer
+    a.div(t, n);
+    a.mflo(t); // and a divide behind it
+    a.sll(t, i, 3);
+    a.add(t, base, t);
+    a.lw(Reg::int(6), t, -8);
+    a.add(Reg::int(6), Reg::int(6), i);
+    a.sw(Reg::int(6), t, 0);
+    a.addi(i, i, 1);
+    a.slt(Reg::int(7), i, n);
+    a.bgtz(Reg::int(7), top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap())
+        .run(1_000_000)
+        .unwrap()
+}
+
+/// The same random-loop generator the scheduler-equivalence proptests
+/// use: loads, stores, ALU ops, and a loop-carried memory recurrence.
+fn random_loop_trace(iters: u64, body: &[(u8, u8)]) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4096 + 64, 64);
+    let cell = a.alloc_data(8, 8);
+    let (cnt, base, cbase) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    a.li(cnt, iters as i64);
+    a.li(base, arr as i64);
+    a.li(cbase, cell as i64);
+    let top = a.label();
+    a.bind(top);
+    for &(kind, operand) in body {
+        let r = Reg::int(4 + (operand % 6));
+        let off = (operand as i64 % 64) * 4;
+        match kind % 5 {
+            0 => a.lw(r, base, off),
+            1 => a.sw(r, base, off),
+            2 => a.addi(r, r, operand as i64),
+            3 => {
+                a.lw(r, cbase, 0);
+                a.addi(r, r, 1);
+                a.sw(r, cbase, 0);
+            }
+            _ => {
+                let r2 = Reg::int(4 + ((operand / 7) % 6));
+                a.add(r, r, r2);
+            }
+        }
+    }
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap())
+        .run(2_000_000)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random programs, every policy, continuous window.
+    #[test]
+    fn fast_forward_matches_per_cycle_on_random_programs(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        iters in 1u64..20,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in ALL_NINE {
+            assert_ff_equivalent(
+                CoreConfig::paper_128().with_policy(policy),
+                &trace,
+                &format!("{policy} continuous"),
+            );
+        }
+    }
+
+    /// Random programs, split window and nonzero address-scheduler
+    /// latency (exercises round-robin issue priority, per-unit fetch
+    /// widths, and the task-advance horizon).
+    #[test]
+    fn fast_forward_matches_per_cycle_on_split_window(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        iters in 1u64..16,
+        units in 2u32..5,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in [Policy::NasNaive, Policy::NasSync, Policy::AsNo, Policy::AsNaive] {
+            assert_ff_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_window_model(WindowModel::Split { units, task_size: 16 })
+                    .with_addr_sched_latency(1),
+                &trace,
+                &format!("{policy} split"),
+            );
+        }
+    }
+
+    /// Selective reissue: recovery resets issued ops in place, so the
+    /// candidate horizon must stay sound across re-issues.
+    #[test]
+    fn fast_forward_matches_per_cycle_under_selective_reissue(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        iters in 1u64..16,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        for policy in [Policy::NasNaive, Policy::NasSelective, Policy::AsNaive] {
+            assert_ff_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_recovery(Recovery::SelectiveReissue),
+                &trace,
+                &format!("{policy} selective-reissue"),
+            );
+        }
+    }
+}
+
+/// Deterministic sweep on a real workload: all nine policies, both
+/// window models, address-scheduler latencies 0–2, both recoveries.
+#[test]
+fn fast_forward_equivalence_sweep_on_workload_trace() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).expect("trace");
+    for policy in ALL_NINE {
+        for lat in 0..=2 {
+            assert_ff_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_addr_sched_latency(lat),
+                &trace,
+                &format!("{policy} continuous lat={lat}"),
+            );
+        }
+        for recovery in [Recovery::Squash, Recovery::SelectiveReissue] {
+            assert_ff_equivalent(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_recovery(recovery),
+                &trace,
+                &format!("{policy} {recovery:?}"),
+            );
+        }
+        assert_ff_equivalent(
+            CoreConfig::paper_128()
+                .with_policy(policy)
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 16,
+                })
+                .with_addr_sched_latency(2),
+            &trace,
+            &format!("{policy} split lat=2"),
+        );
+    }
+}
+
+/// Fast-forward must actually skip cycles where the machine is
+/// latency-bound, or the equivalence above proves nothing.
+#[test]
+fn fast_forward_skips_cycles_on_latency_bound_code() {
+    let trace = latency_bound_trace(200);
+    let mut total_skipped = 0;
+    for policy in ALL_NINE {
+        // A small window drains behind the serial chain, leaving long
+        // quiet spans (the effect is present at 128 too, just diluted
+        // by cross-iteration overlap).
+        total_skipped += assert_ff_equivalent(
+            CoreConfig::paper_128()
+                .with_window_size(16)
+                .with_policy(policy),
+            &trace,
+            &format!("{policy} latency-bound"),
+        );
+    }
+    assert!(
+        total_skipped > 1_000,
+        "expected substantial cycle skipping on a latency-bound trace, got {total_skipped}"
+    );
+}
+
+/// A non-divisible fetch width over split-window units must deliver the
+/// full width (8 over 3 units fetches 8/cycle as 3+3+2, not 6) and stay
+/// mode-equivalent.
+#[test]
+fn non_divisible_fetch_width_completes_and_matches() {
+    let trace = random_loop_trace(12, &[(0, 3), (2, 9), (1, 3), (4, 20), (3, 0)]);
+    for units in [3u32, 5] {
+        let cfg = CoreConfig::paper_128()
+            .with_policy(Policy::NasNaive)
+            .with_window_model(WindowModel::Split {
+                units,
+                task_size: 16,
+            });
+        let skipped = assert_ff_equivalent(cfg.clone(), &trace, &format!("{units} units"));
+        let res = Simulator::new(cfg).run(&trace);
+        assert_eq!(res.stats.committed, trace.len() as u64);
+        let _ = skipped;
+    }
+}
