@@ -30,6 +30,13 @@
 //! decoding the `phase.*` latency histograms and printing a
 //! p50/p95/p99 table per sample alongside the counters and gauges — a
 //! poor man's live dashboard for a long-running server.
+//!
+//! With `--retries N`, a dropped connection, a mid-response EOF, or an
+//! overload shed (`retry_after_ms`) is retried up to `N` times with
+//! capped exponential backoff and deterministic jitter. Every op this
+//! client sends is idempotent — the server memoizes sweep results — so
+//! resending after a transport failure never duplicates work or skews
+//! the `simulations` counter the barrage asserts on.
 
 use mds_harness::TextTable;
 use mds_obs::Histogram;
@@ -41,7 +48,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: mds-load --socket PATH [--clients N] \
      [--policies NAS/NO,...] [--window-sizes 64,128] [--repeats N]\n\
-     [--expect-simulations-delta N]\n\
+     [--expect-simulations-delta N] [--retries N]\n\
      mds-load --socket PATH --metrics [--samples N] [--interval-ms MS]";
 
 struct Args {
@@ -51,6 +58,7 @@ struct Args {
     window_sizes: Vec<u64>,
     repeats: usize,
     expect_delta: Option<u64>,
+    retries: usize,
     metrics: bool,
     samples: usize,
     interval_ms: u64,
@@ -65,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
     let mut window_sizes = vec![128u64];
     let mut repeats = 2;
     let mut expect_delta = None;
+    let mut retries = 0;
     let mut metrics = false;
     let mut samples = 1;
     let mut interval_ms = 1000;
@@ -103,6 +112,11 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
                         .map_err(|e| format!("bad --expect-simulations-delta value: {e}"))?,
                 );
             }
+            "--retries" => {
+                retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries value: {e}"))?;
+            }
             "--metrics" => metrics = true,
             "--samples" => {
                 samples = value("--samples")?
@@ -126,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Option<Args>, String> {
         window_sizes,
         repeats,
         expect_delta,
+        retries,
         metrics,
         samples,
         interval_ms,
@@ -168,6 +183,22 @@ struct Client {
     writer: UnixStream,
 }
 
+/// How one request failed — the retry layer treats each differently.
+enum RequestError {
+    /// Connection-level failure: refused connect, write error,
+    /// mid-response EOF or garbage. The connection is unusable;
+    /// reconnect and resend.
+    Transport(String),
+    /// The server shed the connection at capacity and suggested a
+    /// retry delay. The server closes a shed connection, so this also
+    /// reconnects.
+    Shed { retry_after_ms: u64 },
+    /// The server answered `ok:false` without a retry hint: the
+    /// request itself is bad (or the sweep failed structurally), and
+    /// retrying would get the same answer.
+    Rejected(String),
+}
+
 impl Client {
     fn connect(socket: &Path) -> Result<Client, String> {
         let stream = UnixStream::connect(socket)
@@ -181,26 +212,122 @@ impl Client {
         })
     }
 
-    fn request(&mut self, line: &str) -> Result<Value, String> {
+    fn request(&mut self, line: &str) -> Result<Value, RequestError> {
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
-            .map_err(|e| format!("write failed: {e}"))?;
+            .map_err(|e| RequestError::Transport(format!("write failed: {e}")))?;
         let mut response = String::new();
-        self.reader
+        let n = self
+            .reader
             .read_line(&mut response)
-            .map_err(|e| format!("read failed: {e}"))?;
-        let parsed = Value::parse_json(response.trim_end())
-            .map_err(|e| format!("bad response JSON: {e} in {response:?}"))?;
+            .map_err(|e| RequestError::Transport(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(RequestError::Transport(
+                "connection closed before a response arrived".to_string(),
+            ));
+        }
+        let parsed = Value::parse_json(response.trim_end()).map_err(|e| {
+            RequestError::Transport(format!("bad response JSON: {e} in {response:?}"))
+        })?;
         if parsed.get("ok").and_then(Value::as_bool) != Some(true) {
-            return Err(format!("server rejected {line:?}: {response}"));
+            if let Some(ms) = parsed.get("retry_after_ms").and_then(Value::as_u64) {
+                return Err(RequestError::Shed { retry_after_ms: ms });
+            }
+            return Err(RequestError::Rejected(format!(
+                "server rejected {line:?}: {response}"
+            )));
         }
         Ok(parsed)
     }
 }
 
-fn stat(client: &mut Client, counter: &str) -> Result<u64, String> {
-    client
+/// A self-healing protocol session: requests go through the current
+/// connection, and transport failures or sheds reconnect and resend —
+/// up to `retries` extra attempts — with capped exponential backoff
+/// and deterministic (seeded) jitter, so two runs of the load test
+/// sleep identically.
+struct Session {
+    socket: PathBuf,
+    retries: usize,
+    rng: u64,
+    client: Option<Client>,
+}
+
+/// First backoff delay; doubles per attempt.
+const BACKOFF_BASE_MS: u64 = 50;
+/// Backoff ceiling — a shed server's `retry_after_ms` may exceed it.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// splitmix64 step — the same deterministic stream the harness's fault
+/// plans use, reused here for jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Session {
+    /// A lazy session: the first `request` connects (and a missing
+    /// server fails through the same retry policy as a dropped one, so
+    /// a client racing the server's bind rides it out).
+    fn new(socket: &Path, retries: usize, seed: u64) -> Session {
+        Session {
+            socket: socket.to_path_buf(),
+            retries,
+            rng: seed ^ 0x6d64_735f_6c6f_6164,
+            client: None,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), RequestError> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect(&self.socket).map_err(RequestError::Transport)?);
+        }
+        Ok(())
+    }
+
+    fn request(&mut self, line: &str) -> Result<Value, String> {
+        let mut backoff_ms = BACKOFF_BASE_MS;
+        let mut attempt = 0usize;
+        loop {
+            let outcome = self
+                .ensure_connected()
+                .and_then(|()| self.client.as_mut().expect("just connected").request(line));
+            let (wait_ms, why) = match outcome {
+                Ok(v) => return Ok(v),
+                Err(RequestError::Rejected(msg)) => return Err(msg),
+                Err(RequestError::Transport(msg)) => {
+                    self.client = None;
+                    (backoff_ms, msg)
+                }
+                Err(RequestError::Shed { retry_after_ms }) => {
+                    self.client = None;
+                    (
+                        retry_after_ms.max(backoff_ms),
+                        format!("server at capacity (retry_after_ms={retry_after_ms})"),
+                    )
+                }
+            };
+            attempt += 1;
+            if attempt > self.retries {
+                return Err(format!(
+                    "giving up on {line:?} after {attempt} attempt(s): {why}"
+                ));
+            }
+            // Full jitter in [0, wait/2] keeps retrying clients from
+            // re-colliding in lockstep while staying deterministic.
+            let jitter = splitmix64(&mut self.rng) % (wait_ms / 2 + 1);
+            std::thread::sleep(std::time::Duration::from_millis(wait_ms + jitter));
+            backoff_ms = (backoff_ms * 2).min(BACKOFF_CAP_MS);
+        }
+    }
+}
+
+fn stat(session: &mut Session, counter: &str) -> Result<u64, String> {
+    session
         .request("{\"op\":\"stats\"}")?
         .get("stats")
         .and_then(|s| s.get(counter))
@@ -244,7 +371,7 @@ fn us(v: Option<u64>) -> String {
 /// (p50/p95/p99 from the log2 histograms) plus counters and gauges for
 /// every sample. Returns a one-line JSON summary.
 fn watch_metrics(args: &Args) -> Result<String, String> {
-    let mut client = Client::connect(&args.socket)?;
+    let mut client = Session::new(&args.socket, args.retries, 0x4d45_5452);
     let samples = args.samples.max(1);
     let mut phases_seen = 0u64;
     for sample in 0..samples {
@@ -293,7 +420,7 @@ fn watch_metrics(args: &Args) -> Result<String, String> {
 }
 
 fn run(args: &Args) -> Result<String, String> {
-    let mut control = Client::connect(&args.socket)?;
+    let mut control = Session::new(&args.socket, args.retries, 0xC0);
     control.request("{\"op\":\"ping\"}")?;
     let sims_before = stat(&mut control, "simulations")?;
 
@@ -302,7 +429,7 @@ fn run(args: &Args) -> Result<String, String> {
         (0..args.clients)
             .map(|i| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(&args.socket)?;
+                    let mut client = Session::new(&args.socket, args.retries, i as u64);
                     let request = sweep_request(args, i);
                     let mut seen = Vec::new();
                     for _ in 0..args.repeats.max(1) {

@@ -92,6 +92,14 @@ fn reproduce(args: ReproduceArgs) -> Result<(), String> {
     let trace_seconds = trace_start.elapsed().as_secs_f64();
 
     let mut runner = Runner::new(suite).with_jobs(args.jobs);
+    let faults = mds_harness::cli::effective_fault_plan(args.fault_plan.as_deref())?;
+    if faults.is_armed() {
+        eprintln!("fault injection armed");
+        runner = runner.with_faults(faults);
+    }
+    if args.durable_cache {
+        runner = runner.with_durable_cache();
+    }
     if let Some(dir) = &args.cache_dir {
         eprintln!("persistent result cache at {}...", dir.display());
         runner = runner.with_cache_dir(dir);
@@ -405,6 +413,24 @@ impl Reproduce {
             (
                 "artifact_builds".to_string(),
                 Value::UInt(stats.artifact_builds),
+            ),
+            (
+                "disk_read_errors".to_string(),
+                Value::UInt(stats.disk_read_errors),
+            ),
+            (
+                "disk_write_errors".to_string(),
+                Value::UInt(stats.disk_write_errors),
+            ),
+            (
+                "orphans_removed".to_string(),
+                Value::UInt(stats.orphans_removed),
+            ),
+            ("job_retries".to_string(), Value::UInt(stats.job_retries)),
+            ("job_failures".to_string(), Value::UInt(stats.job_failures)),
+            (
+                "faults_injected".to_string(),
+                Value::UInt(stats.faults_injected),
             ),
             ("experiments".to_string(), Value::Array(experiments)),
         ]);

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! mds-serve --socket PATH [--scale tiny|test|bench] [--benchmarks a,b]
-//!           [--jobs N] [--cache-dir DIR]
+//!           [--jobs N] [--cache-dir DIR] [--durable-cache]
 //!           [--trace-out FILE.jsonl] [--trace-every N]
+//!           [--read-timeout-ms N] [--write-timeout-ms N]
+//!           [--max-connections N] [--fault-plan SPEC]
 //! ```
 //!
 //! The server generates the benchmark suite once, then accepts any
@@ -17,18 +19,63 @@
 //! `--trace-out`, request lifecycle events stream to the JSONL trace
 //! as the server works.
 //!
-//! A `{"op":"shutdown"}` request stops the server after acknowledging;
-//! the socket file is removed on the way out.
+//! The server degrades rather than falls over: connections beyond
+//! `--max-connections` are shed with a structured `retry_after_ms`
+//! error; a client that stalls mid-request (slowloris) or stops
+//! reading its response is disconnected after the read/write timeout;
+//! and every degradation increments a counter and emits a trace event.
+//!
+//! A `{"op":"shutdown"}` request — or SIGINT/SIGTERM — stops the
+//! server gracefully: it stops accepting, drains in-flight
+//! connections, and removes the socket file on the way out.
 
 use mds_harness::cli::{parse_serve_args, ServeArgs, ServeCommand, SERVE_USAGE};
-use mds_harness::{Runner, Suite, SweepService, TraceSink, MAX_REQUEST_LINE};
+use mds_harness::{FaultSite, Runner, Suite, SweepService, TraceSink, MAX_REQUEST_LINE};
 use serde::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Set from the signal handler; the accept loop polls it.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Signal handler: the only async-signal-safe action is flipping the
+/// flag; the accept loop notices within one poll interval.
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Registers `on_signal` for SIGINT and SIGTERM via the raw C
+/// `signal(2)` entry point — the one libc symbol this binary needs, so
+/// it declares it directly instead of growing a dependency.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` only stores to an atomic (async-signal-safe),
+    // and `signal` is called before any thread is spawned.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// How often the accept loop re-checks the shutdown flags between
+/// `WouldBlock` accepts, and how often the drain loop re-checks the
+/// open-connection count.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long shutdown waits for in-flight connections to finish before
+/// giving up and exiting anyway.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// What shed responses tell the client to wait before retrying.
+const SHED_RETRY_AFTER_MS: u64 = 500;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +108,14 @@ fn serve(args: ServeArgs) -> Result<(), String> {
     let suite = Suite::generate(&args.benchmarks, &args.params)
         .map_err(|e| format!("workload generation failed: {e}"))?;
     let mut runner = Runner::new(suite).with_jobs(args.jobs);
+    let faults = mds_harness::cli::effective_fault_plan(args.fault_plan.as_deref())?;
+    if faults.is_armed() {
+        eprintln!("mds-serve: fault injection armed");
+        runner = runner.with_faults(faults);
+    }
+    if args.durable_cache {
+        runner = runner.with_durable_cache();
+    }
     if let Some(dir) = &args.cache_dir {
         eprintln!("mds-serve: persistent cache at {}", dir.display());
         runner = runner.with_cache_dir(dir);
@@ -90,26 +145,77 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         )
         .map_err(|e| format!("cannot write trace: {e}"))?;
 
+    install_signal_handlers();
+    // Nonblocking accept + poll: a blocking `accept` would not wake
+    // for a signal-flag flip (glibc installs `signal(2)` handlers with
+    // SA_RESTART, so the syscall resumes instead of returning EINTR)
+    // or for a protocol-requested shutdown on another thread.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot make listener nonblocking: {e}"))?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    for stream in listener.incoming() {
+    loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match stream {
-            Ok(stream) => {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("mds-serve: signal received; draining");
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // The accepted socket must block (with timeouts);
+                // inheriting nonblocking mode would turn every read
+                // into a spin.
+                if let Err(e) = stream.set_nonblocking(false) {
+                    eprintln!("mds-serve: cannot configure connection: {e}");
+                    continue;
+                }
+                if args.max_connections > 0 && service.connections() >= args.max_connections {
+                    shed(&service, stream, args.write_timeout_ms);
+                    continue;
+                }
+                // Counted here, not in the thread, so the cap check
+                // above never races a connection that has been
+                // accepted but not yet counted.
+                service.connection_opened();
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&shutdown);
-                let socket = args.socket.clone();
+                let read_timeout_ms = args.read_timeout_ms;
+                let write_timeout_ms = args.write_timeout_ms;
                 std::thread::spawn(move || {
-                    service.connection_opened();
-                    if let Err(e) = client_loop(&service, stream, &shutdown, &socket) {
+                    if let Err(e) = client_loop(
+                        &service,
+                        stream,
+                        &shutdown,
+                        read_timeout_ms,
+                        write_timeout_ms,
+                    ) {
                         eprintln!("mds-serve: client error: {e}");
                     }
                     service.connection_closed();
                 });
             }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
             Err(e) => eprintln!("mds-serve: accept failed: {e}"),
         }
+    }
+
+    // Graceful drain: stop accepting (the listener is simply no longer
+    // polled), let in-flight connections finish, bounded so a wedged
+    // client cannot hold shutdown hostage forever.
+    let drain_start = Instant::now();
+    while service.connections() > 0 {
+        if drain_start.elapsed() > DRAIN_DEADLINE {
+            eprintln!(
+                "mds-serve: drain deadline passed with {} connection(s) still open; exiting",
+                service.connections()
+            );
+            break;
+        }
+        std::thread::sleep(POLL_INTERVAL);
     }
 
     let _ = std::fs::remove_file(&args.socket);
@@ -138,10 +244,42 @@ fn serve(args: ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the overload-shed response to a connection accepted beyond
+/// the cap, then drops it. Best-effort: the client may already be
+/// gone, and the shed is counted either way.
+fn shed(service: &SweepService, stream: UnixStream, write_timeout_ms: u64) {
+    let response = service.shed_response(SHED_RETRY_AFTER_MS);
+    let _ = stream.set_write_timeout(timeout(write_timeout_ms));
+    let mut writer = BufWriter::new(stream);
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+}
+
+/// Converts a millisecond flag value to a socket timeout (`0` =
+/// disabled).
+fn timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Whether an I/O error is a socket-timeout expiry. Linux reports a
+/// timed-out read/write on a socket with `SO_RCVTIMEO`/`SO_SNDTIMEO`
+/// as `EWOULDBLOCK`; other platforms use `ETIMEDOUT`.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Serves one client connection: reads request lines, writes response
-/// lines. On a shutdown request, flips the flag and pokes the listener
-/// with a throwaway connection so the blocking accept wakes up and
-/// observes it.
+/// lines. On a shutdown request, flips the flag; the accept loop polls
+/// it and begins draining.
+///
+/// A read or write that exceeds the connection's timeout closes the
+/// connection and counts it (`service.read_timeouts`) instead of
+/// pinning the thread — the slowloris defence. The `conn_drop` and
+/// `conn_slow` fault sites fire here, per request line.
 ///
 /// With tracing attached, every request is wrapped in a `recv` span —
 /// from reading the line through flushing the response — that parents
@@ -151,31 +289,59 @@ fn client_loop(
     service: &SweepService,
     stream: UnixStream,
     shutdown: &AtomicBool,
-    socket: &Path,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
 ) -> std::io::Result<()> {
+    stream.set_read_timeout(timeout(read_timeout_ms))?;
+    stream.set_write_timeout(timeout(write_timeout_ms))?;
     let traced = service.runner().trace().is_some();
     let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     loop {
-        let line = match read_bounded_line(&mut reader, MAX_REQUEST_LINE)? {
-            LineRead::Eof => break,
-            LineRead::Oversized(seen) => {
+        let line = match read_bounded_line(&mut reader, MAX_REQUEST_LINE) {
+            Err(e) if is_timeout(&e) => {
+                service.connection_timed_out();
+                break;
+            }
+            Err(e) => return Err(e),
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized(seen)) => {
                 let response = service.reject_oversized_line(seen);
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
                 continue;
             }
-            LineRead::Line(line) => line,
+            Ok(LineRead::Line(line)) => line,
         };
         if line.trim().is_empty() {
             continue;
         }
+        if let Some(f) = service.runner().faults().fire(FaultSite::ConnDrop) {
+            let _ = service.runner().trace_event(
+                "conn_drop",
+                &[("site", Value::Str(f.site.name().to_string()))],
+            );
+            // Abrupt close mid-conversation: the client sees EOF where
+            // a response line should be.
+            break;
+        }
+        if let Some(f) = service.runner().faults().fire(FaultSite::ConnSlow) {
+            std::thread::sleep(Duration::from_millis(f.millis));
+        }
         let recv = traced.then(|| service.runner().spans().enter("recv", None));
         let (response, stop) = service.handle_line_under(&line, recv.as_ref().map(|s| s.id()));
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let wrote = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        match wrote {
+            Err(e) if is_timeout(&e) => {
+                service.connection_timed_out();
+                break;
+            }
+            other => other?,
+        }
         if let Some(mut span) = recv {
             span.add_field("bytes_in", Value::UInt(line.len() as u64));
             span.add_field("bytes_out", Value::UInt(response.len() as u64));
@@ -185,7 +351,6 @@ fn client_loop(
         }
         if stop {
             shutdown.store(true, Ordering::SeqCst);
-            let _ = UnixStream::connect(socket);
             break;
         }
     }

@@ -5,6 +5,7 @@
 //! benchmark-name resolution rules, experiment-name validation, scale
 //! and job-count parsing — lives here where tests can reach it.
 
+use crate::faults::FaultPlan;
 use mds_workloads::{Benchmark, SuiteParams};
 use std::path::PathBuf;
 
@@ -34,14 +35,17 @@ pub const EXPERIMENTS: [&str; 15] = [
 /// Usage string for `reproduce`.
 pub const REPRODUCE_USAGE: &str = "usage: reproduce [--scale tiny|test|bench] \
      [--benchmarks name,...] [--only table1,fig2,...] [--out DIR] [--jobs N]\n\
-     [--cache-dir DIR] [--trace-out FILE.jsonl] [--trace-every N] [--list]\n\
+     [--cache-dir DIR] [--durable-cache] [--trace-out FILE.jsonl] [--trace-every N]\n\
+     [--fault-plan SPEC] [--list]\n\
      experiments: table1 table2 fig1 table3 fig2 fig3 fig4 fig5 fig6 table4 \
      fig7 summary cpistack ablations stability";
 
 /// Usage string for `mds-serve`.
 pub const SERVE_USAGE: &str = "usage: mds-serve --socket PATH [--scale tiny|test|bench] \
      [--benchmarks name,...] [--jobs N]\n\
-     [--cache-dir DIR] [--trace-out FILE.jsonl] [--trace-every N]\n\
+     [--cache-dir DIR] [--durable-cache] [--trace-out FILE.jsonl] [--trace-every N]\n\
+     [--read-timeout-ms N] [--write-timeout-ms N] [--max-connections N] \
+     [--fault-plan SPEC]\n\
      Serves simulation sweeps over a Unix socket, one JSON request per \
      line, one JSON response per line.";
 
@@ -67,6 +71,13 @@ pub struct ReproduceArgs {
     /// every `N`-th dynamic instruction are recorded; `0` keeps only
     /// lifecycle events.
     pub trace_every: u64,
+    /// Fault-injection plan spec (`--fault-plan`), validated at parse
+    /// time; `None` defers to the `MDS_FAULT_PLAN` environment variable
+    /// (see [`effective_fault_plan`]).
+    pub fault_plan: Option<String>,
+    /// Whether disk-cache writes fsync file and directory before they
+    /// count as stored (`--durable-cache`).
+    pub durable_cache: bool,
 }
 
 impl Default for ReproduceArgs {
@@ -80,6 +91,8 @@ impl Default for ReproduceArgs {
             cache_dir: None,
             trace_out: None,
             trace_every: 64,
+            fault_plan: None,
+            durable_cache: false,
         }
     }
 }
@@ -123,8 +136,10 @@ pub fn parse_reproduce_args(args: &[String]) -> Result<ReproduceCommand, String>
             "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
             "--jobs" => parsed.jobs = parse_jobs(value("--jobs")?)?,
             "--cache-dir" => parsed.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--durable-cache" => parsed.durable_cache = true,
             "--trace-out" => parsed.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--trace-every" => parsed.trace_every = parse_trace_every(value("--trace-every")?)?,
+            "--fault-plan" => parsed.fault_plan = Some(parse_fault_plan(value("--fault-plan")?)?),
             "--list" => return Ok(ReproduceCommand::List),
             "--help" | "-h" => return Ok(ReproduceCommand::Help),
             other => return Err(format!("unknown argument {other}\n{REPRODUCE_USAGE}")),
@@ -151,6 +166,24 @@ pub struct ServeArgs {
     pub trace_out: Option<PathBuf>,
     /// Pipeline-event sampling stride (`0` keeps lifecycle events only).
     pub trace_every: u64,
+    /// Per-connection read timeout in milliseconds (`0` disables): how
+    /// long the server waits for a client to produce request bytes
+    /// before the connection is closed and counted.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (`0` disables):
+    /// how long a response write may block on a client that stopped
+    /// reading.
+    pub write_timeout_ms: u64,
+    /// Concurrent-connection cap (`0` = unbounded): connections beyond
+    /// it are shed with a structured `retry_after_ms` error instead of
+    /// queueing without bound.
+    pub max_connections: u64,
+    /// Fault-injection plan spec, validated at parse time; `None`
+    /// defers to the `MDS_FAULT_PLAN` environment variable.
+    pub fault_plan: Option<String>,
+    /// Whether disk-cache writes fsync file and directory before they
+    /// count as stored.
+    pub durable_cache: bool,
 }
 
 /// What an `mds-serve` invocation asked for.
@@ -176,6 +209,11 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCommand, String> {
     let mut cache_dir = None;
     let mut trace_out = None;
     let mut trace_every = 0;
+    let mut read_timeout_ms = DEFAULT_READ_TIMEOUT_MS;
+    let mut write_timeout_ms = DEFAULT_WRITE_TIMEOUT_MS;
+    let mut max_connections = DEFAULT_MAX_CONNECTIONS;
+    let mut fault_plan = None;
+    let mut durable_cache = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -189,8 +227,19 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCommand, String> {
             "--benchmarks" => benchmarks = parse_benchmarks(value("--benchmarks")?)?,
             "--jobs" => jobs = parse_jobs(value("--jobs")?)?,
             "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--durable-cache" => durable_cache = true,
             "--trace-out" => trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--trace-every" => trace_every = parse_trace_every(value("--trace-every")?)?,
+            "--read-timeout-ms" => {
+                read_timeout_ms = parse_millis("--read-timeout-ms", value("--read-timeout-ms")?)?
+            }
+            "--write-timeout-ms" => {
+                write_timeout_ms = parse_millis("--write-timeout-ms", value("--write-timeout-ms")?)?
+            }
+            "--max-connections" => {
+                max_connections = parse_millis("--max-connections", value("--max-connections")?)?
+            }
+            "--fault-plan" => fault_plan = Some(parse_fault_plan(value("--fault-plan")?)?),
             "--help" | "-h" => return Ok(ServeCommand::Help),
             other => return Err(format!("unknown argument {other}\n{SERVE_USAGE}")),
         }
@@ -204,8 +253,26 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCommand, String> {
         cache_dir,
         trace_out,
         trace_every,
+        read_timeout_ms,
+        write_timeout_ms,
+        max_connections,
+        fault_plan,
+        durable_cache,
     }))
 }
+
+/// Default per-connection read timeout: generous enough for a human at
+/// `nc -U`, short enough that a slowloris client cannot pin a worker
+/// thread for long.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 30_000;
+
+/// Default per-connection write timeout: a healthy client drains a
+/// response in milliseconds; one that stopped reading should not hold
+/// the thread longer than this.
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 10_000;
+
+/// Default concurrent-connection cap before overload shedding.
+pub const DEFAULT_MAX_CONNECTIONS: u64 = 64;
 
 /// Parses a `--scale` value.
 ///
@@ -238,6 +305,52 @@ pub fn parse_jobs(v: &str) -> Result<usize, String> {
 pub fn parse_trace_every(v: &str) -> Result<u64, String> {
     v.parse()
         .map_err(|e| format!("bad --trace-every value {v}: {e}"))
+}
+
+/// Parses a non-negative integer flag value (timeouts, connection
+/// caps), naming the flag in the error.
+///
+/// # Errors
+///
+/// Rejects non-numeric values.
+pub fn parse_millis(flag: &str, v: &str) -> Result<u64, String> {
+    v.parse().map_err(|e| format!("bad {flag} value {v}: {e}"))
+}
+
+/// Validates a `--fault-plan` spec at parse time — a typo in a site
+/// name or trigger fails the invocation instead of silently arming
+/// nothing — and hands back the spec for the binary to arm later.
+///
+/// # Errors
+///
+/// Whatever [`FaultPlan::parse`] rejects: unknown sites, malformed
+/// triggers, out-of-range probabilities, duplicate clauses.
+pub fn parse_fault_plan(spec: &str) -> Result<String, String> {
+    FaultPlan::parse(spec)?;
+    Ok(spec.to_string())
+}
+
+/// Resolves the effective fault plan: the `--fault-plan` flag when
+/// given, else the `MDS_FAULT_PLAN` environment variable, else an
+/// unarmed plan. The environment path lets CI chaos stages arm faults
+/// without threading a flag through every wrapper script.
+///
+/// # Errors
+///
+/// Whatever [`FaultPlan::parse`] rejects — an env var with a typo'd
+/// spec fails loudly rather than running fault-free while the operator
+/// believes chaos is armed.
+pub fn effective_fault_plan(flag: Option<&str>) -> Result<FaultPlan, String> {
+    let spec = match flag {
+        Some(s) => Some(s.to_string()),
+        None => std::env::var("MDS_FAULT_PLAN").ok(),
+    };
+    match spec.as_deref().map(str::trim) {
+        Some(s) if !s.is_empty() => {
+            FaultPlan::parse(s).map_err(|e| format!("bad fault plan {s:?}: {e}"))
+        }
+        _ => Ok(FaultPlan::none()),
+    }
 }
 
 /// Resolves one benchmark name.
@@ -325,6 +438,8 @@ mod tests {
         assert_eq!(args.cache_dir, None);
         assert_eq!(args.trace_out, None);
         assert_eq!(args.trace_every, 64);
+        assert_eq!(args.fault_plan, None);
+        assert!(!args.durable_cache);
     }
 
     #[test]
@@ -371,6 +486,9 @@ mod tests {
             "/tmp/x/trace.jsonl",
             "--trace-every",
             "128",
+            "--fault-plan",
+            "seed=7;disk_write=nth:1",
+            "--durable-cache",
         ]))
         .unwrap();
         let ReproduceCommand::Run(args) = cmd else {
@@ -387,6 +505,36 @@ mod tests {
         assert_eq!(args.cache_dir, Some(PathBuf::from("/tmp/x/cache")));
         assert_eq!(args.trace_out, Some(PathBuf::from("/tmp/x/trace.jsonl")));
         assert_eq!(args.trace_every, 128);
+        assert_eq!(args.fault_plan.as_deref(), Some("seed=7;disk_write=nth:1"));
+        assert!(args.durable_cache);
+    }
+
+    #[test]
+    fn fault_plan_is_validated_at_parse_time() {
+        let err = parse_reproduce_args(&strs(&["--fault-plan", "nosuch_site=nth:1"])).unwrap_err();
+        assert!(err.contains("nosuch_site"), "{err}");
+        let err = parse_serve_args(&strs(&[
+            "--socket",
+            "/tmp/s",
+            "--fault-plan",
+            "disk_read=often",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("often"), "{err}");
+    }
+
+    #[test]
+    fn effective_fault_plan_prefers_the_flag() {
+        // Flag given: parsed, armed.
+        let plan = effective_fault_plan(Some("worker_panic=nth:2")).unwrap();
+        assert!(plan.is_armed());
+        // No flag, no env (the test env never sets MDS_FAULT_PLAN):
+        // unarmed.
+        assert!(!effective_fault_plan(None).unwrap().is_armed());
+        // A bad flag spec errors.
+        assert!(effective_fault_plan(Some("disk_read")).is_err());
+        // Blank means unarmed, not an error.
+        assert!(!effective_fault_plan(Some("  ")).unwrap().is_armed());
     }
 
     #[test]
@@ -414,6 +562,34 @@ mod tests {
         assert_eq!(args.cache_dir, Some(PathBuf::from("/tmp/cache")));
         assert_eq!(args.trace_out, None);
         assert_eq!(args.trace_every, 0);
+        assert_eq!(args.read_timeout_ms, DEFAULT_READ_TIMEOUT_MS);
+        assert_eq!(args.write_timeout_ms, DEFAULT_WRITE_TIMEOUT_MS);
+        assert_eq!(args.max_connections, DEFAULT_MAX_CONNECTIONS);
+        assert_eq!(args.fault_plan, None);
+        assert!(!args.durable_cache);
+
+        let cmd = parse_serve_args(&strs(&[
+            "--socket",
+            "/tmp/mds.sock",
+            "--read-timeout-ms",
+            "250",
+            "--write-timeout-ms",
+            "0",
+            "--max-connections",
+            "2",
+            "--fault-plan",
+            "conn_drop=nth:1",
+            "--durable-cache",
+        ]))
+        .unwrap();
+        let ServeCommand::Run(args) = cmd else {
+            panic!("expected Run")
+        };
+        assert_eq!(args.read_timeout_ms, 250);
+        assert_eq!(args.write_timeout_ms, 0);
+        assert_eq!(args.max_connections, 2);
+        assert_eq!(args.fault_plan.as_deref(), Some("conn_drop=nth:1"));
+        assert!(args.durable_cache);
 
         let err = parse_serve_args(&strs(&["--scale", "tiny"])).unwrap_err();
         assert!(err.contains("--socket is required"), "{err}");

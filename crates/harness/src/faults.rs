@@ -1,0 +1,433 @@
+//! Deterministic fault injection for the runner, cache, and service.
+//!
+//! A [`FaultPlan`] names *sites* — points in the harness where the real
+//! world can fail (a disk read, a worker thread, a client connection) —
+//! and arms each with a *trigger*: fire on the nth occurrence, on every
+//! nth occurrence, or with a seeded probability. The plan is checked at
+//! each site via [`FaultPlan::fire`]; everything else about the run is
+//! untouched, so a faulted run exercises exactly the recovery paths and
+//! nothing more. With `nth:`/`every:` triggers the injected fault
+//! sequence is a pure function of the plan string, which is what lets
+//! CI assert that fault counters *exactly* match the plan and that
+//! results stay byte-identical to a fault-free run.
+//!
+//! Plans are written as `;`-separated clauses (CLI `--fault-plan`, or
+//! the `MDS_FAULT_PLAN` environment variable):
+//!
+//! ```text
+//! seed=42;disk_write=every:1;worker_panic=nth:1;conn_slow=every:3:250
+//! ```
+//!
+//! Each clause is `site=mode:value[:millis]` — the trailing millis
+//! field parameterizes the delay sites (`conn_slow`, `queue_delay`)
+//! and is rejected elsewhere. `seed=` applies to `prob:` triggers
+//! (concurrent sites draw from one shared stream, so probabilistic
+//! plans are statistically, not bitwise, reproducible — use `nth:` or
+//! `every:` where exact replay matters).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A point in the harness where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A disk-cache entry read fails with an I/O error.
+    DiskRead,
+    /// A disk-cache write-back fails (as a full disk would: ENOSPC).
+    DiskWrite,
+    /// A disk-cache write-back "crashes" after staging a partial
+    /// temporary file and before the rename — the torn-write shape a
+    /// power loss produces — leaving an orphaned `.tmp` behind.
+    DiskWriteTorn,
+    /// A simulation worker panics mid-job.
+    WorkerPanic,
+    /// The server drops a client connection instead of responding.
+    ConnDrop,
+    /// The server stalls before writing a response.
+    ConnSlow,
+    /// The runner stalls a wave of jobs before execution (artificial
+    /// queue latency).
+    QueueDelay,
+}
+
+impl FaultSite {
+    /// Every site, in declaration order (indexes the plan's tables).
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::DiskRead,
+        FaultSite::DiskWrite,
+        FaultSite::DiskWriteTorn,
+        FaultSite::WorkerPanic,
+        FaultSite::ConnDrop,
+        FaultSite::ConnSlow,
+        FaultSite::QueueDelay,
+    ];
+
+    /// The spec/metric name of the site.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::DiskRead => "disk_read",
+            FaultSite::DiskWrite => "disk_write",
+            FaultSite::DiskWriteTorn => "disk_write_torn",
+            FaultSite::WorkerPanic => "worker_panic",
+            FaultSite::ConnDrop => "conn_drop",
+            FaultSite::ConnSlow => "conn_slow",
+            FaultSite::QueueDelay => "queue_delay",
+        }
+    }
+
+    /// Whether the site's fault carries a duration (and therefore
+    /// accepts the trailing `:millis` spec field).
+    fn takes_millis(self) -> bool {
+        matches!(self, FaultSite::ConnSlow | FaultSite::QueueDelay)
+    }
+
+    fn index(self) -> usize {
+        FaultSite::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("every site is in ALL")
+    }
+
+    fn parse(name: &str) -> Result<FaultSite, String> {
+        FaultSite::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = FaultSite::ALL.into_iter().map(FaultSite::name).collect();
+                format!(
+                    "unknown fault site {name:?} (expected one of: {})",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
+/// When an armed site actually fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Exactly the `n`th occurrence (1-based), once.
+    Nth(u64),
+    /// Every `n`th occurrence.
+    Every(u64),
+    /// Each occurrence independently with probability `p`, drawn from
+    /// the plan's seeded generator.
+    Prob(f64),
+}
+
+/// One armed site.
+#[derive(Debug)]
+struct Rule {
+    trigger: Trigger,
+    /// Delay for [`FaultSite::takes_millis`] sites; 0 elsewhere.
+    millis: u64,
+}
+
+/// One fired fault, as handed to the injection site.
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// Injected delay (meaningful for `conn_slow` / `queue_delay`).
+    pub millis: u64,
+}
+
+/// A seeded, deterministic set of armed fault sites.
+///
+/// The plan is cheap to consult when empty (one branch per site), so
+/// every injection site checks it unconditionally and production runs
+/// simply carry an unarmed plan.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rules: [Option<Rule>; FaultSite::ALL.len()],
+    /// Occurrences observed per site (fired or not).
+    occurrences: [AtomicU64; FaultSite::ALL.len()],
+    /// Faults actually injected per site.
+    injected: [AtomicU64; FaultSite::ALL.len()],
+    /// splitmix64 state for `prob:` triggers.
+    rng: Mutex<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no armed site: every [`FaultPlan::fire`] is `None`.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            rules: Default::default(),
+            occurrences: Default::default(),
+            injected: Default::default(),
+            rng: Mutex::new(FaultPlan::DEFAULT_SEED),
+        }
+    }
+
+    const DEFAULT_SEED: u64 = 0x6d64_735f_6661_756c; // "mds_faul"
+
+    /// Parses a plan spec (see the module docs for the grammar). An
+    /// empty or all-whitespace spec is the unarmed plan.
+    ///
+    /// # Errors
+    ///
+    /// Names the offending clause: unknown sites, malformed triggers,
+    /// zero counts, out-of-range probabilities, and a `:millis` field
+    /// on a site that takes none.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} has no '='"))?;
+            if lhs == "seed" {
+                let seed: u64 = rhs
+                    .parse()
+                    .map_err(|e| format!("bad fault-plan seed {rhs:?}: {e}"))?;
+                *plan.rng.lock().expect("fault rng poisoned") = seed ^ FaultPlan::DEFAULT_SEED;
+                continue;
+            }
+            let site = FaultSite::parse(lhs)?;
+            let mut fields = rhs.split(':');
+            let mode = fields.next().unwrap_or_default();
+            let value = fields
+                .next()
+                .ok_or_else(|| format!("fault clause {clause:?} has no trigger value"))?;
+            let trigger = match mode {
+                "nth" => Trigger::Nth(parse_count(clause, value)?),
+                "every" => Trigger::Every(parse_count(clause, value)?),
+                "prob" => {
+                    let p: f64 = value
+                        .parse()
+                        .map_err(|e| format!("bad probability in {clause:?}: {e}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability in {clause:?} must be in [0, 1]"));
+                    }
+                    Trigger::Prob(p)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown trigger mode {other:?} in {clause:?} \
+                         (expected nth, every, or prob)"
+                    ))
+                }
+            };
+            let millis = match fields.next() {
+                None => 0,
+                Some(ms) if site.takes_millis() => ms
+                    .parse()
+                    .map_err(|e| format!("bad millis in {clause:?}: {e}"))?,
+                Some(_) => {
+                    return Err(format!(
+                        "site {} takes no :millis field ({clause:?})",
+                        site.name()
+                    ))
+                }
+            };
+            if let Some(extra) = fields.next() {
+                return Err(format!("trailing field {extra:?} in {clause:?}"));
+            }
+            if plan.rules[site.index()].is_some() {
+                return Err(format!("site {} armed twice", site.name()));
+            }
+            plan.rules[site.index()] = Some(Rule { trigger, millis });
+        }
+        Ok(plan)
+    }
+
+    /// Whether any site is armed.
+    pub fn is_armed(&self) -> bool {
+        self.rules.iter().any(Option::is_some)
+    }
+
+    /// Registers one occurrence of `site` and decides whether it
+    /// faults. Unarmed sites return `None` without any bookkeeping
+    /// beyond one branch.
+    pub fn fire(&self, site: FaultSite) -> Option<Fault> {
+        let i = site.index();
+        let rule = self.rules[i].as_ref()?;
+        let n = self.occurrences[i].fetch_add(1, Ordering::Relaxed) + 1;
+        let fires = match rule.trigger {
+            Trigger::Nth(k) => n == k,
+            Trigger::Every(k) => n.is_multiple_of(k),
+            Trigger::Prob(p) => self.next_f64() < p,
+        };
+        if !fires {
+            return None;
+        }
+        self.injected[i].fetch_add(1, Ordering::Relaxed);
+        Some(Fault {
+            site,
+            millis: rule.millis,
+        })
+    }
+
+    /// Faults injected so far at `site`.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far across every site.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// splitmix64 over the plan's seeded state.
+    fn next_f64(&self) -> f64 {
+        let mut state = self.rng.lock().expect("fault rng poisoned");
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn parse_count(clause: &str, value: &str) -> Result<u64, String> {
+    let n: u64 = value
+        .parse()
+        .map_err(|e| format!("bad count in {clause:?}: {e}"))?;
+    if n == 0 {
+        return Err(format!("count in {clause:?} must be >= 1"));
+    }
+    Ok(n)
+}
+
+/// The error an injected disk fault surfaces as — tagged so logs and
+/// tests can tell injected failures from organic ones.
+pub fn injected_io_error(site: FaultSite) -> io::Error {
+    io::Error::other(format!("injected fault: {}", site.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_unarmed_plans_never_fire() {
+        for plan in [FaultPlan::none(), FaultPlan::parse("").unwrap()] {
+            assert!(!plan.is_armed());
+            for site in FaultSite::ALL {
+                for _ in 0..10 {
+                    assert!(plan.fire(site).is_none());
+                }
+                assert_eq!(plan.injected(site), 0);
+            }
+            assert_eq!(plan.total_injected(), 0);
+        }
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let plan = FaultPlan::parse("disk_read=nth:3").unwrap();
+        assert!(plan.is_armed());
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.fire(FaultSite::DiskRead).is_some())
+            .collect();
+        assert_eq!(fired, [false, false, true, false, false, false]);
+        assert_eq!(plan.injected(FaultSite::DiskRead), 1);
+        assert_eq!(plan.total_injected(), 1);
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let plan = FaultPlan::parse("disk_write=every:2").unwrap();
+        let fired: Vec<bool> = (0..6)
+            .map(|_| plan.fire(FaultSite::DiskWrite).is_some())
+            .collect();
+        assert_eq!(fired, [false, true, false, true, false, true]);
+        assert_eq!(plan.injected(FaultSite::DiskWrite), 3);
+    }
+
+    #[test]
+    fn every_one_fires_always_and_sites_are_independent() {
+        let plan = FaultPlan::parse("disk_write=every:1;worker_panic=nth:2").unwrap();
+        for _ in 0..4 {
+            assert!(plan.fire(FaultSite::DiskWrite).is_some());
+        }
+        assert!(plan.fire(FaultSite::WorkerPanic).is_none());
+        assert!(plan.fire(FaultSite::WorkerPanic).is_some());
+        assert!(plan.fire(FaultSite::DiskRead).is_none(), "unarmed site");
+        assert_eq!(plan.injected(FaultSite::DiskWrite), 4);
+        assert_eq!(plan.injected(FaultSite::WorkerPanic), 1);
+        assert_eq!(plan.total_injected(), 5);
+    }
+
+    #[test]
+    fn millis_parameterizes_delay_sites_only() {
+        let plan = FaultPlan::parse("conn_slow=every:1:250;queue_delay=nth:1:50").unwrap();
+        assert_eq!(plan.fire(FaultSite::ConnSlow).unwrap().millis, 250);
+        assert_eq!(plan.fire(FaultSite::QueueDelay).unwrap().millis, 50);
+        assert!(FaultPlan::parse("disk_read=nth:1:250").is_err());
+    }
+
+    #[test]
+    fn prob_is_seed_deterministic_and_in_range() {
+        let runs: Vec<Vec<bool>> = (0..2)
+            .map(|_| {
+                let plan = FaultPlan::parse("seed=7;conn_drop=prob:0.5").unwrap();
+                (0..64)
+                    .map(|_| plan.fire(FaultSite::ConnDrop).is_some())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed, same sequence");
+        let fired = runs[0].iter().filter(|f| **f).count();
+        assert!((8..=56).contains(&fired), "p=0.5 of 64 fired {fired}");
+        let other = FaultPlan::parse("seed=8;conn_drop=prob:0.5").unwrap();
+        let differs: Vec<bool> = (0..64)
+            .map(|_| other.fire(FaultSite::ConnDrop).is_some())
+            .collect();
+        assert_ne!(runs[0], differs, "different seed, different sequence");
+        for extreme in ["prob:0", "prob:1"] {
+            let plan = FaultPlan::parse(&format!("worker_panic={extreme}")).unwrap();
+            let all: Vec<bool> = (0..16)
+                .map(|_| plan.fire(FaultSite::WorkerPanic).is_some())
+                .collect();
+            assert!(all.iter().all(|f| *f == (extreme == "prob:1")));
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_the_clause() {
+        for (bad, needle) in [
+            ("disk_red=nth:1", "unknown fault site"),
+            ("disk_read", "no '='"),
+            ("disk_read=sometimes:1", "unknown trigger mode"),
+            ("disk_read=nth", "no trigger value"),
+            ("disk_read=nth:0", "must be >= 1"),
+            ("disk_read=nth:x", "bad count"),
+            ("conn_drop=prob:1.5", "must be in [0, 1]"),
+            ("conn_drop=prob:x", "bad probability"),
+            ("seed=abc", "bad fault-plan seed"),
+            ("conn_slow=nth:1:20:9", "trailing field"),
+            ("disk_read=nth:1;disk_read=nth:2", "armed twice"),
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn whitespace_and_empty_clauses_are_tolerated() {
+        let plan = FaultPlan::parse(" disk_read=nth:1 ; ; worker_panic=every:2 ").unwrap();
+        assert!(plan.fire(FaultSite::DiskRead).is_some());
+        assert!(plan.fire(FaultSite::WorkerPanic).is_none());
+        assert!(plan.fire(FaultSite::WorkerPanic).is_some());
+    }
+
+    #[test]
+    fn injected_error_names_the_site() {
+        let e = injected_io_error(FaultSite::DiskWrite);
+        assert!(e.to_string().contains("injected fault: disk_write"));
+    }
+}

@@ -34,11 +34,13 @@ mod barchart;
 pub mod cli;
 pub mod emit;
 pub mod experiments;
+pub mod faults;
 pub mod report;
 mod runner;
 mod table;
 
 pub use barchart::{BarChart, Group};
+pub use faults::{Fault, FaultPlan, FaultSite};
 pub use runner::{
     geomean, int_fp_geomeans, ConfigKey, Runner, RunnerStats, SimCache, Suite, SweepService,
     TraceSink, CACHE_SCHEMA_VERSION, MAX_REQUEST_LINE, PROTOCOL_VERSION,

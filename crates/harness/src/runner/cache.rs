@@ -95,6 +95,12 @@ impl SimCache {
             prep_nanos: 0,
             disk_hits: 0,
             disk_writes: 0,
+            disk_read_errors: 0,
+            disk_write_errors: 0,
+            orphans_removed: 0,
+            job_retries: 0,
+            job_failures: 0,
+            faults_injected: 0,
         }
     }
 }
@@ -125,6 +131,23 @@ pub struct RunnerStats {
     pub disk_hits: u64,
     /// Results written back to the persistent on-disk tier.
     pub disk_writes: u64,
+    /// Disk-tier entry reads that failed with an I/O error and
+    /// degraded to re-simulation.
+    pub disk_read_errors: u64,
+    /// Disk-tier write-backs that failed and were dropped with a
+    /// warning (the result stays memoized in memory).
+    pub disk_write_errors: u64,
+    /// Orphaned `*.tmp` staging files deleted by the startup
+    /// crash-recovery sweep.
+    pub orphans_removed: u64,
+    /// Simulation jobs re-run after a single worker panic.
+    pub job_retries: u64,
+    /// Simulation jobs that panicked twice and failed with a
+    /// structured error.
+    pub job_failures: u64,
+    /// Faults injected by the armed [`FaultPlan`](crate::FaultPlan),
+    /// across every site (0 on production runs, whose plan is unarmed).
+    pub faults_injected: u64,
 }
 
 impl RunnerStats {

@@ -24,6 +24,7 @@
 //! destination only ever flips between complete encodings.
 
 use crate::emit;
+use crate::faults::{injected_io_error, FaultPlan, FaultSite};
 use crate::runner::key::{ConfigKey, CACHE_SCHEMA_VERSION};
 use mds_core::{SimResult, SimStats};
 use mds_frontend::FrontEndStats;
@@ -41,8 +42,14 @@ pub(super) struct DiskCache {
     /// `<cache-dir>/v<SCHEMA>` — entries of other schema versions live
     /// in sibling directories and are invisible to this build.
     root: PathBuf,
+    /// Write entries with [`emit::write_atomic_durable`] (fsync file
+    /// and directory) instead of the buffered atomic write.
+    durable: bool,
     hits: AtomicU64,
     writes: AtomicU64,
+    read_errors: AtomicU64,
+    write_errors: AtomicU64,
+    orphans_removed: AtomicU64,
 }
 
 impl DiskCache {
@@ -51,8 +58,53 @@ impl DiskCache {
     pub fn open<P: AsRef<Path>>(dir: P) -> DiskCache {
         DiskCache {
             root: dir.as_ref().join(format!("v{CACHE_SCHEMA_VERSION}")),
+            durable: false,
             hits: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            orphans_removed: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches write-back to the fsync-on-write path (see
+    /// [`emit::write_atomic_durable`] for the tradeoff).
+    pub fn make_durable(&mut self) {
+        self.durable = true;
+    }
+
+    /// Deletes orphaned `*.tmp` staging files left under the cache
+    /// root by a crash between staging and rename. Run once at
+    /// startup: any temp file predating this process is garbage — a
+    /// live writer's temp exists only for the instant between its
+    /// write and its rename, and each writer stages under a unique
+    /// name, so the only cost of a mid-flight collision is that the
+    /// other writer's rename fails and its entry is re-simulated
+    /// later. Unreadable directories are skipped (recovery is
+    /// best-effort; a missing root just means nothing was ever
+    /// written).
+    pub fn recover(&self) {
+        let Ok(groups) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        for group in groups.flatten() {
+            let Ok(entries) = std::fs::read_dir(group.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let is_orphan = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".tmp"));
+                if is_orphan && std::fs::remove_file(&path).is_ok() {
+                    self.orphans_removed.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "mds-harness: removed orphaned cache temp {}",
+                        path.display()
+                    );
+                }
+            }
         }
     }
 
@@ -64,20 +116,51 @@ impl DiskCache {
     }
 
     /// Loads a persisted result, verifying identity and integrity.
-    /// Any mismatch or corruption is a miss.
-    pub fn load(&self, benchmark: Benchmark, trace_fp: u64, key: &ConfigKey) -> Option<SimResult> {
-        let text = std::fs::read_to_string(self.entry_path(benchmark, trace_fp, key)).ok()?;
-        let entry = Value::parse_json(&text).ok()?;
-        let valid = entry.get("schema")?.as_u64()? == u64::from(CACHE_SCHEMA_VERSION)
-            && entry.get("benchmark")?.as_str()? == benchmark.name()
-            && entry.get("trace_fingerprint")?.as_u64()? == trace_fp
-            && entry.get("config")?.as_str()? == key.as_str();
-        if !valid {
-            return None;
+    /// Any mismatch or corruption is an `Ok(None)` miss; an I/O error
+    /// other than the entry simply not existing is returned (and
+    /// counted in [`DiskCache::read_errors`]) so the caller can warn —
+    /// the request then degrades to re-simulation rather than aborting
+    /// the sweep.
+    ///
+    /// # Errors
+    ///
+    /// The read error, when the entry exists (or an injected
+    /// `disk_read` fault fires) but cannot be read.
+    pub fn load(
+        &self,
+        benchmark: Benchmark,
+        trace_fp: u64,
+        key: &ConfigKey,
+        faults: &FaultPlan,
+    ) -> io::Result<Option<SimResult>> {
+        let path = self.entry_path(benchmark, trace_fp, key);
+        let read = match faults.fire(FaultSite::DiskRead) {
+            Some(f) => Err(injected_io_error(f.site)),
+            None => std::fs::read_to_string(&path),
+        };
+        let text = match read {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                self.read_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let decoded = (|| {
+            let entry = Value::parse_json(&text).ok()?;
+            let valid = entry.get("schema")?.as_u64()? == u64::from(CACHE_SCHEMA_VERSION)
+                && entry.get("benchmark")?.as_str()? == benchmark.name()
+                && entry.get("trace_fingerprint")?.as_u64()? == trace_fp
+                && entry.get("config")?.as_str()? == key.as_str();
+            if !valid {
+                return None;
+            }
+            decode_result(entry.get("result")?)
+        })();
+        if decoded.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        let result = decode_result(entry.get("result")?)?;
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(result)
+        Ok(decoded)
     }
 
     /// Persists one result. Results carrying a pipeline trace are
@@ -87,20 +170,40 @@ impl DiskCache {
     ///
     /// # Errors
     ///
-    /// Propagates directory-creation and write errors; the caller
-    /// downgrades them to a warning, since a failed write-back only
-    /// costs a future re-simulation.
+    /// Propagates directory-creation and write errors (each also
+    /// counted in [`DiskCache::write_errors`]); the caller downgrades
+    /// them to a warning, since a failed write-back only costs a
+    /// future re-simulation.
     pub fn store(
         &self,
         benchmark: Benchmark,
         trace_fp: u64,
         key: &ConfigKey,
         result: &SimResult,
+        faults: &FaultPlan,
     ) -> io::Result<()> {
         if result.pipetrace.is_some() {
             return Ok(());
         }
+        self.store_inner(benchmark, trace_fp, key, result, faults)
+            .inspect_err(|_| {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            })
+    }
+
+    fn store_inner(
+        &self,
+        benchmark: Benchmark,
+        trace_fp: u64,
+        key: &ConfigKey,
+        result: &SimResult,
+        faults: &FaultPlan,
+    ) -> io::Result<()> {
         let path = self.entry_path(benchmark, trace_fp, key);
+        if let Some(f) = faults.fire(FaultSite::DiskWrite) {
+            // A full disk (ENOSPC-shaped): nothing reaches the medium.
+            return Err(injected_io_error(f.site));
+        }
         std::fs::create_dir_all(path.parent().expect("entry path has a parent"))?;
         let entry = Value::Object(vec![
             (
@@ -115,7 +218,21 @@ impl DiskCache {
             ("config".to_string(), Value::Str(key.as_str().to_string())),
             ("result".to_string(), encode_result(result)),
         ]);
-        emit::write_atomic(&path, &entry.to_json())?;
+        let json = entry.to_json();
+        if let Some(f) = faults.fire(FaultSite::DiskWriteTorn) {
+            // A crash between staging and rename: half the bytes land
+            // in a `.tmp` sibling that nothing ever renames — exactly
+            // what the startup recovery sweep exists to clean up.
+            let mut torn_name = path.file_name().expect("entry has a name").to_owned();
+            torn_name.push(format!(".{}.torn.tmp", std::process::id()));
+            std::fs::write(path.with_file_name(torn_name), &json[..json.len() / 2])?;
+            return Err(injected_io_error(f.site));
+        }
+        if self.durable {
+            emit::write_atomic_durable(&path, &json)?;
+        } else {
+            emit::write_atomic(&path, &json)?;
+        }
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -128,6 +245,23 @@ impl DiskCache {
     /// Entries written back.
     pub fn writes(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Entry reads that failed with an I/O error (injected or
+    /// organic) and degraded to re-simulation.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Write-backs that failed (injected or organic) and were dropped
+    /// with a warning.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Orphaned staging files deleted by the startup recovery sweep.
+    pub fn orphans_removed(&self) -> u64 {
+        self.orphans_removed.load(Ordering::Relaxed)
     }
 }
 
@@ -438,17 +572,29 @@ mod tests {
         let dir = tempdir("roundtrip");
         let (benchmark, fp, key, result) = simulate_one();
         let disk = DiskCache::open(&dir);
-        assert!(disk.load(benchmark, fp, &key).is_none(), "cold store");
-        disk.store(benchmark, fp, &key, &result).unwrap();
+        assert!(
+            disk.load(benchmark, fp, &key, &FaultPlan::none())
+                .unwrap()
+                .is_none(),
+            "cold store"
+        );
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
         assert_eq!(disk.writes(), 1);
-        let loaded = disk.load(benchmark, fp, &key).expect("entry persisted");
+        let loaded = disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .expect("entry persisted");
         assert_eq!(disk.hits(), 1);
         assert_eq!(loaded.stats, result.stats);
         assert_eq!(loaded.policy_name, result.policy_name);
         assert_eq!(format!("{loaded:?}"), format!("{result:?}"));
         // A second process opening the same directory sees the entry.
         let other = DiskCache::open(&dir);
-        assert!(other.load(benchmark, fp, &key).is_some());
+        assert!(other
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -457,19 +603,29 @@ mod tests {
         let dir = tempdir("identity");
         let (benchmark, fp, key, result) = simulate_one();
         let disk = DiskCache::open(&dir);
-        disk.store(benchmark, fp, &key, &result).unwrap();
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
         // Different trace fingerprint (same benchmark and config).
-        assert!(disk.load(benchmark, fp ^ 1, &key).is_none());
+        assert!(disk
+            .load(benchmark, fp ^ 1, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // Different config.
         let other = ConfigKey::of(&CoreConfig::paper_128().with_policy(Policy::NasOracle));
-        assert!(disk.load(benchmark, fp, &other).is_none());
+        assert!(disk
+            .load(benchmark, fp, &other, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // Hash-collision defence: a file whose *content* names another
         // config is rejected even when placed at this key's address.
         let path = disk.entry_path(benchmark, fp, &key);
         let impostor = disk.entry_path(benchmark, fp, &other);
         std::fs::create_dir_all(impostor.parent().unwrap()).unwrap();
         std::fs::copy(&path, &impostor).unwrap();
-        assert!(disk.load(benchmark, fp, &other).is_none());
+        assert!(disk
+            .load(benchmark, fp, &other, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -478,30 +634,48 @@ mod tests {
         let dir = tempdir("corrupt");
         let (benchmark, fp, key, result) = simulate_one();
         let disk = DiskCache::open(&dir);
-        disk.store(benchmark, fp, &key, &result).unwrap();
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
         let path = disk.entry_path(benchmark, fp, &key);
         let good = std::fs::read_to_string(&path).unwrap();
 
         // Truncation at every granularity: mid-token, mid-structure.
         for cut in [good.len() / 2, good.len() - 1, 10, 1] {
             std::fs::write(&path, &good[..cut]).unwrap();
-            assert!(disk.load(benchmark, fp, &key).is_none(), "cut at {cut}");
+            assert!(
+                disk.load(benchmark, fp, &key, &FaultPlan::none())
+                    .unwrap()
+                    .is_none(),
+                "cut at {cut}"
+            );
         }
         // Arbitrary garbage.
         std::fs::write(&path, "not json at all \u{1F980}").unwrap();
-        assert!(disk.load(benchmark, fp, &key).is_none());
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // Valid JSON, wrong shape.
         std::fs::write(&path, "{\"schema\":1}").unwrap();
-        assert!(disk.load(benchmark, fp, &key).is_none());
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // Valid shape, impossible content: CPI stack no longer
         // partitions the cycle count.
         let tampered = good.replacen("\"cycles\":", "\"cycles\":9", 1);
         assert_ne!(tampered, good);
         std::fs::write(&path, &tampered).unwrap();
-        assert!(disk.load(benchmark, fp, &key).is_none());
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // Restoring the original bytes restores the hit.
         std::fs::write(&path, &good).unwrap();
-        assert!(disk.load(benchmark, fp, &key).is_some());
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -510,7 +684,8 @@ mod tests {
         let dir = tempdir("schema");
         let (benchmark, fp, key, result) = simulate_one();
         let disk = DiskCache::open(&dir);
-        disk.store(benchmark, fp, &key, &result).unwrap();
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
         let path = disk.entry_path(benchmark, fp, &key);
 
         // An entry claiming another schema version inside the current
@@ -524,7 +699,10 @@ mod tests {
         );
         assert_ne!(old, good);
         std::fs::write(&path, &old).unwrap();
-        assert!(disk.load(benchmark, fp, &key).is_none());
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
 
         // And entries of a previous schema generation are invisible by
         // construction: they live under a different vN root.
@@ -544,9 +722,11 @@ mod tests {
                 let (disk, key, result) = (&disk, &key, &result);
                 scope.spawn(move || {
                     for _ in 0..10 {
-                        disk.store(benchmark, fp, key, result).unwrap();
+                        disk.store(benchmark, fp, key, result, &FaultPlan::none())
+                            .unwrap();
                         let loaded = disk
-                            .load(benchmark, fp, key)
+                            .load(benchmark, fp, key, &FaultPlan::none())
+                            .unwrap()
                             .expect("entry readable at every instant");
                         assert_eq!(loaded.stats, result.stats);
                     }
@@ -573,11 +753,125 @@ mod tests {
         assert!(result.pipetrace.is_some());
         let disk = DiskCache::open(&dir);
         let key = ConfigKey::of(&config);
-        disk.store(benchmark, trace.fingerprint(), &key, &result)
-            .unwrap();
+        disk.store(
+            benchmark,
+            trace.fingerprint(),
+            &key,
+            &result,
+            &FaultPlan::none(),
+        )
+        .unwrap();
         assert_eq!(disk.writes(), 0);
-        assert!(disk.load(benchmark, trace.fingerprint(), &key).is_none());
+        assert!(disk
+            .load(benchmark, trace.fingerprint(), &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
         // The skipped store never even created the directory.
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_error_degrades_to_counted_miss() {
+        let dir = tempdir("read-fault");
+        let (benchmark, fp, key, result) = simulate_one();
+        let disk = DiskCache::open(&dir);
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
+        let faults = FaultPlan::parse("disk_read=nth:1").unwrap();
+        let err = disk.load(benchmark, fp, &key, &faults).unwrap_err();
+        assert!(err.to_string().contains("injected fault: disk_read"));
+        assert_eq!(disk.read_errors(), 1);
+        // The entry itself is untouched: the next read hits.
+        assert!(disk.load(benchmark, fp, &key, &faults).unwrap().is_some());
+        assert_eq!(disk.read_errors(), 1);
+        // A missing entry is a plain miss, not an error.
+        assert!(disk
+            .load(benchmark, fp ^ 1, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
+        assert_eq!(disk.read_errors(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_error_is_counted_and_leaves_no_entry() {
+        let dir = tempdir("write-fault");
+        let (benchmark, fp, key, result) = simulate_one();
+        let disk = DiskCache::open(&dir);
+        let faults = FaultPlan::parse("disk_write=every:1").unwrap();
+        let err = disk
+            .store(benchmark, fp, &key, &result, &faults)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fault: disk_write"));
+        assert_eq!(disk.writes(), 0);
+        assert_eq!(disk.write_errors(), 1);
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
+        // A fault-free retry succeeds on the same cache.
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
+        assert_eq!(disk.writes(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_an_orphan_that_recovery_removes() {
+        let dir = tempdir("torn");
+        let (benchmark, fp, key, result) = simulate_one();
+        let disk = DiskCache::open(&dir);
+        let faults = FaultPlan::parse("disk_write_torn=nth:1").unwrap();
+        disk.store(benchmark, fp, &key, &result, &faults)
+            .unwrap_err();
+        assert_eq!(disk.write_errors(), 1);
+        // The torn temp exists but the entry does not: readers only
+        // ever see complete entries or a miss.
+        let entry_dir = disk.entry_path(benchmark, fp, &key);
+        let entry_dir = entry_dir.parent().unwrap();
+        let names: Vec<String> = std::fs::read_dir(entry_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 1, "{names:?}");
+        assert!(names[0].ends_with(".tmp"), "{names:?}");
+        assert!(disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_none());
+        // A fresh process's recovery sweep deletes the orphan and
+        // leaves real entries alone.
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
+        let fresh = DiskCache::open(&dir);
+        fresh.recover();
+        assert_eq!(fresh.orphans_removed(), 1);
+        assert_eq!(std::fs::read_dir(entry_dir).unwrap().count(), 1);
+        assert!(fresh
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .is_some());
+        // Recovery on an empty or absent root is a no-op.
+        let empty = DiskCache::open(tempdir("torn-empty"));
+        empty.recover();
+        assert_eq!(empty.orphans_removed(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_store_roundtrips() {
+        let dir = tempdir("durable");
+        let (benchmark, fp, key, result) = simulate_one();
+        let mut disk = DiskCache::open(&dir);
+        disk.make_durable();
+        disk.store(benchmark, fp, &key, &result, &FaultPlan::none())
+            .unwrap();
+        assert_eq!(disk.writes(), 1);
+        let loaded = disk
+            .load(benchmark, fp, &key, &FaultPlan::none())
+            .unwrap()
+            .expect("durable entry persisted");
+        assert_eq!(loaded.stats, result.stats);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,7 @@ pub use service::{SweepService, MAX_REQUEST_LINE, PROTOCOL_VERSION};
 pub use suite::Suite;
 pub use trace::TraceSink;
 
+use crate::faults::{FaultPlan, FaultSite};
 use artifacts::ArtifactCache;
 use disk::DiskCache;
 use exec::Job;
@@ -32,6 +33,7 @@ use serde::Value;
 use std::collections::HashSet;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Drives simulations over a [`Suite`]: memoizes per-(benchmark,
@@ -60,10 +62,17 @@ pub struct Runner {
     jobs: usize,
     cache: SimCache,
     disk: Option<DiskCache>,
+    durable: bool,
     artifacts: ArtifactCache,
     trace: Option<TraceSink>,
     spans: Spans,
     obs: Mutex<Registry>,
+    faults: FaultPlan,
+    /// High-water marks of per-site injected-fault counts already
+    /// folded into the registry (see `sync_fault_counters`).
+    faults_synced: [AtomicU64; FaultSite::ALL.len()],
+    job_retries: AtomicU64,
+    job_failures: AtomicU64,
 }
 
 impl Runner {
@@ -84,10 +93,15 @@ impl Runner {
             jobs,
             cache: SimCache::default(),
             disk: None,
+            durable: false,
             artifacts: ArtifactCache::default(),
             trace: None,
             spans: Spans::new(),
             obs: Mutex::new(obs),
+            faults: FaultPlan::none(),
+            faults_synced: Default::default(),
+            job_retries: AtomicU64::new(0),
+            job_failures: AtomicU64::new(0),
         }
     }
 
@@ -99,10 +113,51 @@ impl Runner {
     /// across processes and builds. Entries verify their own identity
     /// and integrity on load; anything corrupt or mismatched is a miss
     /// that re-simulates.
+    /// Opening the tier also runs a crash-recovery sweep: orphaned
+    /// `*.tmp` staging files left by an interrupted writer are deleted
+    /// (and counted in `orphans_removed`).
     #[must_use]
     pub fn with_cache_dir<P: AsRef<Path>>(mut self, dir: P) -> Runner {
-        self.disk = Some(DiskCache::open(dir));
+        let mut disk = DiskCache::open(dir);
+        if self.durable {
+            disk.make_durable();
+        }
+        disk.recover();
+        let orphans = disk.orphans_removed();
+        if orphans > 0 {
+            self.observe(|r| r.add("cache.orphans_removed", orphans));
+        }
+        self.disk = Some(disk);
         self
+    }
+
+    /// Makes disk-cache write-backs durable: entries are fsynced (file
+    /// and directory) before the store returns, so a cached result
+    /// survives a crash or power loss at the cost of two disk barriers
+    /// per write. See [`crate::emit::write_atomic_durable`].
+    #[must_use]
+    pub fn with_durable_cache(mut self) -> Runner {
+        self.durable = true;
+        if let Some(disk) = &mut self.disk {
+            disk.make_durable();
+        }
+        self
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: injection sites throughout
+    /// the runner, disk tier, and executor consult it, so a test or
+    /// chaos run can fail precisely the Nth disk write or panic one
+    /// worker without touching any production code path.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Runner {
+        self.faults = faults;
+        self
+    }
+
+    /// The armed fault plan (unarmed by default). Service layers fire
+    /// their own sites — dropped/slowed connections — through this.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Overrides the worker-thread count; `0` restores the automatic
@@ -165,7 +220,27 @@ impl Runner {
 
     /// A point-in-time clone of the operational metric registry.
     pub fn obs_snapshot(&self) -> Registry {
+        self.sync_fault_counters();
         self.obs.lock().expect("metric registry poisoned").clone()
+    }
+
+    /// Folds the fault plan's per-site injected counts into the
+    /// registry as `faults.injected.<site>` counters. Deltas are
+    /// tracked with per-site high-water marks so concurrent snapshots
+    /// never double-count.
+    fn sync_fault_counters(&self) {
+        if !self.faults.is_armed() {
+            return;
+        }
+        for (i, site) in FaultSite::ALL.into_iter().enumerate() {
+            let current = self.faults.injected(site);
+            let prev = self.faults_synced[i].fetch_max(current, Ordering::Relaxed);
+            if current > prev {
+                self.observe(|r| {
+                    r.add(&format!("faults.injected.{}", site.name()), current - prev)
+                });
+            }
+        }
     }
 
     /// Emits one finished span to the attached trace sink (no-op when
@@ -214,7 +289,8 @@ impl Runner {
                 .zip(&keys)
                 .flat_map(|(config, key)| self.suite.iter().map(move |(b, _)| (b, config, key))),
             None,
-        );
+        )
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"));
 
         // Assemble each config's results in suite order from the cache
         // (without re-counting hits), so output ordering never depends
@@ -241,10 +317,16 @@ impl Runner {
     /// request order. Memoization and the disk tier behave exactly as
     /// in [`Runner::run_batch`].
     ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming the failed pair(s) when a
+    /// simulation job panicked twice (once plus its automatic retry);
+    /// every other pair still completes and is cached.
+    ///
     /// # Panics
     ///
     /// Panics if a requested benchmark is not part of the suite.
-    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Result<Vec<SimResult>, String> {
         self.run_pairs_under(pairs, None)
     }
 
@@ -253,6 +335,11 @@ impl Runner {
     /// caller's request span, so a service request's trace forms one
     /// connected tree from `recv` down to `disk_write`.
     ///
+    /// # Errors
+    ///
+    /// Returns a structured error naming the failed pair(s) when a
+    /// simulation job panicked twice (once plus its automatic retry).
+    ///
     /// # Panics
     ///
     /// Panics if a requested benchmark is not part of the suite.
@@ -260,13 +347,13 @@ impl Runner {
         &self,
         pairs: &[(Benchmark, CoreConfig)],
         parent: Option<SpanId>,
-    ) -> Vec<SimResult> {
+    ) -> Result<Vec<SimResult>, String> {
         let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
         self.resolve(
             pairs.iter().zip(&keys).map(|((b, c), key)| (*b, c, key)),
             parent,
-        );
-        pairs
+        )?;
+        Ok(pairs
             .iter()
             .zip(&keys)
             .map(|((b, _), key)| {
@@ -274,7 +361,7 @@ impl Runner {
                     .peek(*b, key)
                     .expect("every requested (benchmark, config) is cached")
             })
-            .collect()
+            .collect())
     }
 
     /// Brings every requested (benchmark, config) into the in-memory
@@ -289,11 +376,15 @@ impl Runner {
     /// `artifact_build`, `queue_wait`, `simulate`, and (with a disk
     /// tier) `disk_write` phases. The metric registry accumulates the
     /// same phases as latency histograms regardless of tracing.
+    /// # Errors
+    ///
+    /// Returns one message naming every (benchmark, policy) whose job
+    /// panicked twice; all other requests complete and are cached.
     fn resolve<'a>(
         &'a self,
         requests: impl Iterator<Item = (Benchmark, &'a CoreConfig, &'a ConfigKey)>,
         parent: Option<SpanId>,
-    ) {
+    ) -> Result<(), String> {
         // When a trace sink with a sampling stride is attached, the
         // jobs (but not the cache keys) get pipeline-trace recording
         // switched on — and the disk tier is bypassed on reads, since a
@@ -329,11 +420,36 @@ impl Runner {
             let trace = self.suite.trace(benchmark);
             if !record_pipe && self.disk.is_some() {
                 let read_start = self.spans.now_ns();
-                if let Some(result) = self
+                let loaded = match self
                     .disk
                     .as_ref()
-                    .and_then(|disk| disk.load(benchmark, trace.fingerprint(), key))
+                    .map(|disk| disk.load(benchmark, trace.fingerprint(), key, &self.faults))
                 {
+                    Some(Ok(loaded)) => loaded,
+                    Some(Err(e)) => {
+                        // An unreadable entry (I/O error, not a plain
+                        // miss) degrades to re-simulation: slower,
+                        // never wrong.
+                        eprintln!(
+                            "warning: disk-cache read failed for {}: {e}; re-simulating",
+                            benchmark.name()
+                        );
+                        self.observe(|r| r.incr("cache.disk_read_errors"));
+                        if let Some(sink) = &self.trace {
+                            sink.event(
+                                "disk_read_error",
+                                &[
+                                    ("benchmark", Value::Str(benchmark.name().to_string())),
+                                    ("error", Value::Str(e.to_string())),
+                                ],
+                            )
+                            .expect("writing JSONL trace");
+                        }
+                        None
+                    }
+                    None => None,
+                };
+                if let Some(result) = loaded {
                     let read_ns = self.spans.now_ns().saturating_sub(read_start);
                     self.cache.count_hit();
                     self.cache.insert_loaded(benchmark, key.clone(), result);
@@ -389,17 +505,68 @@ impl Runner {
         }
 
         self.observe(|r| r.set_gauge("runner.queue_depth", pending.len() as f64));
+        if !pending.is_empty() {
+            if let Some(f) = self.faults.fire(FaultSite::QueueDelay) {
+                // Artificial queue latency: the whole wave sits on the
+                // queue, exactly like a saturated pool would hold it.
+                self.observe(|r| r.incr("runner.queue_delays"));
+                if let Some(sink) = &self.trace {
+                    sink.event("queue_delay", &[("millis", Value::UInt(f.millis))])
+                        .expect("writing JSONL trace");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(f.millis));
+            }
+        }
         let wave_start_ns = self.spans.now_ns();
-        let done = exec::run_jobs(&pending, self.jobs);
+        let done = exec::run_jobs(&pending, self.jobs, &self.faults);
         self.observe(|r| r.set_gauge("runner.queue_depth", 0.0));
+        let mut failures: Vec<String> = Vec::new();
         for ((benchmark, key, enqueue_ns, built, build_nanos), job_done) in
             pending_meta.into_iter().zip(done)
         {
             let exec::JobDone {
-                mut result,
+                outcome,
+                retried,
                 start_offset_ns,
                 nanos,
             } = job_done;
+            if retried {
+                self.job_retries.fetch_add(1, Ordering::Relaxed);
+                self.observe(|r| r.incr("runner.job_retries"));
+                if let Some(sink) = &self.trace {
+                    sink.event(
+                        "job_retry",
+                        &[("benchmark", Value::Str(benchmark.name().to_string()))],
+                    )
+                    .expect("writing JSONL trace");
+                }
+            }
+            let mut result = match outcome {
+                Ok(result) => result,
+                Err(e) => {
+                    // Twice-panicked: fail this pair alone, with a
+                    // structured error; every sibling still lands.
+                    self.job_failures.fetch_add(1, Ordering::Relaxed);
+                    self.observe(|r| r.incr("runner.job_failures"));
+                    if let Some(sink) = &self.trace {
+                        sink.event(
+                            "job_error",
+                            &[
+                                ("benchmark", Value::Str(benchmark.name().to_string())),
+                                ("panic", Value::Str(e.panic.clone())),
+                            ],
+                        )
+                        .expect("writing JSONL trace");
+                    }
+                    failures.push(format!(
+                        "{} under {}: worker panicked twice: {}",
+                        benchmark.name(),
+                        key.as_str(),
+                        e.panic
+                    ));
+                    continue;
+                }
+            };
             let sim_start_ns = wave_start_ns + start_offset_ns;
             let queue_wait_ns = sim_start_ns.saturating_sub(enqueue_ns);
             self.observe(|r| {
@@ -503,14 +670,29 @@ impl Runner {
             if let Some(disk) = &self.disk {
                 let write_start = self.spans.now_ns();
                 let fp = self.suite.trace(benchmark).fingerprint();
-                if let Err(e) = disk.store(benchmark, fp, &key, &result) {
-                    eprintln!("warning: disk-cache write-back failed: {e}");
+                match disk.store(benchmark, fp, &key, &result, &self.faults) {
+                    Ok(()) => self.observe(|r| r.incr("cache.disk_writes")),
+                    Err(e) => {
+                        // A failed write-back (disk full, permissions,
+                        // injected) costs a future re-simulation,
+                        // nothing more: warn, count, and keep the
+                        // result in memory.
+                        eprintln!("warning: disk-cache write-back failed: {e}");
+                        self.observe(|r| r.incr("cache.disk_write_errors"));
+                        if let Some(sink) = &self.trace {
+                            sink.event(
+                                "disk_write_error",
+                                &[
+                                    ("benchmark", Value::Str(benchmark.name().to_string())),
+                                    ("error", Value::Str(e.to_string())),
+                                ],
+                            )
+                            .expect("writing JSONL trace");
+                        }
+                    }
                 }
                 let write_ns = self.spans.now_ns().saturating_sub(write_start);
-                self.observe(|r| {
-                    r.incr("cache.disk_writes");
-                    r.record("phase.disk_write_us", write_ns / 1_000);
-                });
+                self.observe(|r| r.record("phase.disk_write_us", write_ns / 1_000));
                 if let (Some(sink), Some(cr)) = (&self.trace, &config_run) {
                     let disk_write =
                         self.spans
@@ -527,6 +709,11 @@ impl Runner {
         if let (Some(sink), Some(span)) = (&self.trace, resolve_span) {
             sink.emit_span(&span.finish()).expect("writing JSONL trace");
         }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
     }
 
     /// A snapshot of the cache-hit, simulation, disk-tier, and
@@ -538,7 +725,13 @@ impl Runner {
         if let Some(disk) = &self.disk {
             stats.disk_hits = disk.hits();
             stats.disk_writes = disk.writes();
+            stats.disk_read_errors = disk.read_errors();
+            stats.disk_write_errors = disk.write_errors();
+            stats.orphans_removed = disk.orphans_removed();
         }
+        stats.job_retries = self.job_retries.load(Ordering::Relaxed);
+        stats.job_failures = self.job_failures.load(Ordering::Relaxed);
+        stats.faults_injected = self.faults.total_injected();
         stats
     }
 
@@ -866,7 +1059,7 @@ mod tests {
             (Benchmark::Compress, b.clone()),
             (Benchmark::Swim, a.clone()), // in-batch repeat
         ];
-        let results = runner.run_pairs(&pairs);
+        let results = runner.run_pairs(&pairs).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(format!("{:?}", results[0]), format!("{:?}", results[2]));
         assert_eq!(runner.stats().simulations, 2);

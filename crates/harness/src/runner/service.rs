@@ -110,16 +110,28 @@ impl SweepService {
     /// pairs nobody else is working on, simulates only those, and
     /// waits for foreign claims to land in the cache.
     ///
+    /// # Errors
+    ///
+    /// Returns a structured message when a simulation job failed
+    /// (panicked twice, here or in a concurrent client's overlapping
+    /// claim); every unaffected pair still completes and is cached.
+    ///
     /// # Panics
     ///
     /// Panics if a requested benchmark is not part of the suite.
-    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Vec<SimResult> {
+    pub fn run_pairs(&self, pairs: &[(Benchmark, CoreConfig)]) -> Result<Vec<SimResult>, String> {
         self.run_pairs_under(pairs, None)
     }
 
     /// [`SweepService::run_pairs`] with an explicit parent span, so a
     /// service request's `claim`, `dedup_join`, and runner phase spans
     /// all hang off the request's `recv` span.
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured message when a simulation job failed
+    /// (panicked twice, here or in a concurrent client's overlapping
+    /// claim).
     ///
     /// # Panics
     ///
@@ -128,7 +140,7 @@ impl SweepService {
         &self,
         pairs: &[(Benchmark, CoreConfig)],
         parent: Option<SpanId>,
-    ) -> Vec<SimResult> {
+    ) -> Result<Vec<SimResult>, String> {
         let traced = self.runner.trace().is_some();
         let keys: Vec<ConfigKey> = pairs.iter().map(|(_, c)| ConfigKey::of(c)).collect();
 
@@ -178,10 +190,13 @@ impl SweepService {
         }
 
         // Simulate the claimed pairs, then release the claims — even
-        // if a simulation panicked, so foreign waiters are never
-        // stranded on a claim whose owner is gone.
+        // if the whole call panicked, so foreign waiters are never
+        // stranded on a claim whose owner is gone. (A worker panic is
+        // already contained by the executor — one retry, then a
+        // structured error — so the catch here is a last line of
+        // defence for panics outside the job itself.)
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.runner.run_pairs_under(&mine, parent);
+            self.runner.run_pairs_under(&mine, parent)
         }));
         {
             let mut inflight = self.inflight.lock().expect("claims table poisoned");
@@ -192,9 +207,11 @@ impl SweepService {
                 .observe(|r| r.set_gauge("service.inflight", inflight.len() as f64));
             self.finished.notify_all();
         }
-        if let Err(panic) = outcome {
-            std::panic::resume_unwind(panic);
-        }
+        let own_error = match outcome {
+            Ok(Ok(_)) => None,
+            Ok(Err(e)) => Some(e),
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
 
         // Wait for the pairs other clients were simulating.
         let join_span = traced.then(|| self.runner.spans().enter("dedup_join", parent));
@@ -211,26 +228,75 @@ impl SweepService {
                 .expect("writing JSONL trace");
         }
 
-        // Everything is memoized now; assemble in request order. Each
-        // request beyond the ones this caller simulated was served from
-        // the cache (possibly filled by a foreign claim) and counts as
-        // a hit — in the stats counter and in the metric registry, so
-        // the two views of the memory tier always agree.
+        if let Some(e) = own_error {
+            self.runner.observe(|r| r.incr("service.job_errors"));
+            return Err(e);
+        }
+
+        // Everything should be memoized now; assemble in request
+        // order. A pair a *foreign* claim owned can be missing when
+        // that owner's job failed — the waiter reports it as a
+        // structured error rather than crashing on a bare `expect`.
+        let assembled: Option<Vec<SimResult>> = pairs
+            .iter()
+            .zip(&keys)
+            .map(|((benchmark, _), key)| self.runner.cache.peek(*benchmark, key))
+            .collect();
+        let Some(results) = assembled else {
+            let missing: Vec<String> = pairs
+                .iter()
+                .zip(&keys)
+                .filter(|((benchmark, _), key)| self.runner.cache.peek(*benchmark, key).is_none())
+                .map(|((benchmark, config), _)| {
+                    format!("{} under {}", benchmark.name(), config.policy.paper_name())
+                })
+                .collect();
+            self.runner.observe(|r| r.incr("service.job_errors"));
+            return Err(format!(
+                "a concurrent client's overlapping simulation failed: {}",
+                missing.join(", ")
+            ));
+        };
+
+        // Each request beyond the ones this caller simulated was
+        // served from the cache (possibly filled by a foreign claim)
+        // and counts as a hit — in the stats counter and in the metric
+        // registry, so the two views of the memory tier always agree.
         let hits = pairs.len().saturating_sub(mine.len()) as u64;
         for _ in 0..hits {
             self.runner.cache.count_hit();
         }
         self.runner.observe(|r| r.add("cache.memory_hits", hits));
-        pairs
-            .iter()
-            .zip(&keys)
-            .map(|((benchmark, _), key)| {
-                self.runner
-                    .cache
-                    .peek(*benchmark, key)
-                    .expect("every requested (benchmark, config) is memoized")
-            })
-            .collect()
+        Ok(results)
+    }
+
+    /// The response for a connection shed at admission because the
+    /// server is already serving its configured maximum: structured
+    /// `retry_after_ms` so a well-behaved client backs off and retries
+    /// instead of treating the shed as fatal. Counted under
+    /// `service.sheds`.
+    pub fn shed_response(&self, retry_after_ms: u64) -> String {
+        self.runner.observe(|r| r.incr("service.sheds"));
+        let _ = self
+            .runner
+            .trace_event("shed", &[("retry_after_ms", Value::UInt(retry_after_ms))]);
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(false)),
+            (
+                "error".to_string(),
+                Value::Str("server at connection capacity; retry later".to_string()),
+            ),
+            ("retry_after_ms".to_string(), Value::UInt(retry_after_ms)),
+        ])
+        .to_json()
+    }
+
+    /// Records one connection closed because the peer stayed silent
+    /// past the configured read timeout (counted under
+    /// `service.read_timeouts`).
+    pub fn connection_timed_out(&self) {
+        self.runner.observe(|r| r.incr("service.read_timeouts"));
+        let _ = self.runner.trace_event("conn_timeout", &[]);
     }
 
     /// Handles one protocol line, returning the JSON response line and
@@ -454,7 +520,11 @@ impl SweepService {
         self.runner
             .trace_event("sweep_start", &[("pairs", Value::UInt(pairs.len() as u64))])
             .map_err(|e| format!("trace sink failed: {e}"))?;
-        let results = self.run_pairs_under(&pairs, parent);
+        let results = self.run_pairs_under(&pairs, parent).inspect_err(|e| {
+            let _ = self
+                .runner
+                .trace_event("sweep_error", &[("error", Value::Str(e.clone()))]);
+        })?;
         self.runner
             .trace_event(
                 "sweep_finish",
@@ -587,7 +657,7 @@ mod tests {
                         })
                     })
                     .collect();
-                let results = svc.run_pairs(&pairs);
+                let results = svc.run_pairs(&pairs).unwrap();
                 results
                     .iter()
                     .zip(&pairs)
@@ -791,5 +861,85 @@ mod tests {
         let parsed = Value::parse_json(&resp).unwrap();
         let rows = parsed.get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2, "one row per suite benchmark");
+    }
+
+    fn service_with_faults(plan: &str) -> SweepService {
+        SweepService::new(
+            Runner::new(Suite::generate(&[Benchmark::Compress], &SuiteParams::tiny()).unwrap())
+                .with_faults(crate::faults::FaultPlan::parse(plan).unwrap()),
+        )
+    }
+
+    #[test]
+    fn single_worker_panic_is_retried_and_the_sweep_succeeds() {
+        let svc = service_with_faults("worker_panic=nth:1");
+        let (resp, stop) =
+            svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NAV\"}]}");
+        assert!(!stop);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let stats = svc.runner().stats();
+        assert_eq!(stats.job_retries, 1, "the panicked job re-ran once");
+        assert_eq!(stats.job_failures, 0);
+        assert_eq!(stats.simulations, 1);
+        assert_eq!(stats.faults_injected, 1);
+        // A faulted-then-retried sweep returns exactly what a
+        // fault-free service returns.
+        let clean = service();
+        let (clean_resp, _) = clean.handle_line(
+            "{\"op\":\"sweep\",\"benchmarks\":[\"compress\"],\
+             \"configs\":[{\"policy\":\"NAS/NAV\"}]}",
+        );
+        let rows = |r: &str| {
+            Value::parse_json(r)
+                .unwrap()
+                .get("rows")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .to_vec()
+        };
+        assert_eq!(
+            format!("{:?}", rows(&resp)),
+            format!("{:?}", rows(&clean_resp)),
+            "retried results must be byte-identical to fault-free ones"
+        );
+    }
+
+    #[test]
+    fn persistent_worker_panic_is_a_structured_job_error() {
+        let svc = service_with_faults("worker_panic=every:1");
+        let (resp, stop) =
+            svc.handle_line("{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NO\"}]}");
+        assert!(!stop, "a failed sweep must not kill the server");
+        let parsed = Value::parse_json(&resp).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        let error = parsed.get("error").unwrap().as_str().unwrap();
+        assert!(error.contains("worker panicked twice"), "{error}");
+        assert!(error.contains("129.compress"), "{error}");
+        let stats = svc.runner().stats();
+        assert_eq!(stats.job_retries, 1);
+        assert_eq!(stats.job_failures, 1);
+        assert_eq!(stats.simulations, 0);
+        let obs = svc.runner().obs_snapshot();
+        assert_eq!(obs.counter("service.job_errors"), 1);
+        assert_eq!(obs.counter("runner.job_retries"), 1);
+        assert_eq!(obs.counter("runner.job_failures"), 1);
+        assert_eq!(obs.counter("faults.injected.worker_panic"), 2);
+        // The claims table is clean: the failed pair can be retried,
+        // and a healthy service would then serve it.
+        assert_eq!(svc.inflight_pairs(), 0);
+    }
+
+    #[test]
+    fn shed_response_is_structured_and_counted() {
+        let svc = service();
+        let resp = svc.shed_response(250);
+        let parsed = Value::parse_json(&resp).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("retry_after_ms").unwrap().as_u64(), Some(250));
+        svc.connection_timed_out();
+        let obs = svc.runner().obs_snapshot();
+        assert_eq!(obs.counter("service.sheds"), 1);
+        assert_eq!(obs.counter("service.read_timeouts"), 1);
     }
 }

@@ -258,6 +258,266 @@ fn oversized_request_line_is_rejected_without_killing_the_connection() {
 }
 
 #[test]
+fn slow_client_is_timed_out_and_counted() {
+    // A read timeout far below the test's patience: the slowloris
+    // connection writes half a request and stalls.
+    let server = Server::spawn("slow", &["--read-timeout-ms", "200"]);
+
+    let stream = UnixStream::connect(&server.socket).expect("connecting");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    write!(writer, "{{\"op\":\"pi").expect("writing a partial request");
+    writer.flush().expect("flushing");
+
+    // The server must hang up on us, not wait forever.
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response).unwrap_or(0);
+    assert_eq!(
+        n, 0,
+        "server should close a stalled connection: {response:?}"
+    );
+
+    // The hangup is accounted.
+    assert_eq!(metric(&server.socket, "service.read_timeouts"), 1);
+
+    // And fresh connections are unaffected.
+    let pong = request(&server.socket, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn connections_beyond_the_cap_are_shed_with_retry_after() {
+    let server = Server::spawn(
+        "shed",
+        &["--max-connections", "2", "--read-timeout-ms", "2000"],
+    );
+
+    // A held connection that is provably *served*, not shed: it pings
+    // and sees ok:true. Retried because the spawn-readiness probe's
+    // connection may still be counted for an instant.
+    let connect_served = || {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stream = UnixStream::connect(&server.socket).expect("connecting");
+            let mut writer = stream.try_clone().expect("cloning stream");
+            let mut reader = BufReader::new(stream.try_clone().expect("cloning stream"));
+            writeln!(writer, "{{\"op\":\"ping\"}}").expect("writing ping");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("reading ping");
+            let parsed = Value::parse_json(response.trim_end()).expect("ping response is JSON");
+            if parsed.get("ok").unwrap().as_bool() == Some(true) {
+                return stream;
+            }
+            assert!(Instant::now() < deadline, "could not occupy the pool");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+
+    // Two held connections fill the pool.
+    let hold_a = connect_served();
+    let hold_b = connect_served();
+
+    // The third is answered with a structured shed, then closed.
+    let shed = UnixStream::connect(&server.socket).expect("conn c");
+    let mut response = String::new();
+    BufReader::new(shed)
+        .read_line(&mut response)
+        .expect("reading shed response");
+    let parsed = Value::parse_json(response.trim_end()).expect("shed response is JSON");
+    assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        parsed.get("retry_after_ms").unwrap().as_u64(),
+        Some(500),
+        "{response}"
+    );
+
+    // Releasing capacity lets new connections through again.
+    drop(hold_a);
+    drop(hold_b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = request(&server.socket, "{\"op\":\"ping\"}");
+        if response.get("ok").unwrap().as_bool() == Some(true) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "capacity never freed");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // At least the one deliberate shed; the probe pings above may have
+    // been shed too while the pool was still draining.
+    assert!(metric(&server.socket, "service.sheds") >= 1);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn mid_request_disconnects_do_not_wedge_the_server() {
+    let server = Server::spawn("drop", &[]);
+
+    // Disconnect with half a request in flight.
+    {
+        let stream = UnixStream::connect(&server.socket).expect("connecting");
+        let mut writer = stream.try_clone().expect("cloning stream");
+        write!(writer, "{{\"op\":\"sweep\",\"configs\":[").expect("writing");
+        writer.flush().expect("flushing");
+    }
+    // Disconnect after a full request, before reading the response:
+    // the server's response write hits a closed socket.
+    {
+        let stream = UnixStream::connect(&server.socket).expect("connecting");
+        let mut writer = stream.try_clone().expect("cloning stream");
+        writeln!(
+            writer,
+            "{{\"op\":\"sweep\",\"configs\":[{{\"policy\":\"NAS/NAV\"}}]}}"
+        )
+        .expect("writing");
+        writer.flush().expect("flushing");
+    }
+
+    // A malformed line after a valid request on one connection: the
+    // error is per-request, the connection survives both.
+    let stream = UnixStream::connect(&server.socket).expect("connecting");
+    let mut writer = stream.try_clone().expect("cloning stream");
+    let mut reader = BufReader::new(stream);
+    let mut exchange = |line: &str| -> Value {
+        writeln!(writer, "{line}").expect("writing request");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("reading response");
+        Value::parse_json(response.trim_end()).expect("parsing response JSON")
+    };
+    assert_eq!(
+        exchange("{\"op\":\"ping\"}").get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+    let bad = exchange("this is not json {{{");
+    assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+    assert!(bad.get("error").unwrap().as_str().is_some());
+    assert_eq!(
+        exchange("{\"op\":\"ping\"}").get("ok").unwrap().as_bool(),
+        Some(true),
+        "the connection keeps working after a malformed request"
+    );
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn shutdown_racing_an_inflight_sweep_answers_both() {
+    let server = Server::spawn("race", &[]);
+    let socket = server.socket.clone();
+
+    // A sweep launched concurrently with a shutdown request: the
+    // graceful drain must let the sweep finish and both clients get
+    // their responses. The sweeper pings first on the same connection
+    // so the race is between an *accepted* connection's sweep and the
+    // shutdown — not between connect() and the listener going away.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let sweeper = std::thread::spawn(move || {
+        let stream = UnixStream::connect(&socket).expect("connecting");
+        let mut writer = stream.try_clone().expect("cloning stream");
+        let mut reader = BufReader::new(stream);
+        let mut exchange = |line: &str| -> Value {
+            writeln!(writer, "{line}").expect("writing request");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("reading response");
+            Value::parse_json(response.trim_end()).expect("parsing response JSON")
+        };
+        assert_eq!(
+            exchange("{\"op\":\"ping\"}").get("ok").unwrap().as_bool(),
+            Some(true)
+        );
+        ready_tx.send(()).expect("signalling readiness");
+        exchange(
+            "{\"op\":\"sweep\",\"configs\":[{\"policy\":\"NAS/NO\"},{\"policy\":\"NAS/NAV\"},\
+             {\"policy\":\"NAS/ORACLE\"}]}",
+        )
+    });
+    ready_rx.recv().expect("sweeper never became ready");
+    server.shutdown_and_wait();
+    let swept = sweeper.join().expect("sweep client panicked");
+    assert_eq!(
+        swept.get("ok").unwrap().as_bool(),
+        Some(true),
+        "in-flight sweep must complete through a graceful shutdown: {swept:?}"
+    );
+    assert_eq!(swept.get("rows").unwrap().as_array().unwrap().len(), 6);
+}
+
+#[test]
+fn sigterm_drains_and_removes_the_socket() {
+    let server = Server::spawn("term", &[]);
+
+    // Prove the server works, then signal it.
+    let pong = request(&server.socket, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+
+    let status = Command::new("kill")
+        .args(["-TERM", &server.child.id().to_string()])
+        .status()
+        .expect("sending SIGTERM");
+    assert!(status.success(), "kill failed");
+
+    // Consume the server without the Drop kill: it must exit cleanly
+    // on its own.
+    let mut server = server;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let code = loop {
+        if let Some(status) = server.child.try_wait().expect("polling server") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(code.success(), "SIGTERM exit must be graceful, got {code}");
+    assert!(
+        !server.socket.exists(),
+        "socket file must be removed on SIGTERM shutdown"
+    );
+}
+
+#[test]
+fn load_client_retries_through_injected_connection_drops() {
+    // The server drops the first two request-bearing connections on
+    // the floor; a retrying client must ride it out and still verify
+    // exact simulation counts.
+    let server = Server::spawn(
+        "chaos",
+        &["--fault-plan", "conn_drop=nth:1;conn_slow=nth:2:100"],
+    );
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mds-load"))
+        .arg("--socket")
+        .arg(&server.socket)
+        .args([
+            "--clients",
+            "2",
+            "--policies",
+            "NAS/NO,NAS/NAV",
+            "--repeats",
+            "2",
+            "--retries",
+            "4",
+            "--expect-simulations-delta",
+            "4",
+        ])
+        .output()
+        .expect("running mds-load");
+    assert!(
+        output.status.success(),
+        "mds-load with --retries must survive injected drops: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let summary = Value::parse_json(String::from_utf8_lossy(&output.stdout).trim()).unwrap();
+    assert_eq!(summary.get("agreement").unwrap().as_bool(), Some(true));
+    assert_eq!(summary.get("simulations_delta").unwrap().as_u64(), Some(4));
+
+    // The injected faults are on the server's ledger.
+    assert_eq!(metric(&server.socket, "faults.injected.conn_drop"), 1);
+    assert_eq!(metric(&server.socket, "faults.injected.conn_slow"), 1);
+    server.shutdown_and_wait();
+}
+
+#[test]
 fn load_client_verifies_cold_and_warm_counters() {
     let cache = std::env::temp_dir().join(format!("mds-load-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&cache);
