@@ -1,0 +1,273 @@
+//! Config-lane batched simulation: many machine configurations advance
+//! over one shared trace in chunked lockstep.
+//!
+//! A policy sweep replays the *same* trace under many [`CoreConfig`]s.
+//! Run solo, each simulation streams the whole trace — and the
+//! trace-derived [`TraceArtifacts`] (oracle dependences, register
+//! dependences, op metadata) — through the cache once per config. A
+//! [`LaneBatch`] instead advances N independent [`Machine`]s over the
+//! trace region-by-region: every lane consumes the same ~few-thousand
+//! instruction span of trace records, CSR dependence rows, and op
+//! metadata while it is hot, so that data is fetched from memory once
+//! per instruction instead of once per (instruction × config).
+//!
+//! Lanes never interact. Each keeps its own [`SimStats`]/CPI stack, its
+//! own cycle clock, and its own event-driven fast-forward horizon
+//! (nothing about [`Machine::run_until_commit`] depends on the pause
+//! points), so a lane's results are **byte-identical by construction**
+//! to a solo [`Simulator::run_with_artifacts`] call — the differential
+//! suite in `tests/lane_equivalence.rs` proves it across the full
+//! policy × window × latency × recovery matrix.
+//!
+//! [`SimStats`]: crate::SimStats
+
+use crate::artifacts::TraceArtifacts;
+use crate::config::CoreConfig;
+use crate::sim::{Machine, Simulator};
+use crate::stats::SimResult;
+use mds_isa::Trace;
+
+/// Committed instructions each lane advances per lockstep epoch.
+///
+/// Small enough that one epoch's span of trace records, CSR rows, and
+/// op metadata stays cache-resident across all lanes; large enough that
+/// the per-epoch scheduling overhead (a min-scan over the lanes) is
+/// noise. Not observable in results — any chunk size produces identical
+/// stats — so this is purely a locality knob.
+const LANE_CHUNK: u64 = 4096;
+
+/// N independent simulator states advancing in chunked lockstep over a
+/// single shared trace traversal.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::{CoreConfig, Policy, Simulator, TraceArtifacts};
+/// use mds_isa::{Asm, Interpreter, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::int(1), 5);
+/// a.addi(Reg::int(1), Reg::int(1), -1);
+/// a.halt();
+/// let trace = Interpreter::new(a.assemble()?).run(100)?;
+/// let artifacts = TraceArtifacts::build(&trace);
+///
+/// let configs: Vec<CoreConfig> = [Policy::NasNaive, Policy::NasOracle]
+///     .iter()
+///     .map(|&p| CoreConfig::paper_128().with_policy(p))
+///     .collect();
+/// let laned = Simulator::run_lanes(&trace, &artifacts, &configs);
+/// for (cfg, lane) in configs.iter().zip(&laned) {
+///     let solo = Simulator::new(cfg.clone()).run_with_artifacts(&trace, &artifacts);
+///     assert_eq!(format!("{:?}", lane.stats), format!("{:?}", solo.stats));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct LaneBatch<'t> {
+    lanes: Vec<Machine<'t>>,
+    total: u64,
+}
+
+impl<'t> LaneBatch<'t> {
+    /// Builds one lane per configuration, all replaying `trace` with
+    /// the shared, read-only `artifacts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `artifacts` was built from a
+    /// different trace.
+    pub fn new(
+        trace: &'t Trace,
+        artifacts: &'t TraceArtifacts,
+        configs: &'t [CoreConfig],
+    ) -> LaneBatch<'t> {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        artifacts.assert_matches(trace);
+        LaneBatch {
+            lanes: configs
+                .iter()
+                .map(|cfg| Machine::new(cfg, trace, artifacts))
+                .collect(),
+            total: trace.len() as u64,
+        }
+    }
+
+    /// The number of lanes.
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Drives every lane to completion and returns one [`SimResult`]
+    /// per configuration, in the order the configurations were given.
+    ///
+    /// Each epoch finds the minimum commit position over the lanes and
+    /// advances every lane that is behind `min + LANE_CHUNK` up to that
+    /// target, so the laggard set moves first and no lane streams far
+    /// ahead of the shared trace region. Interleaving cannot affect any
+    /// lane's results — lanes share nothing mutable — so this schedule
+    /// is purely a locality optimization.
+    pub fn run(mut self) -> Vec<SimResult> {
+        let total = self.total;
+        loop {
+            let min = self
+                .lanes
+                .iter()
+                .map(|m| m.next_commit)
+                .min()
+                .unwrap_or(total);
+            if min >= total {
+                break;
+            }
+            let target = min.saturating_add(LANE_CHUNK).min(total);
+            for lane in &mut self.lanes {
+                if lane.next_commit < target {
+                    lane.run_until_commit(target);
+                }
+            }
+        }
+        self.lanes
+            .into_iter()
+            .map(|mut m| {
+                m.finish();
+                SimResult {
+                    policy_name: m.cfg.policy.paper_name().to_owned(),
+                    stats: m.stats,
+                    pipetrace: m.pipetrace,
+                    skipped_cycles: m.skipped_cycles,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Simulator {
+    /// Runs `trace` under every configuration in `configs` in one
+    /// lane-batched pass, returning one result per configuration in
+    /// order — each byte-identical to what a solo
+    /// [`Simulator::run_with_artifacts`] call would produce.
+    ///
+    /// An empty `configs` slice returns an empty vector (the trace is
+    /// not validated in that case).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulator::run_with_artifacts`].
+    pub fn run_lanes(
+        trace: &Trace,
+        artifacts: &TraceArtifacts,
+        configs: &[CoreConfig],
+    ) -> Vec<SimResult> {
+        if configs.is_empty() {
+            return Vec::new();
+        }
+        LaneBatch::new(trace, artifacts, configs).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Policy, Recovery, WindowModel};
+    use mds_isa::{Asm, Interpreter, Reg};
+
+    /// A loop with a loop-carried memory recurrence: stores feed loads
+    /// a few iterations later, exercising every speculation policy.
+    fn recurrence_trace(iters: i64) -> Trace {
+        let mut a = Asm::new();
+        let arr = a.alloc_data(8 * 80, 8);
+        let r = Reg::int;
+        a.li(r(1), 1);
+        a.li(r(2), iters);
+        a.li(r(3), arr as i64);
+        let top = a.label();
+        a.bind(top);
+        a.sll(r(5), r(1), 3);
+        a.add(r(5), r(3), r(5));
+        a.lw(r(6), r(5), -8);
+        a.add(r(6), r(6), r(1));
+        a.sw(r(6), r(5), 0);
+        a.addi(r(1), r(1), 1);
+        a.slt(r(7), r(1), r(2));
+        a.bgtz(r(7), top);
+        a.halt();
+        Interpreter::new(a.assemble().unwrap())
+            .run(100_000)
+            .unwrap()
+    }
+
+    fn assert_lanes_match_solo(trace: &Trace, configs: &[CoreConfig]) {
+        let artifacts = TraceArtifacts::build(trace);
+        let laned = Simulator::run_lanes(trace, &artifacts, configs);
+        assert_eq!(laned.len(), configs.len());
+        for (cfg, lane) in configs.iter().zip(&laned) {
+            let solo = Simulator::new(cfg.clone()).run_with_artifacts(trace, &artifacts);
+            assert_eq!(
+                format!("{:?}", lane.stats),
+                format!("{:?}", solo.stats),
+                "lane stats diverged from solo run under {}",
+                cfg.policy.paper_name()
+            );
+            assert_eq!(
+                lane.skipped_cycles,
+                solo.skipped_cycles,
+                "fast-forward behavior diverged under {}",
+                cfg.policy.paper_name()
+            );
+            assert_eq!(lane.policy_name, solo.policy_name);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_lanes_match_solo_runs() {
+        let trace = recurrence_trace(60);
+        let configs: Vec<CoreConfig> = vec![
+            CoreConfig::paper_128().with_policy(Policy::NasNaive),
+            CoreConfig::paper_128().with_policy(Policy::NasOracle),
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasSync)
+                .with_recovery(Recovery::SelectiveReissue),
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 16,
+                })
+                .with_addr_sched_latency(1),
+        ];
+        assert_lanes_match_solo(&trace, &configs);
+    }
+
+    #[test]
+    fn single_lane_and_duplicate_configs_match_solo() {
+        let trace = recurrence_trace(40);
+        let one = vec![CoreConfig::paper_128().with_policy(Policy::NasNo)];
+        assert_lanes_match_solo(&trace, &one);
+        // Duplicate configs: each lane is independent, so both produce
+        // the same (correct) result.
+        let dup = vec![one[0].clone(), one[0].clone()];
+        assert_lanes_match_solo(&trace, &dup);
+    }
+
+    #[test]
+    fn empty_config_list_returns_no_results() {
+        let trace = recurrence_trace(4);
+        let artifacts = TraceArtifacts::build(&trace);
+        assert!(Simulator::run_lanes(&trace, &artifacts, &[]).is_empty());
+    }
+
+    #[test]
+    fn lanes_preserve_fast_forward_skips() {
+        // A small window on a recurrence leaves quiet spans; the laned
+        // run must skip exactly the cycles the solo run skips.
+        let trace = recurrence_trace(60);
+        let configs: Vec<CoreConfig> = Policy::ALL
+            .iter()
+            .map(|&p| CoreConfig::paper_128().with_window_size(16).with_policy(p))
+            .collect();
+        let artifacts = TraceArtifacts::build(&trace);
+        let laned = Simulator::run_lanes(&trace, &artifacts, &configs);
+        let skipped: u64 = laned.iter().map(|r| r.skipped_cycles).sum();
+        assert!(skipped > 0, "expected fast-forward activity in lanes");
+        assert_lanes_match_solo(&trace, &configs);
+    }
+}

@@ -348,8 +348,26 @@ impl<'t> Machine<'t> {
     }
 
     pub fn run_to_completion(&mut self) {
+        self.run_until_commit(self.trace.len() as u64);
+        self.finish();
+    }
+
+    /// Advances the machine until at least `target` instructions have
+    /// committed (capped at the trace length), then returns with every
+    /// piece of machine state intact so the run can be resumed.
+    ///
+    /// The loop body is exactly the one a straight run-to-completion
+    /// executes — in particular the fast-forward guard still tests
+    /// against the *full* trace length, never `target` — so pausing and
+    /// resuming at commit-count boundaries performs the identical
+    /// sequence of cycle steps and fast-forward jumps. This is what lets
+    /// [`LaneBatch`](crate::LaneBatch) interleave many configurations
+    /// over one trace while each lane's results stay byte-identical to a
+    /// solo run by construction.
+    pub fn run_until_commit(&mut self, target: u64) {
         let total = self.trace.len() as u64;
-        while self.next_commit < total {
+        let target = target.min(total);
+        while self.next_commit < target {
             self.now += 1;
             assert!(
                 self.now.saturating_sub(self.last_commit_at) <= self.stall_limit,
@@ -366,6 +384,13 @@ impl<'t> Machine<'t> {
                 self.fast_forward_quiet_span();
             }
         }
+    }
+
+    /// Seals the statistics once every instruction has committed:
+    /// records the final cycle count and folds in the front-end and
+    /// memory-system counters. Must be called exactly once, after the
+    /// last [`run_until_commit`](Machine::run_until_commit).
+    pub fn finish(&mut self) {
         self.stats.cycles = self.now;
         self.stats.frontend = *self.frontend.stats();
         self.stats.mem = self.mem.stats();

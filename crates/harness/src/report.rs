@@ -520,11 +520,23 @@ pub fn bench_diff(
             regressed,
         });
     }
-    for key in ["cache_hits", "disk_hits", "disk_writes", "skipped_cycles"] {
-        if let (Some(b), Some(c)) = (number(baseline, key), number(current, key)) {
+    // Ungated informational counters. The lane keys are absent from
+    // records written before lane batching existed, so a missing
+    // *baseline* value reads as 0 (the old executor dispatched no
+    // batches) while a record-less *current* side omits the row.
+    for key in [
+        "cache_hits",
+        "disk_hits",
+        "disk_writes",
+        "skipped_cycles",
+        "lane_batches",
+        "lane_peeled_hits",
+        "lane_fallbacks",
+    ] {
+        if let Some(c) = number(current, key) {
             rows.push(DiffRow {
                 metric: key.to_string(),
-                baseline: b,
+                baseline: number(baseline, key).unwrap_or(0.0),
                 current: c,
                 gated: false,
                 regressed: false,

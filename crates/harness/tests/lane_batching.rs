@@ -1,0 +1,135 @@
+//! Property tests for lane-batched sweep execution at the `Runner`
+//! level: grouping pairs into lane batches plus cache-hit peeling must
+//! preserve the exact requested pair set and the deterministic,
+//! request-ordered output at any `--lane-width` and `--jobs` — results
+//! are byte-identical to the solo (`lane_width 1`, `jobs 1`) reference.
+
+use mds_core::{CoreConfig, Policy, SimResult};
+use mds_harness::{Runner, Suite};
+use mds_workloads::{Benchmark, SuiteParams};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const POLICIES: [Policy; 4] = [
+    Policy::NasNaive,
+    Policy::NasSync,
+    Policy::NasOracle,
+    Policy::AsNo,
+];
+const BENCHMARKS: [Benchmark; 2] = [Benchmark::Compress, Benchmark::Swim];
+
+fn suite() -> Suite {
+    Suite::generate(&BENCHMARKS, &SuiteParams::tiny()).unwrap()
+}
+
+/// The pool of distinct pairs cases draw from (8 = 2 benchmarks × 4
+/// policies), and index `i`'s pair.
+fn pool_pair(i: usize) -> (Benchmark, CoreConfig) {
+    let (b, p) = (
+        i % BENCHMARKS.len(),
+        (i / BENCHMARKS.len()) % POLICIES.len(),
+    );
+    (
+        BENCHMARKS[b],
+        CoreConfig::paper_128().with_policy(POLICIES[p]),
+    )
+}
+const POOL: usize = 8;
+
+/// Solo reference results for every pool pair, computed once: the
+/// fingerprint every batched run must reproduce exactly.
+fn reference() -> &'static Vec<String> {
+    static REF: OnceLock<Vec<String>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let runner = Runner::new(suite()).with_jobs(1).with_lane_width(1);
+        let pairs: Vec<_> = (0..POOL).map(pool_pair).collect();
+        runner
+            .run_pairs(&pairs)
+            .unwrap()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect()
+    })
+}
+
+fn fingerprints(results: &[SimResult]) -> Vec<String> {
+    results.iter().map(|r| format!("{r:?}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A random request sequence (duplicates included — in-batch
+    /// repeats are peeled as cache hits) at a random lane width and
+    /// thread count returns exactly the requested pairs, in request
+    /// order, each byte-identical to the solo reference.
+    #[test]
+    fn any_width_and_jobs_preserve_pairs_and_order(
+        picks in proptest::collection::vec(0usize..POOL, 1..14),
+        width in 1usize..9,
+        jobs in 1usize..5,
+    ) {
+        let runner = Runner::new(suite())
+            .with_jobs(jobs)
+            .with_lane_width(width);
+        let pairs: Vec<_> = picks.iter().map(|&i| pool_pair(i)).collect();
+        let results = runner.run_pairs(&pairs).unwrap();
+        prop_assert_eq!(results.len(), pairs.len(), "exact pair set");
+        let reference = reference();
+        for (&pick, got) in picks.iter().zip(fingerprints(&results)) {
+            prop_assert_eq!(
+                &got,
+                &reference[pick],
+                "pair {} diverged at width {} jobs {}",
+                pick,
+                width,
+                jobs
+            );
+        }
+        // Distinct pairs simulate once; repeats are peeled hits, and
+        // width > 1 accounts every peel.
+        let distinct = {
+            let mut d: Vec<usize> = picks.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len() as u64
+        };
+        let stats = runner.stats();
+        prop_assert_eq!(stats.simulations, distinct);
+        prop_assert_eq!(stats.cache_hits, picks.len() as u64 - distinct);
+        if width > 1 {
+            prop_assert_eq!(stats.lane_peeled_hits, stats.cache_hits);
+        } else {
+            prop_assert_eq!(stats.lane_batches, distinct, "width 1 = solo batches");
+        }
+        // A repeat of the same request is served entirely from cache —
+        // peeling the whole batch away — with identical output.
+        let again = runner.run_pairs(&pairs).unwrap();
+        prop_assert_eq!(fingerprints(&results), fingerprints(&again));
+        prop_assert_eq!(runner.stats().simulations, distinct, "no re-simulation");
+    }
+}
+
+/// Width accounting: the histogram and batch counters describe exactly
+/// the batches a full-pool sweep dispatches.
+#[test]
+fn lane_counters_match_the_dispatch_shape() {
+    // 8 pairs = 2 traces × 4 configs; width 3 → per trace: one batch of
+    // 3 and one of 1 → 4 batches total, hist[2] = 2, hist[0] = 2.
+    let runner = Runner::new(suite()).with_jobs(2).with_lane_width(3);
+    let pairs: Vec<_> = (0..POOL).map(pool_pair).collect();
+    runner.run_pairs(&pairs).unwrap();
+    let stats = runner.stats();
+    assert_eq!(stats.simulations, POOL as u64);
+    assert_eq!(stats.lane_batches, 4);
+    assert_eq!(stats.lane_fallbacks, 0);
+    assert_eq!(stats.lane_width_hist[2], 2, "two full 3-lane batches");
+    assert_eq!(stats.lane_width_hist[0], 2, "two remainder solo batches");
+    assert_eq!(
+        stats.lane_width_hist.iter().sum::<u64>(),
+        stats.lane_batches
+    );
+    let obs = runner.obs_snapshot();
+    assert_eq!(obs.counter("runner.lane_batches"), 4);
+    assert_eq!(obs.histogram("runner.lane_width").unwrap().count(), 4);
+}

@@ -1,0 +1,236 @@
+//! Differential equivalence of config-lane batched simulation.
+//!
+//! [`Simulator::run_lanes`] advances many configurations over one
+//! shared trace traversal in chunked lockstep; each lane must produce
+//! [`SimStats`] *identical* — same cycle count, same CPI-stack
+//! partition, same histograms, same memory and front-end counters, and
+//! the same fast-forward skip count — to a solo
+//! [`Simulator::run_with_artifacts`] call under the same configuration,
+//! because lanes share nothing mutable and each lane's cycle loop is
+//! the very loop a solo run executes. These tests compare the full
+//! `Debug` rendering so any new statistic is automatically covered.
+//!
+//! Coverage mirrors `event_equivalence.rs`: all nine policies,
+//! continuous and split windows, address-scheduler latencies 0–2, both
+//! recovery models — laned together in heterogeneous batches at several
+//! widths — plus random-program batches via proptest.
+
+use mds::core::{CoreConfig, Policy, Recovery, Simulator, TraceArtifacts, WindowModel};
+use mds::isa::{Asm, Interpreter, Reg, Trace};
+use mds::workloads::{Benchmark, SuiteParams};
+use proptest::prelude::*;
+
+const ALL_NINE: [Policy; 9] = [
+    Policy::NasNo,
+    Policy::NasNaive,
+    Policy::NasSelective,
+    Policy::NasStoreBarrier,
+    Policy::NasSync,
+    Policy::NasStoreSets,
+    Policy::NasOracle,
+    Policy::AsNo,
+    Policy::AsNaive,
+];
+
+/// Runs `configs` laned together in batches of `width` and solo, and
+/// checks every pair of results is identical in every field.
+fn assert_lanes_equivalent(trace: &Trace, configs: &[CoreConfig], width: usize, what: &str) {
+    let artifacts = TraceArtifacts::build(trace);
+    let solo: Vec<_> = configs
+        .iter()
+        .map(|cfg| Simulator::new(cfg.clone()).run_with_artifacts(trace, &artifacts))
+        .collect();
+    let mut laned = Vec::new();
+    for chunk in configs.chunks(width.max(1)) {
+        laned.extend(Simulator::run_lanes(trace, &artifacts, chunk));
+    }
+    assert_eq!(laned.len(), solo.len());
+    for ((cfg, lane), solo) in configs.iter().zip(&laned).zip(&solo) {
+        assert_eq!(
+            format!("{:?}", lane.stats),
+            format!("{:?}", solo.stats),
+            "{what} width={width}: laned stats diverged from solo under {}",
+            cfg.policy.paper_name()
+        );
+        assert_eq!(
+            lane.skipped_cycles,
+            solo.skipped_cycles,
+            "{what} width={width}: fast-forward skips diverged under {}",
+            cfg.policy.paper_name()
+        );
+        assert_eq!(lane.policy_name, solo.policy_name);
+    }
+}
+
+/// The full paper matrix: every policy under continuous and split
+/// windows, address-scheduler latencies 0–2, and both recovery models.
+fn full_matrix() -> Vec<CoreConfig> {
+    let mut configs = Vec::new();
+    for policy in ALL_NINE {
+        for lat in 0..=2 {
+            configs.push(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_addr_sched_latency(lat),
+            );
+        }
+        for recovery in [Recovery::Squash, Recovery::SelectiveReissue] {
+            configs.push(
+                CoreConfig::paper_128()
+                    .with_policy(policy)
+                    .with_recovery(recovery),
+            );
+        }
+        configs.push(
+            CoreConfig::paper_128()
+                .with_policy(policy)
+                .with_window_model(WindowModel::Split {
+                    units: 4,
+                    task_size: 16,
+                })
+                .with_addr_sched_latency(2),
+        );
+    }
+    configs
+}
+
+/// Deterministic sweep on a real workload: the full matrix, batched at
+/// the default-like width 4. Heterogeneous batches mix policies,
+/// window models, latencies, and recoveries in one lockstep pass.
+#[test]
+fn lane_equivalence_sweep_on_workload_trace() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).expect("trace");
+    assert_lanes_equivalent(&trace, &full_matrix(), 4, "workload sweep");
+}
+
+/// Width must be a pure throughput knob: 1 (solo), an uneven 5 (the
+/// last batch is a remainder), and one batch holding the entire matrix
+/// all produce identical results.
+#[test]
+fn lane_width_does_not_affect_results() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).expect("trace");
+    // A policy-diverse subset keeps the width sweep quick while still
+    // mixing speculation, synchronization, and both schedulers.
+    let configs: Vec<CoreConfig> = [
+        Policy::NasNaive,
+        Policy::NasSync,
+        Policy::NasOracle,
+        Policy::AsNo,
+        Policy::AsNaive,
+        Policy::NasStoreSets,
+        Policy::NasSelective,
+    ]
+    .iter()
+    .map(|&p| CoreConfig::paper_128().with_policy(p))
+    .collect();
+    for width in [1, 5, configs.len()] {
+        assert_lanes_equivalent(&trace, &configs, width, "width sweep");
+    }
+}
+
+/// The same random-loop generator the scheduler- and event-equivalence
+/// proptests use: loads, stores, ALU ops, and a loop-carried memory
+/// recurrence.
+fn random_loop_trace(iters: u64, body: &[(u8, u8)]) -> Trace {
+    let mut a = Asm::new();
+    let arr = a.alloc_data(4096 + 64, 64);
+    let cell = a.alloc_data(8, 8);
+    let (cnt, base, cbase) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    a.li(cnt, iters as i64);
+    a.li(base, arr as i64);
+    a.li(cbase, cell as i64);
+    let top = a.label();
+    a.bind(top);
+    for &(kind, operand) in body {
+        let r = Reg::int(4 + (operand % 6));
+        let off = (operand as i64 % 64) * 4;
+        match kind % 5 {
+            0 => a.lw(r, base, off),
+            1 => a.sw(r, base, off),
+            2 => a.addi(r, r, operand as i64),
+            3 => {
+                a.lw(r, cbase, 0);
+                a.addi(r, r, 1);
+                a.sw(r, cbase, 0);
+            }
+            _ => {
+                let r2 = Reg::int(4 + ((operand / 7) % 6));
+                a.add(r, r, r2);
+            }
+        }
+    }
+    a.addi(cnt, cnt, -1);
+    a.bgtz(cnt, top);
+    a.halt();
+    Interpreter::new(a.assemble().unwrap())
+        .run(2_000_000)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random programs, all nine policies laned together at a random
+    /// width.
+    #[test]
+    fn lanes_match_solo_on_random_programs(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..14),
+        iters in 1u64..18,
+        width in 1usize..10,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let configs: Vec<CoreConfig> = ALL_NINE
+            .iter()
+            .map(|&p| CoreConfig::paper_128().with_policy(p))
+            .collect();
+        assert_lanes_equivalent(&trace, &configs, width, "random program");
+    }
+
+    /// Random programs under split windows, nonzero address-scheduler
+    /// latency, and selective reissue — the states hardest to pause and
+    /// resume mid-trace.
+    #[test]
+    fn lanes_match_solo_on_split_window_and_selective_reissue(
+        body in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..10),
+        iters in 1u64..14,
+        units in 2u32..5,
+    ) {
+        let trace = random_loop_trace(iters, &body);
+        let configs: Vec<CoreConfig> = vec![
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasNaive)
+                .with_window_model(WindowModel::Split { units, task_size: 16 })
+                .with_addr_sched_latency(1),
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasSelective)
+                .with_recovery(Recovery::SelectiveReissue),
+            CoreConfig::paper_128()
+                .with_policy(Policy::AsNaive)
+                .with_window_model(WindowModel::Split { units, task_size: 16 }),
+            CoreConfig::paper_128()
+                .with_policy(Policy::NasSync)
+                .with_recovery(Recovery::SelectiveReissue)
+                .with_addr_sched_latency(2),
+        ];
+        assert_lanes_equivalent(&trace, &configs, 4, "split/selective");
+    }
+}
+
+/// Lanes must actually fast-forward (each on its own horizon) for the
+/// equivalence above to prove anything about skip interleaving.
+#[test]
+fn lanes_fast_forward_independently() {
+    let trace = Benchmark::Li.trace(&SuiteParams::tiny()).expect("trace");
+    let configs: Vec<CoreConfig> = ALL_NINE
+        .iter()
+        .map(|&p| CoreConfig::paper_128().with_window_size(16).with_policy(p))
+        .collect();
+    let artifacts = TraceArtifacts::build(&trace);
+    let laned = Simulator::run_lanes(&trace, &artifacts, &configs);
+    let skipped: Vec<u64> = laned.iter().map(|r| r.skipped_cycles).collect();
+    assert!(
+        skipped.iter().sum::<u64>() > 0,
+        "expected fast-forward activity inside lanes, got {skipped:?}"
+    );
+    assert_lanes_equivalent(&trace, &configs, configs.len(), "small-window");
+}
